@@ -1,0 +1,37 @@
+//! End-to-end simulation benchmarks: a small but complete scenario per
+//! protocol arm, measuring whole-run wall-clock (the quantity that budgets
+//! the figure sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dtn_workloads::paper::reduced_scenario;
+use dtn_workloads::runner::run_once;
+use dtn_workloads::scenario::{Arm, Scenario};
+
+fn small() -> Scenario {
+    let mut s = reduced_scenario();
+    s.nodes = 30;
+    s.area_km2 = 0.3;
+    s.duration_secs = 900.0;
+    s.message_interval_secs = 30.0;
+    s.message_ttl_secs = 600.0;
+    s.selfish_fraction = 0.2;
+    s.malicious_fraction = 0.1;
+    s.named("bench-small")
+}
+
+fn bench_small_runs(c: &mut Criterion) {
+    let scenario = small();
+    let mut group = c.benchmark_group("end_to_end_30_nodes_15min");
+    group.sample_size(10);
+    group.bench_function("incentive_arm", |b| {
+        b.iter(|| run_once(&scenario, Arm::Incentive, 7));
+    });
+    group.bench_function("chitchat_arm", |b| {
+        b.iter(|| run_once(&scenario, Arm::ChitChat, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_runs);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Runs every figure binary in sequence (same flags forwarded), so
+//! `cargo run --release -p dtn-bench --bin all` regenerates the complete
+//! evaluation in one go.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in [
+        "fig5_1", "fig5_2", "fig5_3", "fig5_4", "fig5_5", "fig5_6", "ablation",
+    ] {
+        let path = exe_dir.join(bin);
+        println!("\n##### {bin} #####\n");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+}

@@ -1,0 +1,449 @@
+//! # dtn-cli
+//!
+//! The `dtn` command-line tool: run incentive-mechanism scenarios from
+//! JSON config files without writing Rust.
+//!
+//! ```text
+//! dtn template > scenario.json        # a commented starting point
+//! dtn validate scenario.json          # check a config
+//! dtn run scenario.json               # run the Incentive arm, print stats
+//! dtn run scenario.json --arm chitchat --seed 7 --json out.json
+//! dtn compare scenario.json --seeds 3 # paired Incentive-vs-ChitChat
+//! ```
+//!
+//! All the command logic lives in this library so it is unit-testable;
+//! `main.rs` only forwards `std::env::args`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Write as _;
+
+use dtn_sim::stats::RunSummary;
+use dtn_workloads::paper::{reduced_scenario, QUICK_SEEDS};
+use dtn_workloads::runner::compare_arms;
+use dtn_workloads::scenario::{Arm, Scenario};
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print a scenario template to stdout.
+    Template,
+    /// Validate a scenario file.
+    Validate {
+        /// Path to the scenario JSON.
+        path: String,
+    },
+    /// Run one arm of a scenario.
+    Run {
+        /// Path to the scenario JSON.
+        path: String,
+        /// Which arm to run.
+        arm: Arm,
+        /// The seed.
+        seed: u64,
+        /// Optional path for a JSON result dump.
+        json_out: Option<String>,
+        /// Optional path for a kernel event trace dump.
+        trace_out: Option<String>,
+    },
+    /// Run both arms and print the paired comparison.
+    Compare {
+        /// Path to the scenario JSON.
+        path: String,
+        /// How many of the quick seeds to use.
+        seeds: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses a command line (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns a usage-style message for unknown commands, missing arguments
+/// or malformed flag values.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    match cmd {
+        "template" => Ok(Command::Template),
+        "validate" => {
+            let path = it.next().ok_or("validate needs a scenario path")?.clone();
+            Ok(Command::Validate { path })
+        }
+        "run" => {
+            let path = it.next().ok_or("run needs a scenario path")?.clone();
+            let mut arm = Arm::Incentive;
+            let mut seed = QUICK_SEEDS[0];
+            let mut json_out = None;
+            let mut trace_out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--arm" => {
+                        arm = match it.next().map(String::as_str) {
+                            Some("incentive") => Arm::Incentive,
+                            Some("chitchat") => Arm::ChitChat,
+                            other => {
+                                return Err(format!(
+                                    "--arm must be 'incentive' or 'chitchat', got {other:?}"
+                                ))
+                            }
+                        };
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--json" => {
+                        json_out = Some(it.next().ok_or("--json needs a path")?.clone());
+                    }
+                    "--trace" => {
+                        trace_out = Some(it.next().ok_or("--trace needs a path")?.clone());
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Run {
+                path,
+                arm,
+                seed,
+                json_out,
+                trace_out,
+            })
+        }
+        "compare" => {
+            let path = it.next().ok_or("compare needs a scenario path")?.clone();
+            let mut seeds = QUICK_SEEDS.len();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seeds" => {
+                        seeds = it
+                            .next()
+                            .ok_or("--seeds needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad --seeds: {e}"))?;
+                        if seeds == 0 || seeds > QUICK_SEEDS.len() {
+                            return Err(format!("--seeds must be 1..={}", QUICK_SEEDS.len()));
+                        }
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Compare { path, seeds })
+        }
+        other => Err(format!("unknown command {other}; try 'dtn help'")),
+    }
+}
+
+/// The usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "dtn — delay-tolerant-network incentive-mechanism runner
+
+USAGE:
+    dtn template                         print a scenario template (JSON)
+    dtn validate <scenario.json>         check a scenario file
+    dtn run <scenario.json> [--arm incentive|chitchat] [--seed N]
+                            [--json out.json] [--trace out.txt]
+    dtn compare <scenario.json> [--seeds N]
+    dtn help
+"
+}
+
+/// Loads and validates a scenario file.
+///
+/// # Errors
+///
+/// Returns a message naming the file and the parse or validation failure.
+pub fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario: Scenario =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    scenario
+        .validate()
+        .map_err(|e| format!("{path} is invalid: {e}"))?;
+    Ok(scenario)
+}
+
+/// The scenario template `dtn template` prints: the reduced-scale paper
+/// configuration, pretty-printed.
+///
+/// # Panics
+///
+/// Never in practice (the default scenario always serializes).
+#[must_use]
+pub fn template_json() -> String {
+    serde_json::to_string_pretty(&reduced_scenario()).expect("default scenario serializes")
+}
+
+/// Formats a run summary for terminal output.
+#[must_use]
+pub fn format_summary(title: &str, s: &RunSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "  messages created       {}", s.created);
+    let _ = writeln!(out, "  expected (msg, dest)   {}", s.expected_pairs);
+    let _ = writeln!(out, "  delivered pairs        {}", s.delivered_pairs);
+    let _ = writeln!(out, "  delivery ratio         {:.4}", s.delivery_ratio);
+    let _ = writeln!(out, "  bonus deliveries       {}", s.bonus_deliveries);
+    let _ = writeln!(out, "  transfers completed    {}", s.relays_completed);
+    let _ = writeln!(
+        out,
+        "  bytes moved            {:.1} MB",
+        s.relay_bytes as f64 / 1e6
+    );
+    let _ = writeln!(out, "  mean latency           {:.1} s", s.mean_latency_secs);
+    let _ = writeln!(out, "  transfers aborted      {}", s.transfers_aborted);
+    let _ = writeln!(out, "  buffer evictions       {}", s.buffer_evictions);
+    let _ = writeln!(out, "  ttl expiries           {}", s.ttl_expiries);
+    for (level, label) in [(1u8, "high"), (2, "medium"), (3, "low")] {
+        if let Some(r) = s.delivery_ratio_by_priority.get(&level) {
+            let _ = writeln!(out, "  MDR ({label:<6} priority)  {r:.4}");
+        }
+    }
+    out
+}
+
+/// Executes a parsed command, writing human output to the returned string.
+///
+/// # Errors
+///
+/// Returns the error text to print to stderr (exit code 1).
+pub fn execute(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(usage().to_owned()),
+        Command::Template => Ok(template_json()),
+        Command::Validate { path } => {
+            let s = load_scenario(&path)?;
+            Ok(format!(
+                "{path} OK: '{}', {} nodes, {:.1} km², {:.1} h, {} messages expected\n",
+                s.name,
+                s.nodes,
+                s.area_km2,
+                s.duration_secs / 3600.0,
+                s.expected_message_count()
+            ))
+        }
+        Command::Run {
+            path,
+            arm,
+            seed,
+            json_out,
+            trace_out,
+        } => {
+            let scenario = load_scenario(&path)?;
+            // Traced runs bound the log (1M events) so a runaway scenario
+            // cannot exhaust memory.
+            let capacity = trace_out.as_ref().map(|_| 1_000_000);
+            let (run, trace_text) =
+                dtn_workloads::runner::run_once_traced(&scenario, arm, seed, capacity);
+            if let (Some(out_path), Some(text)) = (&trace_out, &trace_text) {
+                std::fs::write(out_path, text)
+                    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            }
+            if let Some(out_path) = json_out {
+                let json = serde_json::to_string_pretty(&run.summary)
+                    .map_err(|e| format!("cannot serialize results: {e}"))?;
+                std::fs::write(&out_path, json)
+                    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            }
+            let mut text = format_summary(
+                &format!("{} · {} arm · seed {seed}", scenario.name, arm.label()),
+                &run.summary,
+            );
+            if arm == Arm::Incentive {
+                let _ = writeln!(
+                    text,
+                    "  settlements            {}",
+                    run.protocol.settlements
+                );
+                let _ = writeln!(
+                    text,
+                    "  tokens awarded         {:.1}",
+                    run.protocol.tokens_awarded
+                );
+                let _ = writeln!(text, "  broke nodes            {}", run.broke_nodes);
+            }
+            Ok(text)
+        }
+        Command::Compare { path, seeds } => {
+            let scenario = load_scenario(&path)?;
+            let cmp = compare_arms(&scenario, &QUICK_SEEDS[..seeds]);
+            let mut text = format_summary(
+                &format!("{} · Incentive (mean of {seeds} seeds)", scenario.name),
+                &cmp.incentive,
+            );
+            text.push('\n');
+            text.push_str(&format_summary(
+                &format!("{} · ChitChat (mean of {seeds} seeds)", scenario.name),
+                &cmp.chitchat,
+            ));
+            let _ = writeln!(
+                text,
+                "\npaired: MDR gap {:+.4}, traffic reduction {:+.1}%",
+                cmp.mdr_gap(),
+                cmp.traffic_reduction_pct()
+            );
+            Ok(text)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    /// One per-test scratch directory (pid + name keyed, created fresh).
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtn-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn parses_all_commands() {
+        assert_eq!(parse_args(&argv("")), Ok(Command::Help));
+        assert_eq!(parse_args(&argv("help")), Ok(Command::Help));
+        assert_eq!(parse_args(&argv("template")), Ok(Command::Template));
+        assert_eq!(
+            parse_args(&argv("validate s.json")),
+            Ok(Command::Validate {
+                path: "s.json".into()
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "run s.json --arm chitchat --seed 9 --json o.json --trace t.txt"
+            )),
+            Ok(Command::Run {
+                path: "s.json".into(),
+                arm: Arm::ChitChat,
+                seed: 9,
+                json_out: Some("o.json".into()),
+                trace_out: Some("t.txt".into()),
+            })
+        );
+        assert_eq!(
+            parse_args(&argv("compare s.json --seeds 2")),
+            Ok(Command::Compare {
+                path: "s.json".into(),
+                seeds: 2
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("run")).is_err());
+        assert!(parse_args(&argv("run s.json --arm epidemics")).is_err());
+        assert!(parse_args(&argv("run s.json --seed banana")).is_err());
+        assert!(parse_args(&argv("compare s.json --seeds 0")).is_err());
+        assert!(parse_args(&argv("compare s.json --seeds 99")).is_err());
+        assert!(parse_args(&argv("run s.json --wat")).is_err());
+    }
+
+    #[test]
+    fn template_round_trips_through_load() {
+        let dir = scratch_dir("test");
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, template_json()).expect("write");
+        let s = load_scenario(path.to_str().expect("utf8")).expect("loads");
+        assert_eq!(s.nodes, 100);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn load_reports_missing_and_invalid_files() {
+        assert!(load_scenario("/nonexistent/x.json")
+            .unwrap_err()
+            .contains("cannot read"));
+        let dir = scratch_dir("bad");
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").expect("write");
+        assert!(load_scenario(path.to_str().expect("utf8"))
+            .unwrap_err()
+            .contains("cannot parse"));
+        // Valid JSON, invalid scenario.
+        let mut s = reduced_scenario();
+        s.nodes = 0;
+        std::fs::write(&path, serde_json::to_string(&s).expect("json")).expect("write");
+        assert!(load_scenario(path.to_str().expect("utf8"))
+            .unwrap_err()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn validate_command_summarizes() {
+        let dir = scratch_dir("val");
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, template_json()).expect("write");
+        let out = execute(Command::Validate {
+            path: path.to_str().expect("utf8").to_owned(),
+        })
+        .expect("valid");
+        assert!(out.contains("OK"));
+        assert!(out.contains("100 nodes"));
+    }
+
+    #[test]
+    fn run_command_executes_a_tiny_scenario() {
+        let mut s = reduced_scenario();
+        s.nodes = 12;
+        s.area_km2 = 0.12;
+        s.duration_secs = 600.0;
+        s.message_interval_secs = 30.0;
+        s.message_ttl_secs = 500.0;
+        let dir = scratch_dir("run");
+        let path = dir.join("tiny.json");
+        std::fs::write(&path, serde_json::to_string(&s).expect("json")).expect("write");
+        let json_out = dir.join("out.json");
+        let trace_out = dir.join("trace.txt");
+        let text = execute(Command::Run {
+            path: path.to_str().expect("utf8").to_owned(),
+            arm: Arm::Incentive,
+            seed: 1,
+            json_out: Some(json_out.to_str().expect("utf8").to_owned()),
+            trace_out: Some(trace_out.to_str().expect("utf8").to_owned()),
+        })
+        .expect("runs");
+        let trace_text = std::fs::read_to_string(&trace_out).expect("trace written");
+        assert!(
+            trace_text.contains("created m0"),
+            "trace names events: {}",
+            trace_text.lines().next().unwrap_or("")
+        );
+        assert!(text.contains("delivery ratio"));
+        assert!(text.contains("settlements"));
+        let dumped: RunSummary =
+            serde_json::from_str(&std::fs::read_to_string(&json_out).expect("json written"))
+                .expect("valid result JSON");
+        assert!(dumped.created > 0);
+    }
+
+    #[test]
+    fn format_summary_is_complete() {
+        let mut c = dtn_sim::stats::StatsCollector::new();
+        c.record_created(
+            dtn_sim::message::MessageId(1),
+            dtn_sim::message::Priority::High,
+            [dtn_sim::world::NodeId(1)],
+        );
+        let text = format_summary("t", &c.summarize());
+        for needle in ["messages created", "delivery ratio", "MDR (high"] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+}

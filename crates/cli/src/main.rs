@@ -1,0 +1,19 @@
+//! The `dtn` binary: thin shell over [`dtn_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match dtn_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", dtn_cli::usage());
+            std::process::exit(2);
+        }
+    };
+    match dtn_cli::execute(command) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

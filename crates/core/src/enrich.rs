@@ -1,0 +1,249 @@
+//! Content enrichment (Paper I, §1.3.2 and operator function `Enrich`).
+//!
+//! Relays may add keyword annotations to in-transit messages. An honest
+//! relay contributes *relevant* tags — keywords from the message's actual
+//! content that the existing annotations miss (the soldier recognizing a
+//! face the source could not name). A malicious relay adds *irrelevant*
+//! tags drawn from the scenario keyword pool, hoping destinations with
+//! matching interests will pay for them.
+//!
+//! Relevance is grounded in the simulation oracle
+//! ([`dtn_sim::message::MessageBody::ground_truth`]): honest tags come from
+//! inside the set, malicious tags from outside it.
+
+use dtn_sim::message::{Keyword, MessageCopy};
+use dtn_sim::rng::SimRng;
+use dtn_sim::time::SimTime;
+use dtn_sim::world::NodeId;
+
+use crate::behavior::NodeBehavior;
+use crate::params::ProtocolParams;
+
+/// The outcome of one enrichment opportunity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EnrichmentResult {
+    /// Tags added that are in the message's ground truth.
+    pub relevant_added: Vec<Keyword>,
+    /// Tags added that are *not* in the ground truth.
+    pub irrelevant_added: Vec<Keyword>,
+}
+
+impl EnrichmentResult {
+    /// Total tags added.
+    #[must_use]
+    pub fn added_count(&self) -> usize {
+        self.relevant_added.len() + self.irrelevant_added.len()
+    }
+}
+
+/// Lets `node` (with the given behavior) enrich a carried copy in place.
+///
+/// Honest and selfish nodes add at most one missing ground-truth tag with
+/// probability [`ProtocolParams::honest_enrich_prob`] (a selfish node that
+/// *is* participating in an encounter has no reason to skip the extra
+/// income). Malicious nodes add
+/// [`ProtocolParams::malicious_fake_tags`] keywords from outside the ground
+/// truth. Returns what was added.
+pub fn enrich_copy(
+    copy: &mut MessageCopy,
+    node: NodeId,
+    behavior: NodeBehavior,
+    params: &ProtocolParams,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> EnrichmentResult {
+    let mut result = EnrichmentResult::default();
+    if !params.enrichment_enabled {
+        return result;
+    }
+    match behavior {
+        NodeBehavior::Honest | NodeBehavior::Selfish { .. } => {
+            if !rng.chance(params.honest_enrich_prob) {
+                return result;
+            }
+            let present = copy.keywords();
+            let missing: Vec<Keyword> = copy
+                .body
+                .ground_truth
+                .iter()
+                .copied()
+                .filter(|k| !present.contains(k))
+                .collect();
+            if missing.is_empty() {
+                return result;
+            }
+            let pick = missing[rng.index(missing.len())];
+            if copy.enrich(pick, node, now) {
+                result.relevant_added.push(pick);
+            }
+        }
+        NodeBehavior::Malicious => {
+            let pool = params.keyword_pool_size;
+            let mut attempts = 0;
+            while result.irrelevant_added.len() < params.malicious_fake_tags as usize
+                && attempts < 8 * params.malicious_fake_tags
+            {
+                attempts += 1;
+                let candidate = Keyword(rng.index(pool as usize) as u32);
+                if copy.body.truth_contains(candidate) {
+                    continue;
+                }
+                if copy.enrich(candidate, node, now) {
+                    result.irrelevant_added.push(candidate);
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::message::{MessageBody, MessageId, Priority, Quality};
+    use std::sync::Arc;
+
+    fn copy_with_truth(truth: Vec<Keyword>, tags: Vec<Keyword>) -> MessageCopy {
+        let body = Arc::new(MessageBody {
+            id: MessageId(1),
+            source: NodeId(0),
+            created_at: SimTime::ZERO,
+            size_bytes: 1000,
+            ttl_secs: 1000.0,
+            priority: Priority::High,
+            quality: Quality::new(0.9),
+            ground_truth: truth,
+        });
+        MessageCopy::original(body, tags, SimTime::ZERO)
+    }
+
+    fn params() -> ProtocolParams {
+        ProtocolParams::paper_default()
+    }
+
+    #[test]
+    fn honest_enrichment_draws_from_ground_truth() {
+        let mut p = params();
+        p.honest_enrich_prob = 1.0;
+        let mut rng = SimRng::new(1);
+        let mut copy = copy_with_truth(vec![Keyword(1), Keyword(2), Keyword(3)], vec![Keyword(1)]);
+        let r = enrich_copy(
+            &mut copy,
+            NodeId(5),
+            NodeBehavior::Honest,
+            &p,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(r.relevant_added.len(), 1);
+        assert!(r.irrelevant_added.is_empty());
+        let added = r.relevant_added[0];
+        assert!(copy.body.truth_contains(added));
+        assert_ne!(added, Keyword(1), "already-present tag never re-added");
+        assert_eq!(copy.tags_added_by(NodeId(5)), vec![added]);
+    }
+
+    #[test]
+    fn honest_enrichment_noop_when_fully_tagged() {
+        let mut p = params();
+        p.honest_enrich_prob = 1.0;
+        let mut rng = SimRng::new(2);
+        let mut copy = copy_with_truth(vec![Keyword(1)], vec![Keyword(1)]);
+        let r = enrich_copy(
+            &mut copy,
+            NodeId(5),
+            NodeBehavior::Honest,
+            &p,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(r.added_count(), 0);
+    }
+
+    #[test]
+    fn malicious_enrichment_avoids_ground_truth() {
+        let p = params();
+        let mut rng = SimRng::new(3);
+        let mut copy = copy_with_truth(vec![Keyword(1), Keyword(2)], vec![Keyword(1)]);
+        let r = enrich_copy(
+            &mut copy,
+            NodeId(9),
+            NodeBehavior::Malicious,
+            &p,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(r.irrelevant_added.len(), 2);
+        assert!(r.relevant_added.is_empty());
+        for k in &r.irrelevant_added {
+            assert!(
+                !copy.body.truth_contains(*k),
+                "malicious tag {k} must be false"
+            );
+        }
+        assert_eq!(copy.tags_added_by(NodeId(9)).len(), 2);
+    }
+
+    #[test]
+    fn enrichment_disabled_is_a_noop() {
+        let mut p = params();
+        p.enrichment_enabled = false;
+        p.honest_enrich_prob = 1.0;
+        let mut rng = SimRng::new(4);
+        let mut copy = copy_with_truth(vec![Keyword(1), Keyword(2)], vec![Keyword(1)]);
+        let honest = enrich_copy(
+            &mut copy,
+            NodeId(5),
+            NodeBehavior::Honest,
+            &p,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let malicious = enrich_copy(
+            &mut copy,
+            NodeId(6),
+            NodeBehavior::Malicious,
+            &p,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(honest.added_count() + malicious.added_count(), 0);
+        assert_eq!(copy.annotations.len(), 1);
+    }
+
+    #[test]
+    fn zero_enrich_probability_never_adds() {
+        let mut p = params();
+        p.honest_enrich_prob = 0.0;
+        let mut rng = SimRng::new(5);
+        let mut copy = copy_with_truth(vec![Keyword(1), Keyword(2)], vec![Keyword(1)]);
+        for _ in 0..20 {
+            let r = enrich_copy(
+                &mut copy,
+                NodeId(5),
+                NodeBehavior::Honest,
+                &p,
+                SimTime::ZERO,
+                &mut rng,
+            );
+            assert_eq!(r.added_count(), 0);
+        }
+    }
+
+    #[test]
+    fn selfish_nodes_enrich_like_honest_ones() {
+        let mut p = params();
+        p.honest_enrich_prob = 1.0;
+        let mut rng = SimRng::new(6);
+        let mut copy = copy_with_truth(vec![Keyword(1), Keyword(2)], vec![Keyword(1)]);
+        let r = enrich_copy(
+            &mut copy,
+            NodeId(5),
+            NodeBehavior::paper_selfish(),
+            &p,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(r.relevant_added, vec![Keyword(2)]);
+    }
+}

@@ -1,0 +1,220 @@
+//! The simulated human rater.
+//!
+//! The DRM "requires human judgement and input on each message content"
+//! (Paper I, §1): a recipient looks at the picture and decides whether each
+//! tag is truthful and how good the content is. The simulation stands a
+//! noisy oracle in for the human: a tag is judged relevant iff it is in the
+//! message's hidden ground truth, the per-node tag rating is the relevant
+//! fraction scaled to the rating scale plus bounded noise, and the user's
+//! stated confidence is drawn high but imperfect. This preserves the only
+//! property the DRM needs — truthful tags rate high, fabricated tags rate
+//! low, with realistic observation error (see DESIGN.md, substitutions).
+
+use dtn_sim::message::MessageCopy;
+use dtn_sim::rng::SimRng;
+use dtn_sim::world::NodeId;
+
+use dtn_reputation::rating::{MessageJudgement, RatingParams};
+
+/// One judged node on a message's path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathJudgement {
+    /// The node being judged.
+    pub subject: NodeId,
+    /// Whether the subject is the message source (rated for quality too)
+    /// or an enriching relay (rated for its added tags only).
+    pub is_source: bool,
+    /// The rater's judgement inputs.
+    pub judgement: MessageJudgement,
+    /// How many of the subject's tags the rater found relevant (oracle
+    /// ground truth, pre-noise). Informational for callers; the settlement
+    /// path recomputes its own oracle count from the delivered copy, so
+    /// payment does not depend on whether this reception was rated.
+    pub relevant_tags: usize,
+    /// How many tags the subject contributed in total.
+    pub total_tags: usize,
+}
+
+/// Judges every annotating node on the path of `copy`, as `rater` would.
+///
+/// Returns one [`PathJudgement`] for the source and one per distinct relay
+/// that added tags, in path order. Nodes that added nothing are not judged
+/// (there is nothing to rate them on). The `rater` itself is skipped.
+#[must_use]
+pub fn judge_message(
+    copy: &MessageCopy,
+    rater: NodeId,
+    params: &RatingParams,
+    noise: f64,
+    rng: &mut SimRng,
+) -> Vec<PathJudgement> {
+    let mut out = Vec::new();
+    let source = copy.body.source;
+    // Path order, deduplicated: source first, then relays by first hop.
+    let mut subjects: Vec<NodeId> = Vec::new();
+    for &node in &copy.path {
+        if node != rater && !subjects.contains(&node) {
+            subjects.push(node);
+        }
+    }
+    // Annotators that are not on the recorded path (should not happen, but
+    // annotations carry their own provenance) are judged after.
+    for a in &copy.annotations {
+        if a.annotator != rater && !subjects.contains(&a.annotator) {
+            subjects.push(a.annotator);
+        }
+    }
+    for subject in subjects {
+        let tags = copy.tags_added_by(subject);
+        if tags.is_empty() {
+            continue;
+        }
+        let relevant = tags
+            .iter()
+            .filter(|&&k| copy.body.truth_contains(k))
+            .count();
+        let frac = relevant as f64 / tags.len() as f64;
+        let jitter = |rng: &mut SimRng| {
+            if noise > 0.0 {
+                rng.uniform(-noise, noise)
+            } else {
+                0.0
+            }
+        };
+        let tag_rating = (frac * params.max_rating + jitter(rng)).clamp(0.0, params.max_rating);
+        let confidence = rng.uniform(0.6, 1.0).min(params.max_confidence).max(0.0);
+        let quality_rating = (copy.body.quality.value() * params.max_rating + jitter(rng))
+            .clamp(0.0, params.max_rating);
+        out.push(PathJudgement {
+            subject,
+            is_source: subject == source,
+            judgement: MessageJudgement {
+                tag_rating,
+                confidence,
+                quality_rating,
+            },
+            relevant_tags: relevant,
+            total_tags: tags.len(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::message::{Keyword, MessageBody, MessageId, Priority, Quality};
+    use dtn_sim::time::SimTime;
+    use std::sync::Arc;
+
+    fn copy(truth: Vec<Keyword>, source_tags: Vec<Keyword>, quality: f64) -> MessageCopy {
+        let body = Arc::new(MessageBody {
+            id: MessageId(1),
+            source: NodeId(0),
+            created_at: SimTime::ZERO,
+            size_bytes: 1000,
+            ttl_secs: 1000.0,
+            priority: Priority::High,
+            quality: Quality::new(quality),
+            ground_truth: truth,
+        });
+        MessageCopy::original(body, source_tags, SimTime::ZERO)
+    }
+
+    fn params() -> RatingParams {
+        RatingParams::paper_default()
+    }
+
+    #[test]
+    fn truthful_source_rates_high_fabricator_rates_low() {
+        let mut rng = SimRng::new(1);
+        // Source 0 tags truthfully; relay 1 adds two fabricated tags.
+        let mut c = copy(
+            vec![Keyword(1), Keyword(2)],
+            vec![Keyword(1), Keyword(2)],
+            0.9,
+        );
+        let t = SimTime::from_secs(1.0);
+        c = c.arrived_at(NodeId(1), t);
+        c.enrich(Keyword(50), NodeId(1), t);
+        c.enrich(Keyword(51), NodeId(1), t);
+        let judged = judge_message(&c, NodeId(9), &params(), 0.0, &mut rng);
+        assert_eq!(judged.len(), 2);
+        let src = judged
+            .iter()
+            .find(|j| j.subject == NodeId(0))
+            .expect("source judged");
+        let relay = judged
+            .iter()
+            .find(|j| j.subject == NodeId(1))
+            .expect("relay judged");
+        assert!(src.is_source && !relay.is_source);
+        assert_eq!(src.judgement.tag_rating, 5.0, "all source tags truthful");
+        assert_eq!(src.relevant_tags, 2);
+        assert_eq!(relay.judgement.tag_rating, 0.0, "all relay tags fabricated");
+        assert_eq!(relay.relevant_tags, 0);
+        assert_eq!(relay.total_tags, 2);
+    }
+
+    #[test]
+    fn mixed_tags_rate_proportionally() {
+        let mut rng = SimRng::new(2);
+        let mut c = copy(vec![Keyword(1), Keyword(2)], vec![Keyword(1)], 0.5);
+        let t = SimTime::from_secs(1.0);
+        c = c.arrived_at(NodeId(1), t);
+        c.enrich(Keyword(2), NodeId(1), t); // relevant
+        c.enrich(Keyword(77), NodeId(1), t); // irrelevant
+        let judged = judge_message(&c, NodeId(9), &params(), 0.0, &mut rng);
+        let relay = judged
+            .iter()
+            .find(|j| j.subject == NodeId(1))
+            .expect("judged");
+        assert_eq!(relay.judgement.tag_rating, 2.5, "half the tags relevant");
+        assert_eq!((relay.relevant_tags, relay.total_tags), (1, 2));
+    }
+
+    #[test]
+    fn quality_rating_tracks_intrinsic_quality() {
+        let mut rng = SimRng::new(3);
+        let c_good = copy(vec![Keyword(1)], vec![Keyword(1)], 1.0);
+        let c_poor = copy(vec![Keyword(1)], vec![Keyword(1)], 0.1);
+        let good = judge_message(&c_good, NodeId(9), &params(), 0.0, &mut rng);
+        let poor = judge_message(&c_poor, NodeId(9), &params(), 0.0, &mut rng);
+        assert_eq!(good[0].judgement.quality_rating, 5.0);
+        assert!((poor[0].judgement.quality_rating - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_stays_within_bounds() {
+        let mut rng = SimRng::new(4);
+        let c = copy(vec![Keyword(1)], vec![Keyword(1)], 1.0);
+        for _ in 0..200 {
+            let j = &judge_message(&c, NodeId(9), &params(), 0.5, &mut rng)[0];
+            assert!(j.judgement.tag_rating >= 4.5 - 1e-9);
+            assert!(j.judgement.tag_rating <= 5.0 + 1e-9);
+            assert!((0.6..=1.0).contains(&j.judgement.confidence));
+        }
+    }
+
+    #[test]
+    fn rater_does_not_judge_itself() {
+        let mut rng = SimRng::new(5);
+        let mut c = copy(vec![Keyword(1), Keyword(2)], vec![Keyword(1)], 0.5);
+        let t = SimTime::from_secs(1.0);
+        c = c.arrived_at(NodeId(9), t);
+        c.enrich(Keyword(2), NodeId(9), t);
+        let judged = judge_message(&c, NodeId(9), &params(), 0.0, &mut rng);
+        assert!(judged.iter().all(|j| j.subject != NodeId(9)));
+    }
+
+    #[test]
+    fn non_annotating_relays_not_judged() {
+        let mut rng = SimRng::new(6);
+        let mut c = copy(vec![Keyword(1)], vec![Keyword(1)], 0.5);
+        c = c.arrived_at(NodeId(1), SimTime::from_secs(1.0)); // carried, added nothing
+        c = c.arrived_at(NodeId(2), SimTime::from_secs(2.0));
+        let judged = judge_message(&c, NodeId(2), &params(), 0.0, &mut rng);
+        assert_eq!(judged.len(), 1, "only the source annotated");
+        assert_eq!(judged[0].subject, NodeId(0));
+    }
+}

@@ -1,0 +1,188 @@
+//! The operator functions of Paper I, §4.
+//!
+//! The paper specifies eleven user/system functions. Most map directly onto
+//! methods of the component crates; this module provides the remaining
+//! queries and a cross-reference so the public API matches the paper's
+//! operator list one-to-one:
+//!
+//! | Paper function | Implemented by |
+//! |---|---|
+//! | 1. `Annotate` | [`annotate`] (source tags from content) |
+//! | 2. `Subscribe` | [`crate::protocol::DcimRouter::subscribe`] |
+//! | 3. `DecayWeights` | [`dtn_routing::interests::InterestTable::decay`] |
+//! | 4. `IncrementWeights` | [`dtn_routing::interests::InterestTable::grow`] |
+//! | 5. `GetMessagesToForward` | [`messages_to_forward`] |
+//! | 6. `DecideDestOrRelay` | [`device_type`] |
+//! | 7. `DecideBestRelay` | [`best_relay`] |
+//! | 8. `ComputeIncentive` | [`crate::protocol::DcimRouter`] promise quoting (see [`dtn_incentive::promise`]) |
+//! | 9. `RateMessage` | [`crate::judge::judge_message`] + [`dtn_reputation::rating`] |
+//! | 10. `RateNode` | [`dtn_reputation::table::ReputationTable::rating_of`] |
+//! | 11. `Enrich` | [`crate::enrich::enrich_copy`] |
+
+use dtn_sim::kernel::SimApi;
+use dtn_sim::message::{Keyword, MessageId};
+use dtn_sim::rng::SimRng;
+use dtn_sim::world::NodeId;
+
+use crate::protocol::DcimRouter;
+
+/// Whether a connected device is a destination or a relay for a message
+/// (operator function 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceType {
+    /// The device has a *direct* interest in one of the message keywords.
+    Destination,
+    /// The device has only transient interest (or none): at best a relay.
+    Relay,
+}
+
+/// Operator function 1 — `Annotate`: produces the source's initial tags for
+/// a message whose content is described by `ground_truth`.
+///
+/// The source "fetches labels from the cloud" and keeps the ones that suit
+/// the image; we model that as keeping a fraction of the true content
+/// keywords (at least one), leaving the remainder for en-route enrichment.
+///
+/// # Panics
+///
+/// Panics if `ground_truth` is empty or `keep_fraction` is outside `(0, 1]`.
+#[must_use]
+pub fn annotate(ground_truth: &[Keyword], keep_fraction: f64, rng: &mut SimRng) -> Vec<Keyword> {
+    assert!(
+        !ground_truth.is_empty(),
+        "content must have at least one keyword"
+    );
+    assert!(
+        keep_fraction > 0.0 && keep_fraction <= 1.0,
+        "keep_fraction must lie in (0, 1]"
+    );
+    let keep =
+        ((ground_truth.len() as f64 * keep_fraction).round() as usize).clamp(1, ground_truth.len());
+    let mut picked = rng.choose_indices(ground_truth.len(), keep);
+    picked.sort_unstable();
+    picked.into_iter().map(|i| ground_truth[i]).collect()
+}
+
+/// Operator function 6 — `DecideDestOrRelay`.
+#[must_use]
+pub fn device_type(router: &DcimRouter, node: NodeId, keywords: &[Keyword]) -> DeviceType {
+    if router.table(node).is_destination_for(keywords) {
+        DeviceType::Destination
+    } else {
+        DeviceType::Relay
+    }
+}
+
+/// Operator function 5 — `GetMessagesToForward`: the messages `from` would
+/// offer `to` under the routing rule (destination, or `S_to > S_from`),
+/// ignoring the incentive gates (those apply at offer time).
+#[must_use]
+pub fn messages_to_forward(
+    api: &SimApi,
+    router: &DcimRouter,
+    from: NodeId,
+    to: NodeId,
+) -> Vec<MessageId> {
+    let mut out = Vec::new();
+    for id in api.buffer(from).ids_sorted() {
+        if api.buffer(to).contains(id) {
+            continue;
+        }
+        let Some(copy) = api.buffer(from).get(id) else {
+            continue;
+        };
+        let keywords = copy.keywords();
+        let dest = router.table(to).is_destination_for(&keywords);
+        let s_from = router.table(from).sum_of_weights(&keywords);
+        let s_to = router.table(to).sum_of_weights(&keywords);
+        if dest || s_to > s_from {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Operator function 7 — `DecideBestRelay`: among `candidates`, the one
+/// with the highest sum of interest weights for `keywords` (the highest
+/// delivery probability). Ties break toward the smaller node id; `None`
+/// when no candidate has any weight.
+#[must_use]
+pub fn best_relay(
+    router: &DcimRouter,
+    candidates: &[NodeId],
+    keywords: &[Keyword],
+) -> Option<NodeId> {
+    candidates
+        .iter()
+        .map(|&n| (n, router.table(n).sum_of_weights(keywords)))
+        .filter(|&(_, w)| w > 0.0)
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.0.cmp(&a.0))
+        })
+        .map(|(n, _)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ProtocolParams;
+
+    fn router() -> DcimRouter {
+        DcimRouter::new(4, ProtocolParams::paper_default(), 7)
+    }
+
+    #[test]
+    fn annotate_keeps_a_nonempty_truth_subset() {
+        let truth: Vec<Keyword> = (0..6).map(Keyword).collect();
+        let mut rng = SimRng::new(1);
+        for frac in [0.2, 0.5, 1.0] {
+            let tags = annotate(&truth, frac, &mut rng);
+            assert!(!tags.is_empty());
+            assert!(tags.len() <= truth.len());
+            assert!(tags.iter().all(|t| truth.contains(t)));
+            let mut sorted = tags.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), tags.len(), "no duplicates");
+        }
+        assert_eq!(annotate(&truth, 1.0, &mut rng).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn annotate_rejects_zero_fraction() {
+        let _ = annotate(&[Keyword(1)], 0.0, &mut SimRng::new(1));
+    }
+
+    #[test]
+    fn device_type_follows_direct_interest() {
+        let mut r = router();
+        r.subscribe(NodeId(1), [Keyword(5)]);
+        assert_eq!(
+            device_type(&r, NodeId(1), &[Keyword(5)]),
+            DeviceType::Destination
+        );
+        assert_eq!(device_type(&r, NodeId(2), &[Keyword(5)]), DeviceType::Relay);
+        assert_eq!(device_type(&r, NodeId(1), &[Keyword(6)]), DeviceType::Relay);
+    }
+
+    #[test]
+    fn best_relay_picks_highest_weight() {
+        let mut r = router();
+        r.subscribe(NodeId(1), [Keyword(5)]);
+        r.subscribe(NodeId(2), [Keyword(5), Keyword(6)]);
+        let picked = best_relay(
+            &r,
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            &[Keyword(5), Keyword(6)],
+        );
+        assert_eq!(picked, Some(NodeId(2)));
+        assert_eq!(
+            best_relay(&r, &[NodeId(3)], &[Keyword(5)]),
+            None,
+            "no weight, no relay"
+        );
+        assert_eq!(best_relay(&r, &[], &[Keyword(5)]), None);
+    }
+}

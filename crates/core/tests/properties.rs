@@ -1,0 +1,153 @@
+//! Property-based tests over the integrated protocol: whole small
+//! simulations driven by arbitrary populations and workloads, checking the
+//! economic and bookkeeping invariants end to end.
+
+use proptest::prelude::*;
+
+use dtn_core::prelude::*;
+use dtn_sim::prelude::*;
+
+/// Builds a random small scenario and returns the finished router + summary.
+fn run_random(
+    seed: u64,
+    n: usize,
+    selfish: &[usize],
+    malicious: &[usize],
+    msgs: usize,
+    initial_tokens: f64,
+) -> (DcimRouter, RunSummary) {
+    let mut params = ProtocolParams::paper_default();
+    params.incentive.initial_tokens = initial_tokens;
+    params.rating_prob = 0.5;
+    let mut router = DcimRouter::new(n, params, seed);
+    for i in 0..n {
+        router.subscribe(NodeId(i as u32), [Keyword((i % 4) as u32)]);
+    }
+    for &i in selfish {
+        router.set_behavior(NodeId((i % n) as u32), NodeBehavior::paper_selfish());
+    }
+    for &i in malicious {
+        router.set_behavior(NodeId((i % n) as u32), NodeBehavior::Malicious);
+    }
+    let messages = (0..msgs).map(|k| ScheduledMessage {
+        at: SimTime::from_secs(30.0 + k as f64 * 45.0),
+        source: NodeId((k % n) as u32),
+        size_bytes: 200_000,
+        ttl_secs: 2400.0,
+        priority: [Priority::High, Priority::Medium, Priority::Low][k % 3],
+        quality: Quality::new(0.3 + 0.1 * (k % 7) as f64),
+        ground_truth: vec![Keyword((k % 4) as u32), Keyword(((k + 1) % 4) as u32)],
+        source_tags: vec![Keyword((k % 4) as u32)],
+        expected_destinations: (0..n)
+            .filter(|&i| i % 4 == k % 4 && i != k % n)
+            .map(|i| NodeId(i as u32))
+            .collect(),
+    });
+    let mut sim = SimulationBuilder::new(Area::new(700.0, 700.0), seed)
+        .nodes(n, || Box::new(RandomWaypoint::pedestrian()))
+        .messages(messages)
+        .build(router);
+    let _ = sim.run_until(SimTime::from_secs(1800.0));
+    sim.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The token economy is closed under arbitrary populations: the ledger
+    /// total equals the initial endowment exactly, and no balance is
+    /// negative.
+    #[test]
+    fn economy_closed_under_arbitrary_populations(
+        seed in 0u64..500,
+        n in 8usize..20,
+        selfish in prop::collection::vec(0usize..20, 0..6),
+        malicious in prop::collection::vec(0usize..20, 0..4),
+        tokens in 5.0f64..200.0
+    ) {
+        let (router, _) = run_random(seed, n, &selfish, &malicious, 12, tokens);
+        let total = router.ledger().total().amount();
+        prop_assert!((total - tokens * n as f64).abs() < 1e-6, "total {total}");
+        for i in 0..n {
+            prop_assert!(router.ledger().balance(NodeId(i as u32)).amount() >= 0.0);
+        }
+    }
+
+    /// Delivery bookkeeping is sane: delivered pairs never exceed expected
+    /// pairs, the ratio is in [0, 1], and settlements never exceed total
+    /// deliveries (expected + bonus).
+    #[test]
+    fn delivery_bookkeeping_bounds(
+        seed in 0u64..500,
+        n in 8usize..16,
+        msgs in 4usize..20
+    ) {
+        let (router, summary) = run_random(seed, n, &[], &[], msgs, 100.0);
+        prop_assert!(summary.delivered_pairs <= summary.expected_pairs);
+        prop_assert!((0.0..=1.0).contains(&summary.delivery_ratio));
+        prop_assert!(summary.created as usize <= msgs);
+        let total_deliveries = summary.delivered_pairs + summary.bonus_deliveries;
+        prop_assert!(router.stats().settlements <= total_deliveries);
+    }
+
+    /// Interest weights remain bounded after a full run with exchanges,
+    /// decay, and growth happening on real contact patterns.
+    #[test]
+    fn rtsr_weights_bounded_after_run(seed in 0u64..300, n in 8usize..16) {
+        let (router, _) = run_random(seed, n, &[0, 3], &[1], 10, 100.0);
+        for i in 0..n {
+            for (_, entry) in router.table(NodeId(i as u32)).iter() {
+                prop_assert!(entry.weight >= 0.0 && entry.weight <= 1.0);
+            }
+        }
+    }
+
+    /// Reputation ratings remain on the 0–5 scale for every observer and
+    /// subject after a full adversarial run.
+    #[test]
+    fn reputations_bounded_after_run(seed in 0u64..300, n in 8usize..16) {
+        let (router, _) = run_random(seed, n, &[], &[0, 1, 2], 10, 100.0);
+        let max = router.params().rating.max_rating;
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                let r = router.reputation(NodeId(i)).rating_of(NodeId(j));
+                prop_assert!(r >= 0.0 && r <= max, "rating {r}");
+            }
+        }
+    }
+
+    /// A 100%-selfish population with zero duty cycle produces no traffic
+    /// at all — the degenerate network stays silent rather than panicking.
+    #[test]
+    fn fully_dark_network_is_silent(seed in 0u64..100) {
+        let n = 10usize;
+        let mut params = ProtocolParams::paper_default();
+        params.incentive.initial_tokens = 50.0;
+        let mut router = DcimRouter::new(n, params, seed);
+        for i in 0..n as u32 {
+            router.subscribe(NodeId(i), [Keyword(i % 3)]);
+            router.set_behavior(NodeId(i), NodeBehavior::Selfish { duty_cycle: 0.0 });
+        }
+        let messages = (0..5u64).map(|k| ScheduledMessage {
+            at: SimTime::from_secs(10.0 + k as f64 * 60.0),
+            source: NodeId((k % 10) as u32),
+            size_bytes: 100_000,
+            ttl_secs: 1000.0,
+            priority: Priority::High,
+            quality: Quality::new(0.9),
+            ground_truth: vec![Keyword(0)],
+            source_tags: vec![Keyword(0)],
+            expected_destinations: vec![NodeId(9)],
+        });
+        let mut sim = SimulationBuilder::new(Area::new(300.0, 300.0), seed)
+            .nodes(n, || Box::new(RandomWaypoint::pedestrian()))
+            .messages(messages)
+            .build(router);
+        let summary = sim.run_until(SimTime::from_secs(900.0));
+        prop_assert_eq!(summary.relays_completed, 0);
+        prop_assert_eq!(summary.delivered_pairs, 0);
+        let (router, _) = sim.finish();
+        prop_assert_eq!(router.stats().settlements, 0);
+        prop_assert!((router.ledger().total().amount() - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,305 @@
+//! The token ledger.
+//!
+//! Every node is endowed with the same number of incentive tokens at start
+//! (Table 5.1: 200) and pays peers for message receptions, relay services
+//! and content enrichment. The economy is *closed*: tokens only move between
+//! nodes, so the network total is invariant — a property the proptest suite
+//! checks over arbitrary transaction sequences.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dtn_sim::world::NodeId;
+
+/// An amount of incentive tokens (non-negative, fractional).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Tokens(f64);
+
+impl Tokens {
+    /// Zero tokens.
+    pub const ZERO: Tokens = Tokens(0.0);
+
+    /// Creates an amount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or not finite.
+    #[must_use]
+    pub fn new(amount: f64) -> Self {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "token amounts must be finite and non-negative"
+        );
+        Tokens(amount)
+    }
+
+    /// The raw amount.
+    #[must_use]
+    pub fn amount(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the amount is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Saturating subtraction (never below zero).
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Tokens) -> Tokens {
+        Tokens((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Scales the amount by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Tokens {
+        Tokens::new(self.0 * factor)
+    }
+
+    /// The smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: Tokens) -> Tokens {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl std::ops::Add for Tokens {
+    type Output = Tokens;
+
+    fn add(self, rhs: Tokens) -> Tokens {
+        Tokens(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Tokens {
+    fn sum<I: Iterator<Item = Tokens>>(iter: I) -> Tokens {
+        Tokens(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for Tokens {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} tok", self.0)
+    }
+}
+
+/// Error returned when a payer cannot cover a transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsufficientTokens {
+    /// The node that could not pay.
+    pub payer: NodeId,
+    /// What the payment required.
+    pub required: Tokens,
+    /// What the payer had.
+    pub available: Tokens,
+}
+
+impl fmt::Display for InsufficientTokens {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} cannot pay {} (has {})",
+            self.payer, self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientTokens {}
+
+/// Per-node token balances with a closed-economy invariant.
+#[derive(Debug, Clone)]
+pub struct TokenLedger {
+    balances: Vec<f64>,
+    transfers: u64,
+}
+
+impl TokenLedger {
+    /// Creates a ledger with every node holding `initial` tokens.
+    #[must_use]
+    pub fn new(node_count: usize, initial: Tokens) -> Self {
+        TokenLedger {
+            balances: vec![initial.amount(); node_count],
+            transfers: 0,
+        }
+    }
+
+    /// The balance of `node`.
+    #[must_use]
+    pub fn balance(&self, node: NodeId) -> Tokens {
+        Tokens(self.balances[node.index()])
+    }
+
+    /// Whether `node` can pay `amount` in full.
+    #[must_use]
+    pub fn can_pay(&self, node: NodeId, amount: Tokens) -> bool {
+        self.balances[node.index()] + 1e-12 >= amount.amount()
+    }
+
+    /// Moves `amount` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`InsufficientTokens`] when `from` cannot cover the full
+    /// amount; no tokens move in that case.
+    pub fn transfer(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        amount: Tokens,
+    ) -> Result<(), InsufficientTokens> {
+        if !self.can_pay(from, amount) {
+            return Err(InsufficientTokens {
+                payer: from,
+                required: amount,
+                available: self.balance(from),
+            });
+        }
+        if from != to {
+            // Credit exactly what is debited: `can_pay` tolerates a 1e-12
+            // float residue, so clamping the debit at zero while crediting
+            // the nominal amount would mint that residue and break the
+            // closed-economy invariant. Move min(balance, amount) instead.
+            let moved = amount.amount().min(self.balances[from.index()]);
+            self.balances[from.index()] -= moved;
+            self.balances[to.index()] += moved;
+        }
+        self.transfers += 1;
+        Ok(())
+    }
+
+    /// Transfers what the payer can afford, up to `amount`; returns the
+    /// amount actually moved. Used for best-effort settlements where a
+    /// partially funded award is better than none.
+    pub fn transfer_up_to(&mut self, from: NodeId, to: NodeId, amount: Tokens) -> Tokens {
+        let affordable = Tokens(self.balances[from.index()].max(0.0)).min(amount);
+        if affordable.is_zero() {
+            return Tokens::ZERO;
+        }
+        self.transfer(from, to, affordable)
+            .expect("affordable amount is payable");
+        affordable
+    }
+
+    /// Total tokens in the network (invariant under transfers).
+    #[must_use]
+    pub fn total(&self) -> Tokens {
+        Tokens(self.balances.iter().sum())
+    }
+
+    /// Number of successful transfers executed.
+    #[must_use]
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Nodes with a zero (or numerically negligible) balance.
+    #[must_use]
+    pub fn broke_nodes(&self) -> Vec<NodeId> {
+        self.balances
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b < 1e-9)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_conserve_total() {
+        let mut l = TokenLedger::new(3, Tokens::new(100.0));
+        assert_eq!(l.total().amount(), 300.0);
+        l.transfer(NodeId(0), NodeId(1), Tokens::new(30.0))
+            .expect("payable");
+        assert_eq!(l.balance(NodeId(0)).amount(), 70.0);
+        assert_eq!(l.balance(NodeId(1)).amount(), 130.0);
+        assert_eq!(l.total().amount(), 300.0);
+        assert_eq!(l.transfer_count(), 1);
+    }
+
+    #[test]
+    fn overdraft_rejected_without_movement() {
+        let mut l = TokenLedger::new(2, Tokens::new(10.0));
+        let err = l
+            .transfer(NodeId(0), NodeId(1), Tokens::new(10.5))
+            .expect_err("overdraft");
+        assert_eq!(err.payer, NodeId(0));
+        assert_eq!(err.required.amount(), 10.5);
+        assert_eq!(l.balance(NodeId(0)).amount(), 10.0);
+        assert_eq!(l.transfer_count(), 0);
+    }
+
+    #[test]
+    fn transfer_up_to_moves_what_is_affordable() {
+        let mut l = TokenLedger::new(2, Tokens::new(10.0));
+        let moved = l.transfer_up_to(NodeId(0), NodeId(1), Tokens::new(25.0));
+        assert_eq!(moved.amount(), 10.0);
+        assert_eq!(l.balance(NodeId(0)).amount(), 0.0);
+        assert_eq!(l.balance(NodeId(1)).amount(), 20.0);
+        let moved = l.transfer_up_to(NodeId(0), NodeId(1), Tokens::new(1.0));
+        assert!(moved.is_zero());
+    }
+
+    #[test]
+    fn self_transfer_is_a_no_op_on_balances() {
+        let mut l = TokenLedger::new(1, Tokens::new(5.0));
+        l.transfer(NodeId(0), NodeId(0), Tokens::new(3.0))
+            .expect("payable");
+        assert_eq!(l.balance(NodeId(0)).amount(), 5.0);
+    }
+
+    #[test]
+    fn exact_boundary_transfers_conserve_exactly() {
+        // Transfers at the exact balance boundary (where the epsilon-
+        // tolerant can_pay is most permissive) must keep the total exact.
+        let mut l = TokenLedger::new(2, Tokens::new(10.0));
+        l.transfer(NodeId(0), NodeId(1), Tokens::new(10.0))
+            .expect("payable");
+        l.transfer(NodeId(1), NodeId(0), Tokens::new(20.0))
+            .expect("payable");
+        l.transfer(NodeId(0), NodeId(1), Tokens::new(20.0))
+            .expect("payable");
+        assert_eq!(l.total().amount(), 20.0);
+        assert_eq!(l.balance(NodeId(0)).amount(), 0.0);
+    }
+
+    #[test]
+    fn broke_nodes_detected() {
+        let mut l = TokenLedger::new(2, Tokens::new(5.0));
+        l.transfer(NodeId(1), NodeId(0), Tokens::new(5.0))
+            .expect("payable");
+        assert_eq!(l.broke_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn token_arithmetic() {
+        let a = Tokens::new(3.0);
+        let b = Tokens::new(5.0);
+        assert_eq!((a + b).amount(), 8.0);
+        assert_eq!(b.saturating_sub(a).amount(), 2.0);
+        assert_eq!(a.saturating_sub(b), Tokens::ZERO);
+        assert_eq!(a.scaled(2.0).amount(), 6.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!([a, b].into_iter().sum::<Tokens>().amount(), 8.0);
+        assert!(Tokens::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tokens_rejected() {
+        let _ = Tokens::new(-1.0);
+    }
+}

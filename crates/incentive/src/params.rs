@@ -1,0 +1,187 @@
+//! Constants of the incentive mechanism (Paper I, Table 3.1 and §3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A user's role in the deployment hierarchy (`R_u` in Table 3.1).
+///
+/// Rank 1 is the top of the hierarchy (e.g. a sergeant in the battlefield
+/// scenario); larger numbers are further down (soldier = 2, …). Algorithm 3
+/// divides by the *sender's* rank, so higher-ranked senders promise more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Role(u8);
+
+impl Role {
+    /// The top of the hierarchy.
+    pub const TOP: Role = Role(1);
+
+    /// Creates a role with rank `rank` (1 = top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero (ranks start at 1).
+    #[must_use]
+    pub fn new(rank: u8) -> Self {
+        assert!(rank >= 1, "role ranks start at 1");
+        Role(rank)
+    }
+
+    /// The numeric rank (1 = top of hierarchy).
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        self.0
+    }
+
+    /// Whether `self` outranks `other` (smaller rank = higher authority).
+    #[must_use]
+    pub fn outranks(self, other: Role) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl Default for Role {
+    fn default() -> Self {
+        Role(2)
+    }
+}
+
+/// Tunable constants of the credit mechanism.
+///
+/// Everything the thesis leaves symbolic gets a named default here; the
+/// experiment harness sweeps the ones the evaluation varies (initial
+/// tokens, Fig. 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncentiveParams {
+    /// `I_m`: the maximum incentive promise for one message.
+    pub max_incentive: f64,
+    /// Tokens every node starts with (Table 5.1 default: 200).
+    pub initial_tokens: f64,
+    /// `I_c`: cap on the total per-message reward for added tags.
+    pub tag_cap: f64,
+    /// `z`: per-tag reward as a fraction of `I_m` (`I_tk = z·I_m`, 0<z<1).
+    pub tag_z: f64,
+    /// `c`: proportionality constant converting joules into tokens for the
+    /// hardware factor (`I_h = c·P_t·t`, resp. `c·(P_t+P_r)·t`).
+    pub energy_c: f64,
+    /// α in the award formula `I_v` (must exceed 0.5: own observation
+    /// dominates relayed path ratings).
+    pub award_alpha: f64,
+    /// Relay threshold (Table 5.1: 0.8): a receiving relay whose mean tag
+    /// weight exceeds this prepays a fraction of the promise to the sender.
+    pub relay_threshold: f64,
+    /// The fraction of the promise prepaid when above the relay threshold.
+    pub prepay_fraction: f64,
+    /// Floor on the reputation-scaled award fraction, so even poorly rated
+    /// deliverers receive "a percentage of incentive" (Paper I, §1.3.3).
+    pub award_floor: f64,
+    /// `r_m`: the maximum device rating (Fig. 5.4 uses a 0–5 scale).
+    pub max_rating: f64,
+}
+
+impl IncentiveParams {
+    /// Paper-faithful defaults (Table 5.1 plus documented choices for the
+    /// symbolic constants — see `DESIGN.md` §2).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        IncentiveParams {
+            max_incentive: 10.0,
+            initial_tokens: 200.0,
+            tag_cap: 5.0,
+            tag_z: 0.1,
+            energy_c: 1.0,
+            award_alpha: 0.6,
+            relay_threshold: 0.8,
+            prepay_fraction: 0.25,
+            award_floor: 0.2,
+            max_rating: 5.0,
+        }
+    }
+
+    /// Validates parameter invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (α ∈ (0.5, 1], z ∈ (0, 1), fractions in [0, 1], positive
+    /// caps).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_incentive <= 0.0 {
+            return Err("max_incentive must be positive".into());
+        }
+        if self.initial_tokens < 0.0 {
+            return Err("initial_tokens must be non-negative".into());
+        }
+        if !(self.tag_z > 0.0 && self.tag_z < 1.0) {
+            return Err("tag_z must lie in (0, 1)".into());
+        }
+        if self.tag_cap < 0.0 {
+            return Err("tag_cap must be non-negative".into());
+        }
+        if !(self.award_alpha > 0.5 && self.award_alpha <= 1.0) {
+            return Err("award_alpha must lie in (0.5, 1] (paper: α > 0.5)".into());
+        }
+        if !(0.0..=1.0).contains(&self.relay_threshold) {
+            return Err("relay_threshold must lie in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.prepay_fraction) {
+            return Err("prepay_fraction must lie in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.award_floor) {
+            return Err("award_floor must lie in [0, 1]".into());
+        }
+        if self.max_rating <= 0.0 {
+            return Err("max_rating must be positive".into());
+        }
+        if self.energy_c < 0.0 {
+            return Err("energy_c must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for IncentiveParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_order_by_rank() {
+        assert!(Role::TOP.outranks(Role::new(2)));
+        assert!(!Role::new(2).outranks(Role::new(2)));
+        assert!(!Role::new(3).outranks(Role::new(2)));
+        assert_eq!(Role::new(4).rank(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks start at 1")]
+    fn rank_zero_rejected() {
+        let _ = Role::new(0);
+    }
+
+    #[test]
+    fn paper_defaults_validate() {
+        assert_eq!(IncentiveParams::paper_default().validate(), Ok(()));
+        assert_eq!(IncentiveParams::paper_default().initial_tokens, 200.0);
+        assert_eq!(IncentiveParams::paper_default().relay_threshold, 0.8);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = IncentiveParams::paper_default();
+        p.award_alpha = 0.5;
+        assert!(p.validate().is_err(), "α must exceed 0.5");
+        let mut p = IncentiveParams::paper_default();
+        p.tag_z = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = IncentiveParams::paper_default();
+        p.max_incentive = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = IncentiveParams::paper_default();
+        p.prepay_fraction = 1.5;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Incentive-promise computation (Paper I, §3.2, Algorithm 3).
+//!
+//! When a node forwards a message it attaches a *promise*: the number of
+//! tokens the eventual destination will pay the deliverer. The promise is
+//! the capped sum of a **software** factor (message size, quality, priority,
+//! the receiver's interest level, the sender's role) and a **hardware**
+//! factor (energy spent, via the Friis equation), plus a separate reward for
+//! relevant enrichment tags.
+
+use serde::{Deserialize, Serialize};
+
+use dtn_sim::radio::RadioConfig;
+
+use crate::ledger::Tokens;
+use crate::params::{IncentiveParams, Role};
+
+/// Inputs to the software-factor computation for one `(message, receiver)`
+/// pair (symbols from Table 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareFactors {
+    /// `Σw`: sum of the receiver's interest weights over the message tags.
+    pub receiver_interest_sum: f64,
+    /// `w_m`: the maximum such sum among all devices currently connected to
+    /// the sender (so the best-placed receiver gets `P_v = 1`).
+    pub max_connected_interest_sum: f64,
+    /// `S`: message size in bytes.
+    pub size_bytes: u64,
+    /// `S_m`: the largest message size in the sender's buffer.
+    pub max_size_bytes: u64,
+    /// `Q`: message quality in `[0, 1]`.
+    pub quality: f64,
+    /// `Q_m`: the best quality among the sender's buffered messages.
+    pub max_quality: f64,
+    /// `R_u`: the sender's role.
+    pub sender_role: Role,
+    /// `R_v`: the receiver's role.
+    pub receiver_role: Role,
+    /// `P_s`: the priority level assigned by the source (1 = high).
+    pub source_priority: u8,
+}
+
+/// Computes `I_s`, the software-factor incentive promise (Algorithm 3).
+///
+/// Two branches, verbatim from the paper:
+///
+/// * `P_v = 0` **and** the sender outranks the receiver **and** the message
+///   is high priority → promise the maximum (`I_m`): a superior pushing a
+///   critical message to a subordinate who cannot deliver it *yet* still
+///   promises everything, because carrying it spreads the TSRs.
+/// * Otherwise, with `P_v = Σw / w_m`:
+///   `I_s = (¼(S/S_m + Q/Q_m) + ½·P_v/(R_u·P_s)) · I_m` — data-centric and
+///   user-centric factors weighted half each.
+///
+/// `P_v > 0` with `w_m = 0` cannot occur (the receiver's own sum bounds the
+/// max); zero maxima in the data terms degrade to zero contribution.
+#[must_use]
+pub fn software_incentive(f: &SoftwareFactors, params: &IncentiveParams) -> Tokens {
+    let i_m = params.max_incentive;
+    let p_v = if f.max_connected_interest_sum > 0.0 {
+        (f.receiver_interest_sum / f.max_connected_interest_sum).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    if p_v == 0.0 {
+        return if f.sender_role.outranks(f.receiver_role) && f.source_priority == 1 {
+            Tokens::new(i_m)
+        } else {
+            Tokens::ZERO
+        };
+    }
+    let size_term = if f.max_size_bytes > 0 {
+        (f.size_bytes as f64 / f.max_size_bytes as f64).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let quality_term = if f.max_quality > 0.0 {
+        (f.quality / f.max_quality).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let user_term = p_v / (f64::from(f.sender_role.rank()) * f64::from(f.source_priority.max(1)));
+    let i_s = (0.25 * (size_term + quality_term) + 0.5 * user_term) * i_m;
+    Tokens::new(i_s.clamp(0.0, i_m))
+}
+
+/// Computes `I_h`, the hardware-factor incentive.
+///
+/// * Source delivering directly: `I_h = c · P_t · t`.
+/// * Relay delivering: `I_h = c · (P_t + P_r) · t` — the relay is
+///   compensated for both receiving the message earlier and transmitting it
+///   now. `P_r` comes from the Friis equation at `distance_m`.
+#[must_use]
+pub fn hardware_incentive(
+    radio: &RadioConfig,
+    airtime_secs: f64,
+    distance_m: f64,
+    deliverer_is_source: bool,
+    params: &IncentiveParams,
+) -> Tokens {
+    let t = airtime_secs.max(0.0);
+    let p_t = radio.tx_power_w;
+    let power = if deliverer_is_source {
+        p_t
+    } else {
+        p_t + radio.rx_power(distance_m)
+    };
+    Tokens::new(params.energy_c * power * t)
+}
+
+/// Computes the total promise `I = min(I_s + I_h, I_m)`.
+#[must_use]
+pub fn total_promise(software: Tokens, hardware: Tokens, params: &IncentiveParams) -> Tokens {
+    (software + hardware).min(Tokens::new(params.max_incentive))
+}
+
+/// Computes `I_t`, the reward for enrichment tags the destination found
+/// relevant: `I_t = min(Σ I_tk, I_c)` with `I_tk = z·I_m` per tag.
+#[must_use]
+pub fn tag_incentive(relevant_tag_count: usize, params: &IncentiveParams) -> Tokens {
+    let per_tag = params.tag_z * params.max_incentive;
+    Tokens::new((relevant_tag_count as f64 * per_tag).min(params.tag_cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> IncentiveParams {
+        IncentiveParams::paper_default()
+    }
+
+    fn base_factors() -> SoftwareFactors {
+        SoftwareFactors {
+            receiver_interest_sum: 1.0,
+            max_connected_interest_sum: 2.0,
+            size_bytes: 500_000,
+            max_size_bytes: 1_000_000,
+            quality: 0.8,
+            max_quality: 1.0,
+            sender_role: Role::new(2),
+            receiver_role: Role::new(2),
+            source_priority: 1,
+        }
+    }
+
+    #[test]
+    fn else_branch_hand_computed() {
+        // P_v = 0.5; size term = 0.5; quality term = 0.8;
+        // I_s = (0.25·(0.5+0.8) + 0.5·0.5/(2·1))·10 = (0.325 + 0.125)·10 = 4.5.
+        let i_s = software_incentive(&base_factors(), &params());
+        assert!((i_s.amount() - 4.5).abs() < 1e-12, "got {i_s}");
+    }
+
+    #[test]
+    fn superior_high_priority_promises_max_when_pv_zero() {
+        let f = SoftwareFactors {
+            receiver_interest_sum: 0.0,
+            sender_role: Role::TOP,
+            receiver_role: Role::new(2),
+            source_priority: 1,
+            ..base_factors()
+        };
+        assert_eq!(software_incentive(&f, &params()).amount(), 10.0);
+    }
+
+    #[test]
+    fn pv_zero_without_rank_or_priority_promises_nothing() {
+        // Same rank → no max promise.
+        let f = SoftwareFactors {
+            receiver_interest_sum: 0.0,
+            ..base_factors()
+        };
+        assert_eq!(software_incentive(&f, &params()), Tokens::ZERO);
+        // Outranked but low priority → nothing either.
+        let f = SoftwareFactors {
+            receiver_interest_sum: 0.0,
+            sender_role: Role::TOP,
+            source_priority: 3,
+            ..base_factors()
+        };
+        assert_eq!(software_incentive(&f, &params()), Tokens::ZERO);
+    }
+
+    #[test]
+    fn bigger_and_better_messages_promise_more() {
+        let small = software_incentive(
+            &SoftwareFactors {
+                size_bytes: 100_000,
+                ..base_factors()
+            },
+            &params(),
+        );
+        let large = software_incentive(
+            &SoftwareFactors {
+                size_bytes: 1_000_000,
+                ..base_factors()
+            },
+            &params(),
+        );
+        assert!(
+            large > small,
+            "larger messages cost more buffer → larger promise"
+        );
+
+        let poor = software_incentive(
+            &SoftwareFactors {
+                quality: 0.2,
+                ..base_factors()
+            },
+            &params(),
+        );
+        let good = software_incentive(
+            &SoftwareFactors {
+                quality: 1.0,
+                ..base_factors()
+            },
+            &params(),
+        );
+        assert!(good > poor, "higher quality → larger promise");
+    }
+
+    #[test]
+    fn high_priority_and_high_rank_promise_more() {
+        let high = software_incentive(&base_factors(), &params());
+        let low = software_incentive(
+            &SoftwareFactors {
+                source_priority: 3,
+                ..base_factors()
+            },
+            &params(),
+        );
+        assert!(high > low);
+
+        let sergeant = software_incentive(
+            &SoftwareFactors {
+                sender_role: Role::TOP,
+                ..base_factors()
+            },
+            &params(),
+        );
+        assert!(sergeant > high, "top-rank sender promises more");
+    }
+
+    #[test]
+    fn software_incentive_never_exceeds_max() {
+        let f = SoftwareFactors {
+            receiver_interest_sum: 5.0,
+            max_connected_interest_sum: 5.0,
+            size_bytes: 1,
+            max_size_bytes: 1,
+            quality: 1.0,
+            max_quality: 1.0,
+            sender_role: Role::TOP,
+            receiver_role: Role::new(2),
+            source_priority: 1,
+        };
+        // (0.25·2 + 0.5·1)·I_m = I_m exactly.
+        assert_eq!(software_incentive(&f, &params()).amount(), 10.0);
+    }
+
+    #[test]
+    fn hardware_incentive_source_vs_relay() {
+        let radio = RadioConfig::paper_default();
+        let p = params();
+        // 1 MB at 250 kB/s = 4 s of airtime.
+        let src = hardware_incentive(&radio, 4.0, 50.0, true, &p);
+        let relay = hardware_incentive(&radio, 4.0, 50.0, false, &p);
+        assert!((src.amount() - 0.4).abs() < 1e-12, "c·P_t·t = 1·0.1·4");
+        assert!(relay > src, "relay also compensated for reception");
+        assert_eq!(
+            hardware_incentive(&radio, 0.0, 50.0, true, &p),
+            Tokens::ZERO
+        );
+    }
+
+    #[test]
+    fn total_promise_is_capped_at_max() {
+        let p = params();
+        let i = total_promise(Tokens::new(9.0), Tokens::new(5.0), &p);
+        assert_eq!(i.amount(), 10.0);
+        let i = total_promise(Tokens::new(3.0), Tokens::new(0.5), &p);
+        assert_eq!(i.amount(), 3.5);
+    }
+
+    #[test]
+    fn tag_incentive_caps_at_ic() {
+        let p = params(); // z = 0.1, I_m = 10 → 1 token per tag; I_c = 5.
+        assert_eq!(tag_incentive(0, &p), Tokens::ZERO);
+        assert_eq!(tag_incentive(3, &p).amount(), 3.0);
+        assert_eq!(tag_incentive(5, &p).amount(), 5.0);
+        assert_eq!(tag_incentive(50, &p).amount(), 5.0, "capped at I_c");
+    }
+}

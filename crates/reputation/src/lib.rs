@@ -1,0 +1,51 @@
+//! # dtn-reputation
+//!
+//! The distributed reputation model (DRM) of the reproduced paper — the
+//! defense against nodes that add irrelevant tags or generate junk content
+//! to farm incentive tokens:
+//!
+//! * [`rating`] — how a recipient turns its (confidence-weighted) judgement
+//!   of a message into a rating of the source and of each enriching relay;
+//! * [`table`] — each node's view of everyone else's reputation: first-hand
+//!   running means (case 1), second-hand α-merges (case 2), and the gossip
+//!   digests exchanged on contact that spread a malicious node's reputation
+//!   network-wide (Fig. 5.4).
+//!
+//! * [`watchdog`] — an extension: the forwarding-behavior watchdog of the
+//!   related work (Li & Das, thesis ref \[26\]) with Beta-expectation trust,
+//!   catching silent droppers the content-based DRM cannot see.
+//!
+//! No centralized authority exists anywhere in this crate — every table is
+//! local to its owner, exactly as the paper requires.
+//!
+//! ## Example
+//!
+//! ```
+//! use dtn_reputation::prelude::*;
+//! use dtn_sim::world::NodeId;
+//!
+//! let params = RatingParams::paper_default();
+//! let mut alice = ReputationTable::new(NodeId(0), params);
+//! // Alice received a badly-tagged message from node 2 and rates it 0.5.
+//! alice.record_message_rating(NodeId(2), 0.5);
+//! // Bob learns of it through gossip on the next contact.
+//! let mut bob = ReputationTable::new(NodeId(1), params);
+//! bob.absorb_digest(NodeId(0), &alice.digest());
+//! assert!(bob.rating_of(NodeId(2)) < params.neutral_rating);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod rating;
+pub mod table;
+pub mod watchdog;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::rating::{
+        relay_message_rating, source_message_rating, MessageJudgement, RatingParams,
+    };
+    pub use crate::table::{average_rating_of, GossipDigest, ReputationTable};
+    pub use crate::watchdog::{ForwarderRecord, Watchdog};
+}

@@ -1,0 +1,178 @@
+//! Message-rating formulas (Paper I, §3.3, "Rating of a message").
+//!
+//! After receiving a message a user rates the nodes on its path. The
+//! *source* is rated for message quality and the truthfulness of its tags;
+//! an *intermediate* node is rated only for the tags it added while
+//! enriching. Because a human may be unsure about a tag judgement ("is that
+//! really Adam in the photo?"), the tag rating carries a confidence value
+//! `C ∈ [0, C_m]` that discounts it.
+
+use serde::{Deserialize, Serialize};
+
+/// Constants of the rating model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatingParams {
+    /// `r_m`: the maximum rating (Fig. 5.4: 5).
+    pub max_rating: f64,
+    /// `C_m`: the maximum confidence value.
+    pub max_confidence: f64,
+    /// α in the case-2 merge `r_{v,u} = (1−α)·r_{v,z} + α·r_{v,u}` — own
+    /// opinion dominates gossip (α > 0.5).
+    pub merge_alpha: f64,
+    /// The rating assumed for nodes never interacted with (neutral prior).
+    pub neutral_rating: f64,
+}
+
+impl RatingParams {
+    /// Paper-faithful defaults: 0–5 scale, α = 0.6, neutral prior at the
+    /// midpoint.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RatingParams {
+            max_rating: 5.0,
+            max_confidence: 1.0,
+            merge_alpha: 0.6,
+            neutral_rating: 2.5,
+        }
+    }
+
+    /// Validates parameter invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_rating <= 0.0 {
+            return Err("max_rating must be positive".into());
+        }
+        if self.max_confidence <= 0.0 {
+            return Err("max_confidence must be positive".into());
+        }
+        if !(self.merge_alpha > 0.5 && self.merge_alpha <= 1.0) {
+            return Err("merge_alpha must lie in (0.5, 1]".into());
+        }
+        if !(0.0..=self.max_rating).contains(&self.neutral_rating) {
+            return Err("neutral_rating must lie within the rating scale".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RatingParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One user's judgement of a received message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageJudgement {
+    /// `R_t`: rating for the relevance of the judged node's tags,
+    /// on `[0, r_m]`.
+    pub tag_rating: f64,
+    /// `C`: the user's confidence in the tag rating, on `[0, C_m]`.
+    pub confidence: f64,
+    /// `R_q`: rating for the message quality, on `[0, r_m]` — only
+    /// meaningful when rating the source.
+    pub quality_rating: f64,
+}
+
+/// `R_i` for the message **source**: `½·(R_t·C/C_m) + ½·R_q`.
+#[must_use]
+pub fn source_message_rating(j: &MessageJudgement, params: &RatingParams) -> f64 {
+    let tag = discounted_tag_rating(j, params);
+    let quality = j.quality_rating.clamp(0.0, params.max_rating);
+    0.5 * tag + 0.5 * quality
+}
+
+/// `R_i` for an **intermediate** node: `R_t·C/C_m` (tags only — a relay is
+/// not responsible for content quality).
+#[must_use]
+pub fn relay_message_rating(j: &MessageJudgement, params: &RatingParams) -> f64 {
+    discounted_tag_rating(j, params)
+}
+
+fn discounted_tag_rating(j: &MessageJudgement, params: &RatingParams) -> f64 {
+    let c = (j.confidence / params.max_confidence).clamp(0.0, 1.0);
+    (j.tag_rating * c).clamp(0.0, params.max_rating)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RatingParams {
+        RatingParams::paper_default()
+    }
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(params().validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = params();
+        p.merge_alpha = 0.4;
+        assert!(p.validate().is_err());
+        let mut p = params();
+        p.neutral_rating = 7.0;
+        assert!(p.validate().is_err());
+        let mut p = params();
+        p.max_confidence = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn source_rating_hand_computed() {
+        // R_t = 4, C = 0.5 (C_m = 1), R_q = 3 → ½·(4·0.5) + ½·3 = 2.5.
+        let j = MessageJudgement {
+            tag_rating: 4.0,
+            confidence: 0.5,
+            quality_rating: 3.0,
+        };
+        assert!((source_message_rating(&j, &params()) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relay_rating_ignores_quality() {
+        let j = MessageJudgement {
+            tag_rating: 4.0,
+            confidence: 1.0,
+            quality_rating: 0.0,
+        };
+        assert_eq!(relay_message_rating(&j, &params()), 4.0);
+        let j2 = MessageJudgement {
+            quality_rating: 5.0,
+            ..j
+        };
+        assert_eq!(relay_message_rating(&j2, &params()), 4.0);
+    }
+
+    #[test]
+    fn zero_confidence_nullifies_tag_rating() {
+        let j = MessageJudgement {
+            tag_rating: 5.0,
+            confidence: 0.0,
+            quality_rating: 4.0,
+        };
+        assert_eq!(
+            source_message_rating(&j, &params()),
+            2.0,
+            "only the quality half"
+        );
+        assert_eq!(relay_message_rating(&j, &params()), 0.0);
+    }
+
+    #[test]
+    fn ratings_bounded_by_scale() {
+        let j = MessageJudgement {
+            tag_rating: 100.0,
+            confidence: 100.0,
+            quality_rating: 100.0,
+        };
+        let p = params();
+        assert!(source_message_rating(&j, &p) <= p.max_rating);
+        assert!(relay_message_rating(&j, &p) <= p.max_rating);
+    }
+}

@@ -1,0 +1,412 @@
+//! Per-observer reputation tables and contact-time gossip.
+//!
+//! Every node keeps its own view of every other node's reputation. Two
+//! update rules (Paper I, §3.3, "Rating of a node and incentive award"):
+//!
+//! * **Case 1** (first-hand): after rating messages from node `v`, the
+//!   observer recomputes `r_{v,u} = Σ r_{m_v} / N` — the mean of all message
+//!   ratings it has assigned to `v`'s contributions.
+//! * **Case 2** (second-hand): receiving node `z`'s rating of `v`, the
+//!   observer merges `r_{v,u} = (1−α)·r_{v,z} + α·r_{v,u}` with `α > 0.5`,
+//!   so gossip nudges but never overrides first-hand experience.
+//!
+//! On contact, nodes exchange [`GossipDigest`]s of their current device
+//! ratings; this is how a malicious node's bad reputation propagates
+//! network-wide (Fig. 5.4 measures exactly this propagation speed).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dtn_sim::world::NodeId;
+
+use crate::rating::RatingParams;
+
+/// One observer's opinion record about one subject.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct Opinion {
+    /// Sum of first-hand message ratings given to the subject.
+    firsthand_sum: f64,
+    /// Number of first-hand message ratings.
+    firsthand_count: u32,
+    /// The current device rating (case 1 and case 2 applied in arrival
+    /// order).
+    rating: f64,
+    /// Whether `rating` holds any information (first- or second-hand).
+    informed: bool,
+}
+
+/// A compact snapshot of an observer's device ratings, exchanged on contact.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GossipDigest {
+    /// `(subject, rating)` pairs, sorted by subject for determinism.
+    pub ratings: Vec<(NodeId, f64)>,
+}
+
+/// One node's view of every other node's reputation.
+#[derive(Debug, Clone)]
+pub struct ReputationTable {
+    owner: NodeId,
+    params: RatingParams,
+    opinions: HashMap<NodeId, Opinion>,
+}
+
+impl ReputationTable {
+    /// Creates the table owned by `owner`.
+    #[must_use]
+    pub fn new(owner: NodeId, params: RatingParams) -> Self {
+        ReputationTable {
+            owner,
+            params,
+            opinions: HashMap::new(),
+        }
+    }
+
+    /// The observing node.
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The observer's current device rating of `subject` (the neutral prior
+    /// when it knows nothing about the subject).
+    #[must_use]
+    pub fn rating_of(&self, subject: NodeId) -> f64 {
+        self.opinions
+            .get(&subject)
+            .filter(|o| o.informed)
+            .map_or(self.params.neutral_rating, |o| o.rating)
+    }
+
+    /// Whether the observer holds any information about `subject`.
+    #[must_use]
+    pub fn knows(&self, subject: NodeId) -> bool {
+        self.opinions.get(&subject).is_some_and(|o| o.informed)
+    }
+
+    /// Number of first-hand message ratings recorded for `subject`.
+    #[must_use]
+    pub fn firsthand_count(&self, subject: NodeId) -> u32 {
+        self.opinions.get(&subject).map_or(0, |o| o.firsthand_count)
+    }
+
+    /// Case 1 — records a first-hand message rating for `subject` and
+    /// recomputes the device rating as the running mean of all first-hand
+    /// message ratings. Returns the updated device rating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subject` is the owner (nodes do not rate themselves).
+    pub fn record_message_rating(&mut self, subject: NodeId, message_rating: f64) -> f64 {
+        assert!(subject != self.owner, "a node does not rate itself");
+        let r = message_rating.clamp(0.0, self.params.max_rating);
+        let o = self.opinions.entry(subject).or_default();
+        o.firsthand_sum += r;
+        o.firsthand_count += 1;
+        o.rating = o.firsthand_sum / f64::from(o.firsthand_count);
+        o.informed = true;
+        o.rating
+    }
+
+    /// Case 2 — merges a second-hand rating of `subject` reported by
+    /// another node: `r_{v,u} ← (1−α)·r_{v,z} + α·r_{v,u}`.
+    ///
+    /// When the observer has no prior information the neutral prior stands
+    /// in for `r_{v,u}`. Self-reports (`subject == owner`) are ignored —
+    /// reputations of oneself are not actionable. Returns the updated
+    /// rating.
+    pub fn merge_reported_rating(&mut self, subject: NodeId, reported: f64) -> f64 {
+        if subject == self.owner {
+            return self.params.neutral_rating;
+        }
+        let reported = reported.clamp(0.0, self.params.max_rating);
+        let alpha = self.params.merge_alpha;
+        let prior = self.rating_of(subject);
+        let merged = (1.0 - alpha) * reported + alpha * prior;
+        let o = self.opinions.entry(subject).or_default();
+        o.rating = merged;
+        o.informed = true;
+        merged
+    }
+
+    /// Builds the digest this observer shares on contact.
+    #[must_use]
+    pub fn digest(&self) -> GossipDigest {
+        let mut ratings: Vec<(NodeId, f64)> = self
+            .opinions
+            .iter()
+            .filter(|(_, o)| o.informed)
+            .map(|(&n, o)| (n, o.rating))
+            .collect();
+        ratings.sort_by_key(|(n, _)| *n);
+        GossipDigest { ratings }
+    }
+
+    /// Absorbs a peer's digest via case-2 merges (skipping entries about
+    /// the observer itself and about the reporting peer — a peer's opinion
+    /// of itself is not credible testimony).
+    pub fn absorb_digest(&mut self, reporter: NodeId, digest: &GossipDigest) {
+        for &(subject, rating) in &digest.ratings {
+            if subject == self.owner || subject == reporter {
+                continue;
+            }
+            self.merge_reported_rating(subject, rating);
+        }
+    }
+
+    /// Number of subjects with information.
+    #[must_use]
+    pub fn known_count(&self) -> usize {
+        self.opinions.values().filter(|o| o.informed).count()
+    }
+
+    /// Ages every opinion toward the neutral prior by `factor ∈ [0, 1]`
+    /// (the *fading parameter* of the related-work iterative trust scheme,
+    /// thesis ref \[27\]): `r ← neutral + factor·(r − neutral)`, and the
+    /// first-hand evidence weight shrinks alongside so stale history stops
+    /// dominating fresh observations. `factor = 1` is a no-op; `0` forgets
+    /// everything. Opinions that reach the prior with no residual evidence
+    /// are dropped.
+    ///
+    /// The paper's own DRM never fades (its 24-hour runs don't need to);
+    /// long-lived deployments call this periodically so a reformed node can
+    /// eventually rejoin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `[0, 1]`.
+    pub fn fade(&mut self, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "fading factor must lie in [0, 1]"
+        );
+        let neutral = self.params.neutral_rating;
+        self.opinions.retain(|_, o| {
+            o.rating = neutral + factor * (o.rating - neutral);
+            o.firsthand_sum *= factor;
+            let faded_count = (f64::from(o.firsthand_count) * factor).floor();
+            o.firsthand_count = faded_count as u32;
+            if o.firsthand_count == 0 {
+                o.firsthand_sum = 0.0;
+            }
+            // Drop fully-faded opinions: indistinguishable from ignorance.
+            let informative = (o.rating - neutral).abs() > 1e-9 || o.firsthand_count > 0;
+            o.informed = informative;
+            informative
+        });
+    }
+}
+
+/// The network-wide average rating of each node in `subjects` as seen by
+/// `observers` — the quantity Fig. 5.4 plots over time for malicious nodes.
+#[must_use]
+pub fn average_rating_of(
+    tables: &[ReputationTable],
+    observers: &[NodeId],
+    subjects: &[NodeId],
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for &obs in observers {
+        let table = &tables[obs.index()];
+        for &subj in subjects {
+            if subj == obs {
+                continue;
+            }
+            sum += table.rating_of(subj);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(owner: u32) -> ReputationTable {
+        ReputationTable::new(NodeId(owner), RatingParams::paper_default())
+    }
+
+    #[test]
+    fn unknown_subjects_get_neutral_prior() {
+        let t = table(0);
+        assert_eq!(t.rating_of(NodeId(5)), 2.5);
+        assert!(!t.knows(NodeId(5)));
+        assert_eq!(t.known_count(), 0);
+    }
+
+    #[test]
+    fn case1_is_running_mean() {
+        let mut t = table(0);
+        assert_eq!(t.record_message_rating(NodeId(1), 4.0), 4.0);
+        assert_eq!(t.record_message_rating(NodeId(1), 2.0), 3.0);
+        assert_eq!(t.record_message_rating(NodeId(1), 0.0), 2.0);
+        assert_eq!(t.firsthand_count(NodeId(1)), 3);
+        assert!(t.knows(NodeId(1)));
+    }
+
+    #[test]
+    fn case2_merge_hand_computed() {
+        // α = 0.6; prior 4.0; reported 1.0 → 0.4·1 + 0.6·4 = 2.8.
+        let mut t = table(0);
+        t.record_message_rating(NodeId(1), 4.0);
+        let merged = t.merge_reported_rating(NodeId(1), 1.0);
+        assert!((merged - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case2_with_no_prior_uses_neutral() {
+        // 0.4·1.0 + 0.6·2.5 = 1.9.
+        let mut t = table(0);
+        let merged = t.merge_reported_rating(NodeId(1), 1.0);
+        assert!((merged - 1.9).abs() < 1e-12);
+        assert!(t.knows(NodeId(1)));
+    }
+
+    #[test]
+    fn own_opinion_dominates_gossip() {
+        let mut t = table(0);
+        t.record_message_rating(NodeId(1), 5.0);
+        // A smear campaign of ten zero-ratings.
+        for _ in 0..10 {
+            t.merge_reported_rating(NodeId(1), 0.0);
+        }
+        // Rating decays geometrically by α per report: 5·0.6^10 ≈ 0.03,
+        // strictly positive and reached only after *ten* reports.
+        assert!(t.rating_of(NodeId(1)) > 0.0);
+        let mut fresh = table(2);
+        fresh.merge_reported_rating(NodeId(1), 0.0);
+        assert!(
+            t.rating_of(NodeId(1)) < fresh.rating_of(NodeId(1)) + 5.0,
+            "sanity"
+        );
+    }
+
+    #[test]
+    fn self_reports_ignored() {
+        let mut t = table(0);
+        t.merge_reported_rating(NodeId(0), 5.0);
+        assert!(!t.knows(NodeId(0)));
+
+        let mut reporter_digest = GossipDigest::default();
+        reporter_digest.ratings.push((NodeId(7), 5.0)); // peer praising itself
+        reporter_digest.ratings.push((NodeId(1), 1.0));
+        t.absorb_digest(NodeId(7), &reporter_digest);
+        assert!(!t.knows(NodeId(7)), "peer's self-praise dropped");
+        assert!(t.knows(NodeId(1)));
+    }
+
+    #[test]
+    fn digest_round_trip_propagates_opinions() {
+        let mut a = table(0);
+        a.record_message_rating(NodeId(2), 0.5); // a caught 2 misbehaving
+        let mut b = table(1);
+        b.absorb_digest(NodeId(0), &a.digest());
+        // b's view of 2 moved from neutral 2.5 toward 0.5: 0.4·0.5+0.6·2.5 = 1.7.
+        assert!((b.rating_of(NodeId(2)) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_sorted_and_filtered() {
+        let mut t = table(0);
+        t.record_message_rating(NodeId(9), 1.0);
+        t.record_message_rating(NodeId(3), 2.0);
+        let d = t.digest();
+        assert_eq!(d.ratings.len(), 2);
+        assert!(d.ratings[0].0 < d.ratings[1].0);
+    }
+
+    #[test]
+    fn ratings_clamped_to_scale() {
+        let mut t = table(0);
+        t.record_message_rating(NodeId(1), 99.0);
+        assert_eq!(t.rating_of(NodeId(1)), 5.0);
+        t.merge_reported_rating(NodeId(2), -3.0);
+        assert!(t.rating_of(NodeId(2)) >= 0.0);
+    }
+
+    #[test]
+    fn average_rating_over_observers() {
+        let params = RatingParams::paper_default();
+        let mut tables: Vec<ReputationTable> = (0..3)
+            .map(|i| ReputationTable::new(NodeId(i), params))
+            .collect();
+        tables[0].record_message_rating(NodeId(2), 1.0);
+        tables[1].record_message_rating(NodeId(2), 3.0);
+        let avg = average_rating_of(&tables, &[NodeId(0), NodeId(1)], &[NodeId(2)]);
+        assert_eq!(avg, 2.0);
+        // Subject == observer pairs are skipped.
+        let avg = average_rating_of(&tables, &[NodeId(2)], &[NodeId(2)]);
+        assert_eq!(avg, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not rate itself")]
+    fn rating_self_firsthand_panics() {
+        table(0).record_message_rating(NodeId(0), 3.0);
+    }
+
+    #[test]
+    fn fading_pulls_ratings_toward_neutral() {
+        let mut t = table(0);
+        t.record_message_rating(NodeId(1), 0.0); // caught liar, rating 0
+        t.record_message_rating(NodeId(2), 5.0); // trusted peer
+        t.fade(0.5);
+        // 2.5 + 0.5·(0 − 2.5) = 1.25; 2.5 + 0.5·(5 − 2.5) = 3.75.
+        assert!((t.rating_of(NodeId(1)) - 1.25).abs() < 1e-9);
+        assert!((t.rating_of(NodeId(2)) - 3.75).abs() < 1e-9);
+        assert!(t.knows(NodeId(1)) && t.knows(NodeId(2)));
+    }
+
+    #[test]
+    fn full_fade_forgets_everything() {
+        let mut t = table(0);
+        t.record_message_rating(NodeId(1), 0.0);
+        t.merge_reported_rating(NodeId(2), 4.0);
+        t.fade(0.0);
+        assert_eq!(t.known_count(), 0);
+        assert_eq!(t.rating_of(NodeId(1)), 2.5, "back to the prior");
+        assert_eq!(t.firsthand_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn no_op_fade_changes_nothing() {
+        let mut t = table(0);
+        t.record_message_rating(NodeId(1), 4.0);
+        t.record_message_rating(NodeId(1), 2.0);
+        t.fade(1.0);
+        assert_eq!(t.rating_of(NodeId(1)), 3.0);
+        assert_eq!(t.firsthand_count(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn faded_evidence_lets_fresh_observations_dominate() {
+        let mut t = table(0);
+        for _ in 0..10 {
+            t.record_message_rating(NodeId(1), 0.0);
+        }
+        // Years pass (repeated fading); the node reforms.
+        for _ in 0..6 {
+            t.fade(0.5);
+        }
+        let before = t.rating_of(NodeId(1));
+        t.record_message_rating(NodeId(1), 5.0);
+        assert!(
+            t.rating_of(NodeId(1)) > 4.0,
+            "fresh good behavior outweighs faded history: {} → {}",
+            before,
+            t.rating_of(NodeId(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fading factor")]
+    fn fade_rejects_out_of_range() {
+        table(0).fade(1.5);
+    }
+}

@@ -1,0 +1,212 @@
+//! A forwarding watchdog (extension module).
+//!
+//! The thesis' DRM rates *content* (tag truthfulness, message quality).
+//! The related work it builds on also monitors *forwarding behavior*: Li &
+//! Das' trust framework (Ad Hoc Networks 2013, thesis ref \[26\]) has each
+//! node watch whether its next-hop forwarders actually deliver, counting
+//! positive-feedback messages (PFMs) for and against each forwarder and
+//! scoring them with a Beta-distribution expectation. This module provides
+//! that watchdog as a composable extension: protocols can feed its score
+//! into [`crate::table::ReputationTable::merge_reported_rating`] or use it
+//! stand-alone to detect silent droppers — a misbehavior class the
+//! content-based DRM cannot see (a dropper never delivers a message to be
+//! rated).
+//!
+//! Scoring: after `h` hand-offs to a forwarder and `p ≤ h` confirmations,
+//! the Beta-expectation trust is `(p + 1) / (h + 2)` — the Laplace-
+//! smoothed success rate, starting at the neutral 0.5 with no evidence.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dtn_sim::message::MessageId;
+use dtn_sim::world::NodeId;
+
+/// Evidence about one forwarder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwarderRecord {
+    /// Messages handed to this forwarder.
+    pub handoffs: u32,
+    /// Hand-offs later confirmed delivered (PFM received).
+    pub confirmed: u32,
+}
+
+impl ForwarderRecord {
+    /// The Beta-expectation trust score in `(0, 1)`.
+    #[must_use]
+    pub fn trust(&self) -> f64 {
+        f64::from(self.confirmed + 1) / f64::from(self.handoffs + 2)
+    }
+}
+
+/// One node's forwarding watchdog.
+#[derive(Debug, Clone, Default)]
+pub struct Watchdog {
+    records: HashMap<NodeId, ForwarderRecord>,
+    /// Outstanding hand-offs awaiting confirmation.
+    pending: HashMap<(NodeId, MessageId), ()>,
+}
+
+impl Watchdog {
+    /// Creates an empty watchdog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records handing `message` to `forwarder`.
+    ///
+    /// Duplicate hand-offs of the same message to the same forwarder are
+    /// counted once (retransmissions are not independent evidence).
+    pub fn record_handoff(&mut self, forwarder: NodeId, message: MessageId) {
+        if self.pending.insert((forwarder, message), ()).is_none() {
+            self.records.entry(forwarder).or_default().handoffs += 1;
+        }
+    }
+
+    /// Records a delivery confirmation (PFM) for `message` via
+    /// `forwarder`. Returns `false` when no matching hand-off was pending
+    /// (spurious or duplicate PFMs carry no evidence).
+    pub fn record_confirmation(&mut self, forwarder: NodeId, message: MessageId) -> bool {
+        if self.pending.remove(&(forwarder, message)).is_some() {
+            self.records.entry(forwarder).or_default().confirmed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The trust score for `forwarder` (0.5 with no evidence).
+    #[must_use]
+    pub fn trust(&self, forwarder: NodeId) -> f64 {
+        self.records
+            .get(&forwarder)
+            .copied()
+            .unwrap_or_default()
+            .trust()
+    }
+
+    /// The raw evidence about `forwarder`.
+    #[must_use]
+    pub fn record(&self, forwarder: NodeId) -> ForwarderRecord {
+        self.records.get(&forwarder).copied().unwrap_or_default()
+    }
+
+    /// Whether `forwarder` looks like a silent dropper: at least
+    /// `min_evidence` hand-offs and a trust score below `threshold`.
+    #[must_use]
+    pub fn is_suspicious(&self, forwarder: NodeId, threshold: f64, min_evidence: u32) -> bool {
+        let r = self.record(forwarder);
+        r.handoffs >= min_evidence && r.trust() < threshold
+    }
+
+    /// The trust score mapped onto a rating scale (`[0, max_rating]`),
+    /// ready to merge into a [`crate::table::ReputationTable`] as
+    /// second-hand evidence.
+    #[must_use]
+    pub fn as_rating(&self, forwarder: NodeId, max_rating: f64) -> f64 {
+        self.trust(forwarder) * max_rating
+    }
+
+    /// Number of forwarders with any evidence.
+    #[must_use]
+    pub fn observed_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Outstanding unconfirmed hand-offs (diagnostic).
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_evidence_means_neutral_half() {
+        let w = Watchdog::new();
+        assert_eq!(w.trust(NodeId(1)), 0.5);
+        assert!(!w.is_suspicious(NodeId(1), 0.4, 1));
+        assert_eq!(w.observed_count(), 0);
+    }
+
+    #[test]
+    fn beta_expectation_hand_computed() {
+        let mut w = Watchdog::new();
+        // 3 hand-offs, 2 confirmed: (2+1)/(3+2) = 0.6.
+        for m in 0..3u64 {
+            w.record_handoff(NodeId(1), MessageId(m));
+        }
+        assert!(w.record_confirmation(NodeId(1), MessageId(0)));
+        assert!(w.record_confirmation(NodeId(1), MessageId(1)));
+        assert!((w.trust(NodeId(1)) - 0.6).abs() < 1e-12);
+        assert_eq!(
+            w.record(NodeId(1)),
+            ForwarderRecord {
+                handoffs: 3,
+                confirmed: 2
+            }
+        );
+        assert_eq!(w.pending_count(), 1);
+    }
+
+    #[test]
+    fn silent_dropper_becomes_suspicious() {
+        let mut w = Watchdog::new();
+        for m in 0..8u64 {
+            w.record_handoff(NodeId(2), MessageId(m));
+        }
+        // (0+1)/(8+2) = 0.1 < 0.3 with ample evidence.
+        assert!(w.is_suspicious(NodeId(2), 0.3, 5));
+        assert!(!w.is_suspicious(NodeId(2), 0.05, 5), "threshold respected");
+        assert!(
+            !w.is_suspicious(NodeId(2), 0.3, 20),
+            "insufficient evidence gate respected"
+        );
+    }
+
+    #[test]
+    fn reliable_forwarder_scores_high() {
+        let mut w = Watchdog::new();
+        for m in 0..10u64 {
+            w.record_handoff(NodeId(3), MessageId(m));
+            assert!(w.record_confirmation(NodeId(3), MessageId(m)));
+        }
+        assert!((w.trust(NodeId(3)) - 11.0 / 12.0).abs() < 1e-12);
+        assert!(!w.is_suspicious(NodeId(3), 0.5, 5));
+        assert_eq!(w.pending_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_handoffs_and_spurious_pfms_ignored() {
+        let mut w = Watchdog::new();
+        w.record_handoff(NodeId(1), MessageId(7));
+        w.record_handoff(NodeId(1), MessageId(7)); // retransmission
+        assert_eq!(w.record(NodeId(1)).handoffs, 1);
+        assert!(
+            !w.record_confirmation(NodeId(1), MessageId(99)),
+            "no such hand-off"
+        );
+        assert!(w.record_confirmation(NodeId(1), MessageId(7)));
+        assert!(
+            !w.record_confirmation(NodeId(1), MessageId(7)),
+            "double PFM"
+        );
+        assert_eq!(w.record(NodeId(1)).confirmed, 1);
+    }
+
+    #[test]
+    fn rating_projection_spans_the_scale() {
+        let mut w = Watchdog::new();
+        assert_eq!(w.as_rating(NodeId(1), 5.0), 2.5, "neutral maps to midscale");
+        for m in 0..18u64 {
+            w.record_handoff(NodeId(1), MessageId(m));
+        }
+        let low = w.as_rating(NodeId(1), 5.0);
+        assert!(low < 0.5, "a pure dropper projects near 0: {low}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests over the distributed reputation model.
+
+use proptest::prelude::*;
+
+use dtn_reputation::rating::{
+    relay_message_rating, source_message_rating, MessageJudgement, RatingParams,
+};
+use dtn_reputation::table::{GossipDigest, ReputationTable};
+use dtn_sim::world::NodeId;
+
+fn arb_judgement() -> impl Strategy<Value = MessageJudgement> {
+    (0.0f64..10.0, -1.0f64..2.0, 0.0f64..10.0).prop_map(|(t, c, q)| MessageJudgement {
+        tag_rating: t,
+        confidence: c,
+        quality_rating: q,
+    })
+}
+
+proptest! {
+    /// Message ratings always land on the rating scale, even under hostile
+    /// out-of-range inputs.
+    #[test]
+    fn message_ratings_stay_on_scale(j in arb_judgement()) {
+        let p = RatingParams::paper_default();
+        for r in [source_message_rating(&j, &p), relay_message_rating(&j, &p)] {
+            prop_assert!(r >= 0.0);
+            prop_assert!(r <= p.max_rating);
+        }
+    }
+
+    /// Confidence discounts monotonically: more confidence never lowers a
+    /// tag-driven rating.
+    #[test]
+    fn confidence_monotone(tag in 0.0f64..5.0, c1 in 0.0f64..1.0, c2 in 0.0f64..1.0) {
+        let p = RatingParams::paper_default();
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let j_lo = MessageJudgement { tag_rating: tag, confidence: lo, quality_rating: 0.0 };
+        let j_hi = MessageJudgement { tag_rating: tag, confidence: hi, quality_rating: 0.0 };
+        prop_assert!(relay_message_rating(&j_hi, &p) >= relay_message_rating(&j_lo, &p));
+    }
+
+    /// Device ratings remain on the scale under arbitrary interleavings of
+    /// first-hand ratings and gossip merges.
+    #[test]
+    fn table_ratings_bounded(
+        ops in prop::collection::vec((1u32..10, -5.0f64..15.0, prop::bool::ANY), 0..200)
+    ) {
+        let p = RatingParams::paper_default();
+        let mut t = ReputationTable::new(NodeId(0), p);
+        for (subject, value, firsthand) in ops {
+            let subject = NodeId(subject);
+            let r = if firsthand {
+                t.record_message_rating(subject, value)
+            } else {
+                t.merge_reported_rating(subject, value)
+            };
+            prop_assert!(r >= 0.0 && r <= p.max_rating);
+            prop_assert!(t.rating_of(subject) >= 0.0);
+            prop_assert!(t.rating_of(subject) <= p.max_rating);
+        }
+    }
+
+    /// Case-1 is exactly the mean of the clamped first-hand ratings.
+    #[test]
+    fn case1_is_exact_mean(ratings in prop::collection::vec(0.0f64..5.0, 1..40)) {
+        let p = RatingParams::paper_default();
+        let mut t = ReputationTable::new(NodeId(0), p);
+        for &r in &ratings {
+            t.record_message_rating(NodeId(1), r);
+        }
+        let mean = ratings.iter().sum::<f64>() / ratings.len() as f64;
+        prop_assert!((t.rating_of(NodeId(1)) - mean).abs() < 1e-9);
+        prop_assert_eq!(t.firsthand_count(NodeId(1)), ratings.len() as u32);
+    }
+
+    /// A case-2 merge always lands strictly between (or on) the prior and
+    /// the report, and moves at most (1-α) of the gap.
+    #[test]
+    fn case2_merge_is_a_contraction(prior in 0.0f64..5.0, report in 0.0f64..5.0) {
+        let p = RatingParams::paper_default();
+        let mut t = ReputationTable::new(NodeId(0), p);
+        t.record_message_rating(NodeId(1), prior);
+        let merged = t.merge_reported_rating(NodeId(1), report);
+        let (lo, hi) = if prior <= report { (prior, report) } else { (report, prior) };
+        prop_assert!(merged >= lo - 1e-9 && merged <= hi + 1e-9);
+        prop_assert!((merged - prior).abs() <= (1.0 - p.merge_alpha) * (report - prior).abs() + 1e-9);
+    }
+
+    /// Gossip digests round-trip: absorbing your own digest into a fresh
+    /// table never produces out-of-scale ratings, and never creates an
+    /// opinion about the reporter or the owner.
+    #[test]
+    fn digest_absorption_safe(
+        entries in prop::collection::vec((0u32..10, -2.0f64..8.0), 0..30),
+        reporter in 0u32..10
+    ) {
+        let p = RatingParams::paper_default();
+        let digest = GossipDigest {
+            ratings: entries.into_iter().map(|(n, r)| (NodeId(n), r)).collect(),
+        };
+        let owner = NodeId(99);
+        let mut t = ReputationTable::new(owner, p);
+        t.absorb_digest(NodeId(reporter), &digest);
+        prop_assert!(!t.knows(owner));
+        prop_assert!(!t.knows(NodeId(reporter)));
+        for n in 0..10u32 {
+            let r = t.rating_of(NodeId(n));
+            prop_assert!(r >= 0.0 && r <= p.max_rating);
+        }
+    }
+
+    /// Repeated identical gossip converges toward the reported value but
+    /// never crosses it (geometric approach).
+    #[test]
+    fn repeated_gossip_converges(prior in 0.0f64..5.0, report in 0.0f64..5.0, n in 1usize..50) {
+        let p = RatingParams::paper_default();
+        let mut t = ReputationTable::new(NodeId(0), p);
+        t.record_message_rating(NodeId(1), prior);
+        let mut last = prior;
+        for _ in 0..n {
+            let merged = t.merge_reported_rating(NodeId(1), report);
+            // Distance to the report shrinks monotonically.
+            prop_assert!((merged - report).abs() <= (last - report).abs() + 1e-9);
+            last = merged;
+        }
+        // After 50 merges with α = 0.6, the gap shrinks by 0.6^n.
+        let expected_gap = (prior - report).abs() * p.merge_alpha.powi(n as i32);
+        prop_assert!(((last - report).abs() - expected_gap).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,469 @@
+//! Classic node-centric DTN routing baselines.
+//!
+//! These are the flooding/forwarding families the thesis surveys in §1.1:
+//!
+//! * [`EpidemicRouter`] — replicate everything to everyone (Vahdat &
+//!   Becker, 2000): the delivery-ratio ceiling and the traffic worst case.
+//! * [`DirectDeliveryRouter`] — the source hands the message only to
+//!   destinations it meets itself: the traffic floor.
+//! * [`SprayAndWaitRouter`] — binary Spray-and-Wait (Spyropoulos et al.):
+//!   a bounded number of copies is "sprayed", then each copy waits for a
+//!   direct meeting with a destination.
+//! * [`TwoHopRelayRouter`] — the source sprays to relays; relays forward
+//!   only to destinations (at most two hops source→relay→destination).
+//!
+//! All four share the delivery criterion of the data-centric experiments: a
+//! node is a destination for a message iff it holds a direct interest
+//! (registered in an [`InterestDirectory`]) in one of the message's tags.
+
+use std::collections::HashMap;
+
+use dtn_sim::buffer::InsertOutcome;
+use dtn_sim::kernel::SimApi;
+use dtn_sim::message::MessageId;
+use dtn_sim::protocol::{Protocol, Reception};
+use dtn_sim::world::NodeId;
+
+use crate::directory::InterestDirectory;
+
+/// Shared helper: is `node` a destination for `message` per the directory?
+fn is_destination(api: &SimApi, dir: &InterestDirectory, node: NodeId, id: MessageId) -> bool {
+    // Baselines treat messages as black boxes; their tag set never changes,
+    // so the body's ground-truth-derived source tags suffice. We read the
+    // keywords off whichever copy we can see, falling back to none.
+    api.buffer(node)
+        .get(id)
+        .map(|c| dir.is_destination(node, &c.keywords()))
+        .unwrap_or(false)
+}
+
+/// Epidemic routing: on contact, push every message the peer lacks.
+#[derive(Debug)]
+pub struct EpidemicRouter {
+    directory: InterestDirectory,
+}
+
+impl EpidemicRouter {
+    /// Creates the router over a fixed interest directory.
+    #[must_use]
+    pub fn new(directory: InterestDirectory) -> Self {
+        EpidemicRouter { directory }
+    }
+
+    /// The interest directory.
+    #[must_use]
+    pub fn directory(&self) -> &InterestDirectory {
+        &self.directory
+    }
+
+    fn push_all(&self, api: &mut SimApi, from: NodeId, to: NodeId) {
+        for id in api.buffer(from).ids_sorted() {
+            if !api.buffer(to).contains(id) && !api.is_sending(from, to, id) {
+                api.send(from, to, id);
+            }
+        }
+    }
+}
+
+impl Protocol for EpidemicRouter {
+    fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        self.push_all(api, a, b);
+        self.push_all(api, b, a);
+    }
+
+    fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
+        for peer in api.peers_of(node) {
+            if !api.buffer(peer).contains(message) {
+                api.send(node, peer, message);
+            }
+        }
+    }
+
+    fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+        let to = r.transfer.to;
+        let id = r.transfer.message;
+        if !matches!(r.outcome, InsertOutcome::Stored { .. }) {
+            return;
+        }
+        if is_destination(api, &self.directory, to, id) {
+            api.mark_delivered(to, id);
+        }
+        for peer in api.peers_of(to) {
+            if !api.buffer(peer).contains(id) && !api.is_sending(to, peer, id) {
+                api.send(to, peer, id);
+            }
+        }
+    }
+}
+
+/// Direct delivery: the source keeps the message until it meets a
+/// destination itself.
+#[derive(Debug)]
+pub struct DirectDeliveryRouter {
+    directory: InterestDirectory,
+}
+
+impl DirectDeliveryRouter {
+    /// Creates the router over a fixed interest directory.
+    #[must_use]
+    pub fn new(directory: InterestDirectory) -> Self {
+        DirectDeliveryRouter { directory }
+    }
+
+    fn offer_to_destinations(&self, api: &mut SimApi, holder: NodeId, peer: NodeId) {
+        for id in api.buffer(holder).ids_sorted() {
+            let Some(copy) = api.buffer(holder).get(id) else {
+                continue;
+            };
+            // Only the source carries in this scheme.
+            if copy.body.source != holder {
+                continue;
+            }
+            let keywords = copy.keywords();
+            if self.directory.is_destination(peer, &keywords)
+                && !api.buffer(peer).contains(id)
+                && !api.is_delivered(peer, id)
+            {
+                api.send(holder, peer, id);
+            }
+        }
+    }
+}
+
+impl Protocol for DirectDeliveryRouter {
+    fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        self.offer_to_destinations(api, a, b);
+        self.offer_to_destinations(api, b, a);
+    }
+
+    fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
+        let _ = message;
+        let peers = api.peers_of(node);
+        for peer in peers {
+            self.offer_to_destinations(api, node, peer);
+        }
+    }
+
+    fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+        if matches!(r.outcome, InsertOutcome::Stored { .. }) {
+            api.mark_delivered(r.transfer.to, r.transfer.message);
+        }
+    }
+}
+
+/// Binary Spray-and-Wait with `initial_copies` tickets per message.
+///
+/// In the spray phase a node holding `c > 1` tickets hands ⌈c/2⌉ to the
+/// encountered node; with one ticket it waits and delivers only to
+/// destinations directly.
+#[derive(Debug)]
+pub struct SprayAndWaitRouter {
+    directory: InterestDirectory,
+    initial_copies: u32,
+    /// Tickets held per (node, message).
+    tickets: HashMap<(NodeId, MessageId), u32>,
+    /// Ticket grants decided at send time, applied when the copy lands.
+    pending_grants: HashMap<(NodeId, NodeId, MessageId), u32>,
+}
+
+impl SprayAndWaitRouter {
+    /// Creates the router with `initial_copies` tickets per new message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_copies` is zero.
+    #[must_use]
+    pub fn new(directory: InterestDirectory, initial_copies: u32) -> Self {
+        assert!(initial_copies > 0, "spray needs at least one copy");
+        SprayAndWaitRouter {
+            directory,
+            initial_copies,
+            tickets: HashMap::new(),
+            pending_grants: HashMap::new(),
+        }
+    }
+
+    /// Tickets currently held by `node` for `message`.
+    #[must_use]
+    pub fn tickets(&self, node: NodeId, message: MessageId) -> u32 {
+        self.tickets.get(&(node, message)).copied().unwrap_or(0)
+    }
+
+    fn offer(&mut self, api: &mut SimApi, from: NodeId, to: NodeId) {
+        for id in api.buffer(from).ids_sorted() {
+            if api.buffer(to).contains(id) || api.is_sending(from, to, id) {
+                continue;
+            }
+            let Some(copy) = api.buffer(from).get(id) else {
+                continue;
+            };
+            let keywords = copy.keywords();
+            let dest = self.directory.is_destination(to, &keywords);
+            let have = self.tickets(from, id);
+            if dest && !api.is_delivered(to, id) {
+                // Delivery does not consume spray tickets.
+                if api.send(from, to, id) {
+                    self.pending_grants.insert((from, to, id), 0);
+                }
+            } else if !dest && have > 1 {
+                let grant = have.div_ceil(2);
+                if api.send(from, to, id) {
+                    self.tickets.insert((from, id), have - grant);
+                    self.pending_grants.insert((from, to, id), grant);
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for SprayAndWaitRouter {
+    fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        self.offer(api, a, b);
+        self.offer(api, b, a);
+    }
+
+    fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
+        self.tickets.insert((node, message), self.initial_copies);
+        for peer in api.peers_of(node) {
+            self.offer(api, node, peer);
+        }
+    }
+
+    fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+        let (from, to, id) = (r.transfer.from, r.transfer.to, r.transfer.message);
+        let grant = self.pending_grants.remove(&(from, to, id)).unwrap_or(0);
+        if !matches!(r.outcome, InsertOutcome::Stored { .. }) {
+            // Copy rejected: the sender keeps its tickets.
+            *self.tickets.entry((from, id)).or_insert(0) += grant;
+            return;
+        }
+        if grant > 0 {
+            *self.tickets.entry((to, id)).or_insert(0) += grant;
+        }
+        if is_destination(api, &self.directory, to, id) {
+            api.mark_delivered(to, id);
+        }
+        // The fresh copy may be sprayable / deliverable to current peers.
+        for peer in api.peers_of(to) {
+            self.offer(api, to, peer);
+        }
+    }
+
+    fn on_transfer_aborted(
+        &mut self,
+        api: &mut SimApi,
+        aborted: &dtn_sim::transfer::AbortedTransfer,
+    ) {
+        let _ = api;
+        // Refund tickets reserved for the failed hand-off.
+        let key = (aborted.from, aborted.to, aborted.message);
+        if let Some(grant) = self.pending_grants.remove(&key) {
+            *self
+                .tickets
+                .entry((aborted.from, aborted.message))
+                .or_insert(0) += grant;
+        }
+    }
+
+    fn on_expired(&mut self, api: &mut SimApi, node: NodeId, messages: &[MessageId]) {
+        let _ = api;
+        // A purged copy's tickets die with it; a later re-reception must
+        // start from the fresh grant, not resurrect stale ones.
+        for &m in messages {
+            self.tickets.remove(&(node, m));
+        }
+    }
+
+    fn on_evicted(&mut self, api: &mut SimApi, node: NodeId, messages: &[MessageId]) {
+        self.on_expired(api, node, messages);
+    }
+}
+
+/// Two-hop relay: the source gives copies to any relay; relays hand them
+/// only to destinations.
+#[derive(Debug)]
+pub struct TwoHopRelayRouter {
+    directory: InterestDirectory,
+}
+
+impl TwoHopRelayRouter {
+    /// Creates the router over a fixed interest directory.
+    #[must_use]
+    pub fn new(directory: InterestDirectory) -> Self {
+        TwoHopRelayRouter { directory }
+    }
+
+    fn offer(&self, api: &mut SimApi, from: NodeId, to: NodeId) {
+        for id in api.buffer(from).ids_sorted() {
+            if api.buffer(to).contains(id) || api.is_sending(from, to, id) {
+                continue;
+            }
+            let Some(copy) = api.buffer(from).get(id) else {
+                continue;
+            };
+            let keywords = copy.keywords();
+            let dest = self.directory.is_destination(to, &keywords);
+            let holder_is_source = copy.body.source == from;
+            if dest && !api.is_delivered(to, id) {
+                api.send(from, to, id);
+            } else if !dest && holder_is_source {
+                // Source sprays to relays; relays never re-spray.
+                api.send(from, to, id);
+            }
+        }
+    }
+}
+
+impl Protocol for TwoHopRelayRouter {
+    fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        self.offer(api, a, b);
+        self.offer(api, b, a);
+    }
+
+    fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
+        let _ = message;
+        for peer in api.peers_of(node) {
+            self.offer(api, node, peer);
+        }
+    }
+
+    fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+        if !matches!(r.outcome, InsertOutcome::Stored { .. }) {
+            return;
+        }
+        let to = r.transfer.to;
+        if is_destination(api, &self.directory, to, r.transfer.message) {
+            api.mark_delivered(to, r.transfer.message);
+        }
+        // A relay that just received a copy may be facing the destination.
+        for peer in api.peers_of(to) {
+            self.offer(api, to, peer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::geometry::{Area, Point};
+    use dtn_sim::kernel::{ScheduledMessage, SimulationBuilder};
+    use dtn_sim::message::{Keyword, Priority, Quality};
+    use dtn_sim::mobility::ScriptedWaypoints;
+    use dtn_sim::time::SimTime;
+
+    fn msg(at: f64, source: u32, expected: Vec<NodeId>) -> ScheduledMessage {
+        ScheduledMessage {
+            at: SimTime::from_secs(at),
+            source: NodeId(source),
+            size_bytes: 10_000,
+            ttl_secs: 100_000.0,
+            priority: Priority::High,
+            quality: Quality::new(0.9),
+            ground_truth: vec![Keyword(1)],
+            source_tags: vec![Keyword(1)],
+            expected_destinations: expected,
+        }
+    }
+
+    /// A 3-node chain: n0 at x=0, n1 at x=90, n2 at x=180 (range 100 m).
+    fn chain_sim<P: Protocol>(protocol: P) -> dtn_sim::kernel::Simulation<P> {
+        SimulationBuilder::new(Area::new(1000.0, 1000.0), 5)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(90.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(180.0, 0.0))))
+            .message(msg(5.0, 0, vec![NodeId(2)]))
+            .build(protocol)
+    }
+
+    fn dir_with_dest2() -> InterestDirectory {
+        let mut d = InterestDirectory::new(3);
+        d.subscribe(NodeId(2), [Keyword(1)]);
+        d
+    }
+
+    #[test]
+    fn epidemic_floods_the_chain() {
+        let mut sim = chain_sim(EpidemicRouter::new(dir_with_dest2()));
+        let summary = sim.run_until(SimTime::from_secs(300.0));
+        assert_eq!(summary.delivered_pairs, 1, "epidemic reaches n2 via n1");
+        assert_eq!(summary.relays_completed, 2, "two hops of traffic");
+    }
+
+    #[test]
+    fn direct_delivery_cannot_cross_the_gap() {
+        let mut sim = chain_sim(DirectDeliveryRouter::new(dir_with_dest2()));
+        let summary = sim.run_until(SimTime::from_secs(300.0));
+        assert_eq!(summary.delivered_pairs, 0, "n0 never meets n2");
+        assert_eq!(summary.relays_completed, 0);
+    }
+
+    #[test]
+    fn direct_delivery_works_when_adjacent() {
+        let mut d = InterestDirectory::new(3);
+        d.subscribe(NodeId(1), [Keyword(1)]);
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 5)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                800.0, 800.0,
+            ))))
+            .message(msg(5.0, 0, vec![NodeId(1)]))
+            .build(DirectDeliveryRouter::new(d));
+        let summary = sim.run_until(SimTime::from_secs(300.0));
+        assert_eq!(summary.delivered_pairs, 1);
+        assert_eq!(summary.relays_completed, 1, "exactly one transmission");
+    }
+
+    #[test]
+    fn spray_and_wait_crosses_with_relay() {
+        let mut sim = chain_sim(SprayAndWaitRouter::new(dir_with_dest2(), 4));
+        let summary = sim.run_until(SimTime::from_secs(300.0));
+        assert_eq!(summary.delivered_pairs, 1);
+        // Source sprayed to n1 (grant 2) and n1 delivered to n2.
+        assert_eq!(summary.relays_completed, 2);
+    }
+
+    #[test]
+    fn spray_tickets_split_binary() {
+        let mut sim = chain_sim(SprayAndWaitRouter::new(dir_with_dest2(), 8));
+        let _ = sim.run_until(SimTime::from_secs(300.0));
+        let router = sim.protocol();
+        let id = dtn_sim::message::MessageId(0);
+        assert_eq!(router.tickets(NodeId(0), id), 4, "source keeps half");
+        assert_eq!(router.tickets(NodeId(1), id), 4, "relay granted half");
+    }
+
+    #[test]
+    fn spray_with_one_ticket_waits() {
+        // Initial copies = 1: the source must deliver directly, so the gap
+        // to n2 is never crossed.
+        let mut sim = chain_sim(SprayAndWaitRouter::new(dir_with_dest2(), 1));
+        let summary = sim.run_until(SimTime::from_secs(300.0));
+        assert_eq!(summary.delivered_pairs, 0);
+        assert_eq!(summary.relays_completed, 0);
+    }
+
+    #[test]
+    fn two_hop_delivers_over_exactly_two_hops() {
+        let mut sim = chain_sim(TwoHopRelayRouter::new(dir_with_dest2()));
+        let summary = sim.run_until(SimTime::from_secs(300.0));
+        assert_eq!(summary.delivered_pairs, 1);
+        assert_eq!(summary.relays_completed, 2);
+    }
+
+    #[test]
+    fn two_hop_does_not_reach_three_hops() {
+        // Chain of 4: n0..n3, destination at n3 — needs 3 hops, two-hop fails.
+        let mut d = InterestDirectory::new(4);
+        d.subscribe(NodeId(3), [Keyword(1)]);
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 5)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(90.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(180.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(270.0, 0.0))))
+            .message(msg(5.0, 0, vec![NodeId(3)]))
+            .build(TwoHopRelayRouter::new(d));
+        let summary = sim.run_until(SimTime::from_secs(600.0));
+        assert_eq!(summary.delivered_pairs, 0, "three hops needed, two allowed");
+    }
+}

@@ -1,0 +1,270 @@
+//! The ChitChat router (McGeehan, Lin, Madria — ICDCS 2016), the routing
+//! substrate the paper's incentive mechanism is layered on.
+//!
+//! Per contact, the two devices run the RTSR weight exchange (decay → swap →
+//! growth, [`crate::interests`]) and then the message-routing rule: device
+//! `u` forwards message `M` to device `v` iff `S_v > S_u`, where `S` is the
+//! sum of interest weights over `M`'s keywords — or if `v` is a destination
+//! (holds a *direct* interest in one of `M`'s keywords).
+
+use std::collections::HashMap;
+
+use crate::exchange::{due_pairs, rtsr_exchange, shared_keywords};
+
+use dtn_sim::buffer::InsertOutcome;
+use dtn_sim::kernel::SimApi;
+use dtn_sim::message::{Keyword, MessageId};
+use dtn_sim::protocol::{Protocol, Reception};
+use dtn_sim::time::SimTime;
+use dtn_sim::world::NodeId;
+
+use crate::interests::{ChitChatParams, InterestTable};
+
+use dtn_sim::world::ordered_pair as pair;
+
+/// The ChitChat protocol: RTSR modeling plus `S_v > S_u` routing.
+#[derive(Debug)]
+pub struct ChitChatRouter {
+    params: ChitChatParams,
+    tables: Vec<InterestTable>,
+    /// Active contacts, keyed by normalized pair, valued by the time the
+    /// pair was last serviced (exchange + routing pass).
+    last_exchange: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl ChitChatRouter {
+    /// Creates a router for `node_count` nodes.
+    #[must_use]
+    pub fn new(node_count: usize, params: ChitChatParams) -> Self {
+        ChitChatRouter {
+            params,
+            tables: vec![InterestTable::new(); node_count],
+            last_exchange: HashMap::new(),
+        }
+    }
+
+    /// Subscribes `node` to direct interests (the `Subscribe` operator).
+    pub fn subscribe(&mut self, node: NodeId, keywords: impl IntoIterator<Item = Keyword>) {
+        for kw in keywords {
+            self.tables[node.index()].subscribe(kw, &self.params, SimTime::ZERO);
+        }
+    }
+
+    /// The interest table of `node`.
+    #[must_use]
+    pub fn table(&self, node: NodeId) -> &InterestTable {
+        &self.tables[node.index()]
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &ChitChatParams {
+        &self.params
+    }
+
+    /// Whether `node` is a destination for a message tagged `keywords`.
+    #[must_use]
+    pub fn is_destination(&self, node: NodeId, keywords: &[Keyword]) -> bool {
+        self.tables[node.index()].is_destination_for(keywords)
+    }
+
+    /// Runs one RTSR weight exchange between connected `a` and `b`,
+    /// crediting `connected_secs` of contact time.
+    fn exchange(&mut self, api: &SimApi, a: NodeId, b: NodeId, connected_secs: f64) {
+        let now = api.now();
+        let shared_a = shared_keywords(&self.tables, &api.peers_of(a));
+        let shared_b = shared_keywords(&self.tables, &api.peers_of(b));
+        rtsr_exchange(
+            &mut self.tables,
+            a,
+            b,
+            connected_secs,
+            &self.params,
+            now,
+            &shared_a,
+            &shared_b,
+        );
+    }
+
+    /// Applies the routing rule in both directions of a contact.
+    fn route_pair(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        for (from, to) in [(a, b), (b, a)] {
+            for id in api.buffer(from).ids_sorted() {
+                self.offer(api, from, to, id);
+            }
+        }
+    }
+
+    /// Offers one message across one direction of a contact.
+    fn offer(&mut self, api: &mut SimApi, from: NodeId, to: NodeId, id: MessageId) {
+        if api.buffer(to).contains(id) || api.is_sending(from, to, id) {
+            return;
+        }
+        let Some(copy) = api.buffer(from).get(id) else {
+            return;
+        };
+        let keywords = copy.keywords();
+        let dest = self.tables[to.index()].is_destination_for(&keywords);
+        if dest && api.is_delivered(to, id) {
+            return;
+        }
+        let s_from = self.tables[from.index()].sum_of_weights(&keywords);
+        let s_to = self.tables[to.index()].sum_of_weights(&keywords);
+        if dest || s_to > s_from {
+            api.send(from, to, id);
+        }
+    }
+}
+
+impl Protocol for ChitChatRouter {
+    fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        // First exchange of the contact credits one step of connection time.
+        self.exchange(api, a, b, api.step_len().as_secs());
+        self.last_exchange.insert(pair(a, b), api.now());
+        self.route_pair(api, a, b);
+    }
+
+    fn on_contact_down(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        let _ = api;
+        self.last_exchange.remove(&pair(a, b));
+    }
+
+    fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
+        for peer in api.peers_of(node) {
+            self.offer(api, node, peer, message);
+        }
+    }
+
+    fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+        let to = r.transfer.to;
+        let id = r.transfer.message;
+        if !matches!(r.outcome, InsertOutcome::Stored { .. }) {
+            return;
+        }
+        let keywords = api
+            .buffer(to)
+            .get(id)
+            .map(|c| c.keywords())
+            .unwrap_or_default();
+        if self.tables[to.index()].is_destination_for(&keywords) {
+            api.mark_delivered(to, id);
+        }
+        // Offer the freshly received copy onward immediately.
+        for peer in api.peers_of(to) {
+            self.offer(api, to, peer, id);
+        }
+    }
+
+    fn on_tick(&mut self, api: &mut SimApi) {
+        // Periodic re-exchange and re-routing for long-lived contacts.
+        let now = api.now();
+        for ((a, b), credited) in
+            due_pairs(&self.last_exchange, now, self.params.exchange_interval_secs)
+        {
+            self.exchange(api, a, b, credited);
+            self.last_exchange.insert((a, b), now);
+            self.route_pair(api, a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::geometry::{Area, Point};
+    use dtn_sim::kernel::{ScheduledMessage, SimulationBuilder};
+    use dtn_sim::message::{Priority, Quality};
+    use dtn_sim::mobility::ScriptedWaypoints;
+    use dtn_sim::time::SimTime;
+
+    fn msg(at: f64, source: u32, tags: Vec<Keyword>, expected: Vec<NodeId>) -> ScheduledMessage {
+        ScheduledMessage {
+            at: SimTime::from_secs(at),
+            source: NodeId(source),
+            size_bytes: 10_000,
+            ttl_secs: 100_000.0,
+            priority: Priority::High,
+            quality: Quality::new(0.9),
+            ground_truth: tags.clone(),
+            source_tags: tags,
+            expected_destinations: expected,
+        }
+    }
+
+    #[test]
+    fn direct_interest_destination_receives() {
+        // n0 (source) and n1 (destination with direct interest) in range.
+        let mut router = ChitChatRouter::new(2, ChitChatParams::paper_default());
+        router.subscribe(NodeId(1), [Keyword(1)]);
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 3)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+            .message(msg(5.0, 0, vec![Keyword(1)], vec![NodeId(1)]))
+            .build(router);
+        let summary = sim.run_until(SimTime::from_secs(120.0));
+        assert_eq!(summary.delivered_pairs, 1);
+        assert_eq!(summary.delivery_ratio, 1.0);
+    }
+
+    #[test]
+    fn uninterested_neighbour_not_flooded() {
+        // n1 has no interests at all: S_v = 0 = S_u and not a destination.
+        let router = ChitChatRouter::new(2, ChitChatParams::paper_default());
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 3)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+            .message(msg(5.0, 0, vec![Keyword(1)], vec![]))
+            .build(router);
+        let summary = sim.run_until(SimTime::from_secs(300.0));
+        assert_eq!(summary.relays_completed, 0, "no reason to forward");
+    }
+
+    #[test]
+    fn two_hop_delivery_through_relay() {
+        // n0 — n1 — n2 in a chain; n1 bridges (never in range of both rule:
+        // n0<->n1 and n1<->n2 in range, n0<->n2 not). n2 subscribes kw1, and
+        // n1 acquires transient interest from n2, raising S_1 above S_0.
+        let mut router = ChitChatRouter::new(3, ChitChatParams::paper_default());
+        router.subscribe(NodeId(2), [Keyword(1)]);
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 3)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(90.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(180.0, 0.0))))
+            .message(msg(120.0, 0, vec![Keyword(1)], vec![NodeId(2)]))
+            .build(router);
+        let summary = sim.run_until(SimTime::from_secs(1800.0));
+        assert_eq!(
+            summary.delivered_pairs, 1,
+            "chain delivery via transient interest"
+        );
+        assert!(summary.relays_completed >= 2);
+    }
+
+    #[test]
+    fn tables_acquire_transient_interests_on_contact() {
+        let mut router = ChitChatRouter::new(2, ChitChatParams::paper_default());
+        router.subscribe(NodeId(0), [Keyword(7)]);
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 3)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+            .build(router);
+        let _ = sim.run_until(SimTime::from_secs(600.0));
+        let w = sim.protocol().table(NodeId(1)).weight(Keyword(7));
+        assert!(w > 0.0, "n1 acquired kw7 transiently, weight {w}");
+        assert!(!sim.protocol().table(NodeId(1)).is_direct(Keyword(7)));
+    }
+
+    #[test]
+    fn delivery_not_duplicated_per_destination() {
+        let mut router = ChitChatRouter::new(2, ChitChatParams::paper_default());
+        router.subscribe(NodeId(1), [Keyword(1)]);
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 3)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+            .message(msg(5.0, 0, vec![Keyword(1)], vec![NodeId(1)]))
+            .build(router);
+        let summary = sim.run_until(SimTime::from_secs(3600.0));
+        assert_eq!(summary.delivered_pairs, 1);
+        assert_eq!(summary.relays_completed, 1, "no re-sends after delivery");
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared pairwise-exchange plumbing.
+//!
+//! Three routers run the same two rituals on long-lived contacts: the RTSR
+//! weight exchange (decay → swap → grow, Algorithms 1–2) and a periodic
+//! "which pairs are due again" scan with exact once-per-span time
+//! crediting. Keeping one implementation here means a semantics fix to
+//! either ritual reaches ChitChat, the incentive protocol, and CEDO at
+//! once — the incentive arm of every experiment must run the *same*
+//! ChitChat substrate as the baseline arm.
+
+use std::collections::{HashMap, HashSet};
+
+use dtn_sim::message::Keyword;
+use dtn_sim::time::SimTime;
+use dtn_sim::world::NodeId;
+
+use crate::interests::{ChitChatParams, InterestTable};
+
+/// Runs one RTSR weight exchange between connected `a` and `b`, crediting
+/// `connected_secs` of contact time: decay both tables (an interest shared
+/// by a currently-connected device is frozen, per the `shared_*` sets),
+/// swap the decayed tables, grow both.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` index outside `tables`.
+#[allow(clippy::too_many_arguments)] // the Algorithm 1+2 parameter list
+pub fn rtsr_exchange(
+    tables: &mut [InterestTable],
+    a: NodeId,
+    b: NodeId,
+    connected_secs: f64,
+    params: &ChitChatParams,
+    now: SimTime,
+    shared_a: &HashSet<Keyword>,
+    shared_b: &HashSet<Keyword>,
+) {
+    tables[a.index()].decay(now, params, |k| shared_a.contains(&k));
+    tables[b.index()].decay(now, params, |k| shared_b.contains(&k));
+    // One snapshot suffices: grow `a` first from the still-pre-growth `b`,
+    // then grow `b` from the snapshot of pre-growth `a`.
+    let snap_a = tables[a.index()].clone();
+    let (left, right) = tables.split_at_mut(a.index().max(b.index()));
+    let (ta, tb) = if a < b {
+        (&mut left[a.index()], &mut right[0])
+    } else {
+        (&mut right[0], &mut left[b.index()])
+    };
+    ta.grow(tb, connected_secs, params, now);
+    tb.grow(&snap_a, connected_secs, params, now);
+}
+
+/// The union of keywords held by `peers`' tables — the "a connected device
+/// shares this interest" test of Algorithm 1.
+#[must_use]
+pub fn shared_keywords(tables: &[InterestTable], peers: &[NodeId]) -> HashSet<Keyword> {
+    let mut set = HashSet::new();
+    for &peer in peers {
+        set.extend(tables[peer.index()].iter().map(|(k, _)| k));
+    }
+    set
+}
+
+/// Scans a `pair → last-serviced-at` map for pairs due another round:
+/// returns `(pair, credited_secs)` sorted by pair, where `credited_secs`
+/// is the exact span since the pair was last serviced (so repeated rounds
+/// during one contact credit the contact time exactly once). The caller
+/// updates the map after servicing.
+#[must_use]
+pub fn due_pairs(
+    last_serviced: &HashMap<(NodeId, NodeId), SimTime>,
+    now: SimTime,
+    interval_secs: f64,
+) -> Vec<((NodeId, NodeId), f64)> {
+    let mut due: Vec<((NodeId, NodeId), f64)> = last_serviced
+        .iter()
+        .filter_map(|(&pair, &t)| {
+            let elapsed = now.duration_since(t).as_secs();
+            (elapsed >= interval_secs).then_some((pair, elapsed))
+        })
+        .collect();
+    due.sort_unstable_by_key(|(pair, _)| *pair);
+    due
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn exchange_grows_both_sides_and_acquires_transients() {
+        let params = ChitChatParams::paper_default();
+        let mut tables = vec![InterestTable::new(), InterestTable::new()];
+        tables[0].subscribe(Keyword(1), &params, t(0.0));
+        tables[1].subscribe(Keyword(2), &params, t(0.0));
+        let empty = HashSet::new();
+        rtsr_exchange(
+            &mut tables,
+            NodeId(0),
+            NodeId(1),
+            60.0,
+            &params,
+            t(60.0),
+            &empty,
+            &empty,
+        );
+        assert!(tables[0].weight(Keyword(2)) > 0.0, "n0 acquired kw2");
+        assert!(tables[1].weight(Keyword(1)) > 0.0, "n1 acquired kw1");
+        assert!(!tables[0].is_direct(Keyword(2)));
+    }
+
+    #[test]
+    fn shared_interests_are_frozen_during_exchange() {
+        let params = ChitChatParams::paper_default();
+        let mut tables = vec![InterestTable::new(), InterestTable::new()];
+        tables[0].subscribe(Keyword(1), &params, t(0.0));
+        // Grow n0's kw1 above baseline, then exchange much later with the
+        // keyword marked shared: no decay may have pulled it down.
+        let mut peer = InterestTable::new();
+        peer.subscribe(Keyword(1), &params, t(0.0));
+        tables[0].grow(&peer, 120.0, &params, t(0.0));
+        let before = tables[0].weight(Keyword(1));
+        let shared: HashSet<Keyword> = [Keyword(1)].into_iter().collect();
+        let empty = HashSet::new();
+        rtsr_exchange(
+            &mut tables,
+            NodeId(0),
+            NodeId(1),
+            1.0,
+            &params,
+            t(5_000.0),
+            &shared,
+            &empty,
+        );
+        assert!(
+            tables[0].weight(Keyword(1)) >= before,
+            "shared interest did not decay"
+        );
+    }
+
+    #[test]
+    fn shared_keywords_unions_peer_tables() {
+        let params = ChitChatParams::paper_default();
+        let mut tables = vec![
+            InterestTable::new(),
+            InterestTable::new(),
+            InterestTable::new(),
+        ];
+        tables[1].subscribe(Keyword(1), &params, t(0.0));
+        tables[2].subscribe(Keyword(2), &params, t(0.0));
+        let set = shared_keywords(&tables, &[NodeId(1), NodeId(2)]);
+        assert!(set.contains(&Keyword(1)) && set.contains(&Keyword(2)));
+        assert_eq!(set.len(), 2);
+        assert!(shared_keywords(&tables, &[]).is_empty());
+    }
+
+    #[test]
+    fn due_pairs_credits_exact_elapsed_and_sorts() {
+        let mut last = HashMap::new();
+        last.insert((NodeId(3), NodeId(5)), t(10.0));
+        last.insert((NodeId(0), NodeId(1)), t(40.0));
+        last.insert((NodeId(2), NodeId(4)), t(95.0)); // not due at 100/30s
+        let due = due_pairs(&last, t(100.0), 30.0);
+        assert_eq!(
+            due,
+            vec![
+                ((NodeId(0), NodeId(1)), 60.0),
+                ((NodeId(3), NodeId(5)), 90.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn nothing_due_before_the_interval() {
+        let mut last = HashMap::new();
+        last.insert((NodeId(0), NodeId(1)), t(90.0));
+        assert!(due_pairs(&last, t(100.0), 30.0).is_empty());
+    }
+}

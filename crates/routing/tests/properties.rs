@@ -1,0 +1,136 @@
+//! Property-based tests over the ChitChat RTSR model.
+
+use proptest::prelude::*;
+
+use dtn_routing::interests::{psi, ChitChatParams, InterestKind, InterestTable};
+use dtn_sim::message::Keyword;
+use dtn_sim::time::SimTime;
+
+fn params() -> ChitChatParams {
+    ChitChatParams::paper_default()
+}
+
+proptest! {
+    /// Weights stay in [0, 1] under arbitrary interleavings of subscribe,
+    /// decay and growth.
+    #[test]
+    fn weights_always_bounded(
+        ops in prop::collection::vec((0u8..3, 0u32..10, 0.0f64..500.0), 0..120)
+    ) {
+        let p = params();
+        let mut t = InterestTable::new();
+        let mut peer = InterestTable::new();
+        for k in 0..5u32 {
+            peer.subscribe(Keyword(k), &p, SimTime::ZERO);
+        }
+        let mut now = 0.0;
+        for (op, kw, dt) in ops {
+            now += dt;
+            match op {
+                0 => t.subscribe(Keyword(kw), &p, SimTime::from_secs(now)),
+                1 => t.decay(SimTime::from_secs(now), &p, |_| false),
+                _ => t.grow(&peer, dt, &p, SimTime::from_secs(now)),
+            }
+            for (_, e) in t.iter() {
+                prop_assert!(e.weight >= 0.0 && e.weight <= 1.0, "weight {}", e.weight);
+            }
+        }
+    }
+
+    /// Decay never raises any weight and never removes a direct interest.
+    #[test]
+    fn decay_monotone_and_keeps_directs(
+        subscribed in prop::collection::btree_set(0u32..20, 1..10),
+        elapsed in 1.0f64..10_000.0
+    ) {
+        let p = params();
+        let mut t = InterestTable::new();
+        for &k in &subscribed {
+            t.subscribe(Keyword(k), &p, SimTime::ZERO);
+        }
+        let before: Vec<(Keyword, f64)> = t.iter().map(|(k, e)| (k, e.weight)).collect();
+        t.decay(SimTime::from_secs(elapsed), &p, |_| false);
+        for (k, w) in before {
+            let e = t.get(k).expect("direct interests survive decay");
+            prop_assert!(e.weight <= w + 1e-12);
+            prop_assert_eq!(e.kind, InterestKind::Direct);
+        }
+    }
+
+    /// Growth is monotone: growing from a peer never lowers a weight, and
+    /// longer contact credit never yields a smaller weight.
+    #[test]
+    fn growth_monotone(
+        secs_a in 0.0f64..500.0,
+        secs_b in 0.0f64..500.0
+    ) {
+        let p = params();
+        let mut peer = InterestTable::new();
+        peer.subscribe(Keyword(1), &p, SimTime::ZERO);
+        let (short, long) = if secs_a <= secs_b { (secs_a, secs_b) } else { (secs_b, secs_a) };
+
+        let mut t_short = InterestTable::new();
+        t_short.subscribe(Keyword(1), &p, SimTime::ZERO);
+        let mut t_long = t_short.clone();
+        let before = t_short.weight(Keyword(1));
+        t_short.grow(&peer, short, &p, SimTime::ZERO);
+        t_long.grow(&peer, long, &p, SimTime::ZERO);
+        prop_assert!(t_short.weight(Keyword(1)) >= before);
+        prop_assert!(t_long.weight(Keyword(1)) >= t_short.weight(Keyword(1)));
+    }
+
+    /// ψ covers exactly {1..6}, each case once, ordered so that stronger
+    /// provenance grows faster (smaller divisor).
+    #[test]
+    fn psi_total_and_injective(_dummy in 0u8..1) {
+        use InterestKind::{Direct, Transient};
+        let cases = [
+            (Some(Direct), Direct),
+            (Some(Direct), Transient),
+            (Some(Transient), Direct),
+            (Some(Transient), Transient),
+            (None, Direct),
+            (None, Transient),
+        ];
+        let values: Vec<u8> = cases.iter().map(|&(o, pk)| psi(o, pk)).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6]);
+        prop_assert_eq!(values[0], 1);
+    }
+
+    /// Sum of weights is additive over keywords and zero for unknown ones.
+    #[test]
+    fn sum_of_weights_additive(kws in prop::collection::vec(0u32..30, 0..10)) {
+        let p = params();
+        let mut t = InterestTable::new();
+        for k in 0..10u32 {
+            t.subscribe(Keyword(k), &p, SimTime::ZERO);
+        }
+        let keywords: Vec<Keyword> = kws.iter().map(|&k| Keyword(k)).collect();
+        let sum = t.sum_of_weights(&keywords);
+        let manual: f64 = keywords.iter().map(|&k| t.weight(k)).sum();
+        prop_assert!((sum - manual).abs() < 1e-12);
+        if !keywords.is_empty() {
+            let mean = t.mean_weight(&keywords);
+            prop_assert!((mean - sum / keywords.len() as f64).abs() < 1e-12);
+        }
+    }
+
+    /// A destination is exactly a node with a direct interest in at least
+    /// one keyword.
+    #[test]
+    fn destination_test_matches_direct_interests(
+        direct in prop::collection::btree_set(0u32..20, 0..8),
+        probe in prop::collection::vec(0u32..20, 1..8)
+    ) {
+        let p = params();
+        let mut t = InterestTable::new();
+        for &k in &direct {
+            t.subscribe(Keyword(k), &p, SimTime::ZERO);
+        }
+        let keywords: Vec<Keyword> = probe.iter().map(|&k| Keyword(k)).collect();
+        let expected = probe.iter().any(|k| direct.contains(k));
+        prop_assert_eq!(t.is_destination_for(&keywords), expected);
+    }
+}

@@ -1,0 +1,369 @@
+//! Per-node message buffers.
+//!
+//! Each node stores in-transit message copies in a byte-bounded buffer
+//! (Table 5.1 default: 250 MB). When an incoming message does not fit, a
+//! [`DropPolicy`] decides which existing copies to evict — ONE's default is
+//! to drop the oldest-received copy, which we reproduce, with a priority-
+//! aware alternative used by the priority-segmented experiment (Fig. 5.6).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::{MessageCopy, MessageId, Priority};
+use crate::time::SimTime;
+
+/// What to evict when an arriving message does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropPolicy {
+    /// Never evict; reject the newcomer instead.
+    RejectNew,
+    /// Evict the copy that has been buffered the longest (ONE's default).
+    DropOldest,
+    /// Evict lowest-priority first, oldest within a priority class.
+    DropLowestPriority,
+}
+
+/// The outcome of attempting to insert a message into a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The copy was stored; `evicted` lists any copies dropped to make room.
+    Stored {
+        /// Ids of evicted copies, in eviction order.
+        evicted: Vec<MessageId>,
+    },
+    /// The copy was rejected (too large, duplicate, or policy refused).
+    Rejected(RejectReason),
+}
+
+/// Why an insert was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// A copy of this message is already buffered (UUID dedup, §3.1).
+    Duplicate,
+    /// The message is larger than the whole buffer.
+    TooLarge,
+    /// The policy is [`DropPolicy::RejectNew`] and there was no room.
+    NoRoom,
+}
+
+/// A byte-bounded store of message copies for one node.
+#[derive(Debug)]
+pub struct Buffer {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    policy: DropPolicy,
+    copies: HashMap<MessageId, MessageCopy>,
+}
+
+impl Buffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, policy: DropPolicy) -> Self {
+        assert!(capacity_bytes > 0, "buffer capacity must be positive");
+        Buffer {
+            capacity_bytes,
+            used_bytes: 0,
+            policy,
+            copies: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently used.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Free space in bytes.
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes - self.used_bytes
+    }
+
+    /// Number of buffered copies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Whether the buffer holds no copies.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+
+    /// Whether a copy of `id` is buffered.
+    #[must_use]
+    pub fn contains(&self, id: MessageId) -> bool {
+        self.copies.contains_key(&id)
+    }
+
+    /// The buffered copy of `id`, if any.
+    #[must_use]
+    pub fn get(&self, id: MessageId) -> Option<&MessageCopy> {
+        self.copies.get(&id)
+    }
+
+    /// Mutable access to the buffered copy of `id` (used by enrichment).
+    #[must_use]
+    pub fn get_mut(&mut self, id: MessageId) -> Option<&mut MessageCopy> {
+        self.copies.get_mut(&id)
+    }
+
+    /// Iterates over the buffered copies in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &MessageCopy> {
+        self.copies.values()
+    }
+
+    /// Ids of all buffered copies, sorted for deterministic iteration.
+    #[must_use]
+    pub fn ids_sorted(&self) -> Vec<MessageId> {
+        let mut ids: Vec<MessageId> = self.copies.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Inserts a copy, evicting per policy if needed.
+    pub fn insert(&mut self, copy: MessageCopy) -> InsertOutcome {
+        let id = copy.id();
+        let size = copy.size_bytes();
+        if self.copies.contains_key(&id) {
+            return InsertOutcome::Rejected(RejectReason::Duplicate);
+        }
+        if size > self.capacity_bytes {
+            return InsertOutcome::Rejected(RejectReason::TooLarge);
+        }
+        let mut evicted = Vec::new();
+        while self.used_bytes + size > self.capacity_bytes {
+            match self.pick_victim() {
+                Some(victim) => {
+                    self.remove(victim);
+                    evicted.push(victim);
+                }
+                None => return InsertOutcome::Rejected(RejectReason::NoRoom),
+            }
+        }
+        self.used_bytes += size;
+        self.copies.insert(id, copy);
+        InsertOutcome::Stored { evicted }
+    }
+
+    /// Removes the copy of `id`, returning it if present.
+    pub fn remove(&mut self, id: MessageId) -> Option<MessageCopy> {
+        let copy = self.copies.remove(&id)?;
+        self.used_bytes -= copy.size_bytes();
+        Some(copy)
+    }
+
+    /// Removes all copies whose TTL has elapsed at `now`, returning their ids.
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<MessageId> {
+        let expired: Vec<MessageId> = self
+            .copies
+            .values()
+            .filter(|c| c.body.is_expired(now))
+            .map(MessageCopy::id)
+            .collect();
+        for id in &expired {
+            self.remove(*id);
+        }
+        expired
+    }
+
+    /// Chooses an eviction victim per policy, or `None` to reject.
+    fn pick_victim(&self) -> Option<MessageId> {
+        match self.policy {
+            DropPolicy::RejectNew => None,
+            DropPolicy::DropOldest => self
+                .copies
+                .values()
+                .min_by(|a, b| {
+                    a.received_at
+                        .partial_cmp(&b.received_at)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.id().cmp(&b.id()))
+                })
+                .map(MessageCopy::id),
+            DropPolicy::DropLowestPriority => self
+                .copies
+                .values()
+                .max_by(|a, b| {
+                    // Priority::Low has the largest level(); evict it first,
+                    // oldest first within a class (the oldest copy must be
+                    // the max, so compare received_at in reverse).
+                    priority_key(a.body.priority)
+                        .cmp(&priority_key(b.body.priority))
+                        .then(
+                            b.received_at
+                                .partial_cmp(&a.received_at)
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
+                        .then(a.id().cmp(&b.id()))
+                })
+                .map(MessageCopy::id),
+        }
+    }
+}
+
+fn priority_key(p: Priority) -> u8 {
+    p.level()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Keyword, MessageBody, Quality};
+    use crate::world::NodeId;
+    use std::sync::Arc;
+
+    fn copy(id: u64, size: u64, prio: Priority, received: f64) -> MessageCopy {
+        let body = Arc::new(MessageBody {
+            id: MessageId(id),
+            source: NodeId(0),
+            created_at: SimTime::from_secs(received),
+            size_bytes: size,
+            ttl_secs: 1000.0,
+            priority: prio,
+            quality: Quality::new(0.5),
+            ground_truth: vec![Keyword(0)],
+        });
+        MessageCopy::original(body, vec![Keyword(0)], SimTime::from_secs(received))
+    }
+
+    #[test]
+    fn stores_until_full_then_evicts_oldest() {
+        let mut b = Buffer::new(100, DropPolicy::DropOldest);
+        assert!(matches!(
+            b.insert(copy(1, 40, Priority::High, 1.0)),
+            InsertOutcome::Stored { .. }
+        ));
+        assert!(matches!(
+            b.insert(copy(2, 40, Priority::High, 2.0)),
+            InsertOutcome::Stored { .. }
+        ));
+        // 80 used; inserting 40 must evict m1 (oldest).
+        match b.insert(copy(3, 40, Priority::High, 3.0)) {
+            InsertOutcome::Stored { evicted } => assert_eq!(evicted, vec![MessageId(1)]),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(!b.contains(MessageId(1)));
+        assert!(b.contains(MessageId(2)) && b.contains(MessageId(3)));
+        assert_eq!(b.used_bytes(), 80);
+    }
+
+    #[test]
+    fn reject_new_policy_refuses_when_full() {
+        let mut b = Buffer::new(100, DropPolicy::RejectNew);
+        b.insert(copy(1, 80, Priority::High, 1.0));
+        assert_eq!(
+            b.insert(copy(2, 40, Priority::High, 2.0)),
+            InsertOutcome::Rejected(RejectReason::NoRoom)
+        );
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_oversize_rejected() {
+        let mut b = Buffer::new(100, DropPolicy::DropOldest);
+        b.insert(copy(1, 10, Priority::High, 1.0));
+        assert_eq!(
+            b.insert(copy(1, 10, Priority::High, 2.0)),
+            InsertOutcome::Rejected(RejectReason::Duplicate)
+        );
+        assert_eq!(
+            b.insert(copy(2, 101, Priority::High, 2.0)),
+            InsertOutcome::Rejected(RejectReason::TooLarge)
+        );
+    }
+
+    #[test]
+    fn low_priority_evicted_before_high() {
+        let mut b = Buffer::new(100, DropPolicy::DropLowestPriority);
+        b.insert(copy(1, 40, Priority::High, 1.0));
+        b.insert(copy(2, 40, Priority::Low, 5.0));
+        match b.insert(copy(3, 40, Priority::Medium, 9.0)) {
+            InsertOutcome::Stored { evicted } => assert_eq!(evicted, vec![MessageId(2)]),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(b.contains(MessageId(1)), "high priority survives");
+    }
+
+    #[test]
+    fn priority_tie_breaks_toward_oldest() {
+        let mut b = Buffer::new(100, DropPolicy::DropLowestPriority);
+        b.insert(copy(1, 40, Priority::Low, 1.0)); // older
+        b.insert(copy(2, 40, Priority::Low, 5.0)); // newer
+        match b.insert(copy(3, 40, Priority::High, 9.0)) {
+            InsertOutcome::Stored { evicted } => {
+                assert_eq!(
+                    evicted,
+                    vec![MessageId(1)],
+                    "oldest of the low class goes first"
+                );
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(b.contains(MessageId(2)));
+    }
+
+    #[test]
+    fn big_insert_can_evict_multiple() {
+        let mut b = Buffer::new(100, DropPolicy::DropOldest);
+        b.insert(copy(1, 30, Priority::High, 1.0));
+        b.insert(copy(2, 30, Priority::High, 2.0));
+        b.insert(copy(3, 30, Priority::High, 3.0));
+        match b.insert(copy(4, 90, Priority::High, 4.0)) {
+            InsertOutcome::Stored { evicted } => {
+                assert_eq!(evicted, vec![MessageId(1), MessageId(2), MessageId(3)]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(b.used_bytes(), 90);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut b = Buffer::new(100, DropPolicy::DropOldest);
+        b.insert(copy(1, 60, Priority::High, 1.0));
+        assert_eq!(b.free_bytes(), 40);
+        let removed = b.remove(MessageId(1)).expect("present");
+        assert_eq!(removed.id(), MessageId(1));
+        assert_eq!(b.free_bytes(), 100);
+        assert!(b.remove(MessageId(1)).is_none());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn ttl_sweep_removes_only_expired() {
+        let mut b = Buffer::new(1000, DropPolicy::DropOldest);
+        // copy() sets ttl 1000 s, created at `received`.
+        b.insert(copy(1, 10, Priority::High, 0.0));
+        b.insert(copy(2, 10, Priority::High, 500.0));
+        let gone = b.sweep_expired(SimTime::from_secs(1200.0));
+        assert_eq!(gone, vec![MessageId(1)]);
+        assert!(b.contains(MessageId(2)));
+        assert_eq!(b.used_bytes(), 10);
+    }
+
+    #[test]
+    fn sorted_ids_are_deterministic() {
+        let mut b = Buffer::new(1000, DropPolicy::DropOldest);
+        for id in [5u64, 1, 9, 3] {
+            b.insert(copy(id, 10, Priority::High, id as f64));
+        }
+        assert_eq!(
+            b.ids_sorted(),
+            vec![MessageId(1), MessageId(3), MessageId(5), MessageId(9)]
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-node energy accounting.
+//!
+//! The incentive mechanism's hardware factor compensates nodes for the
+//! battery they spend transmitting and receiving (Paper I, §3.2). The meter
+//! integrates transmit power over airtime on the sending side and the
+//! Friis-attenuated reception power over airtime on the receiving side.
+
+use serde::{Deserialize, Serialize};
+
+use crate::radio::RadioConfig;
+use crate::time::SimDuration;
+use crate::world::NodeId;
+
+/// Cumulative energy use for one node, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyUse {
+    /// Joules spent transmitting.
+    pub tx_joules: f64,
+    /// Joules spent receiving.
+    pub rx_joules: f64,
+}
+
+impl EnergyUse {
+    /// Total joules spent.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.tx_joules + self.rx_joules
+    }
+}
+
+/// Tracks energy use for every node in the world, optionally against a
+/// finite battery budget.
+#[derive(Debug)]
+pub struct EnergyMeter {
+    radio: RadioConfig,
+    per_node: Vec<EnergyUse>,
+    /// Joules available per node; `None` models mains/ideal power.
+    battery_joules: Option<f64>,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for `node_count` nodes using `radio` for power terms.
+    #[must_use]
+    pub fn new(node_count: usize, radio: RadioConfig) -> Self {
+        EnergyMeter {
+            radio,
+            per_node: vec![EnergyUse::default(); node_count],
+            battery_joules: None,
+        }
+    }
+
+    /// Gives every node a finite battery of `joules`. A node whose total
+    /// use reaches the budget is *depleted*: the kernel stops forming
+    /// contacts for it (its radio is dead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is not strictly positive.
+    pub fn set_battery(&mut self, joules: f64) {
+        assert!(joules > 0.0, "battery budget must be positive");
+        self.battery_joules = Some(joules);
+    }
+
+    /// The configured battery budget, if any.
+    #[must_use]
+    pub fn battery_joules(&self) -> Option<f64> {
+        self.battery_joules
+    }
+
+    /// Joules left in `node`'s battery (`None` on ideal power).
+    #[must_use]
+    pub fn remaining_joules(&self, node: NodeId) -> Option<f64> {
+        self.battery_joules
+            .map(|b| (b - self.per_node[node.index()].total_joules()).max(0.0))
+    }
+
+    /// Whether `node`'s battery is exhausted.
+    #[must_use]
+    pub fn is_depleted(&self, node: NodeId) -> bool {
+        self.remaining_joules(node).is_some_and(|r| r <= 0.0)
+    }
+
+    /// Number of depleted nodes.
+    #[must_use]
+    pub fn depleted_count(&self) -> usize {
+        match self.battery_joules {
+            None => 0,
+            Some(b) => self
+                .per_node
+                .iter()
+                .filter(|u| u.total_joules() >= b)
+                .count(),
+        }
+    }
+
+    /// Charges both endpoints of a finished transfer.
+    ///
+    /// Returns `(tx_joules, rx_joules)` for this transfer so the protocol
+    /// layer can convert the same quantities into incentive tokens.
+    pub fn charge_transfer(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        airtime: SimDuration,
+        distance_m: f64,
+    ) -> (f64, f64) {
+        let secs = airtime.as_secs();
+        let tx = self.radio.tx_power_w * secs;
+        let rx = self.radio.rx_power(distance_m) * secs;
+        self.per_node[from.index()].tx_joules += tx;
+        self.per_node[to.index()].rx_joules += rx;
+        (tx, rx)
+    }
+
+    /// The cumulative use of one node.
+    #[must_use]
+    pub fn usage(&self, node: NodeId) -> EnergyUse {
+        self.per_node[node.index()]
+    }
+
+    /// Total joules across the whole network.
+    #[must_use]
+    pub fn network_total_joules(&self) -> f64 {
+        self.per_node.iter().map(EnergyUse::total_joules).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_endpoint() {
+        let mut m = EnergyMeter::new(3, RadioConfig::paper_default());
+        let (tx, rx) = m.charge_transfer(NodeId(0), NodeId(1), SimDuration::from_secs(4.0), 50.0);
+        assert!((tx - 0.4).abs() < 1e-12, "0.1 W * 4 s = 0.4 J, got {tx}");
+        assert!(
+            rx > 0.0 && rx < tx,
+            "reception power is path-loss attenuated"
+        );
+        assert_eq!(m.usage(NodeId(0)).tx_joules, tx);
+        assert_eq!(m.usage(NodeId(1)).rx_joules, rx);
+        assert_eq!(m.usage(NodeId(2)), EnergyUse::default());
+
+        m.charge_transfer(NodeId(0), NodeId(2), SimDuration::from_secs(4.0), 50.0);
+        assert!((m.usage(NodeId(0)).tx_joules - 2.0 * tx).abs() < 1e-12);
+        assert!((m.network_total_joules() - (2.0 * tx + 2.0 * rx)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_budget_depletes() {
+        let mut m = EnergyMeter::new(2, RadioConfig::paper_default());
+        assert!(
+            m.remaining_joules(NodeId(0)).is_none(),
+            "ideal power by default"
+        );
+        assert!(!m.is_depleted(NodeId(0)));
+        m.set_battery(0.5);
+        assert_eq!(m.remaining_joules(NodeId(0)), Some(0.5));
+        // 0.1 W × 4 s = 0.4 J of transmission.
+        m.charge_transfer(NodeId(0), NodeId(1), SimDuration::from_secs(4.0), 50.0);
+        assert!(!m.is_depleted(NodeId(0)));
+        m.charge_transfer(NodeId(0), NodeId(1), SimDuration::from_secs(4.0), 50.0);
+        assert!(m.is_depleted(NodeId(0)), "0.8 J > 0.5 J budget");
+        assert_eq!(m.remaining_joules(NodeId(0)), Some(0.0));
+        assert!(!m.is_depleted(NodeId(1)), "receiver spent far less");
+        assert_eq!(m.depleted_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_battery_rejected() {
+        EnergyMeter::new(1, RadioConfig::paper_default()).set_battery(0.0);
+    }
+
+    #[test]
+    fn closer_receivers_absorb_more_power() {
+        let mut m = EnergyMeter::new(2, RadioConfig::paper_default());
+        let (_, rx_near) =
+            m.charge_transfer(NodeId(0), NodeId(1), SimDuration::from_secs(1.0), 5.0);
+        let (_, rx_far) =
+            m.charge_transfer(NodeId(0), NodeId(1), SimDuration::from_secs(1.0), 95.0);
+        assert!(rx_near > rx_far);
+    }
+}

@@ -1,0 +1,156 @@
+//! Planar geometry for node positions and movement.
+
+use serde::{Deserialize, Serialize};
+
+/// A position on the simulation plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Meters east of the origin.
+    pub x: f64,
+    /// Meters north of the origin.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates in meters.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    ///
+    /// ```
+    /// use dtn_sim::geometry::Point;
+    /// let d = Point::new(0.0, 0.0).distance_to(Point::new(3.0, 4.0));
+    /// assert_eq!(d, 5.0);
+    /// ```
+    #[must_use]
+    pub fn distance_to(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[must_use]
+    pub fn distance_sq_to(self, other: Point) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
+    }
+
+    /// A point moved `dist` meters from `self` toward `target`.
+    ///
+    /// If `dist` meets or exceeds the distance to `target`, returns `target`
+    /// exactly (no overshoot).
+    #[must_use]
+    pub fn step_toward(self, target: Point, dist: f64) -> Point {
+        let total = self.distance_to(target);
+        if total <= dist || total == 0.0 {
+            return target;
+        }
+        let f = dist / total;
+        Point::new(
+            self.x + (target.x - self.x) * f,
+            self.y + (target.y - self.y) * f,
+        )
+    }
+}
+
+/// An axis-aligned rectangular world area `[0, width] x [0, height]`, meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Area {
+    /// East–west extent in meters.
+    pub width: f64,
+    /// North–south extent in meters.
+    pub height: f64,
+}
+
+impl Area {
+    /// Creates an area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "area dimensions must be positive and finite"
+        );
+        Area { width, height }
+    }
+
+    /// A square area covering `sq_km` square kilometers.
+    ///
+    /// The paper's scenarios use a 5 km² square field (Table 5.1).
+    #[must_use]
+    pub fn square_km(sq_km: f64) -> Self {
+        let side = (sq_km * 1_000_000.0).sqrt();
+        Area::new(side, side)
+    }
+
+    /// Whether `p` lies inside the area (inclusive of the boundary).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height
+    }
+
+    /// Clamps `p` onto the area.
+    #[must_use]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// Surface in square meters.
+    #[must_use]
+    pub fn surface_m2(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(b), 5.0);
+        assert_eq!(a.distance_sq_to(b), 25.0);
+    }
+
+    #[test]
+    fn step_toward_does_not_overshoot() {
+        let a = Point::ORIGIN;
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(a.step_toward(b, 4.0), Point::new(4.0, 0.0));
+        assert_eq!(a.step_toward(b, 100.0), b);
+        assert_eq!(b.step_toward(b, 1.0), b, "stepping toward self stays put");
+    }
+
+    #[test]
+    fn square_km_has_right_surface() {
+        let area = Area::square_km(5.0);
+        assert!((area.surface_m2() - 5_000_000.0).abs() < 1e-6);
+        assert!((area.width - area.height).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let area = Area::new(100.0, 50.0);
+        assert!(area.contains(Point::new(0.0, 0.0)));
+        assert!(area.contains(Point::new(100.0, 50.0)));
+        assert!(!area.contains(Point::new(100.1, 0.0)));
+        assert_eq!(area.clamp(Point::new(-5.0, 60.0)), Point::new(0.0, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_rejected() {
+        let _ = Area::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The data-centric message model.
+//!
+//! A message in this system is an encapsulation of multimedia data plus
+//! metadata tags (Paper I, §3.1): a unique id, creation timestamp, source,
+//! size, MIME-like kind, a priority set by the source, a scalar quality, and
+//! a growing list of keyword *annotations*. Destinations are not named —
+//! they are discovered en route as nodes whose direct interests match the
+//! annotations (data-centric delivery).
+//!
+//! For the reputation experiments every message additionally carries a
+//! hidden *ground-truth* keyword set describing what the (simulated) image
+//! actually contains. Honest annotators draw tags from this set; malicious
+//! annotators draw from outside it; recipients judge tag relevance against
+//! it. The ground truth is simulation-side oracle data and is never consulted
+//! by the routing or incentive code paths.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+use crate::world::NodeId;
+
+/// A unique message identifier (the paper's UUID field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An interned interest / annotation keyword.
+///
+/// Scenarios draw keywords from a fixed pool (Table 5.1 uses a pool of 200);
+/// interning them as small integers keeps interest tables and annotation
+/// lists cheap to compare and hash. The human-readable spelling lives in the
+/// workload layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Keyword(pub u32);
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kw{}", self.0)
+    }
+}
+
+/// Message priority as set by the source (Table 3.1: 1 = high … 3 = low).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Highest priority (paper value 1).
+    High,
+    /// Medium priority (paper value 2).
+    Medium,
+    /// Lowest priority (paper value 3).
+    Low,
+}
+
+impl Priority {
+    /// The paper's numeric encoding: 1 for high, 2 for medium, 3 for low.
+    ///
+    /// Algorithm 3 divides by this value, so high priority yields the
+    /// largest incentive term.
+    #[must_use]
+    pub fn level(self) -> u8 {
+        match self {
+            Priority::High => 1,
+            Priority::Medium => 2,
+            Priority::Low => 3,
+        }
+    }
+
+    /// All priorities, highest first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Medium, Priority::Low];
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Priority::High => "high",
+            Priority::Medium => "medium",
+            Priority::Low => "low",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Message quality in `[0, 1]`, fixed at creation.
+///
+/// The paper treats quality as a static per-message property rated by
+/// recipients; `1.0` is the best producible quality (`Q_m` in Table 3.1 is
+/// the max over a node's buffered messages).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Quality(f64);
+
+impl Quality {
+    /// The maximum quality.
+    pub const MAX: Quality = Quality(1.0);
+
+    /// Creates a quality value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && (0.0..=1.0).contains(&value),
+            "quality must lie in [0, 1]"
+        );
+        Quality(value)
+    }
+
+    /// The raw value in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// One keyword annotation attached to a message, with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Annotation {
+    /// The tag itself.
+    pub keyword: Keyword,
+    /// The node that added the tag (the source for original tags, an
+    /// intermediate node for enrichment tags).
+    pub annotator: NodeId,
+    /// When the tag was added.
+    pub added_at_secs: u64,
+}
+
+/// The immutable part of a message, shared by every buffered copy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MessageBody {
+    /// Unique id (the paper's UUID).
+    pub id: MessageId,
+    /// Originating node.
+    pub source: NodeId,
+    /// Creation time.
+    pub created_at: SimTime,
+    /// Payload size in bytes (Table 5.1 default: 1 MB).
+    pub size_bytes: u64,
+    /// Time-to-live after which every copy is purged.
+    pub ttl_secs: f64,
+    /// Priority set by the source.
+    pub priority: Priority,
+    /// Intrinsic quality of the content.
+    pub quality: Quality,
+    /// Oracle: what the content *actually* depicts. Tags inside this set are
+    /// relevant; tags outside it are irrelevant. Never read by protocol code.
+    pub ground_truth: Vec<Keyword>,
+}
+
+impl MessageBody {
+    /// Whether the message has expired at time `now`.
+    #[must_use]
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now.duration_since(self.created_at).as_secs() > self.ttl_secs
+    }
+
+    /// Whether `keyword` is relevant to the actual content (oracle check,
+    /// used by the simulated human raters and by evaluation code only).
+    #[must_use]
+    pub fn truth_contains(&self, keyword: Keyword) -> bool {
+        self.ground_truth.contains(&keyword)
+    }
+}
+
+/// A node's buffered copy of a message.
+///
+/// Annotations and the hop record grow as the copy travels; the body is
+/// shared. Copies diverge: two copies of the same message on different paths
+/// can carry different enrichment tags, exactly as in the paper's model.
+#[derive(Debug, Clone)]
+pub struct MessageCopy {
+    /// The shared immutable body.
+    pub body: Arc<MessageBody>,
+    /// All tags currently on this copy, source tags first, in add order.
+    pub annotations: Vec<Annotation>,
+    /// Every node this copy has visited, starting with the source.
+    pub path: Vec<NodeId>,
+    /// When this node received (or created) the copy.
+    pub received_at: SimTime,
+}
+
+impl MessageCopy {
+    /// Creates the source's initial copy.
+    #[must_use]
+    pub fn original(body: Arc<MessageBody>, source_tags: Vec<Keyword>, now: SimTime) -> Self {
+        let source = body.source;
+        let annotations = source_tags
+            .into_iter()
+            .map(|keyword| Annotation {
+                keyword,
+                annotator: source,
+                added_at_secs: now.as_secs() as u64,
+            })
+            .collect();
+        MessageCopy {
+            body,
+            annotations,
+            path: vec![source],
+            received_at: now,
+        }
+    }
+
+    /// The message id.
+    #[must_use]
+    pub fn id(&self) -> MessageId {
+        self.body.id
+    }
+
+    /// Payload size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.body.size_bytes
+    }
+
+    /// Keywords currently annotating this copy (with duplicates removed,
+    /// preserving first-seen order).
+    #[must_use]
+    pub fn keywords(&self) -> Vec<Keyword> {
+        let mut seen = Vec::with_capacity(self.annotations.len());
+        for a in &self.annotations {
+            if !seen.contains(&a.keyword) {
+                seen.push(a.keyword);
+            }
+        }
+        seen
+    }
+
+    /// Tags added by `node` (the enrichment contribution of one relay).
+    #[must_use]
+    pub fn tags_added_by(&self, node: NodeId) -> Vec<Keyword> {
+        self.annotations
+            .iter()
+            .filter(|a| a.annotator == node)
+            .map(|a| a.keyword)
+            .collect()
+    }
+
+    /// Tags `node` added *en route* — its enrichment contribution,
+    /// excluding the source's creation-time annotations. This is the set
+    /// the tag reward `I_t` compensates (the paper rewards "additional
+    /// annotations applied to in-transit messages", not the original
+    /// labels).
+    #[must_use]
+    pub fn enrichment_tags_by(&self, node: NodeId) -> Vec<Keyword> {
+        let created = self.body.created_at.as_secs() as u64;
+        self.annotations
+            .iter()
+            .filter(|a| {
+                a.annotator == node && !(node == self.body.source && a.added_at_secs == created)
+            })
+            .map(|a| a.keyword)
+            .collect()
+    }
+
+    /// Adds an enrichment tag if not already present.
+    ///
+    /// Returns `true` if the tag was new.
+    pub fn enrich(&mut self, keyword: Keyword, annotator: NodeId, now: SimTime) -> bool {
+        if self.annotations.iter().any(|a| a.keyword == keyword) {
+            return false;
+        }
+        self.annotations.push(Annotation {
+            keyword,
+            annotator,
+            added_at_secs: now.as_secs() as u64,
+        });
+        true
+    }
+
+    /// Records arrival at `node` at time `now`, producing the copy the
+    /// receiving node buffers.
+    #[must_use]
+    pub fn arrived_at(&self, node: NodeId, now: SimTime) -> MessageCopy {
+        let mut copy = self.clone();
+        copy.path.push(node);
+        copy.received_at = now;
+        copy
+    }
+
+    /// The relays between source and the current holder (excludes both
+    /// endpoints of the path).
+    #[must_use]
+    pub fn intermediate_hops(&self) -> &[NodeId] {
+        if self.path.len() <= 2 {
+            &[]
+        } else {
+            &self.path[1..self.path.len() - 1]
+        }
+    }
+
+    /// Number of hops travelled (path length minus one).
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(id: u64, src: u32) -> Arc<MessageBody> {
+        Arc::new(MessageBody {
+            id: MessageId(id),
+            source: NodeId(src),
+            created_at: SimTime::ZERO,
+            size_bytes: 1_000_000,
+            ttl_secs: 3600.0,
+            priority: Priority::High,
+            quality: Quality::new(0.9),
+            ground_truth: vec![Keyword(1), Keyword(2), Keyword(3)],
+        })
+    }
+
+    #[test]
+    fn priority_levels_match_paper_encoding() {
+        assert_eq!(Priority::High.level(), 1);
+        assert_eq!(Priority::Medium.level(), 2);
+        assert_eq!(Priority::Low.level(), 3);
+    }
+
+    #[test]
+    fn quality_bounds_enforced() {
+        assert_eq!(Quality::new(0.0).value(), 0.0);
+        assert_eq!(Quality::MAX.value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality")]
+    fn quality_above_one_rejected() {
+        let _ = Quality::new(1.01);
+    }
+
+    #[test]
+    fn expiry_respects_ttl() {
+        let b = body(1, 0);
+        assert!(!b.is_expired(SimTime::from_secs(3600.0)));
+        assert!(b.is_expired(SimTime::from_secs(3600.1)));
+    }
+
+    #[test]
+    fn original_copy_records_source_tags_and_path() {
+        let copy = MessageCopy::original(body(1, 7), vec![Keyword(1), Keyword(2)], SimTime::ZERO);
+        assert_eq!(copy.path, vec![NodeId(7)]);
+        assert_eq!(copy.keywords(), vec![Keyword(1), Keyword(2)]);
+        assert!(copy.annotations.iter().all(|a| a.annotator == NodeId(7)));
+        assert_eq!(copy.hop_count(), 0);
+    }
+
+    #[test]
+    fn enrichment_dedupes_and_tracks_provenance() {
+        let mut copy = MessageCopy::original(body(1, 0), vec![Keyword(1)], SimTime::ZERO);
+        let now = SimTime::from_secs(10.0);
+        assert!(copy.enrich(Keyword(2), NodeId(5), now));
+        assert!(
+            !copy.enrich(Keyword(2), NodeId(6), now),
+            "duplicate tag rejected"
+        );
+        assert!(
+            !copy.enrich(Keyword(1), NodeId(5), now),
+            "source tag not re-added"
+        );
+        assert_eq!(copy.tags_added_by(NodeId(5)), vec![Keyword(2)]);
+        assert!(copy.tags_added_by(NodeId(6)).is_empty());
+    }
+
+    #[test]
+    fn enrichment_tags_exclude_creation_annotations() {
+        let mut copy =
+            MessageCopy::original(body(1, 0), vec![Keyword(1), Keyword(2)], SimTime::ZERO);
+        assert_eq!(
+            copy.tags_added_by(NodeId(0)).len(),
+            2,
+            "creation tags have provenance"
+        );
+        assert!(
+            copy.enrichment_tags_by(NodeId(0)).is_empty(),
+            "but they are not enrichment"
+        );
+        // The source enriching its own copy later *does* count.
+        copy.enrich(Keyword(3), NodeId(0), SimTime::from_secs(10.0));
+        assert_eq!(copy.enrichment_tags_by(NodeId(0)), vec![Keyword(3)]);
+        // A relay's additions are all enrichment.
+        copy.enrich(Keyword(9), NodeId(5), SimTime::from_secs(20.0));
+        assert_eq!(copy.enrichment_tags_by(NodeId(5)), vec![Keyword(9)]);
+    }
+
+    #[test]
+    fn arrival_extends_path() {
+        let copy = MessageCopy::original(body(1, 0), vec![Keyword(1)], SimTime::ZERO);
+        let at_relay = copy.arrived_at(NodeId(1), SimTime::from_secs(5.0));
+        let at_dest = at_relay.arrived_at(NodeId(2), SimTime::from_secs(9.0));
+        assert_eq!(at_dest.path, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(at_dest.intermediate_hops(), &[NodeId(1)]);
+        assert_eq!(at_dest.hop_count(), 2);
+        assert_eq!(at_dest.received_at, SimTime::from_secs(9.0));
+        assert_eq!(copy.path.len(), 1, "source copy untouched");
+    }
+
+    #[test]
+    fn truth_oracle() {
+        let b = body(1, 0);
+        assert!(b.truth_contains(Keyword(2)));
+        assert!(!b.truth_contains(Keyword(9)));
+    }
+}

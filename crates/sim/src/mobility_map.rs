@@ -1,0 +1,259 @@
+//! Map-constrained mobility.
+//!
+//! The ONE simulator's flagship feature beyond Random Waypoint is
+//! map-based movement: nodes walk along streets rather than through
+//! buildings. [`ManhattanGrid`] reproduces the standard *Manhattan
+//! mobility model*: a rectangular lattice of streets with a fixed block
+//! size; nodes walk along grid lines to a randomly chosen intersection
+//! (one axis-aligned leg at a time), pause, and repeat. It slots into the
+//! same [`MobilityModel`] interface as the free-space models, so any
+//! scenario can swap it in.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{Area, Point};
+use crate::mobility::MobilityModel;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Manhattan-grid mobility: movement restricted to a street lattice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManhattanGrid {
+    /// Distance between parallel streets, meters.
+    pub block_m: f64,
+    /// Minimum walking speed, m/s.
+    pub min_speed: f64,
+    /// Maximum walking speed, m/s.
+    pub max_speed: f64,
+    /// Maximum pause at a destination intersection, seconds.
+    pub max_pause_secs: f64,
+    #[serde(skip)]
+    state: GridState,
+}
+
+#[derive(Debug, Clone, Default)]
+enum GridState {
+    #[default]
+    NeedTarget,
+    /// Walking the first (horizontal) leg toward `corner`, then the
+    /// vertical leg toward `target`.
+    Walking {
+        corner: Point,
+        target: Point,
+        speed: f64,
+        on_second_leg: bool,
+    },
+    Paused {
+        remaining: f64,
+    },
+}
+
+impl ManhattanGrid {
+    /// Creates a grid walker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_m` is not strictly positive or the speed range is
+    /// empty or non-positive.
+    #[must_use]
+    pub fn new(block_m: f64, min_speed: f64, max_speed: f64, max_pause_secs: f64) -> Self {
+        assert!(block_m > 0.0, "block size must be positive");
+        assert!(
+            min_speed > 0.0 && max_speed >= min_speed,
+            "speed range must be positive and non-empty"
+        );
+        assert!(max_pause_secs >= 0.0, "pause must be non-negative");
+        ManhattanGrid {
+            block_m,
+            min_speed,
+            max_speed,
+            max_pause_secs,
+            state: GridState::NeedTarget,
+        }
+    }
+
+    /// A downtown pedestrian profile: 100 m blocks, 0.8–1.8 m/s, ≤60 s
+    /// pauses.
+    #[must_use]
+    pub fn downtown() -> Self {
+        Self::new(100.0, 0.8, 1.8, 60.0)
+    }
+
+    /// Snaps a coordinate onto the nearest street line within `area`.
+    fn snap(&self, x: f64, limit: f64) -> f64 {
+        let snapped = (x / self.block_m).round() * self.block_m;
+        snapped.clamp(0.0, (limit / self.block_m).floor() * self.block_m)
+    }
+
+    /// A uniformly random intersection of the lattice inside `area`.
+    fn random_intersection(&self, area: Area, rng: &mut SimRng) -> Point {
+        let cols = (area.width / self.block_m).floor() as usize + 1;
+        let rows = (area.height / self.block_m).floor() as usize + 1;
+        Point::new(
+            rng.index(cols) as f64 * self.block_m,
+            rng.index(rows) as f64 * self.block_m,
+        )
+    }
+}
+
+impl MobilityModel for ManhattanGrid {
+    fn step(&mut self, current: Point, dt: SimDuration, area: Area, rng: &mut SimRng) -> Point {
+        let mut pos = current;
+        let mut budget = dt.as_secs();
+        while budget > 0.0 {
+            match self.state {
+                GridState::NeedTarget => {
+                    let target = self.random_intersection(area, rng);
+                    // Walk the horizontal leg first: corner shares the
+                    // current y (snapped onto a street) and the target x.
+                    let corner = Point::new(target.x, self.snap(pos.y, area.height));
+                    let speed = if self.max_speed > self.min_speed {
+                        rng.uniform(self.min_speed, self.max_speed)
+                    } else {
+                        self.min_speed
+                    };
+                    self.state = GridState::Walking {
+                        corner,
+                        target,
+                        speed,
+                        on_second_leg: false,
+                    };
+                }
+                GridState::Walking {
+                    corner,
+                    target,
+                    speed,
+                    on_second_leg,
+                } => {
+                    let waypoint = if on_second_leg { target } else { corner };
+                    let dist_left = pos.distance_to(waypoint);
+                    let dist_possible = speed * budget;
+                    if dist_possible >= dist_left {
+                        pos = waypoint;
+                        budget -= if speed > 0.0 {
+                            dist_left / speed
+                        } else {
+                            budget
+                        };
+                        if on_second_leg {
+                            let pause = if self.max_pause_secs > 0.0 {
+                                rng.uniform(0.0, self.max_pause_secs)
+                            } else {
+                                0.0
+                            };
+                            self.state = GridState::Paused { remaining: pause };
+                        } else {
+                            self.state = GridState::Walking {
+                                corner,
+                                target,
+                                speed,
+                                on_second_leg: true,
+                            };
+                        }
+                    } else {
+                        pos = pos.step_toward(waypoint, dist_possible);
+                        budget = 0.0;
+                    }
+                }
+                GridState::Paused { remaining } => {
+                    if remaining > budget {
+                        self.state = GridState::Paused {
+                            remaining: remaining - budget,
+                        };
+                        budget = 0.0;
+                    } else {
+                        budget -= remaining;
+                        self.state = GridState::NeedTarget;
+                    }
+                }
+            }
+        }
+        pos
+    }
+
+    fn initial_position(&mut self, area: Area, rng: &mut SimRng) -> Point {
+        self.random_intersection(area, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_street(p: Point, block: f64) -> bool {
+        let near = |x: f64| {
+            let r = x / block;
+            (r - r.round()).abs() < 1e-6
+        };
+        near(p.x) || near(p.y)
+    }
+
+    #[test]
+    fn walker_stays_on_streets() {
+        let area = Area::new(1000.0, 800.0);
+        let mut m = ManhattanGrid::downtown();
+        let mut rng = SimRng::new(5);
+        let mut pos = m.initial_position(area, &mut rng);
+        assert!(on_street(pos, 100.0), "initial position is an intersection");
+        for _ in 0..3000 {
+            pos = m.step(pos, SimDuration::from_secs(1.0), area, &mut rng);
+            assert!(area.contains(pos), "inside the map: {pos:?}");
+            assert!(on_street(pos, 100.0), "on a street line: {pos:?}");
+        }
+    }
+
+    #[test]
+    fn walker_moves_and_respects_speed() {
+        let area = Area::new(1000.0, 1000.0);
+        let mut m = ManhattanGrid::new(100.0, 1.0, 2.0, 0.0);
+        let mut rng = SimRng::new(7);
+        let mut pos = m.initial_position(area, &mut rng);
+        let start = pos;
+        let mut moved = false;
+        for _ in 0..600 {
+            let next = m.step(pos, SimDuration::from_secs(1.0), area, &mut rng);
+            // Displacement per second bounded by max speed (corner turns
+            // shorten net displacement, never lengthen it).
+            assert!(next.distance_to(pos) <= 2.0 + 1e-9);
+            if next.distance_to(start) > 50.0 {
+                moved = true;
+            }
+            pos = next;
+        }
+        assert!(moved, "the walker actually goes places");
+    }
+
+    #[test]
+    fn intersections_fit_the_area() {
+        let area = Area::new(450.0, 250.0); // not a multiple of the block
+        let m = ManhattanGrid::new(100.0, 1.0, 1.0, 0.0);
+        let mut rng = SimRng::new(9);
+        for _ in 0..200 {
+            let p = m.random_intersection(area, &mut rng);
+            assert!(p.x <= 400.0 && p.y <= 200.0, "snapped inside: {p:?}");
+            assert!(on_street(p, 100.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        let _ = ManhattanGrid::new(0.0, 1.0, 2.0, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let area = Area::new(500.0, 500.0);
+        let run = |seed| {
+            let mut m = ManhattanGrid::downtown();
+            let mut rng = SimRng::new(seed);
+            let mut pos = m.initial_position(area, &mut rng);
+            for _ in 0..100 {
+                pos = m.step(pos, SimDuration::from_secs(1.0), area, &mut rng);
+            }
+            pos
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,175 @@
+//! Radio model: range-based connectivity, link speed, and the Friis
+//! transmission equation used by the hardware-factor incentive.
+//!
+//! The paper's ONE-simulator configuration (Table 5.1) models the radio as a
+//! fixed 100 m transmission radius and a fixed 250 kB/s link speed; the
+//! incentive mechanism's *hardware factor* additionally needs the reception
+//! power, which the paper computes with the Friis equation (Paper I, §3.2):
+//!
+//! ```text
+//! P_r = P_t / L_v        where L_v = (4π R / λ)²
+//! ```
+//!
+//! with `R` the distance between the devices and `λ` the wavelength (the
+//! thesis calls the symbol "bandwidth"; dimensional analysis of the free-space
+//! path-loss formula requires a wavelength, so we expose it as such and
+//! default it to the 2.4 GHz ISM band of the Bluetooth demo hardware).
+
+use serde::{Deserialize, Serialize};
+
+/// Static radio parameters shared by every node in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Transmission radius in meters (Table 5.1 default: 100 m).
+    pub range_m: f64,
+    /// Link speed in bytes per second (Table 5.1 default: 250 kB/s).
+    pub link_speed_bps: f64,
+    /// Transmission power `P_t` in watts (default 0.1 W, a typical
+    /// class-1 Bluetooth / low-power Wi-Fi radio).
+    pub tx_power_w: f64,
+    /// Carrier wavelength `λ` in meters (default 0.125 m ≈ 2.4 GHz).
+    pub wavelength_m: f64,
+}
+
+impl RadioConfig {
+    /// The paper's Table 5.1 radio: 100 m radius, 250 kB/s.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RadioConfig {
+            range_m: 100.0,
+            link_speed_bps: 250_000.0,
+            tx_power_w: 0.1,
+            wavelength_m: 0.125,
+        }
+    }
+
+    /// A class-2 Bluetooth radio (the Paper II demo hardware): ~10 m
+    /// range, ~200 kB/s effective throughput, 2.5 mW.
+    #[must_use]
+    pub fn bluetooth() -> Self {
+        RadioConfig {
+            range_m: 10.0,
+            link_speed_bps: 200_000.0,
+            tx_power_w: 0.0025,
+            wavelength_m: 0.125,
+        }
+    }
+
+    /// A Wi-Fi Direct radio (the paper's stated future work): ~200 m
+    /// range, ~25 MB/s effective throughput, 0.25 W.
+    #[must_use]
+    pub fn wifi_direct() -> Self {
+        RadioConfig {
+            range_m: 200.0,
+            link_speed_bps: 25_000_000.0,
+            tx_power_w: 0.25,
+            wavelength_m: 0.06, // 5 GHz band
+        }
+    }
+
+    /// Time in seconds to push `bytes` over one link.
+    #[must_use]
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.link_speed_bps
+    }
+
+    /// Free-space path loss `L_v = (4π R / λ)²` at distance `distance_m`.
+    ///
+    /// Distances below one wavelength are clamped to one wavelength so the
+    /// near-field does not produce a gain (`L_v < 1`), which the far-field
+    /// Friis formula is not valid for anyway.
+    #[must_use]
+    pub fn path_loss(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.wavelength_m);
+        let ratio = 4.0 * std::f64::consts::PI * d / self.wavelength_m;
+        ratio * ratio
+    }
+
+    /// Reception power `P_r = P_t / L_v` in watts at `distance_m`.
+    ///
+    /// ```
+    /// use dtn_sim::radio::RadioConfig;
+    /// let radio = RadioConfig::paper_default();
+    /// let near = radio.rx_power(10.0);
+    /// let far = radio.rx_power(100.0);
+    /// assert!(near > far, "reception power decays with distance");
+    /// ```
+    #[must_use]
+    pub fn rx_power(&self, distance_m: f64) -> f64 {
+        self.tx_power_w / self.path_loss(distance_m)
+    }
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_5_1() {
+        let r = RadioConfig::paper_default();
+        assert_eq!(r.range_m, 100.0);
+        assert_eq!(r.link_speed_bps, 250_000.0);
+    }
+
+    #[test]
+    fn transfer_time_for_1mb_message() {
+        // Table 5.1: 1 MB messages at 250 kB/s → 4 seconds per hop.
+        let r = RadioConfig::paper_default();
+        assert_eq!(r.transfer_secs(1_000_000), 4.0);
+        assert_eq!(r.transfer_secs(0), 0.0);
+    }
+
+    #[test]
+    fn path_loss_follows_inverse_square() {
+        let r = RadioConfig::paper_default();
+        let l10 = r.path_loss(10.0);
+        let l20 = r.path_loss(20.0);
+        assert!(
+            (l20 / l10 - 4.0).abs() < 1e-9,
+            "doubling distance quadruples loss"
+        );
+    }
+
+    #[test]
+    fn rx_power_never_exceeds_tx_power() {
+        let r = RadioConfig::paper_default();
+        for d in [0.0, 0.01, 0.125, 1.0, 50.0, 100.0] {
+            let p = r.rx_power(d);
+            assert!(
+                p > 0.0 && p <= r.tx_power_w,
+                "rx power {p} out of range at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn radio_presets_are_ordered_sensibly() {
+        let bt = RadioConfig::bluetooth();
+        let paper = RadioConfig::paper_default();
+        let wifi = RadioConfig::wifi_direct();
+        assert!(bt.range_m < paper.range_m && paper.range_m < wifi.range_m);
+        assert!(bt.link_speed_bps <= paper.link_speed_bps);
+        assert!(paper.link_speed_bps < wifi.link_speed_bps);
+        assert!(bt.tx_power_w < paper.tx_power_w && paper.tx_power_w < wifi.tx_power_w);
+        // A 1 MB photo over the demo's Bluetooth takes 5 s; over Wi-Fi
+        // Direct it takes 40 ms.
+        assert_eq!(bt.transfer_secs(1_000_000), 5.0);
+        assert!(wifi.transfer_secs(1_000_000) < 0.05);
+    }
+
+    #[test]
+    fn friis_hand_computed_value() {
+        // L_v = (4π·100/0.125)² ≈ 1.0106e8; P_r = 0.1 / L_v ≈ 9.9e-10 W.
+        let r = RadioConfig::paper_default();
+        let l = r.path_loss(100.0);
+        assert!((l - 1.010_6e8).abs() / l < 1e-3, "L_v = {l}");
+        let p = r.rx_power(100.0);
+        assert!((p - 9.895e-10).abs() / p < 1e-3, "P_r = {p}");
+    }
+}

@@ -1,0 +1,399 @@
+//! Run statistics.
+//!
+//! The collector tracks exactly the quantities the paper's evaluation
+//! reports: message delivery ratio (overall and per priority class, Figs.
+//! 5.1/5.3/5.5/5.6), relayed traffic (Fig. 5.2), plus auxiliary health
+//! metrics (drops, expiries, aborted transfers, latency) and named time
+//! series pushed by the protocol layer (Fig. 5.4's malicious-rating curve).
+//!
+//! Delivery in a data-centric DTN is interest-based: a message has no named
+//! destination, so the workload registers the *expected destination set* —
+//! the nodes holding a direct interest in one of the source's tags at
+//! creation time — and MDR is measured over `(message, destination)` pairs.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::{MessageId, Priority};
+use crate::time::SimTime;
+use crate::world::NodeId;
+
+/// Aggregated counters for one simulation run.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    created: u64,
+    created_by_priority: BTreeMap<u8, u64>,
+    expected_pairs: u64,
+    expected_pairs_by_priority: BTreeMap<u8, u64>,
+    expected_dests: HashMap<MessageId, HashSet<NodeId>>,
+    priority_of: HashMap<MessageId, Priority>,
+    delivered_pairs: HashSet<(MessageId, NodeId)>,
+    delivered_expected: u64,
+    delivered_expected_by_priority: BTreeMap<u8, u64>,
+    delivered_unexpected: u64,
+    messages_with_delivery: HashSet<MessageId>,
+    latency_sum_secs: f64,
+    latency_count: u64,
+    relays_completed: u64,
+    relay_bytes: u64,
+    transfers_aborted: u64,
+    buffer_evictions: u64,
+    ttl_expiries: u64,
+    series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+/// A read-only summary of one run, suitable for aggregation across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Messages created.
+    pub created: u64,
+    /// Expected `(message, destination)` pairs registered by the workload.
+    pub expected_pairs: u64,
+    /// Expected pairs actually delivered (each counted once).
+    pub delivered_pairs: u64,
+    /// Deliveries to nodes that were not in the expected set (interest
+    /// acquired en route, or enrichment-created destinations).
+    pub bonus_deliveries: u64,
+    /// Messages delivered to at least one node.
+    pub messages_with_delivery: u64,
+    /// Pair-level delivery ratio `delivered_pairs / expected_pairs`.
+    pub delivery_ratio: f64,
+    /// Per-priority pair delivery ratio, keyed by `Priority::level()`.
+    pub delivery_ratio_by_priority: BTreeMap<u8, f64>,
+    /// Mean first-delivery latency, seconds.
+    pub mean_latency_secs: f64,
+    /// Completed message transfers (the paper's "traffic").
+    pub relays_completed: u64,
+    /// Bytes moved by completed transfers.
+    pub relay_bytes: u64,
+    /// Transfers aborted (contact loss, source loss, cancels).
+    pub transfers_aborted: u64,
+    /// Copies evicted by buffer pressure.
+    pub buffer_evictions: u64,
+    /// Copies purged by TTL.
+    pub ttl_expiries: u64,
+    /// Named time series recorded during the run.
+    pub series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+impl StatsCollector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message creation and its expected destination set.
+    pub fn record_created(
+        &mut self,
+        id: MessageId,
+        priority: Priority,
+        expected: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.created += 1;
+        *self
+            .created_by_priority
+            .entry(priority.level())
+            .or_default() += 1;
+        self.priority_of.insert(id, priority);
+        let set: HashSet<NodeId> = expected.into_iter().collect();
+        self.expected_pairs += set.len() as u64;
+        *self
+            .expected_pairs_by_priority
+            .entry(priority.level())
+            .or_default() += set.len() as u64;
+        self.expected_dests.insert(id, set);
+    }
+
+    /// Records a delivery of `id` to `node` at `now`, with the message's
+    /// creation time for latency. Duplicate `(message, node)` deliveries are
+    /// ignored (only the first deliverer counts, as in the incentive rule).
+    ///
+    /// Returns `true` if this was a fresh delivery.
+    pub fn record_delivered(
+        &mut self,
+        id: MessageId,
+        node: NodeId,
+        created_at: SimTime,
+        now: SimTime,
+    ) -> bool {
+        if !self.delivered_pairs.insert((id, node)) {
+            return false;
+        }
+        self.messages_with_delivery.insert(id);
+        let expected = self
+            .expected_dests
+            .get(&id)
+            .is_some_and(|set| set.contains(&node));
+        if expected {
+            self.delivered_expected += 1;
+            if let Some(p) = self.priority_of.get(&id) {
+                *self
+                    .delivered_expected_by_priority
+                    .entry(p.level())
+                    .or_default() += 1;
+            }
+            self.latency_sum_secs += now.duration_since(created_at).as_secs();
+            self.latency_count += 1;
+        } else {
+            self.delivered_unexpected += 1;
+        }
+        true
+    }
+
+    /// Whether `(id, node)` has already been delivered.
+    #[must_use]
+    pub fn is_delivered(&self, id: MessageId, node: NodeId) -> bool {
+        self.delivered_pairs.contains(&(id, node))
+    }
+
+    /// Records a completed relay transfer of `bytes`.
+    pub fn record_relay(&mut self, bytes: u64) {
+        self.relays_completed += 1;
+        self.relay_bytes += bytes;
+    }
+
+    /// Records an aborted transfer.
+    pub fn record_abort(&mut self) {
+        self.transfers_aborted += 1;
+    }
+
+    /// Records `n` buffer evictions.
+    pub fn record_evictions(&mut self, n: usize) {
+        self.buffer_evictions += n as u64;
+    }
+
+    /// Records `n` TTL expiries.
+    pub fn record_expiries(&mut self, n: usize) {
+        self.ttl_expiries += n as u64;
+    }
+
+    /// Appends a sample to the named time series.
+    pub fn push_sample(&mut self, series: &str, t: SimTime, value: f64) {
+        self.series
+            .entry(series.to_owned())
+            .or_default()
+            .push((t.as_secs(), value));
+    }
+
+    /// Messages created so far.
+    #[must_use]
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Finalizes the run into a summary.
+    #[must_use]
+    pub fn summarize(&self) -> RunSummary {
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let mut by_priority = BTreeMap::new();
+        for (&level, &expected) in &self.expected_pairs_by_priority {
+            let delivered = self
+                .delivered_expected_by_priority
+                .get(&level)
+                .copied()
+                .unwrap_or(0);
+            by_priority.insert(level, ratio(delivered, expected));
+        }
+        RunSummary {
+            created: self.created,
+            expected_pairs: self.expected_pairs,
+            delivered_pairs: self.delivered_expected,
+            bonus_deliveries: self.delivered_unexpected,
+            messages_with_delivery: self.messages_with_delivery.len() as u64,
+            delivery_ratio: ratio(self.delivered_expected, self.expected_pairs),
+            delivery_ratio_by_priority: by_priority,
+            mean_latency_secs: if self.latency_count == 0 {
+                0.0
+            } else {
+                self.latency_sum_secs / self.latency_count as f64
+            },
+            relays_completed: self.relays_completed,
+            relay_bytes: self.relay_bytes,
+            transfers_aborted: self.transfers_aborted,
+            buffer_evictions: self.buffer_evictions,
+            ttl_expiries: self.ttl_expiries,
+            series: self.series.clone(),
+        }
+    }
+}
+
+impl RunSummary {
+    /// Averages several run summaries (one per seed) field-wise.
+    ///
+    /// Series are averaged point-wise when all runs sampled the same times;
+    /// otherwise the first run's series is kept (runs in this crate always
+    /// sample on a fixed cadence, so the aligned case is the norm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    #[must_use]
+    pub fn mean_of(runs: &[RunSummary]) -> RunSummary {
+        assert!(!runs.is_empty(), "cannot average zero runs");
+        let n = runs.len() as f64;
+        let mean_u = |f: fn(&RunSummary) -> u64| {
+            (runs.iter().map(|r| f(r) as f64).sum::<f64>() / n).round() as u64
+        };
+        let mean_f = |f: fn(&RunSummary) -> f64| runs.iter().map(f).sum::<f64>() / n;
+
+        let mut by_priority: BTreeMap<u8, f64> = BTreeMap::new();
+        for level in runs
+            .iter()
+            .flat_map(|r| r.delivery_ratio_by_priority.keys().copied())
+            .collect::<std::collections::BTreeSet<u8>>()
+        {
+            let v = runs
+                .iter()
+                .map(|r| {
+                    r.delivery_ratio_by_priority
+                        .get(&level)
+                        .copied()
+                        .unwrap_or(0.0)
+                })
+                .sum::<f64>()
+                / n;
+            by_priority.insert(level, v);
+        }
+
+        let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        for name in runs
+            .iter()
+            .flat_map(|r| r.series.keys().cloned())
+            .collect::<std::collections::BTreeSet<String>>()
+        {
+            let with_series: Vec<&Vec<(f64, f64)>> =
+                runs.iter().filter_map(|r| r.series.get(&name)).collect();
+            let aligned = with_series.windows(2).all(|w| w[0].len() == w[1].len())
+                && with_series
+                    .iter()
+                    .all(|s| s.iter().zip(with_series[0].iter()).all(|(a, b)| a.0 == b.0));
+            if aligned && !with_series.is_empty() {
+                let len = with_series[0].len();
+                let mut avg = Vec::with_capacity(len);
+                for i in 0..len {
+                    let t = with_series[0][i].0;
+                    let v =
+                        with_series.iter().map(|s| s[i].1).sum::<f64>() / with_series.len() as f64;
+                    avg.push((t, v));
+                }
+                series.insert(name, avg);
+            } else if let Some(first) = with_series.first() {
+                series.insert(name, (*first).clone());
+            }
+        }
+
+        RunSummary {
+            created: mean_u(|r| r.created),
+            expected_pairs: mean_u(|r| r.expected_pairs),
+            delivered_pairs: mean_u(|r| r.delivered_pairs),
+            bonus_deliveries: mean_u(|r| r.bonus_deliveries),
+            messages_with_delivery: mean_u(|r| r.messages_with_delivery),
+            delivery_ratio: mean_f(|r| r.delivery_ratio),
+            delivery_ratio_by_priority: by_priority,
+            mean_latency_secs: mean_f(|r| r.mean_latency_secs),
+            relays_completed: mean_u(|r| r.relays_completed),
+            relay_bytes: mean_u(|r| r.relay_bytes),
+            transfers_aborted: mean_u(|r| r.transfers_aborted),
+            buffer_evictions: mean_u(|r| r.buffer_evictions),
+            ttl_expiries: mean_u(|r| r.ttl_expiries),
+            series,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn delivery_ratio_counts_expected_pairs_once() {
+        let mut s = StatsCollector::new();
+        s.record_created(MessageId(1), Priority::High, [NodeId(1), NodeId(2)]);
+        assert!(s.record_delivered(MessageId(1), NodeId(1), t(0.0), t(10.0)));
+        assert!(
+            !s.record_delivered(MessageId(1), NodeId(1), t(0.0), t(20.0)),
+            "duplicate"
+        );
+        let sum = s.summarize();
+        assert_eq!(sum.expected_pairs, 2);
+        assert_eq!(sum.delivered_pairs, 1);
+        assert_eq!(sum.delivery_ratio, 0.5);
+        assert_eq!(sum.mean_latency_secs, 10.0);
+        assert_eq!(sum.messages_with_delivery, 1);
+    }
+
+    #[test]
+    fn unexpected_deliveries_counted_separately() {
+        let mut s = StatsCollector::new();
+        s.record_created(MessageId(1), Priority::Low, [NodeId(1)]);
+        s.record_delivered(MessageId(1), NodeId(9), t(0.0), t(5.0));
+        let sum = s.summarize();
+        assert_eq!(sum.delivered_pairs, 0);
+        assert_eq!(sum.bonus_deliveries, 1);
+        assert_eq!(sum.delivery_ratio, 0.0);
+        assert_eq!(
+            sum.mean_latency_secs, 0.0,
+            "bonus deliveries excluded from latency"
+        );
+    }
+
+    #[test]
+    fn per_priority_ratios() {
+        let mut s = StatsCollector::new();
+        s.record_created(MessageId(1), Priority::High, [NodeId(1), NodeId(2)]);
+        s.record_created(MessageId(2), Priority::Low, [NodeId(3)]);
+        s.record_delivered(MessageId(1), NodeId(1), t(0.0), t(1.0));
+        s.record_delivered(MessageId(1), NodeId(2), t(0.0), t(2.0));
+        let sum = s.summarize();
+        assert_eq!(sum.delivery_ratio_by_priority[&1], 1.0);
+        assert_eq!(sum.delivery_ratio_by_priority[&3], 0.0);
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut s = StatsCollector::new();
+        s.record_relay(1000);
+        s.record_relay(500);
+        s.record_abort();
+        s.record_evictions(3);
+        s.record_expiries(2);
+        let sum = s.summarize();
+        assert_eq!(sum.relays_completed, 2);
+        assert_eq!(sum.relay_bytes, 1500);
+        assert_eq!(sum.transfers_aborted, 1);
+        assert_eq!(sum.buffer_evictions, 3);
+        assert_eq!(sum.ttl_expiries, 2);
+    }
+
+    #[test]
+    fn zero_expected_pairs_yields_zero_ratio() {
+        let s = StatsCollector::new();
+        assert_eq!(s.summarize().delivery_ratio, 0.0);
+    }
+
+    #[test]
+    fn mean_of_averages_fields_and_aligned_series() {
+        let mut a = StatsCollector::new();
+        a.record_created(MessageId(1), Priority::High, [NodeId(1)]);
+        a.record_delivered(MessageId(1), NodeId(1), t(0.0), t(4.0));
+        a.push_sample("rating", t(60.0), 4.0);
+        let mut b = StatsCollector::new();
+        b.record_created(MessageId(1), Priority::High, [NodeId(1)]);
+        b.push_sample("rating", t(60.0), 2.0);
+        let avg = RunSummary::mean_of(&[a.summarize(), b.summarize()]);
+        assert_eq!(avg.delivery_ratio, 0.5);
+        assert_eq!(avg.series["rating"], vec![(60.0, 3.0)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulation clock types.
+//!
+//! The simulator is time-stepped: a [`SimTime`] is an absolute number of
+//! seconds since the start of the run, and a [`SimDuration`] is a span of
+//! seconds. Both are thin newtypes over `f64` ([C-NEWTYPE]) so that absolute
+//! times and spans cannot be confused at call sites.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute simulation time, in seconds since the start of the run.
+///
+/// ```
+/// use dtn_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(90.0);
+/// assert_eq!(t.as_secs(), 90.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+/// A span of simulation time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds since the start of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative"
+        );
+        SimTime(secs)
+    }
+
+    /// Seconds since the start of the run.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// Returns [`SimDuration::ZERO`] when `earlier` is later than `self`
+    /// rather than producing a negative span.
+    #[must_use]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+
+    /// Returns the later of the two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration must be finite and non-negative"
+        );
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    #[must_use]
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Creates a duration from whole hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// The span in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the span is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0 as u64;
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            total / 3600,
+            (total / 60) % 60,
+            total % 60
+        )
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(5.0);
+        assert_eq!((t + d).as_secs(), 15.0);
+        assert_eq!(((t + d) - t).as_secs(), 5.0);
+    }
+
+    #[test]
+    fn duration_since_clamps_to_zero() {
+        let early = SimTime::from_secs(1.0);
+        let late = SimTime::from_secs(9.0);
+        assert_eq!(early.duration_since(late), SimDuration::ZERO);
+        assert_eq!(late.duration_since(early).as_secs(), 8.0);
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimDuration::from_mins(2.0).as_secs(), 120.0);
+        assert_eq!(SimDuration::from_hours(1.0).as_secs(), 3600.0);
+    }
+
+    #[test]
+    fn display_formats_wall_clock() {
+        assert_eq!(SimTime::from_secs(3725.0).to_string(), "01:02:05");
+        assert_eq!(SimDuration::from_secs(2.25).to_string(), "2.2s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = SimTime::from_secs(3.0);
+        let b = SimTime::from_secs(7.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10.0);
+        assert_eq!((d * 0.5).as_secs(), 5.0);
+        assert_eq!((d / 2.0).as_secs(), 5.0);
+        assert!((d + d).as_secs() == 20.0);
+        assert!(!d.is_zero());
+        assert!(SimDuration::ZERO.is_zero());
+    }
+}

@@ -1,0 +1,357 @@
+//! Structured event tracing.
+//!
+//! A [`TraceLog`] records the kernel's externally-visible events — contacts,
+//! transfers, deliveries, expiries — as typed entries with timestamps. It is
+//! opt-in (zero cost when disabled): attach one with
+//! [`crate::kernel::SimulationBuilder::trace`] and read it back from
+//! [`crate::kernel::SimApi::trace`] or after the run. The CLI's `--trace`
+//! flag and the debugging examples are built on it, and tests use it to
+//! assert *sequences* of behavior rather than only aggregate counters.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::MessageId;
+use crate::time::SimTime;
+use crate::world::NodeId;
+
+/// One traced kernel event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A contact came up.
+    ContactUp {
+        /// Smaller endpoint.
+        a: NodeId,
+        /// Larger endpoint.
+        b: NodeId,
+    },
+    /// A contact went down.
+    ContactDown {
+        /// Smaller endpoint.
+        a: NodeId,
+        /// Larger endpoint.
+        b: NodeId,
+    },
+    /// A message was created at its source.
+    Created {
+        /// The new message.
+        message: MessageId,
+        /// Its source.
+        source: NodeId,
+    },
+    /// A transfer finished and the copy reached the receiver's buffer
+    /// (`stored` is false for duplicates / no-room rejections).
+    Transferred {
+        /// The message moved.
+        message: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Whether the receiver kept the copy.
+        stored: bool,
+    },
+    /// A transfer was aborted.
+    Aborted {
+        /// The message that did not make it.
+        message: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A first delivery was recorded for the statistics.
+    Delivered {
+        /// The message delivered.
+        message: MessageId,
+        /// The destination.
+        to: NodeId,
+    },
+    /// Copies were purged by TTL at a node.
+    Expired {
+        /// The purged message.
+        message: MessageId,
+        /// Where it expired.
+        at: NodeId,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::ContactUp { a, b } => write!(f, "contact-up {a}<->{b}"),
+            TraceEvent::ContactDown { a, b } => write!(f, "contact-down {a}<->{b}"),
+            TraceEvent::Created { message, source } => write!(f, "created {message} @ {source}"),
+            TraceEvent::Transferred {
+                message,
+                from,
+                to,
+                stored,
+            } => write!(
+                f,
+                "transfer {message} {from}->{to}{}",
+                if stored { "" } else { " (dropped)" }
+            ),
+            TraceEvent::Aborted { message, from, to } => {
+                write!(f, "abort {message} {from}->{to}")
+            }
+            TraceEvent::Delivered { message, to } => write!(f, "delivered {message} -> {to}"),
+            TraceEvent::Expired { message, at } => write!(f, "expired {message} @ {at}"),
+        }
+    }
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// An in-memory, optionally bounded event log.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    capacity: Option<usize>,
+    dropped: u64,
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceLog {
+    /// An enabled, unbounded log.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        TraceLog {
+            enabled: true,
+            capacity: None,
+            dropped: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// An enabled log that keeps at most `capacity` entries (later events
+    /// are counted but not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceLog {
+            enabled: true,
+            capacity: Some(capacity),
+            dropped: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A disabled log: [`TraceLog::record`] is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceLog::default()
+    }
+
+    /// Whether recording is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled or full).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.entries.len() >= cap {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.entries.push(TraceEntry { at, event });
+    }
+
+    /// The recorded entries, in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of events discarded after the capacity filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries concerning `message`, in order.
+    #[must_use]
+    pub fn history_of(&self, message: MessageId) -> Vec<TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| match e.event {
+                TraceEvent::Created { message: m, .. }
+                | TraceEvent::Transferred { message: m, .. }
+                | TraceEvent::Aborted { message: m, .. }
+                | TraceEvent::Delivered { message: m, .. }
+                | TraceEvent::Expired { message: m, .. } => m == message,
+                TraceEvent::ContactUp { .. } | TraceEvent::ContactDown { .. } => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Renders the log (or the slice about one message) as text, one event
+    /// per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| format!("{} {}\n", e.at, e.event))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(
+            t(1.0),
+            TraceEvent::ContactUp {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+        );
+        assert!(log.entries().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn bounded_log_counts_overflow() {
+        let mut log = TraceLog::bounded(2);
+        for i in 0..5u64 {
+            log.record(
+                t(i as f64),
+                TraceEvent::Created {
+                    message: MessageId(i),
+                    source: NodeId(0),
+                },
+            );
+        }
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn history_filters_by_message() {
+        let mut log = TraceLog::unbounded();
+        log.record(
+            t(0.0),
+            TraceEvent::ContactUp {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+        );
+        log.record(
+            t(1.0),
+            TraceEvent::Created {
+                message: MessageId(7),
+                source: NodeId(0),
+            },
+        );
+        log.record(
+            t(2.0),
+            TraceEvent::Transferred {
+                message: MessageId(7),
+                from: NodeId(0),
+                to: NodeId(1),
+                stored: true,
+            },
+        );
+        log.record(
+            t(3.0),
+            TraceEvent::Created {
+                message: MessageId(8),
+                source: NodeId(1),
+            },
+        );
+        log.record(
+            t(4.0),
+            TraceEvent::Delivered {
+                message: MessageId(7),
+                to: NodeId(1),
+            },
+        );
+        let h = log.history_of(MessageId(7));
+        assert_eq!(h.len(), 3);
+        assert!(matches!(h[0].event, TraceEvent::Created { .. }));
+        assert!(matches!(h[2].event, TraceEvent::Delivered { .. }));
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut log = TraceLog::unbounded();
+        log.record(
+            t(65.0),
+            TraceEvent::Delivered {
+                message: MessageId(1),
+                to: NodeId(2),
+            },
+        );
+        let text = log.render();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("00:01:05"));
+        assert!(text.contains("delivered m1 -> n2"));
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<TraceEvent> = vec![
+            TraceEvent::ContactUp {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            TraceEvent::ContactDown {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            TraceEvent::Created {
+                message: MessageId(1),
+                source: NodeId(0),
+            },
+            TraceEvent::Transferred {
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+                stored: false,
+            },
+            TraceEvent::Aborted {
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            TraceEvent::Delivered {
+                message: MessageId(1),
+                to: NodeId(1),
+            },
+            TraceEvent::Expired {
+                message: MessageId(1),
+                at: NodeId(1),
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Bandwidth-limited message transfers.
+//!
+//! Each node transmits at most one message at a time (a half-duplex serial
+//! radio, as in ONE); queued transfers to any peer wait behind the current
+//! one. A transfer progresses at the link speed while the contact stays up
+//! and is aborted if the contact drops or the sender loses its buffered copy
+//! mid-flight.
+
+use std::collections::VecDeque;
+
+use crate::message::MessageId;
+use crate::time::{SimDuration, SimTime};
+use crate::world::NodeId;
+
+/// A transfer that has been requested but not yet finished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The message being pushed.
+    pub message: MessageId,
+    /// Payload size in bytes.
+    pub bytes_total: u64,
+    /// Bytes already on the air.
+    pub bytes_sent: f64,
+    /// When transmission of this message actually began (None while queued).
+    pub started_at: Option<SimTime>,
+    /// When the transfer was requested.
+    pub requested_at: SimTime,
+}
+
+/// A finished transfer, reported to the protocol layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedTransfer {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The message moved.
+    pub message: MessageId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Time spent on the air.
+    pub airtime: SimDuration,
+    /// Distance between the endpoints at completion, in meters (feeds the
+    /// Friis reception-power term of the hardware incentive).
+    pub distance_m: f64,
+    /// Completion time.
+    pub finished_at: SimTime,
+}
+
+/// Why a transfer was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The contact between the endpoints went down.
+    ContactDown,
+    /// The sender no longer holds the message (TTL expiry or eviction).
+    SourceGone,
+    /// The protocol cancelled it.
+    Cancelled,
+}
+
+/// An aborted transfer, reported to the protocol layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbortedTransfer {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The message that did not make it.
+    pub message: MessageId,
+    /// Bytes wasted on the air before the abort.
+    pub bytes_sent: f64,
+    /// Why it failed.
+    pub reason: AbortReason,
+}
+
+/// Per-sender transfer scheduling for the whole world.
+#[derive(Debug)]
+pub struct TransferEngine {
+    /// One FIFO per sender; the head is the in-flight transfer.
+    queues: Vec<VecDeque<Transfer>>,
+    link_speed_bps: f64,
+}
+
+impl TransferEngine {
+    /// Creates an engine for `node_count` nodes at `link_speed_bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link speed is not strictly positive.
+    #[must_use]
+    pub fn new(node_count: usize, link_speed_bps: f64) -> Self {
+        assert!(link_speed_bps > 0.0, "link speed must be positive");
+        TransferEngine {
+            queues: vec![VecDeque::new(); node_count],
+            link_speed_bps,
+        }
+    }
+
+    /// Queues a transfer of `message` from `from` to `to`.
+    ///
+    /// Duplicate enqueues of the same `(from, to, message)` are ignored and
+    /// return `false`.
+    pub fn enqueue(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        message: MessageId,
+        bytes: u64,
+        now: SimTime,
+    ) -> bool {
+        let q = &mut self.queues[from.index()];
+        if q.iter().any(|t| t.to == to && t.message == message) {
+            return false;
+        }
+        q.push_back(Transfer {
+            from,
+            to,
+            message,
+            bytes_total: bytes,
+            bytes_sent: 0.0,
+            started_at: None,
+            requested_at: now,
+        });
+        true
+    }
+
+    /// Number of queued + in-flight transfers for `from`.
+    #[must_use]
+    pub fn queue_len(&self, from: NodeId) -> usize {
+        self.queues[from.index()].len()
+    }
+
+    /// Whether `(from, to, message)` is queued or in flight.
+    #[must_use]
+    pub fn is_pending(&self, from: NodeId, to: NodeId, message: MessageId) -> bool {
+        self.queues[from.index()]
+            .iter()
+            .any(|t| t.to == to && t.message == message)
+    }
+
+    /// Total transfers pending across all senders.
+    #[must_use]
+    pub fn pending_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Aborts every pending transfer between `a` and `b` (both directions),
+    /// returning the aborted records. Called on contact-down.
+    pub fn abort_between(&mut self, a: NodeId, b: NodeId) -> Vec<AbortedTransfer> {
+        let mut out = Vec::new();
+        for (from, to) in [(a, b), (b, a)] {
+            let q = &mut self.queues[from.index()];
+            let mut keep = VecDeque::with_capacity(q.len());
+            while let Some(t) = q.pop_front() {
+                if t.to == to {
+                    out.push(AbortedTransfer {
+                        from: t.from,
+                        to: t.to,
+                        message: t.message,
+                        bytes_sent: t.bytes_sent,
+                        reason: AbortReason::ContactDown,
+                    });
+                } else {
+                    keep.push_back(t);
+                }
+            }
+            *q = keep;
+        }
+        out
+    }
+
+    /// Cancels a specific pending transfer, if present.
+    pub fn cancel(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        message: MessageId,
+    ) -> Option<AbortedTransfer> {
+        let q = &mut self.queues[from.index()];
+        let pos = q.iter().position(|t| t.to == to && t.message == message)?;
+        let t = q.remove(pos).expect("position valid");
+        Some(AbortedTransfer {
+            from: t.from,
+            to: t.to,
+            message: t.message,
+            bytes_sent: t.bytes_sent,
+            reason: AbortReason::Cancelled,
+        })
+    }
+
+    /// Advances every sender's head transfer by `dt`.
+    ///
+    /// `sender_has_copy(from, message)` lets the engine abort transfers whose
+    /// sender lost the buffered copy; `distance(a, b)` supplies the current
+    /// distance for the completion record. Completions and aborts are
+    /// returned sorted by sender id (deterministic).
+    pub fn step(
+        &mut self,
+        dt: SimDuration,
+        now: SimTime,
+        mut sender_has_copy: impl FnMut(NodeId, MessageId) -> bool,
+        mut distance: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> (Vec<CompletedTransfer>, Vec<AbortedTransfer>) {
+        let mut completed = Vec::new();
+        let mut aborted = Vec::new();
+        for q in &mut self.queues {
+            // Drop head transfers whose source copy vanished, then progress
+            // the surviving head. Budget is per-sender airtime within dt.
+            let mut budget = dt.as_secs();
+            while budget > 0.0 {
+                let Some(head) = q.front_mut() else { break };
+                if !sender_has_copy(head.from, head.message) {
+                    let t = q.pop_front().expect("head exists");
+                    aborted.push(AbortedTransfer {
+                        from: t.from,
+                        to: t.to,
+                        message: t.message,
+                        bytes_sent: t.bytes_sent,
+                        reason: AbortReason::SourceGone,
+                    });
+                    continue;
+                }
+                if head.started_at.is_none() {
+                    head.started_at = Some(now);
+                }
+                let remaining_bytes = head.bytes_total as f64 - head.bytes_sent;
+                let need_secs = remaining_bytes / self.link_speed_bps;
+                if need_secs <= budget {
+                    budget -= need_secs;
+                    let t = q.pop_front().expect("head exists");
+                    // Airtime is transmission time: the radio only pushes
+                    // this transfer while it is the head, at link speed, so
+                    // the on-air seconds are exactly bytes/speed. (Wall
+                    // clock since `started_at` would double-count when two
+                    // transfers finish within one step.)
+                    let airtime =
+                        SimDuration::from_secs(t.bytes_total as f64 / self.link_speed_bps);
+                    completed.push(CompletedTransfer {
+                        from: t.from,
+                        to: t.to,
+                        message: t.message,
+                        bytes: t.bytes_total,
+                        airtime,
+                        distance_m: distance(t.from, t.to),
+                        // Completion is processed within the step that
+                        // starts at `now` (the receiver's copy records
+                        // `received_at = now`), so the finish time matches.
+                        finished_at: now,
+                    });
+                } else {
+                    head.bytes_sent += budget * self.link_speed_bps;
+                    budget = 0.0;
+                }
+            }
+        }
+        (completed, aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TransferEngine {
+        TransferEngine::new(4, 100.0) // 100 B/s for easy math
+    }
+
+    fn step_all(
+        e: &mut TransferEngine,
+        dt: f64,
+        now: f64,
+    ) -> (Vec<CompletedTransfer>, Vec<AbortedTransfer>) {
+        e.step(
+            SimDuration::from_secs(dt),
+            SimTime::from_secs(now),
+            |_, _| true,
+            |_, _| 50.0,
+        )
+    }
+
+    #[test]
+    fn transfer_takes_size_over_speed_seconds() {
+        let mut e = engine();
+        assert!(e.enqueue(NodeId(0), NodeId(1), MessageId(1), 250, SimTime::ZERO));
+        // 250 B at 100 B/s = 2.5 s: not done after 2 s...
+        let (done, _) = step_all(&mut e, 1.0, 0.0);
+        assert!(done.is_empty());
+        let (done, _) = step_all(&mut e, 1.0, 1.0);
+        assert!(done.is_empty());
+        // ...done during the third second.
+        let (done, _) = step_all(&mut e, 1.0, 2.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].message, MessageId(1));
+        assert_eq!(done[0].bytes, 250);
+        assert_eq!(done[0].distance_m, 50.0);
+        assert_eq!(e.pending_total(), 0);
+    }
+
+    #[test]
+    fn sender_serializes_transfers() {
+        let mut e = engine();
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 100, SimTime::ZERO);
+        e.enqueue(NodeId(0), NodeId(2), MessageId(2), 100, SimTime::ZERO);
+        // Both fit in one 2 s step (1 s each) because the budget rolls over.
+        let (done, _) = step_all(&mut e, 2.0, 0.0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].message, MessageId(1));
+        assert_eq!(done[1].message, MessageId(2));
+    }
+
+    #[test]
+    fn duplicate_enqueue_ignored() {
+        let mut e = engine();
+        assert!(e.enqueue(NodeId(0), NodeId(1), MessageId(1), 100, SimTime::ZERO));
+        assert!(!e.enqueue(NodeId(0), NodeId(1), MessageId(1), 100, SimTime::ZERO));
+        assert_eq!(e.queue_len(NodeId(0)), 1);
+        assert!(e.is_pending(NodeId(0), NodeId(1), MessageId(1)));
+    }
+
+    #[test]
+    fn abort_between_clears_both_directions() {
+        let mut e = engine();
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        e.enqueue(NodeId(1), NodeId(0), MessageId(2), 1000, SimTime::ZERO);
+        e.enqueue(NodeId(0), NodeId(2), MessageId(3), 1000, SimTime::ZERO);
+        let aborted = e.abort_between(NodeId(0), NodeId(1));
+        assert_eq!(aborted.len(), 2);
+        assert!(aborted.iter().all(|a| a.reason == AbortReason::ContactDown));
+        assert!(
+            e.is_pending(NodeId(0), NodeId(2), MessageId(3)),
+            "unrelated survives"
+        );
+    }
+
+    #[test]
+    fn source_gone_aborts_in_flight() {
+        let mut e = engine();
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        let (done, aborted) = e.step(
+            SimDuration::from_secs(1.0),
+            SimTime::ZERO,
+            |_, _| false,
+            |_, _| 10.0,
+        );
+        assert!(done.is_empty());
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].reason, AbortReason::SourceGone);
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let mut e = engine();
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        let a = e
+            .cancel(NodeId(0), NodeId(1), MessageId(1))
+            .expect("pending");
+        assert_eq!(a.reason, AbortReason::Cancelled);
+        assert!(e.cancel(NodeId(0), NodeId(1), MessageId(1)).is_none());
+        assert_eq!(e.pending_total(), 0);
+    }
+
+    #[test]
+    fn partial_progress_is_tracked() {
+        let mut e = engine();
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        step_all(&mut e, 3.0, 0.0);
+        let aborted = e.abort_between(NodeId(0), NodeId(1));
+        assert_eq!(aborted.len(), 1);
+        assert!((aborted[0].bytes_sent - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_immediately() {
+        let mut e = engine();
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 0, SimTime::ZERO);
+        let (done, _) = step_all(&mut e, 1.0, 0.0);
+        assert_eq!(done.len(), 1);
+    }
+}

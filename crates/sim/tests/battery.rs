@@ -1,0 +1,135 @@
+//! Integration tests for the finite-battery model.
+
+use dtn_sim::kernel::{ScheduledMessage, SimApi, SimulationBuilder};
+use dtn_sim::prelude::*;
+
+fn msg(at: f64, source: u32, size: u64) -> ScheduledMessage {
+    ScheduledMessage {
+        at: SimTime::from_secs(at),
+        source: NodeId(source),
+        size_bytes: size,
+        ttl_secs: 100_000.0,
+        priority: Priority::High,
+        quality: Quality::new(0.8),
+        ground_truth: vec![Keyword(1)],
+        source_tags: vec![Keyword(1)],
+        expected_destinations: vec![NodeId(1)],
+    }
+}
+
+/// Pushes everything to everyone, marking node 1's receptions delivered.
+#[derive(Debug, Default)]
+struct Flood;
+
+impl Protocol for Flood {
+    fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        for (from, to) in [(a, b), (b, a)] {
+            for id in api.buffer(from).ids_sorted() {
+                if !api.buffer(to).contains(id) {
+                    api.send(from, to, id);
+                }
+            }
+        }
+    }
+
+    fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
+        for peer in api.peers_of(node) {
+            api.send(node, peer, message);
+        }
+    }
+
+    fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+        api.mark_delivered(r.transfer.to, r.transfer.message);
+        let to = r.transfer.to;
+        let id = r.transfer.message;
+        for peer in api.peers_of(to) {
+            if !api.buffer(peer).contains(id) {
+                api.send(to, peer, id);
+            }
+        }
+    }
+}
+
+#[test]
+fn transmitter_battery_depletes_and_radio_dies() {
+    // Each 1 MB transfer costs the sender 0.1 W × 4 s = 0.4 J. Energy is
+    // charged at transfer completion and depletion takes effect at the
+    // contact layer, so a transfer that *starts* on a live battery still
+    // completes (the radio's last gasp): a 1 J battery yields three
+    // transfers (0.4, 0.8, then 1.2 J — dead), never a fourth.
+    let mut sim = SimulationBuilder::new(Area::new(500.0, 500.0), 1)
+        .battery_joules(1.0)
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+        .messages((0..5u32).map(|k| msg(10.0 + f64::from(k) * 30.0, 0, 1_000_000)))
+        .build(Flood);
+    let summary = sim.run_until(SimTime::from_secs(600.0));
+    assert_eq!(
+        summary.relays_completed, 3,
+        "three transfers, then the radio dies"
+    );
+    assert!(sim.api().is_depleted(NodeId(0)));
+    assert_eq!(sim.api().battery_remaining(NodeId(0)), Some(0.0));
+    assert_eq!(sim.api().depleted_count(), 1);
+    // The receiver spent only reception power, far below 1 J.
+    assert!(!sim.api().is_depleted(NodeId(1)));
+    // The dead radio's contact went down.
+    assert!(!sim.api().in_contact(NodeId(0), NodeId(1)));
+}
+
+#[test]
+fn depletion_kills_subsequent_traffic() {
+    // A 0.5 J battery: the first transfer completes (0.4 J), the second
+    // starts while still alive and completes as the last gasp (0.8 J);
+    // everything after that is dead air.
+    let mut sim = SimulationBuilder::new(Area::new(500.0, 500.0), 1)
+        .battery_joules(0.5)
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+        .messages([
+            msg(10.0, 0, 1_000_000),
+            msg(20.0, 0, 1_000_000),
+            msg(60.0, 0, 1_000_000),
+        ])
+        .build(Flood);
+    let summary = sim.run_until(SimTime::from_secs(300.0));
+    assert_eq!(summary.relays_completed, 2);
+    assert!(sim.api().is_depleted(NodeId(0)));
+    assert!(!sim.api().in_contact(NodeId(0), NodeId(1)));
+}
+
+#[test]
+fn ideal_power_never_depletes() {
+    let mut sim = SimulationBuilder::new(Area::new(500.0, 500.0), 1)
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+        .messages((0..20u32).map(|k| msg(5.0 + f64::from(k) * 10.0, 0, 1_000_000)))
+        .build(Flood);
+    let summary = sim.run_until(SimTime::from_secs(600.0));
+    assert_eq!(summary.relays_completed, 20);
+    assert_eq!(sim.api().depleted_count(), 0);
+    assert!(sim.api().battery_remaining(NodeId(0)).is_none());
+}
+
+#[test]
+fn dead_nodes_partition_the_network() {
+    // Chain n0—n1—n2; n1's battery dies after relaying a couple messages,
+    // cutting n0 off from n2 for the rest of the run.
+    let mut sim = SimulationBuilder::new(Area::new(500.0, 500.0), 1)
+        .battery_joules(1.3) // ~1 relayed message (rx+2×tx across contacts)
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(90.0, 0.0))))
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(180.0, 0.0))))
+        .messages((0..8u32).map(|k| ScheduledMessage {
+            expected_destinations: vec![NodeId(2)],
+            ..msg(10.0 + f64::from(k) * 40.0, 0, 1_000_000)
+        }))
+        .build(Flood);
+    let summary = sim.run_until(SimTime::from_secs(600.0));
+    assert!(
+        summary.delivered_pairs < 8,
+        "the relay died before moving everything: {} delivered",
+        summary.delivered_pairs
+    );
+    assert!(summary.delivered_pairs >= 1, "it did relay something first");
+}

@@ -1,0 +1,57 @@
+//! # dtn-workloads
+//!
+//! Scenario and workload generation for the incentive-mechanism
+//! experiments:
+//!
+//! * [`scenario`] — the experimental condition as plain data (Table 5.1
+//!   knobs, population mix, traffic model, protocol config);
+//! * [`population`] — interest assignment, honest/selfish/malicious
+//!   population synthesis, source quality classes;
+//! * [`traffic`] — the message-creation schedule with ground-truth
+//!   content and expected destination sets;
+//! * [`runner`] — builds simulations, runs seeds, pairs the Incentive and
+//!   ChitChat arms over identical workloads;
+//! * [`paper`] — Table 5.1 constructors and the per-figure sweeps
+//!   (Figs. 5.1–5.6).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dtn_workloads::prelude::*;
+//!
+//! // A quick reduced-scale Fig. 5.1 point: 30% selfish nodes, both arms.
+//! let mut scenario = reduced_scenario();
+//! scenario.selfish_fraction = 0.3;
+//! let cmp = compare_arms(&scenario, &[101]);
+//! println!(
+//!     "MDR incentive {:.3} vs chitchat {:.3}, traffic saved {:.1}%",
+//!     cmp.incentive.delivery_ratio,
+//!     cmp.chitchat.delivery_ratio,
+//!     cmp.traffic_reduction_pct()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dispersion;
+pub mod paper;
+pub mod population;
+pub mod runner;
+pub mod scenario;
+pub mod traffic;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::dispersion::{run_seeds_detailed, Dispersion, SeedStats};
+    pub use crate::paper::{
+        malicious_sweep, priority_sweep, reduced_scenario, selfish_sweep, table51_scenario,
+        token_sweep, user_count_sweep, Scale, PAPER_SEEDS, QUICK_SEEDS,
+    };
+    pub use crate::population::{Population, SourceClass};
+    pub use crate::runner::{
+        build_simulation, compare_arms, protocol_for, run_once, run_seeds, ArmRun, Comparison,
+    };
+    pub use crate::scenario::{Arm, Mobility, Scenario, SourceClassMix};
+    pub use crate::traffic::generate_schedule;
+}

@@ -1,0 +1,342 @@
+//! Building and running scenarios, one or many seeds at a time.
+
+use dtn_core::behavior::NodeBehavior;
+use dtn_core::params::ProtocolParams;
+use dtn_core::protocol::{DcimRouter, ProtocolStats};
+use dtn_sim::geometry::Area;
+use dtn_sim::kernel::{Simulation, SimulationBuilder};
+use dtn_sim::rng::SimRng;
+use dtn_sim::stats::RunSummary;
+use dtn_sim::time::SimTime;
+use dtn_sim::world::NodeId;
+
+use crate::population::Population;
+use crate::scenario::{Arm, Scenario};
+use crate::traffic::generate_schedule;
+
+/// The protocol configuration for one arm of a scenario.
+///
+/// The scenario's keyword pool is the single source of truth: whatever the
+/// protocol struct carried, the effective configuration draws malicious
+/// tags from the same pool the workload assigns interests from.
+#[must_use]
+pub fn protocol_for(scenario: &Scenario, arm: Arm) -> ProtocolParams {
+    let base = ProtocolParams {
+        keyword_pool_size: scenario.keyword_pool,
+        ..scenario.protocol
+    };
+    match arm {
+        Arm::Incentive => base,
+        Arm::ChitChat => ProtocolParams {
+            incentive_enabled: false,
+            drm_enabled: false,
+            enrichment_enabled: false,
+            ..base
+        },
+    }
+}
+
+/// Builds a ready-to-run simulation for `scenario` under `arm` and `seed`.
+///
+/// Both arms of the same `(scenario, seed)` see the *identical* workload:
+/// same mobility, same population (interests, behaviors, classes, roles)
+/// and same message schedule — only the mechanism differs. That is what
+/// makes the paper's pairwise comparisons (Figs. 5.1–5.6) meaningful.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+#[must_use]
+pub fn build_simulation(scenario: &Scenario, arm: Arm, seed: u64) -> Simulation<DcimRouter> {
+    build_simulation_traced(scenario, arm, seed, None)
+}
+
+/// [`build_simulation`] with an optional kernel event trace attached (see
+/// [`dtn_sim::trace::TraceLog`]); used by the CLI's `--trace` flag and by
+/// sequence-asserting tests.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+#[must_use]
+pub fn build_simulation_traced(
+    scenario: &Scenario,
+    arm: Arm,
+    seed: u64,
+    trace: Option<dtn_sim::trace::TraceLog>,
+) -> Simulation<DcimRouter> {
+    scenario.validate().expect("scenario must validate");
+    let workload_rng = SimRng::new(seed);
+    let population = Population::synthesize(scenario, &workload_rng);
+    let schedule = generate_schedule(scenario, &population, &workload_rng);
+
+    let mut router = DcimRouter::new(scenario.nodes, protocol_for(scenario, arm), seed);
+    for i in 0..population.interests.len() {
+        let node = NodeId(i as u32);
+        router.subscribe(node, population.sorted_interests(node));
+    }
+    for (i, &behavior) in population.behaviors.iter().enumerate() {
+        if behavior != NodeBehavior::Honest {
+            router.set_behavior(NodeId(i as u32), behavior);
+        }
+    }
+    for (i, &role) in population.roles.iter().enumerate() {
+        router.set_role(NodeId(i as u32), role);
+    }
+
+    // The mechanism evicts lowest-priority copies first under buffer
+    // pressure; without it (plain ChitChat, or an ablation with the credit
+    // system off) ONE's drop-oldest default applies. Derived from the
+    // effective params rather than the arm label so ablations behave
+    // consistently.
+    let drop_policy = if protocol_for(scenario, arm).incentive_enabled {
+        dtn_sim::buffer::DropPolicy::DropLowestPriority
+    } else {
+        dtn_sim::buffer::DropPolicy::DropOldest
+    };
+    let mut builder = SimulationBuilder::new(Area::square_km(scenario.area_km2), seed)
+        .radio(scenario.radio)
+        .buffer_capacity(scenario.buffer_bytes)
+        .drop_policy(drop_policy)
+        .nodes(scenario.nodes, || scenario.mobility.instantiate());
+    if let Some(j) = scenario.battery_joules {
+        builder = builder.battery_joules(j);
+    }
+    if let Some(t) = trace {
+        builder = builder.trace(t);
+    }
+    builder.messages(schedule).build(router)
+}
+
+/// Builds the same world and workload as [`build_simulation`] but wires in
+/// an arbitrary protocol constructed from the synthesized population —
+/// used to compare third-party routers (Epidemic, PRoPHET, CEDO, …)
+/// against the mechanism on identical workloads.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+#[must_use]
+pub fn build_with_protocol<P, F>(scenario: &Scenario, seed: u64, make: F) -> Simulation<P>
+where
+    P: dtn_sim::protocol::Protocol,
+    F: FnOnce(&Population, &[dtn_sim::kernel::ScheduledMessage]) -> P,
+{
+    scenario.validate().expect("scenario must validate");
+    let workload_rng = SimRng::new(seed);
+    let population = Population::synthesize(scenario, &workload_rng);
+    let schedule = generate_schedule(scenario, &population, &workload_rng);
+    let protocol = make(&population, &schedule);
+    let mut builder = SimulationBuilder::new(Area::square_km(scenario.area_km2), seed)
+        .radio(scenario.radio)
+        .buffer_capacity(scenario.buffer_bytes)
+        .nodes(scenario.nodes, || scenario.mobility.instantiate());
+    if let Some(j) = scenario.battery_joules {
+        builder = builder.battery_joules(j);
+    }
+    builder.messages(schedule).build(protocol)
+}
+
+/// The result of one arm under one seed.
+#[derive(Debug, Clone)]
+pub struct ArmRun {
+    /// Kernel-level statistics.
+    pub summary: RunSummary,
+    /// Mechanism-level counters.
+    pub protocol: ProtocolStats,
+    /// Nodes that ended the run with zero tokens.
+    pub broke_nodes: usize,
+}
+
+/// Runs one `(scenario, arm, seed)` to completion.
+#[must_use]
+pub fn run_once(scenario: &Scenario, arm: Arm, seed: u64) -> ArmRun {
+    run_once_traced(scenario, arm, seed, None).0
+}
+
+/// [`run_once`] with an optional kernel event trace: when `trace_capacity`
+/// is set, the run records up to that many events and returns their
+/// rendered text alongside the results (the CLI's `--trace` flag).
+#[must_use]
+pub fn run_once_traced(
+    scenario: &Scenario,
+    arm: Arm,
+    seed: u64,
+    trace_capacity: Option<usize>,
+) -> (ArmRun, Option<String>) {
+    let trace = trace_capacity.map(dtn_sim::trace::TraceLog::bounded);
+    let mut sim = build_simulation_traced(scenario, arm, seed, trace);
+    let _ = sim.run_until(SimTime::from_secs(scenario.duration_secs));
+    let rendered = trace_capacity.map(|_| sim.api().trace().render());
+    let (router, summary) = sim.finish();
+    (
+        ArmRun {
+            summary,
+            broke_nodes: router.ledger().broke_nodes().len(),
+            protocol: router.stats(),
+        },
+        rendered,
+    )
+}
+
+/// Runs one arm over several seeds (in parallel, one thread per seed) and
+/// averages the summaries.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+#[must_use]
+pub fn run_seeds(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> RunSummary {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<RunSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&s| scope.spawn(move || run_once(scenario, arm, s).summary))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed worker panicked"))
+            .collect()
+    });
+    RunSummary::mean_of(&runs)
+}
+
+/// A paired comparison of the two arms on the same scenario and seeds —
+/// the row format of every figure in the paper.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The condition name.
+    pub name: String,
+    /// The Incentive arm's mean summary.
+    pub incentive: RunSummary,
+    /// The ChitChat arm's mean summary.
+    pub chitchat: RunSummary,
+}
+
+impl Comparison {
+    /// Percentage of relayed traffic saved by the mechanism relative to
+    /// ChitChat (Fig. 5.2's y-axis).
+    #[must_use]
+    pub fn traffic_reduction_pct(&self) -> f64 {
+        if self.chitchat.relays_completed == 0 {
+            return 0.0;
+        }
+        100.0 * (self.chitchat.relays_completed as f64 - self.incentive.relays_completed as f64)
+            / self.chitchat.relays_completed as f64
+    }
+
+    /// MDR difference (ChitChat − Incentive); positive means the mechanism
+    /// trades some delivery for the traffic savings, as the paper reports.
+    #[must_use]
+    pub fn mdr_gap(&self) -> f64 {
+        self.chitchat.delivery_ratio - self.incentive.delivery_ratio
+    }
+}
+
+/// Runs both arms over `seeds` (the two arms in parallel, each arm's
+/// seeds in parallel) and pairs the averaged results.
+#[must_use]
+pub fn compare_arms(scenario: &Scenario, seeds: &[u64]) -> Comparison {
+    let (incentive, chitchat) = std::thread::scope(|scope| {
+        let inc = scope.spawn(|| run_seeds(scenario, Arm::Incentive, seeds));
+        let cc = scope.spawn(|| run_seeds(scenario, Arm::ChitChat, seeds));
+        (
+            inc.join().expect("incentive arm panicked"),
+            cc.join().expect("chitchat arm panicked"),
+        )
+    });
+    Comparison {
+        name: scenario.name.clone(),
+        incentive,
+        chitchat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    /// A tiny scenario that runs in well under a second.
+    fn tiny() -> Scenario {
+        let mut s = paper::reduced_scenario();
+        s.nodes = 20;
+        s.area_km2 = 0.2;
+        s.duration_secs = 1200.0;
+        s.message_interval_secs = 30.0;
+        s.message_ttl_secs = 900.0;
+        s.named("tiny")
+    }
+
+    #[test]
+    fn arms_differ_only_in_mechanism() {
+        let s = tiny();
+        let inc = protocol_for(&s, Arm::Incentive);
+        let cc = protocol_for(&s, Arm::ChitChat);
+        assert!(inc.incentive_enabled && !cc.incentive_enabled);
+        assert!(!cc.drm_enabled && !cc.enrichment_enabled);
+        assert_eq!(inc.chitchat, cc.chitchat, "identical routing constants");
+    }
+
+    #[test]
+    fn run_once_produces_traffic_and_deliveries() {
+        let run = run_once(&tiny(), Arm::ChitChat, 7);
+        assert!(run.summary.created > 0);
+        assert!(run.summary.relays_completed > 0, "some forwarding happened");
+        assert!(run.summary.delivery_ratio > 0.0, "something was delivered");
+        assert!(run.summary.delivery_ratio <= 1.0);
+    }
+
+    #[test]
+    fn incentive_arm_settles_payments() {
+        let run = run_once(&tiny(), Arm::Incentive, 7);
+        assert!(run.protocol.settlements > 0, "deliveries were paid for");
+        assert!(run.protocol.tokens_awarded > 0.0);
+    }
+
+    #[test]
+    fn identical_seed_identical_result() {
+        let s = tiny();
+        let a = run_once(&s, Arm::Incentive, 3);
+        let b = run_once(&s, Arm::Incentive, 3);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.protocol, b.protocol);
+    }
+
+    #[test]
+    fn token_exhaustion_gates_receptions() {
+        // Fig. 5.2's traffic reduction comes from token exhaustion; the
+        // statistically robust form of that claim at tiny scale is that
+        // starved destinations exist and are refused receptions, pulling
+        // the incentive arm's delivery count below ChitChat's. (The
+        // network-level traffic totals at full load are checked by the
+        // figure harness, where the effect dominates ordering noise.)
+        let mut s = tiny();
+        s.selfish_fraction = 0.4;
+        s.protocol.incentive.initial_tokens = 5.0;
+        s.protocol.enrichment_enabled = false;
+        let inc = run_once(&s, Arm::Incentive, 1);
+        let cc = run_once(&s, Arm::ChitChat, 1);
+        assert!(inc.broke_nodes > 0, "some nodes ran out of tokens");
+        assert!(
+            inc.protocol.refused_broke_destination > 0,
+            "broke destinations were refused receptions"
+        );
+        assert!(
+            inc.summary.delivered_pairs < cc.summary.delivered_pairs,
+            "starvation lowers deliveries: {} vs {}",
+            inc.summary.delivered_pairs,
+            cc.summary.delivered_pairs
+        );
+    }
+
+    #[test]
+    fn mean_across_seeds_uses_all_runs() {
+        let s = tiny();
+        let one = run_seeds(&s, Arm::ChitChat, &[1]);
+        let two = run_seeds(&s, Arm::ChitChat, &[1, 2]);
+        // Averaging with a second seed must move some field unless the two
+        // seeds coincidentally agree everywhere (they do not).
+        assert!(one != two);
+    }
+}

@@ -1,0 +1,316 @@
+//! Scenario configuration.
+//!
+//! A [`Scenario`] captures every knob of one experimental condition —
+//! Table 5.1's simulation parameters plus the population mix (selfish /
+//! malicious fractions), the traffic model, and the protocol configuration.
+//! Scenarios are plain data (serde round-trippable) so experiment sweeps
+//! are just `Vec<Scenario>`.
+
+use serde::{Deserialize, Serialize};
+
+use dtn_core::params::ProtocolParams;
+use dtn_sim::mobility::{MobilityModel, RandomWalk, RandomWaypoint};
+use dtn_sim::mobility_map::ManhattanGrid;
+use dtn_sim::radio::RadioConfig;
+
+/// The protocol arm a scenario is run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arm {
+    /// The paper's full mechanism (credit + DRM + enrichment).
+    Incentive,
+    /// The ChitChat baseline (same behaviors, mechanism off).
+    ChitChat,
+}
+
+impl Arm {
+    /// Both arms, mechanism first.
+    pub const BOTH: [Arm; 2] = [Arm::Incentive, Arm::ChitChat];
+
+    /// Display label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Arm::Incentive => "Incentive",
+            Arm::ChitChat => "ChitChat",
+        }
+    }
+}
+
+/// Which mobility model the population moves under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Mobility {
+    /// ONE's pedestrian Random Waypoint (the paper's model; the default).
+    #[default]
+    RandomWaypoint,
+    /// Free-space random walk at pedestrian speed.
+    RandomWalk,
+    /// Manhattan street-grid movement (downtown profile).
+    ManhattanGrid,
+}
+
+impl Mobility {
+    /// Instantiates one node's mobility model.
+    #[must_use]
+    pub fn instantiate(self) -> Box<dyn MobilityModel> {
+        match self {
+            Mobility::RandomWaypoint => Box::new(RandomWaypoint::pedestrian()),
+            Mobility::RandomWalk => Box::new(RandomWalk::new(1.2)),
+            Mobility::ManhattanGrid => Box::new(ManhattanGrid::downtown()),
+        }
+    }
+}
+
+/// The three source classes of the Fig. 5.6 workload: "50% of the nodes
+/// generated high quality larger size and high priority messages, 30%
+/// created medium quality and the rest produced low quality."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceClassMix {
+    /// Fraction of nodes producing high-quality/high-priority messages.
+    pub high: f64,
+    /// Fraction producing medium-quality/medium-priority messages.
+    pub medium: f64,
+    /// Fraction producing low-quality/low-priority messages (the rest).
+    pub low: f64,
+}
+
+impl SourceClassMix {
+    /// The paper's 50/30/20 split.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SourceClassMix {
+            high: 0.5,
+            medium: 0.3,
+            low: 0.2,
+        }
+    }
+
+    /// Validates that the fractions are a partition of 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when fractions are negative or do not sum
+    /// to 1 (within 1e-9).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.high < 0.0 || self.medium < 0.0 || self.low < 0.0 {
+            return Err("class fractions must be non-negative".into());
+        }
+        let sum = self.high + self.medium + self.low;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("class fractions must sum to 1, got {sum}"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SourceClassMix {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One experimental condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable condition name (appears in experiment tables).
+    pub name: String,
+    /// Number of participants (Table 5.1: 500).
+    pub nodes: usize,
+    /// World surface in square kilometers (Table 5.1: 5).
+    pub area_km2: f64,
+    /// Simulated time in seconds (Table 5.1: 24 h).
+    pub duration_secs: f64,
+    /// Size of the social-interest keyword pool (Table 5.1: 200).
+    pub keyword_pool: u32,
+    /// Direct interests per node (Table 5.1: 20).
+    pub interests_per_node: usize,
+    /// Radio parameters (Table 5.1: 250 kB/s, 100 m).
+    pub radio: RadioConfig,
+    /// Buffer capacity in bytes (Table 5.1: 250 MB).
+    pub buffer_bytes: u64,
+    /// Base message size in bytes (Table 5.1: 1 MB).
+    pub message_size: u64,
+    /// Message TTL in seconds.
+    pub message_ttl_secs: f64,
+    /// Mean seconds between message creations network-wide.
+    pub message_interval_secs: f64,
+    /// Keywords in each message's hidden ground truth.
+    pub ground_truth_keywords: usize,
+    /// Fraction of the ground truth the source annotates (operator
+    /// function `Annotate`); the rest is enrichment head-room.
+    pub source_tag_fraction: f64,
+    /// Fraction of nodes that are selfish (1-in-10 duty cycle).
+    pub selfish_fraction: f64,
+    /// Fraction of nodes that are malicious taggers.
+    pub malicious_fraction: f64,
+    /// Source quality/priority classes.
+    pub class_mix: SourceClassMix,
+    /// Optional finite battery per node, in joules (`None` = ideal power,
+    /// as in the paper's evaluation). Used by the network-lifetime
+    /// extension experiment.
+    pub battery_joules: Option<f64>,
+    /// The population's mobility model (default: the paper's Random
+    /// Waypoint).
+    #[serde(default)]
+    pub mobility: Mobility,
+    /// Protocol configuration for the Incentive arm (the ChitChat arm
+    /// derives from it by disabling the mechanism).
+    pub protocol: ProtocolParams,
+}
+
+impl Scenario {
+    /// Validates cross-field invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("a scenario needs nodes".into());
+        }
+        if self.area_km2 <= 0.0 {
+            return Err("area must be positive".into());
+        }
+        if self.duration_secs <= 0.0 {
+            return Err("duration must be positive".into());
+        }
+        if self.interests_per_node as u32 > self.keyword_pool {
+            return Err("cannot assign more interests than the pool holds".into());
+        }
+        if self.ground_truth_keywords == 0 || self.ground_truth_keywords as u32 > self.keyword_pool
+        {
+            return Err("ground-truth size must lie in [1, pool]".into());
+        }
+        if !(0.0..=1.0).contains(&self.source_tag_fraction) || self.source_tag_fraction == 0.0 {
+            return Err("source_tag_fraction must lie in (0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.selfish_fraction) {
+            return Err("selfish_fraction must lie in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.malicious_fraction) {
+            return Err("malicious_fraction must lie in [0, 1]".into());
+        }
+        if self.selfish_fraction + self.malicious_fraction > 1.0 {
+            return Err("selfish + malicious fractions exceed the population".into());
+        }
+        if self.message_interval_secs <= 0.0 {
+            return Err("message interval must be positive".into());
+        }
+        if let Some(j) = self.battery_joules {
+            if j <= 0.0 {
+                return Err("battery_joules must be positive when set".into());
+            }
+        }
+        self.class_mix.validate()?;
+        self.protocol.validate()?;
+        Ok(())
+    }
+
+    /// Expected number of messages the traffic model will create.
+    #[must_use]
+    pub fn expected_message_count(&self) -> usize {
+        // Creation stops one TTL before the end so every message has a
+        // fighting chance to be delivered within the run.
+        let window = (self.duration_secs - self.message_ttl_secs.min(self.duration_secs * 0.25))
+            .max(self.message_interval_secs);
+        (window / self.message_interval_secs).floor() as usize
+    }
+
+    /// A copy with a different condition name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn class_mix_validation() {
+        assert_eq!(SourceClassMix::paper_default().validate(), Ok(()));
+        let bad = SourceClassMix {
+            high: 0.9,
+            medium: 0.3,
+            low: 0.2,
+        };
+        assert!(bad.validate().is_err());
+        let neg = SourceClassMix {
+            high: -0.1,
+            medium: 0.9,
+            low: 0.2,
+        };
+        assert!(neg.validate().is_err());
+    }
+
+    #[test]
+    fn arm_labels() {
+        assert_eq!(Arm::Incentive.label(), "Incentive");
+        assert_eq!(Arm::ChitChat.label(), "ChitChat");
+        assert_eq!(Arm::BOTH.len(), 2);
+    }
+
+    #[test]
+    fn scenario_validation_catches_bad_fields() {
+        let base = paper::reduced_scenario();
+        assert_eq!(base.validate(), Ok(()));
+
+        let mut s = base.clone();
+        s.nodes = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.interests_per_node = 500;
+        assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.selfish_fraction = 0.7;
+        s.malicious_fraction = 0.5;
+        assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.source_tag_fraction = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn scenario_serde_round_trip() {
+        let s = paper::reduced_scenario();
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn mobility_variants_instantiate() {
+        for m in [
+            Mobility::RandomWaypoint,
+            Mobility::RandomWalk,
+            Mobility::ManhattanGrid,
+        ] {
+            let _boxed = m.instantiate();
+        }
+        assert_eq!(Mobility::default(), Mobility::RandomWaypoint);
+    }
+
+    #[test]
+    fn mobility_survives_serde_and_defaults_when_absent() {
+        let mut s = paper::reduced_scenario();
+        s.mobility = Mobility::ManhattanGrid;
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.mobility, Mobility::ManhattanGrid);
+        // Configs written before the field existed still parse.
+        let stripped = json.replace("\"mobility\":\"ManhattanGrid\",", "");
+        let legacy: Scenario = serde_json::from_str(&stripped).expect("legacy parses");
+        assert_eq!(legacy.mobility, Mobility::RandomWaypoint);
+    }
+
+    #[test]
+    fn expected_message_count_is_positive() {
+        let s = paper::reduced_scenario();
+        assert!(s.expected_message_count() > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a standalone binary:
+//!
+//! * `quickstart` — the smallest end-to-end use of the public API;
+//! * `battlefield` — role hierarchy, high-priority orders, enrichment;
+//! * `disaster_response` — malicious taggers vs the reputation model;
+//! * `demo_walkthrough` — the ICDCS'17 demo's A–B–C token-starvation story.
+
+#![warn(missing_docs)]
+
+use dtn_incentive::ledger::TokenLedger;
+use dtn_sim::world::NodeId;
+
+/// Pretty-prints a token balance sheet.
+pub fn print_balances(title: &str, ledger: &TokenLedger, names: &[(&str, NodeId)]) {
+    println!("--- {title} ---");
+    for (name, node) in names {
+        println!("  {name:<12} {}", ledger.balance(*node));
+    }
+}
