@@ -46,6 +46,11 @@ pub enum Command {
         json_out: Option<String>,
         /// Optional path for a kernel event trace dump.
         trace_out: Option<String>,
+        /// Optional fault-injection spec (overrides the scenario's
+        /// `chaos` field; see `FaultPlan::from_str` for the grammar).
+        chaos: Option<String>,
+        /// Run with the cross-cutting invariant checker enabled.
+        check_invariants: bool,
     },
     /// Run both arms and print the paired comparison.
     Compare {
@@ -82,6 +87,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut seed = QUICK_SEEDS[0];
             let mut json_out = None;
             let mut trace_out = None;
+            let mut chaos = None;
+            let mut check_invariants = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--arm" => {
@@ -108,6 +115,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--trace" => {
                         trace_out = Some(it.next().ok_or("--trace needs a path")?.clone());
                     }
+                    "--chaos" => {
+                        let spec = it.next().ok_or("--chaos needs a fault spec")?.clone();
+                        // Parse eagerly so a typo fails at the prompt, not
+                        // minutes into a run.
+                        spec.parse::<dtn_sim::faults::FaultPlan>()
+                            .map_err(|e| format!("bad --chaos: {e}"))?;
+                        chaos = Some(spec);
+                    }
+                    "--check-invariants" => check_invariants = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -117,6 +133,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seed,
                 json_out,
                 trace_out,
+                chaos,
+                check_invariants,
             })
         }
         "compare" => {
@@ -153,8 +171,18 @@ USAGE:
     dtn validate <scenario.json>         check a scenario file
     dtn run <scenario.json> [--arm incentive|chitchat] [--seed N]
                             [--json out.json] [--trace out.txt]
+                            [--chaos <spec>] [--check-invariants]
     dtn compare <scenario.json> [--seeds N]
     dtn help
+
+CHAOS:
+    --chaos takes a comma-separated fault spec, e.g.
+        --chaos 'crash=4,crashdown=120,wipe,cut=10,cutdown=30,loss=0.02'
+    (crash/cut/spike are events per node-hour; loss/corrupt are per-transfer
+    probabilities). Identical (scenario, seed, spec) runs replay exactly;
+    an invariant-breach report prints the flags needed to reproduce it.
+    --check-invariants audits token conservation, rating bounds, buffer
+    accounting and energy sanity every 60 simulated steps.
 "
 }
 
@@ -238,13 +266,24 @@ pub fn execute(command: Command) -> Result<String, String> {
             seed,
             json_out,
             trace_out,
+            chaos,
+            check_invariants,
         } => {
-            let scenario = load_scenario(&path)?;
+            let mut scenario = load_scenario(&path)?;
+            if let Some(spec) = &chaos {
+                let plan = spec
+                    .parse::<dtn_sim::faults::FaultPlan>()
+                    .map_err(|e| format!("bad --chaos: {e}"))?;
+                scenario.chaos = Some(plan);
+            }
             // Traced runs bound the log (1M events) so a runaway scenario
             // cannot exhaust memory.
             let capacity = trace_out.as_ref().map(|_| 1_000_000);
+            // Audit every 60 simulated steps: the rating-bounds scan is
+            // O(nodes²), so a per-step audit would dominate a 100-node run.
+            let cadence = check_invariants.then_some(60);
             let (run, trace_text) =
-                dtn_workloads::runner::run_once_traced(&scenario, arm, seed, capacity);
+                dtn_workloads::runner::run_once_checked(&scenario, arm, seed, capacity, cadence);
             if let (Some(out_path), Some(text)) = (&trace_out, &trace_text) {
                 std::fs::write(out_path, text)
                     .map_err(|e| format!("cannot write {out_path}: {e}"))?;
@@ -333,6 +372,22 @@ mod tests {
                 seed: 9,
                 json_out: Some("o.json".into()),
                 trace_out: Some("t.txt".into()),
+                chaos: None,
+                check_invariants: false,
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "run s.json --chaos crash=4,crashdown=120,wipe --check-invariants"
+            )),
+            Ok(Command::Run {
+                path: "s.json".into(),
+                arm: Arm::Incentive,
+                seed: QUICK_SEEDS[0],
+                json_out: None,
+                trace_out: None,
+                chaos: Some("crash=4,crashdown=120,wipe".into()),
+                check_invariants: true,
             })
         );
         assert_eq!(
@@ -353,6 +408,9 @@ mod tests {
         assert!(parse_args(&argv("compare s.json --seeds 0")).is_err());
         assert!(parse_args(&argv("compare s.json --seeds 99")).is_err());
         assert!(parse_args(&argv("run s.json --wat")).is_err());
+        assert!(parse_args(&argv("run s.json --chaos")).is_err());
+        assert!(parse_args(&argv("run s.json --chaos frobs=1")).is_err());
+        assert!(parse_args(&argv("run s.json --chaos crash=-2")).is_err());
     }
 
     #[test]
@@ -417,6 +475,8 @@ mod tests {
             seed: 1,
             json_out: Some(json_out.to_str().expect("utf8").to_owned()),
             trace_out: Some(trace_out.to_str().expect("utf8").to_owned()),
+            chaos: Some("crash=2,crashdown=60,cut=5,cutdown=20,loss=0.01".into()),
+            check_invariants: true,
         })
         .expect("runs");
         let trace_text = std::fs::read_to_string(&trace_out).expect("trace written");

@@ -740,6 +740,66 @@ impl Protocol for DcimRouter {
         self.last_sample = f64::NEG_INFINITY;
         self.sample(api);
     }
+
+    fn check_invariants(&self, api: &SimApi) -> Vec<String> {
+        let mut violations = Vec::new();
+
+        // Token conservation: the economy is closed — every payment moves
+        // tokens between nodes, so the ledger total must stay at the
+        // endowment and no balance may go negative.
+        if self.params.incentive_enabled {
+            let endowment = self.tables.len() as f64 * self.params.incentive.initial_tokens;
+            let total = self.ledger.total().amount();
+            let tolerance = 1e-6 * endowment.max(1.0);
+            if (total - endowment).abs() > tolerance {
+                violations.push(format!(
+                    "token conservation broken: ledger total {total} vs endowment {endowment}"
+                ));
+            }
+            for node in api.node_ids() {
+                let balance = self.ledger.balance(node).amount();
+                if !balance.is_finite() || balance < -1e-9 {
+                    violations.push(format!("{node}: invalid token balance {balance}"));
+                }
+            }
+        }
+
+        // Rating bounds: every opinion every observer holds must stay
+        // finite and on the DRM's [0, max_rating] scale.
+        let max_rating = self.params.rating.max_rating;
+        for table in &self.reputation {
+            let observer = table.owner();
+            for subject in api.node_ids() {
+                if subject == observer {
+                    continue;
+                }
+                let rating = table.rating_of(subject);
+                if !rating.is_finite() || !(0.0..=max_rating).contains(&rating) {
+                    violations.push(format!(
+                        "{observer}: rating of {subject} is {rating}, outside [0, {max_rating}]"
+                    ));
+                }
+            }
+        }
+
+        // Offer hygiene: a pending prepayment quote must correspond to a
+        // transfer still in flight over a live contact — anything else
+        // means an interrupted hand-off escaped cleanup and could be paid
+        // for a copy that never (fully) arrived.
+        for &(from, to, id) in self.pending.keys() {
+            if !api.in_contact(from, to) {
+                violations.push(format!(
+                    "pending offer {from}->{to} for {id} outlived its contact"
+                ));
+            } else if !api.is_sending(from, to, id) {
+                violations.push(format!(
+                    "pending offer {from}->{to} for {id} has no transfer in flight"
+                ));
+            }
+        }
+
+        violations
+    }
 }
 
 #[cfg(test)]

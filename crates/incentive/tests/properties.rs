@@ -58,9 +58,12 @@ proptest! {
             } else {
                 let _ = ledger.transfer_up_to(from, to, Tokens::new(amount));
             }
+            prop_assert!(ledger.total().amount().is_finite());
             prop_assert!((ledger.total().amount() - expected_total).abs() < 1e-6);
             for i in 0..n {
-                prop_assert!(ledger.balance(NodeId(i as u32)).amount() >= -1e-9);
+                let balance = ledger.balance(NodeId(i as u32)).amount();
+                prop_assert!(balance.is_finite());
+                prop_assert!(balance >= -1e-9);
             }
         }
     }

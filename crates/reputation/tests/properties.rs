@@ -54,7 +54,9 @@ proptest! {
             } else {
                 t.merge_reported_rating(subject, value)
             };
+            prop_assert!(r.is_finite());
             prop_assert!(r >= 0.0 && r <= p.max_rating);
+            prop_assert!(t.rating_of(subject).is_finite());
             prop_assert!(t.rating_of(subject) >= 0.0);
             prop_assert!(t.rating_of(subject) <= p.max_rating);
         }

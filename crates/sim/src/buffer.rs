@@ -54,6 +54,11 @@ pub struct Buffer {
     used_bytes: u64,
     policy: DropPolicy,
     copies: HashMap<MessageId, MessageCopy>,
+    /// Lifetime count of successful inserts (the invariant checker
+    /// reconciles `stored - removed` against the live copy count).
+    lifetime_stored: u64,
+    /// Lifetime count of removals (evictions, sweeps, explicit removes).
+    lifetime_removed: u64,
 }
 
 impl Buffer {
@@ -70,6 +75,8 @@ impl Buffer {
             used_bytes: 0,
             policy,
             copies: HashMap::new(),
+            lifetime_stored: 0,
+            lifetime_removed: 0,
         }
     }
 
@@ -77,6 +84,25 @@ impl Buffer {
     #[must_use]
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes
+    }
+
+    /// The configured drop policy.
+    #[must_use]
+    pub fn policy(&self) -> DropPolicy {
+        self.policy
+    }
+
+    /// Lifetime count of successful inserts.
+    #[must_use]
+    pub fn lifetime_stored(&self) -> u64 {
+        self.lifetime_stored
+    }
+
+    /// Lifetime count of removals (evictions, TTL sweeps, explicit
+    /// removes).
+    #[must_use]
+    pub fn lifetime_removed(&self) -> u64 {
+        self.lifetime_removed
     }
 
     /// Bytes currently used.
@@ -156,6 +182,7 @@ impl Buffer {
         }
         self.used_bytes += size;
         self.copies.insert(id, copy);
+        self.lifetime_stored += 1;
         InsertOutcome::Stored { evicted }
     }
 
@@ -163,6 +190,7 @@ impl Buffer {
     pub fn remove(&mut self, id: MessageId) -> Option<MessageCopy> {
         let copy = self.copies.remove(&id)?;
         self.used_bytes -= copy.size_bytes();
+        self.lifetime_removed += 1;
         Some(copy)
     }
 
@@ -353,6 +381,27 @@ mod tests {
         assert_eq!(gone, vec![MessageId(1)]);
         assert!(b.contains(MessageId(2)));
         assert_eq!(b.used_bytes(), 10);
+    }
+
+    #[test]
+    fn lifetime_counters_reconcile_with_live_count() {
+        let mut b = Buffer::new(100, DropPolicy::DropOldest);
+        assert_eq!(b.policy(), DropPolicy::DropOldest);
+        b.insert(copy(1, 40, Priority::High, 1.0));
+        b.insert(copy(2, 40, Priority::High, 2.0));
+        b.insert(copy(3, 40, Priority::High, 3.0)); // evicts m1
+        b.insert(copy(1, 40, Priority::High, 4.0)); // m1 re-stored, evicts m2
+        b.remove(MessageId(3));
+        b.sweep_expired(SimTime::from_secs(5000.0)); // everything expires
+        assert!(b.is_empty());
+        assert_eq!(
+            b.lifetime_stored() - b.lifetime_removed(),
+            b.len() as u64,
+            "stored {} - removed {} must equal live count",
+            b.lifetime_stored(),
+            b.lifetime_removed()
+        );
+        assert_eq!(b.lifetime_stored(), 4);
     }
 
     #[test]

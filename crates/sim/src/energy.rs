@@ -34,6 +34,9 @@ impl EnergyUse {
 pub struct EnergyMeter {
     radio: RadioConfig,
     per_node: Vec<EnergyUse>,
+    /// Extra joules drained outside radio activity (fault-injected battery
+    /// spikes); counts against the battery but not against radio-use stats.
+    drained: Vec<f64>,
     /// Joules available per node; `None` models mains/ideal power.
     battery_joules: Option<f64>,
 }
@@ -45,6 +48,7 @@ impl EnergyMeter {
         EnergyMeter {
             radio,
             per_node: vec![EnergyUse::default(); node_count],
+            drained: vec![0.0; node_count],
             battery_joules: None,
         }
     }
@@ -70,8 +74,30 @@ impl EnergyMeter {
     /// Joules left in `node`'s battery (`None` on ideal power).
     #[must_use]
     pub fn remaining_joules(&self, node: NodeId) -> Option<f64> {
-        self.battery_joules
-            .map(|b| (b - self.per_node[node.index()].total_joules()).max(0.0))
+        self.battery_joules.map(|b| {
+            (b - self.per_node[node.index()].total_joules() - self.drained[node.index()]).max(0.0)
+        })
+    }
+
+    /// Drains `joules` from `node` outside radio accounting (a battery
+    /// spike). Only meaningful against a finite battery, but always
+    /// recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or not finite.
+    pub fn drain(&mut self, node: NodeId, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "drain must be finite and non-negative"
+        );
+        self.drained[node.index()] += joules;
+    }
+
+    /// Joules drained from `node` by battery spikes so far.
+    #[must_use]
+    pub fn drained_joules(&self, node: NodeId) -> f64 {
+        self.drained[node.index()]
     }
 
     /// Whether `node`'s battery is exhausted.
@@ -88,7 +114,8 @@ impl EnergyMeter {
             Some(b) => self
                 .per_node
                 .iter()
-                .filter(|u| u.total_joules() >= b)
+                .zip(&self.drained)
+                .filter(|(u, d)| u.total_joules() + **d >= b)
                 .count(),
         }
     }
@@ -165,6 +192,21 @@ mod tests {
         assert_eq!(m.remaining_joules(NodeId(0)), Some(0.0));
         assert!(!m.is_depleted(NodeId(1)), "receiver spent far less");
         assert_eq!(m.depleted_count(), 1);
+    }
+
+    #[test]
+    fn spike_drain_counts_against_battery_not_radio_stats() {
+        let mut m = EnergyMeter::new(2, RadioConfig::paper_default());
+        m.set_battery(1.0);
+        m.drain(NodeId(0), 0.6);
+        assert_eq!(m.drained_joules(NodeId(0)), 0.6);
+        assert_eq!(m.usage(NodeId(0)), EnergyUse::default(), "radio untouched");
+        assert_eq!(m.remaining_joules(NodeId(0)), Some(0.4));
+        assert!(!m.is_depleted(NodeId(0)));
+        m.drain(NodeId(0), 0.5);
+        assert!(m.is_depleted(NodeId(0)));
+        assert_eq!(m.depleted_count(), 1);
+        assert_eq!(m.remaining_joules(NodeId(1)), Some(1.0));
     }
 
     #[test]

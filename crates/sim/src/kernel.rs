@@ -13,7 +13,9 @@ use std::sync::Arc;
 use crate::buffer::{Buffer, DropPolicy, InsertOutcome};
 use crate::contact::{ContactEvent, ContactKey, ContactTable};
 use crate::energy::{EnergyMeter, EnergyUse};
+use crate::faults::{FaultInjector, FaultPlan, FaultStats, NodeFault, TransferFault};
 use crate::geometry::{Area, Point};
+use crate::invariants::{self, InvariantChecker};
 use crate::message::{Keyword, MessageBody, MessageCopy, MessageId, Priority, Quality};
 use crate::mobility::MobilityModel;
 use crate::protocol::{Protocol, Reception};
@@ -22,7 +24,7 @@ use crate::rng::SimRng;
 use crate::stats::{RunSummary, StatsCollector};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceLog};
-use crate::transfer::TransferEngine;
+use crate::transfer::{AbortReason, AbortedTransfer, TransferEngine};
 use crate::world::{NodeId, SpatialGrid};
 
 /// A message creation scheduled by the workload.
@@ -237,6 +239,12 @@ impl SimApi {
         self.energy.remaining_joules(node)
     }
 
+    /// The per-node battery budget (`None` on ideal power).
+    #[must_use]
+    pub fn battery_budget(&self) -> Option<f64> {
+        self.energy.battery_joules()
+    }
+
     /// Whether `node`'s battery is exhausted (always `false` on ideal
     /// power).
     #[must_use]
@@ -288,6 +296,8 @@ pub struct SimulationBuilder {
     ttl_sweep_every: SimDuration,
     battery_joules: Option<f64>,
     trace: Option<TraceLog>,
+    faults: Option<FaultPlan>,
+    check_every: Option<u64>,
     mobilities: Vec<Box<dyn MobilityModel>>,
     schedule: Vec<ScheduledMessage>,
 }
@@ -306,6 +316,8 @@ impl SimulationBuilder {
             ttl_sweep_every: SimDuration::from_secs(60.0),
             battery_joules: None,
             trace: None,
+            faults: None,
+            check_every: None,
             mobilities: Vec::new(),
             schedule: Vec::new(),
         }
@@ -367,6 +379,37 @@ impl SimulationBuilder {
     #[must_use]
     pub fn trace(mut self, trace: TraceLog) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (see
+    /// [`crate::faults`]); no faults by default. The plan draws from its
+    /// own RNG substream, so the same `(scenario, seed, plan)` replays
+    /// identically and a run without a plan is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Audits kernel and protocol invariants every `steps` steps (and once
+    /// at the end of the run), aborting with a replayable report on a
+    /// breach (see [`crate::invariants`]); disabled by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    #[must_use]
+    pub fn check_invariants_every(mut self, steps: u64) -> Self {
+        assert!(steps > 0, "check cadence must be positive");
+        self.check_every = Some(steps);
         self
     }
 
@@ -436,6 +479,9 @@ impl SimulationBuilder {
             .map(|(m, r)| m.initial_position(self.area, r))
             .collect();
         let grid_cell = self.radio.range_m.max(1.0);
+        let faults = self
+            .faults
+            .map(|plan| FaultInjector::new(plan, &rng_root, n));
         Simulation {
             api: SimApi {
                 now: SimTime::ZERO,
@@ -471,6 +517,9 @@ impl SimulationBuilder {
             last_sweep: SimTime::ZERO,
             started: false,
             finished: false,
+            seed: self.seed,
+            faults,
+            checker: self.check_every.map(InvariantChecker::every),
         }
     }
 }
@@ -490,6 +539,9 @@ pub struct Simulation<P> {
     last_sweep: SimTime,
     started: bool,
     finished: bool,
+    seed: u64,
+    faults: Option<FaultInjector>,
+    checker: Option<InvariantChecker>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -503,6 +555,56 @@ impl<P: Protocol> Simulation<P> {
     #[must_use]
     pub fn protocol(&self) -> &P {
         &self.protocol
+    }
+
+    /// The scenario seed this simulation was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Counters of injected faults (`None` when no plan is attached).
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Number of invariant audits run so far (`None` when checking is
+    /// disabled).
+    #[must_use]
+    pub fn invariant_checks_run(&self) -> Option<u64> {
+        self.checker.as_ref().map(InvariantChecker::checks_run)
+    }
+
+    /// Runs the full invariant audit right now, regardless of cadence,
+    /// returning the violations instead of panicking. Empty = healthy.
+    #[must_use]
+    pub fn check_invariants_now(&self) -> Vec<String> {
+        let mut violations = invariants::kernel_invariants(&self.api);
+        violations.extend(self.protocol.check_invariants(&self.api));
+        violations
+    }
+
+    /// Panics with a replayable breach report if any invariant is violated.
+    fn enforce_invariants(&self) {
+        let violations = self.check_invariants_now();
+        if violations.is_empty() {
+            return;
+        }
+        let report = invariants::format_breach(
+            self.seed,
+            self.fault_plan(),
+            self.api.now,
+            &violations,
+            &self.api.trace.render(),
+        );
+        panic!("{report}");
     }
 
     /// Advances the world by one step.
@@ -521,6 +623,44 @@ impl<P: Protocol> Simulation<P> {
                 self.mobilities[i].step(p, dt, self.api.area, &mut self.node_rngs[i]);
         }
 
+        // 1b. Node-level fault injection: crash/reboot churn and battery
+        // spikes, in deterministic node order off the fault stream.
+        let node_faults = self
+            .faults
+            .as_mut()
+            .map(|inj| inj.step_nodes(now, dt))
+            .unwrap_or_default();
+        for fault in node_faults {
+            match fault {
+                NodeFault::Crashed { node, wipe } => {
+                    self.api.trace.record(now, TraceEvent::NodeCrashed { node });
+                    if wipe {
+                        let ids = self.api.buffers[node.index()].ids_sorted();
+                        for &id in &ids {
+                            self.api.buffers[node.index()].remove(id);
+                        }
+                        if !ids.is_empty() {
+                            if let Some(inj) = self.faults.as_mut() {
+                                inj.note_wiped(ids.len());
+                            }
+                            self.protocol.on_evicted(&mut self.api, node, &ids);
+                        }
+                    }
+                }
+                NodeFault::Rebooted { node } => {
+                    self.api
+                        .trace
+                        .record(now, TraceEvent::NodeRebooted { node });
+                }
+                NodeFault::BatterySpike { node, joules } => {
+                    self.api.energy.drain(node, joules);
+                    self.api
+                        .trace
+                        .record(now, TraceEvent::BatterySpike { node });
+                }
+            }
+        }
+
         // 2. Contact diff.
         self.grid.rebuild(&self.api.positions);
         let mut in_range: Vec<ContactKey> = Vec::new();
@@ -533,6 +673,19 @@ impl<P: Protocol> Simulation<P> {
                 }
             });
         in_range.sort_unstable();
+        // 2b. Link-level fault injection: crashed nodes form no links,
+        // blocked (cut) pairs stay apart, and active links may be freshly
+        // cut. Vetoed pairs fall out of `in_range`, so the ordinary
+        // contact-down machinery (transfer aborts included) fires below.
+        if let Some(inj) = self.faults.as_mut() {
+            let contacts = &self.api.contacts;
+            let cuts = inj.veto_links(&mut in_range, |k| contacts.is_up(k.0, k.1), now, dt);
+            for key in cuts {
+                self.api
+                    .trace
+                    .record(now, TraceEvent::LinkCut { a: key.0, b: key.1 });
+            }
+        }
         let events = self.api.contacts.diff(&in_range, now);
         for ev in events {
             match ev {
@@ -597,6 +750,45 @@ impl<P: Protocol> Simulation<P> {
             self.protocol.on_transfer_aborted(&mut self.api, &a);
         }
         for c in completed {
+            // 4b. Transfer-level fault injection: the payload of a
+            // physically completed transfer may be lost or corrupted. The
+            // airtime was genuinely spent, so both radios are still
+            // charged, but nothing reaches the receiver's buffer and the
+            // protocol sees an abort — a half-received copy must never be
+            // paid for, rated, or counted as a relay.
+            if let Some(kind) = self
+                .faults
+                .as_mut()
+                .and_then(FaultInjector::roll_transfer_fault)
+            {
+                let _ = self
+                    .api
+                    .energy
+                    .charge_transfer(c.from, c.to, c.airtime, c.distance_m);
+                self.api.stats.record_abort();
+                let event = match kind {
+                    TransferFault::Loss => TraceEvent::TransferLost {
+                        message: c.message,
+                        from: c.from,
+                        to: c.to,
+                    },
+                    TransferFault::Corruption => TraceEvent::TransferCorrupted {
+                        message: c.message,
+                        from: c.from,
+                        to: c.to,
+                    },
+                };
+                self.api.trace.record(now, event);
+                let aborted = AbortedTransfer {
+                    from: c.from,
+                    to: c.to,
+                    message: c.message,
+                    bytes_sent: c.bytes as f64,
+                    reason: AbortReason::Injected,
+                };
+                self.protocol.on_transfer_aborted(&mut self.api, &aborted);
+                continue;
+            }
             // Energy was genuinely spent either way; traffic counts only
             // transfers whose payload survived to completion.
             let (tx_j, rx_j) =
@@ -673,6 +865,13 @@ impl<P: Protocol> Simulation<P> {
 
         // 6. Protocol housekeeping, then advance the clock.
         self.protocol.on_tick(&mut self.api);
+
+        // 7. Cadenced invariant audit, while the step's state is fresh.
+        let audit_due = self.checker.as_mut().is_some_and(InvariantChecker::due);
+        if audit_due {
+            self.enforce_invariants();
+        }
+
         self.api.now += dt;
     }
 
@@ -730,6 +929,9 @@ impl<P: Protocol> Simulation<P> {
         if !self.finished {
             self.finished = true;
             self.protocol.on_finish(&mut self.api);
+            if self.checker.is_some() {
+                self.enforce_invariants();
+            }
         }
         self.api.stats.summarize()
     }
@@ -910,6 +1112,145 @@ mod tests {
                 .run_until(SimTime::from_secs(1800.0))
         };
         assert_ne!(run(1).relays_completed, run(2).relays_completed);
+    }
+
+    #[test]
+    fn faulty_runs_replay_identically() {
+        let plan: FaultPlan = "crash=6,crashdown=60,wipe,cut=20,cutdown=15,loss=0.1"
+            .parse()
+            .unwrap();
+        let build = || {
+            SimulationBuilder::new(Area::new(2000.0, 2000.0), 99)
+                .nodes(20, || {
+                    Box::new(crate::mobility::RandomWaypoint::pedestrian())
+                })
+                .messages((0..10).map(|i| ScheduledMessage {
+                    expected_destinations: vec![NodeId((i as u32 + 1) % 20)],
+                    ..msg(i as f64 * 30.0, i as u32 % 20)
+                }))
+                .faults(plan)
+                .check_invariants_every(1)
+                .build(PushAll)
+        };
+        let mut sa = build();
+        let a = sa.run_until(SimTime::from_secs(1800.0));
+        let mut sb = build();
+        let b = sb.run_until(SimTime::from_secs(1800.0));
+        assert_eq!(a, b, "same (seed, plan) must reproduce the summary");
+        assert_eq!(sa.fault_stats(), sb.fault_stats());
+        let stats = sa.fault_stats().expect("plan attached");
+        assert!(stats.crashes > 0, "6/h over 20 node-hours must land");
+        assert!(stats.link_cuts > 0);
+        assert!(sa.invariant_checks_run().unwrap() > 0);
+    }
+
+    #[test]
+    fn inert_plan_changes_nothing() {
+        let build = |chaos: bool| {
+            let mut b = SimulationBuilder::new(Area::new(2000.0, 2000.0), 99)
+                .nodes(20, || {
+                    Box::new(crate::mobility::RandomWaypoint::pedestrian())
+                })
+                .messages((0..10).map(|i| ScheduledMessage {
+                    expected_destinations: vec![NodeId((i as u32 + 1) % 20)],
+                    ..msg(i as f64 * 30.0, i as u32 % 20)
+                }));
+            if chaos {
+                b = b.faults(FaultPlan::default());
+            }
+            b.build(PushAll).run_until(SimTime::from_secs(1800.0))
+        };
+        assert_eq!(
+            build(false),
+            build(true),
+            "an all-zero plan must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn transfer_loss_keeps_payload_out_of_the_receiver() {
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                100.0, 100.0,
+            ))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                150.0, 100.0,
+            ))))
+            .message(msg(5.0, 0))
+            .faults("loss=1".parse().unwrap())
+            .check_invariants_every(1)
+            .build(PushAll);
+        let summary = sim.run_until(SimTime::from_secs(120.0));
+        assert_eq!(summary.relays_completed, 0, "every payload is lost");
+        assert_eq!(summary.delivered_pairs, 0);
+        assert!(summary.transfers_aborted > 0);
+        assert!(sim.api().buffer(NodeId(1)).is_empty());
+        assert!(sim.fault_stats().unwrap().transfers_lost > 0);
+        // Energy was still spent on the doomed airtime.
+        assert!(sim.api().energy_usage(NodeId(0)).tx_joules > 0.0);
+    }
+
+    #[test]
+    fn crash_wipe_empties_the_buffer_and_reboot_restores_contacts() {
+        // A certain per-step crash rate: both nodes crash at t=0, reboot at
+        // t=5 and immediately crash again, wiping the copy created at t=1
+        // while the source was down.
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                100.0, 100.0,
+            ))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                150.0, 100.0,
+            ))))
+            .message(msg(1.0, 0))
+            .faults("crash=3600,crashdown=5,wipe".parse().unwrap())
+            .trace(TraceLog::unbounded())
+            .check_invariants_every(1)
+            .build(PushAll);
+        sim.run_until(SimTime::from_secs(10.0));
+        let stats = sim.fault_stats().unwrap();
+        assert!(stats.crashes >= 2, "certain per-step crash hits both nodes");
+        assert!(stats.reboots >= 1, "5 s downtime reboots within the run");
+        assert!(stats.copies_wiped >= 1, "the re-crash wipes the copy");
+        assert!(
+            sim.api().buffer(NodeId(0)).is_empty(),
+            "wipe destroyed the source copy"
+        );
+        assert!(
+            sim.api().peers_of(NodeId(0)).is_empty(),
+            "crashed nodes hold no contacts"
+        );
+        let rendered = sim.api().trace().render();
+        assert!(rendered.contains("crash n0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant breach")]
+    fn invariant_breach_panics_with_replay_report() {
+        /// A protocol that reports a violation unconditionally.
+        #[derive(Debug)]
+        struct AlwaysBroken;
+        impl Protocol for AlwaysBroken {
+            fn check_invariants(&self, _api: &SimApi) -> Vec<String> {
+                vec!["ledger minted tokens out of thin air".to_string()]
+            }
+        }
+        let mut sim = SimulationBuilder::new(Area::new(100.0, 100.0), 3)
+            .node(Box::new(Stationary))
+            .check_invariants_every(1)
+            .build(AlwaysBroken);
+        sim.step_once();
+    }
+
+    #[test]
+    fn manual_invariant_audit_reports_instead_of_panicking() {
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+            .node(Box::new(Stationary))
+            .node(Box::new(Stationary))
+            .message(msg(0.0, 0))
+            .build(NullProtocol);
+        sim.run_until(SimTime::from_secs(30.0));
+        assert!(sim.check_invariants_now().is_empty(), "healthy run");
     }
 
     #[test]

@@ -41,7 +41,9 @@
 pub mod buffer;
 pub mod contact;
 pub mod energy;
+pub mod faults;
 pub mod geometry;
+pub mod invariants;
 pub mod kernel;
 pub mod message;
 pub mod mobility;
@@ -59,7 +61,9 @@ pub mod world;
 pub mod prelude {
     pub use crate::buffer::{Buffer, DropPolicy, InsertOutcome, RejectReason};
     pub use crate::energy::EnergyUse;
+    pub use crate::faults::{FaultPlan, FaultStats};
     pub use crate::geometry::{Area, Point};
+    pub use crate::invariants::InvariantChecker;
     pub use crate::kernel::{ScheduledMessage, SimApi, Simulation, SimulationBuilder};
     pub use crate::message::{
         Annotation, Keyword, MessageBody, MessageCopy, MessageId, Priority, Quality,

@@ -93,6 +93,16 @@ pub trait Protocol {
     fn on_finish(&mut self, api: &mut SimApi) {
         let _ = api;
     }
+
+    /// Audits protocol-owned invariants (token conservation, rating
+    /// bounds, …), returning one human-readable line per violation. The
+    /// kernel calls this from its invariant checker (see
+    /// [`crate::invariants`]) when one is attached; a breach aborts the
+    /// run with a replayable report. The default has nothing to audit.
+    fn check_invariants(&self, api: &SimApi) -> Vec<String> {
+        let _ = api;
+        Vec::new()
+    }
 }
 
 /// A protocol that does nothing; useful for mobility/contact-only studies

@@ -75,6 +75,46 @@ pub enum TraceEvent {
         /// Where it expired.
         at: NodeId,
     },
+    /// The fault layer crashed a node.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node came back up.
+    NodeRebooted {
+        /// The rebooted node.
+        node: NodeId,
+    },
+    /// The fault layer cut an active link.
+    LinkCut {
+        /// Smaller endpoint.
+        a: NodeId,
+        /// Larger endpoint.
+        b: NodeId,
+    },
+    /// The fault layer drained a node's battery.
+    BatterySpike {
+        /// The drained node.
+        node: NodeId,
+    },
+    /// The fault layer destroyed a completed transfer's payload in flight.
+    TransferLost {
+        /// The lost message.
+        message: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The fault layer corrupted a completed transfer's payload.
+    TransferCorrupted {
+        /// The corrupted message.
+        message: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -98,6 +138,16 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::Delivered { message, to } => write!(f, "delivered {message} -> {to}"),
             TraceEvent::Expired { message, at } => write!(f, "expired {message} @ {at}"),
+            TraceEvent::NodeCrashed { node } => write!(f, "crash {node}"),
+            TraceEvent::NodeRebooted { node } => write!(f, "reboot {node}"),
+            TraceEvent::LinkCut { a, b } => write!(f, "link-cut {a}<->{b}"),
+            TraceEvent::BatterySpike { node } => write!(f, "battery-spike {node}"),
+            TraceEvent::TransferLost { message, from, to } => {
+                write!(f, "lost {message} {from}->{to}")
+            }
+            TraceEvent::TransferCorrupted { message, from, to } => {
+                write!(f, "corrupt {message} {from}->{to}")
+            }
         }
     }
 }
@@ -197,8 +247,15 @@ impl TraceLog {
                 | TraceEvent::Transferred { message: m, .. }
                 | TraceEvent::Aborted { message: m, .. }
                 | TraceEvent::Delivered { message: m, .. }
-                | TraceEvent::Expired { message: m, .. } => m == message,
-                TraceEvent::ContactUp { .. } | TraceEvent::ContactDown { .. } => false,
+                | TraceEvent::Expired { message: m, .. }
+                | TraceEvent::TransferLost { message: m, .. }
+                | TraceEvent::TransferCorrupted { message: m, .. } => m == message,
+                TraceEvent::ContactUp { .. }
+                | TraceEvent::ContactDown { .. }
+                | TraceEvent::NodeCrashed { .. }
+                | TraceEvent::NodeRebooted { .. }
+                | TraceEvent::LinkCut { .. }
+                | TraceEvent::BatterySpike { .. } => false,
             })
             .copied()
             .collect()
@@ -348,6 +405,23 @@ mod tests {
             TraceEvent::Expired {
                 message: MessageId(1),
                 at: NodeId(1),
+            },
+            TraceEvent::NodeCrashed { node: NodeId(1) },
+            TraceEvent::NodeRebooted { node: NodeId(1) },
+            TraceEvent::LinkCut {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            TraceEvent::BatterySpike { node: NodeId(1) },
+            TraceEvent::TransferLost {
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            TraceEvent::TransferCorrupted {
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
             },
         ];
         for e in cases {

@@ -60,6 +60,10 @@ pub enum AbortReason {
     SourceGone,
     /// The protocol cancelled it.
     Cancelled,
+    /// The fault-injection layer destroyed the payload (loss or
+    /// corruption): the transfer physically completed but nothing usable
+    /// arrived.
+    Injected,
 }
 
 /// An aborted transfer, reported to the protocol layer.

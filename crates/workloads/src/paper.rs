@@ -45,6 +45,7 @@ pub fn table51_scenario() -> Scenario {
         battery_joules: None,
         mobility: crate::scenario::Mobility::RandomWaypoint,
         protocol: ProtocolParams::paper_default(),
+        chaos: None,
     }
 }
 

@@ -65,6 +65,26 @@ pub fn build_simulation_traced(
     seed: u64,
     trace: Option<dtn_sim::trace::TraceLog>,
 ) -> Simulation<DcimRouter> {
+    build_simulation_checked(scenario, arm, seed, trace, None)
+}
+
+/// [`build_simulation_traced`] with an optional invariant-audit cadence:
+/// when `check_every` is set, the kernel audits its own conservation
+/// invariants and the router's (token conservation, rating bounds, offer
+/// hygiene) every that-many steps, aborting with a replayable report on a
+/// breach. The scenario's `chaos` plan, if any, is always wired in.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+#[must_use]
+pub fn build_simulation_checked(
+    scenario: &Scenario,
+    arm: Arm,
+    seed: u64,
+    trace: Option<dtn_sim::trace::TraceLog>,
+    check_every: Option<u64>,
+) -> Simulation<DcimRouter> {
     scenario.validate().expect("scenario must validate");
     let workload_rng = SimRng::new(seed);
     let population = Population::synthesize(scenario, &workload_rng);
@@ -105,6 +125,12 @@ pub fn build_simulation_traced(
     if let Some(t) = trace {
         builder = builder.trace(t);
     }
+    if let Some(plan) = scenario.chaos {
+        builder = builder.faults(plan);
+    }
+    if let Some(every) = check_every {
+        builder = builder.check_invariants_every(every);
+    }
     builder.messages(schedule).build(router)
 }
 
@@ -130,9 +156,17 @@ where
     let mut builder = SimulationBuilder::new(Area::square_km(scenario.area_km2), seed)
         .radio(scenario.radio)
         .buffer_capacity(scenario.buffer_bytes)
+        // Third-party routers are priority-blind, so they get ONE's
+        // drop-oldest default *explicitly*: comparisons against the
+        // mechanism must not silently inherit whatever default the kernel
+        // builder happens to carry.
+        .drop_policy(dtn_sim::buffer::DropPolicy::DropOldest)
         .nodes(scenario.nodes, || scenario.mobility.instantiate());
     if let Some(j) = scenario.battery_joules {
         builder = builder.battery_joules(j);
+    }
+    if let Some(plan) = scenario.chaos {
+        builder = builder.faults(plan);
     }
     builder.messages(schedule).build(protocol)
 }
@@ -164,8 +198,22 @@ pub fn run_once_traced(
     seed: u64,
     trace_capacity: Option<usize>,
 ) -> (ArmRun, Option<String>) {
+    run_once_checked(scenario, arm, seed, trace_capacity, None)
+}
+
+/// [`run_once_traced`] with an optional invariant-audit cadence (see
+/// [`build_simulation_checked`]). A breach panics with the seed, the chaos
+/// spec and a trace excerpt — everything needed for a one-command replay.
+#[must_use]
+pub fn run_once_checked(
+    scenario: &Scenario,
+    arm: Arm,
+    seed: u64,
+    trace_capacity: Option<usize>,
+    check_every: Option<u64>,
+) -> (ArmRun, Option<String>) {
     let trace = trace_capacity.map(dtn_sim::trace::TraceLog::bounded);
-    let mut sim = build_simulation_traced(scenario, arm, seed, trace);
+    let mut sim = build_simulation_checked(scenario, arm, seed, trace, check_every);
     let _ = sim.run_until(SimTime::from_secs(scenario.duration_secs));
     let rendered = trace_capacity.map(|_| sim.api().trace().render());
     let (router, summary) = sim.finish();
@@ -327,6 +375,65 @@ mod tests {
             "starvation lowers deliveries: {} vs {}",
             inc.summary.delivered_pairs,
             cc.summary.delivered_pairs
+        );
+    }
+
+    #[test]
+    fn chaotic_scenario_replays_identically_under_audit() {
+        let mut s = tiny();
+        s.chaos = Some(
+            "crash=4,crashdown=90,cut=10,cutdown=20,loss=0.05"
+                .parse()
+                .unwrap(),
+        );
+        let a = run_once_checked(&s, Arm::Incentive, 5, None, Some(30)).0;
+        let b = run_once_checked(&s, Arm::Incentive, 5, None, Some(30)).0;
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.protocol, b.protocol);
+    }
+
+    #[test]
+    fn chaos_plan_actually_perturbs_the_run() {
+        let s = tiny();
+        let mut chaotic = tiny();
+        chaotic.chaos = Some("crash=8,crashdown=120,wipe,loss=0.2".parse().unwrap());
+        let clean = run_once(&s, Arm::Incentive, 7);
+        let faulty = run_once_checked(&chaotic, Arm::Incentive, 7, None, Some(60)).0;
+        assert_ne!(
+            clean.summary, faulty.summary,
+            "a hot plan must change the outcome"
+        );
+        assert!(
+            faulty.summary.delivery_ratio <= clean.summary.delivery_ratio,
+            "chaos does not help delivery: {} vs {}",
+            faulty.summary.delivery_ratio,
+            clean.summary.delivery_ratio
+        );
+    }
+
+    #[test]
+    fn third_party_builds_pin_drop_oldest_and_match_chitchat_world() {
+        use dtn_sim::buffer::DropPolicy;
+        use dtn_sim::protocol::NullProtocol;
+        let s = tiny();
+        let sim = build_with_protocol(&s, 3, |_, _| NullProtocol);
+        assert_eq!(
+            sim.api().buffer(NodeId(0)).policy(),
+            DropPolicy::DropOldest,
+            "explicit ONE default, independent of the kernel builder's"
+        );
+        // Same world as the DcimRouter build: node count, buffer capacity
+        // and schedule-driven message creation all line up.
+        let reference = build_simulation(&s, Arm::ChitChat, 3);
+        assert_eq!(sim.api().node_count(), reference.api().node_count());
+        assert_eq!(
+            sim.api().buffer(NodeId(0)).capacity_bytes(),
+            reference.api().buffer(NodeId(0)).capacity_bytes()
+        );
+        assert_eq!(
+            reference.api().buffer(NodeId(0)).policy(),
+            DropPolicy::DropOldest,
+            "chitchat arm keeps drop-oldest too"
         );
     }
 

@@ -155,6 +155,12 @@ pub struct Scenario {
     /// Protocol configuration for the Incentive arm (the ChitChat arm
     /// derives from it by disabling the mechanism).
     pub protocol: ProtocolParams,
+    /// Optional deterministic fault-injection plan (crashes, link cuts,
+    /// battery spikes, transfer loss/corruption; see
+    /// [`dtn_sim::faults::FaultPlan`]). `None` = no chaos, as in every
+    /// paper experiment.
+    #[serde(default)]
+    pub chaos: Option<dtn_sim::faults::FaultPlan>,
 }
 
 impl Scenario {
@@ -202,6 +208,9 @@ impl Scenario {
         }
         self.class_mix.validate()?;
         self.protocol.validate()?;
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
+        }
         Ok(())
     }
 

@@ -27,7 +27,7 @@ fn main() {
     let mut params = ProtocolParams::paper_default();
     params.incentive.initial_tokens = 50.0; // the demo's endowment
     params.honest_enrich_prob = 0.5; // B visibly enriches what it relays
-    let mut router = DcimRouter::new(3, params, 99);
+    let mut router = DcimRouter::new(3, params, 1);
     // "The interests of devices B and C are kept exactly the same."
     router.subscribe(B, [Keyword(1)]);
     router.subscribe(C, [Keyword(1)]);

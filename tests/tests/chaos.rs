@@ -1,0 +1,208 @@
+//! Chaos suite: the deterministic fault-injection layer exercised under
+//! the always-on invariant checker.
+//!
+//! Every run here audits the cross-cutting invariants (token conservation,
+//! rating bounds, buffer accounting, energy sanity) on a short cadence; a
+//! breach panics with the seed and fault spec, so a plain green run is the
+//! assertion that no fault regime can corrupt the mechanism's books.
+
+use dtn_integration_tests::fast_scenario;
+use dtn_sim::faults::FaultPlan;
+use dtn_workloads::prelude::*;
+use dtn_workloads::runner::{build_simulation_checked, run_once_checked};
+use proptest::prelude::*;
+
+/// Audit cadence for these tests: every 15 simulated steps. The rating
+/// scan is O(nodes²), but at 24 nodes that is noise.
+const AUDIT_EVERY: u64 = 15;
+
+fn chaotic(spec: &str) -> Scenario {
+    let mut s = fast_scenario();
+    s.chaos = Some(spec.parse().expect("test specs are valid"));
+    s.named(format!("chaos[{spec}]"))
+}
+
+fn run_audited(s: &Scenario, arm: Arm, seed: u64) -> ArmRun {
+    run_once_checked(s, arm, seed, None, Some(AUDIT_EVERY)).0
+}
+
+/// Named fault regimes covering every fault class the plan grammar can
+/// express, alone and combined: crash/reboot churn (with and without
+/// buffer wipes), long link outages, rapid contact flaps, battery-drain
+/// spikes, and in-flight payload loss/corruption.
+const REGIMES: [&str; 10] = [
+    "crash=2,crashdown=120",
+    "crash=6,crashdown=30,wipe",
+    "cut=3,cutdown=120",
+    "cut=20,cutdown=5", // contact flaps: frequent, short
+    "spike=4,spikej=25",
+    "loss=0.1",
+    "corrupt=0.1",
+    "loss=0.05,corrupt=0.05",
+    "crash=3,crashdown=60,cut=6,cutdown=30,loss=0.03",
+    "crash=1,crashdown=300,wipe,cut=2,cutdown=60,spike=2,spikej=10,loss=0.02,corrupt=0.02",
+];
+
+#[test]
+fn every_fault_regime_passes_the_invariant_audit() {
+    for spec in REGIMES {
+        let s = chaotic(spec);
+        let run = run_audited(&s, Arm::Incentive, 42);
+        assert!(
+            (0.0..=1.0).contains(&run.summary.delivery_ratio),
+            "{spec}: ratio {}",
+            run.summary.delivery_ratio
+        );
+        assert!(run.summary.created > 10, "{spec}: workload still generated");
+    }
+}
+
+#[test]
+fn the_baseline_arm_survives_chaos_too() {
+    // The checker's kernel-level invariants (buffer accounting, energy
+    // sanity) are protocol-agnostic; run the ChitChat arm through the two
+    // harshest regimes as well.
+    for spec in [REGIMES[1], REGIMES[9]] {
+        let s = chaotic(spec);
+        let run = run_audited(&s, Arm::ChitChat, 42);
+        assert!((0.0..=1.0).contains(&run.summary.delivery_ratio));
+    }
+}
+
+#[test]
+fn chaos_with_finite_batteries_keeps_energy_sane() {
+    // Battery spikes against a finite budget: the drain must deplete
+    // nodes, never drive remaining charge negative (the audit checks the
+    // bound every cadence).
+    let mut s = chaotic("spike=30,spikej=40,crash=2,crashdown=60");
+    s.battery_joules = Some(120.0);
+    let run = run_audited(&s, Arm::Incentive, 7);
+    assert!((0.0..=1.0).contains(&run.summary.delivery_ratio));
+}
+
+#[test]
+fn identical_seed_and_plan_replay_byte_for_byte() {
+    // The one-command-replay guarantee behind every breach report: the
+    // same (scenario, seed, fault plan) triple reproduces the identical
+    // run — kernel statistics AND mechanism counters.
+    for spec in [REGIMES[8], REGIMES[3]] {
+        let s = chaotic(spec);
+        let a = run_audited(&s, Arm::Incentive, 101);
+        let b = run_audited(&s, Arm::Incentive, 101);
+        assert_eq!(a.summary, b.summary, "{spec}: kernel stats replay");
+        assert_eq!(a.protocol, b.protocol, "{spec}: mechanism stats replay");
+        assert_eq!(a.broke_nodes, b.broke_nodes);
+    }
+}
+
+#[test]
+fn the_checker_itself_never_perturbs_a_run() {
+    // Auditing reads state but must not touch any RNG stream: a clean run
+    // and an audited run of the same seed are identical, so leaving the
+    // checker on costs time, never fidelity.
+    let s = fast_scenario();
+    let plain = run_once(&s, Arm::Incentive, 13);
+    let audited = run_once_checked(&s, Arm::Incentive, 13, None, Some(1)).0;
+    assert_eq!(plain.summary, audited.summary);
+    assert_eq!(plain.protocol, audited.protocol);
+}
+
+#[test]
+fn injected_faults_actually_fire() {
+    // Guard against a silently inert layer: the heavy regime must inject
+    // a visible volume of every configured fault class.
+    let s = chaotic("crash=4,crashdown=60,wipe,cut=10,cutdown=20,loss=0.1");
+    let mut sim = build_simulation_checked(&s, Arm::Incentive, 3, None, Some(AUDIT_EVERY));
+    let _ = sim.run_until(dtn_sim::time::SimTime::from_secs(s.duration_secs));
+    let stats = sim.fault_stats().expect("chaos enabled");
+    assert!(stats.crashes > 0, "crashes fired: {stats:?}");
+    assert!(stats.reboots > 0, "reboots fired: {stats:?}");
+    assert!(stats.link_cuts > 0, "cuts fired: {stats:?}");
+    assert!(stats.transfers_lost > 0, "losses fired: {stats:?}");
+    assert!(
+        sim.invariant_checks_run().expect("checker enabled") > 0,
+        "audits actually ran"
+    );
+}
+
+/// A proptest strategy over the whole fault-plan space, including the
+/// corners (zero rates, certain loss, instant reboots).
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0f64..12.0,  // crash_per_hour
+        1.0f64..600.0, // crash_down_secs
+        prop::bool::ANY,
+        0.0f64..24.0,  // link_cut_per_hour
+        1.0f64..300.0, // link_cut_secs
+        0.0f64..12.0,  // battery_spike_per_hour
+        0.1f64..50.0,  // battery_spike_joules
+        0.0f64..=1.0,  // transfer_loss_prob
+        0.0f64..=1.0,  // transfer_corrupt_prob
+    )
+        .prop_map(
+            |(crash, down, wipe, cut, cutdown, spike, spikej, loss, corrupt)| FaultPlan {
+                crash_per_hour: crash,
+                crash_down_secs: down,
+                crash_wipes_buffer: wipe,
+                link_cut_per_hour: cut,
+                link_cut_secs: cutdown,
+                battery_spike_per_hour: spike,
+                battery_spike_joules: spikej,
+                transfer_loss_prob: loss,
+                transfer_corrupt_prob: corrupt,
+            },
+        )
+}
+
+/// A smaller world for the randomized sweeps: same density regime,
+/// sub-second per run.
+fn tiny_scenario() -> Scenario {
+    let mut s = fast_scenario();
+    s.nodes = 14;
+    s.area_km2 = 0.14;
+    s.duration_secs = 900.0;
+    s.message_ttl_secs = 600.0;
+    s.named("chaos-tiny")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomly generated fault plans cannot break the invariants either:
+    /// the audit stays green across the whole plan space.
+    #[test]
+    fn random_fault_plans_never_breach_invariants(
+        seed in 0u64..10_000,
+        plan in arb_plan()
+    ) {
+        let mut s = tiny_scenario();
+        plan.validate().expect("generated plans are valid");
+        s.chaos = Some(plan);
+        let run = run_once_checked(&s, Arm::Incentive, seed, None, Some(AUDIT_EVERY)).0;
+        prop_assert!((0.0..=1.0).contains(&run.summary.delivery_ratio));
+    }
+
+    /// Replay determinism holds for arbitrary plans, not only the named
+    /// regimes.
+    #[test]
+    fn random_fault_plans_replay_identically(
+        seed in 0u64..10_000,
+        plan in arb_plan()
+    ) {
+        let mut s = tiny_scenario();
+        s.chaos = Some(plan);
+        let a = run_once_checked(&s, Arm::Incentive, seed, None, Some(AUDIT_EVERY)).0;
+        let b = run_once_checked(&s, Arm::Incentive, seed, None, Some(AUDIT_EVERY)).0;
+        prop_assert_eq!(a.summary, b.summary);
+        prop_assert_eq!(a.protocol, b.protocol);
+    }
+
+    /// The compact spec grammar is lossless: Display → FromStr is the
+    /// identity over the whole plan space.
+    #[test]
+    fn plan_spec_round_trips(plan in arb_plan()) {
+        let spec = plan.to_string();
+        let back: FaultPlan = spec.parse().expect("rendered specs parse");
+        prop_assert_eq!(plan, back, "spec was {}", spec);
+    }
+}

@@ -1,0 +1,134 @@
+//! Golden-trace regression tests.
+//!
+//! A fully scripted two-node world (pinned waypoints, one scheduled
+//! message, a minimal flooding protocol) renders its bounded [`TraceLog`]
+//! to text; the exact sequence is pinned here as a golden string. Any
+//! change to contact detection order, transfer timing, trace rendering —
+//! or, in the chaotic variant, to the fault layer's RNG draw order —
+//! shows up as a diff against these snapshots.
+
+use dtn_sim::buffer::InsertOutcome;
+use dtn_sim::geometry::{Area, Point};
+use dtn_sim::kernel::{ScheduledMessage, SimApi, Simulation, SimulationBuilder};
+use dtn_sim::message::{Keyword, MessageId, Priority, Quality};
+use dtn_sim::mobility::ScriptedWaypoints;
+use dtn_sim::protocol::{Protocol, Reception};
+use dtn_sim::time::SimTime;
+use dtn_sim::trace::TraceLog;
+use dtn_sim::world::NodeId;
+
+/// Minimal deterministic flooder: push anything the peer lacks, mark
+/// arrivals at node 1 as delivered. No RNG, no internal state.
+#[derive(Debug, Default)]
+struct Flood;
+
+impl Protocol for Flood {
+    fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
+        for (from, to) in [(a, b), (b, a)] {
+            for id in api.buffer(from).ids_sorted() {
+                if !api.buffer(to).contains(id) {
+                    api.send(from, to, id);
+                }
+            }
+        }
+    }
+
+    fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+        if matches!(r.outcome, InsertOutcome::Stored { .. }) && r.transfer.to == NodeId(1) {
+            api.mark_delivered(NodeId(1), r.transfer.message);
+        }
+    }
+}
+
+/// The scripted world: node 0 parked at (100, 100); node 1 walks in from
+/// 300 m away, dwells in range, and walks back out. One 1 MB message
+/// (4 s of airtime) is created before the contact.
+fn scripted(chaos: Option<&str>) -> Simulation<Flood> {
+    let mut builder = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+        .trace(TraceLog::bounded(256))
+        .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+            100.0, 100.0,
+        ))))
+        .node(Box::new(ScriptedWaypoints::new(vec![
+            (0.0, Point::new(400.0, 100.0)),
+            (20.0, Point::new(400.0, 100.0)),
+            (50.0, Point::new(150.0, 100.0)),
+            (80.0, Point::new(150.0, 100.0)),
+            (110.0, Point::new(400.0, 100.0)),
+        ])))
+        .message(ScheduledMessage {
+            at: SimTime::from_secs(5.0),
+            source: NodeId(0),
+            size_bytes: 1_000_000,
+            ttl_secs: 10_000.0,
+            priority: Priority::High,
+            quality: Quality::new(0.8),
+            ground_truth: vec![Keyword(1)],
+            source_tags: vec![Keyword(1)],
+            expected_destinations: vec![NodeId(1)],
+        });
+    if let Some(spec) = chaos {
+        builder = builder.faults(spec.parse().expect("valid spec"));
+    }
+    builder.check_invariants_every(10).build(Flood)
+}
+
+fn rendered(chaos: Option<&str>) -> String {
+    let mut sim = scripted(chaos);
+    let _ = sim.run_until(SimTime::from_secs(120.0));
+    assert_eq!(sim.api().trace().dropped(), 0, "snapshot must be complete");
+    sim.api().trace().render()
+}
+
+#[test]
+fn clean_run_matches_the_golden_trace() {
+    let golden = "\
+00:00:05 created m0 @ n0
+00:00:43 contact-up n0<->n1
+00:00:46 transfer m0 n0->n1
+00:00:46 delivered m0 -> n1
+00:01:26 contact-down n0<->n1
+";
+    let actual = rendered(None);
+    assert_eq!(rendered(None), actual, "stable across runs");
+    assert_eq!(actual, golden, "actual:\n{actual}");
+}
+
+#[test]
+fn chaotic_run_matches_the_golden_trace() {
+    // A per-step link-cut probability of 1/6 flaps the contact while the
+    // message is in flight: the snapshot pins the fault stream's draw
+    // order alongside the kernel's event order.
+    let spec = "cut=600,cutdown=10";
+    let golden = "\
+00:00:05 created m0 @ n0
+00:00:43 contact-up n0<->n1
+00:00:46 transfer m0 n0->n1
+00:00:46 delivered m0 -> n1
+00:00:48 link-cut n0<->n1
+00:00:48 contact-down n0<->n1
+00:00:58 contact-up n0<->n1
+00:00:59 link-cut n0<->n1
+00:00:59 contact-down n0<->n1
+00:01:09 contact-up n0<->n1
+00:01:10 link-cut n0<->n1
+00:01:10 contact-down n0<->n1
+00:01:20 contact-up n0<->n1
+00:01:24 link-cut n0<->n1
+00:01:24 contact-down n0<->n1
+";
+    let actual = rendered(Some(spec));
+    assert_eq!(rendered(Some(spec)), actual, "stable across runs");
+    assert_eq!(actual, golden, "actual:\n{actual}");
+}
+
+#[test]
+fn history_of_extracts_the_message_slice() {
+    let mut sim = scripted(None);
+    let _ = sim.run_until(SimTime::from_secs(120.0));
+    let history = sim.api().trace().history_of(MessageId(0));
+    assert!(!history.is_empty());
+    assert!(history
+        .iter()
+        .all(|e| !matches!(e.event, dtn_sim::trace::TraceEvent::ContactUp { .. })));
+}

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and method surface the workspace's benches use —
+//! `criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, `black_box` — with
+//! a simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Good enough to keep `cargo bench` runnable and to spot
+//! order-of-magnitude regressions by eye.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup between measurements.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// One setup per routine invocation.
+    SmallInput,
+    /// Same behaviour here as [`BatchSize::SmallInput`].
+    LargeInput,
+    /// Same behaviour here as [`BatchSize::SmallInput`].
+    PerIteration,
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` with a fresh `setup` value per invocation;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The top-level bench context.
+pub struct Criterion {
+    samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. Accepted for signature parity;
+    /// the stand-in has no tunable CLI options.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n as u64);
+        self
+    }
+
+    /// Sets the measurement time. Accepted for parity; unused here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        let samples = self.samples.unwrap_or(self.parent.samples);
+        run_one(&label, samples, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u64, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if samples == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(samples).unwrap_or(u32::MAX)
+    };
+    println!("bench: {name:<50} {per_iter:>12.2?}/iter ({samples} samples)");
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion { samples: 5 }.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut seen = Vec::new();
+        let mut counter = 0u32;
+        Criterion { samples: 3 }.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    counter += 1;
+                    counter
+                },
+                |input| seen.push(input),
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4);
+        g.bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,532 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls for the value-based facade in
+//! the vendored `serde` crate. The parser walks the raw token stream by hand
+//! (no `syn`/`quote` available offline) and supports the shapes this
+//! workspace uses:
+//!
+//! * named-field structs (field attrs `#[serde(default)]`, `#[serde(skip)]`)
+//! * newtype and tuple structs (serialized transparently / as arrays)
+//! * unit structs (serialized as `null`)
+//! * externally-tagged enums with unit, newtype, tuple, or struct variants
+//!
+//! Generics are not supported; deriving on a generic type is a compile
+//! error with a clear message.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    render(&parsed, Mode::Ser).parse().expect("generated impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    render(&parsed, Mode::De).parse().expect("generated impl")
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading attributes, returning (default, skip) flags gathered
+    /// from any `#[serde(...)]` among them.
+    fn eat_attrs(&mut self) -> (bool, bool) {
+        let mut default = false;
+        let mut skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            let Some(TokenTree::Group(group)) = self.next() else {
+                panic!("serde derive: expected attribute body after `#`");
+            };
+            let mut inner = group.stream().into_iter();
+            if let Some(TokenTree::Ident(id)) = inner.next() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(arg) = t {
+                                match arg.to_string().as_str() {
+                                    "default" => default = true,
+                                    "skip" => skip = true,
+                                    other => panic!(
+                                        "serde derive: unsupported serde attribute `{other}`"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (default, skip)
+    }
+
+    /// Consumes an optional `pub` / `pub(...)` visibility.
+    fn eat_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skips a type, stopping before a top-level `,` (or at end of stream).
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => match p.as_char() {
+                    ',' if depth == 0 => return,
+                    '<' => {
+                        depth += 1;
+                        self.next();
+                    }
+                    '>' => {
+                        depth -= 1;
+                        self.next();
+                    }
+                    '-' => {
+                        // `->` in fn-pointer types: consume both so the `>`
+                        // is not mistaken for a generic close.
+                        self.next();
+                        if matches!(self.peek(), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                            self.next();
+                        }
+                    }
+                    _ => {
+                        self.next();
+                    }
+                },
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    cur.eat_attrs();
+    cur.eat_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic types are not supported by the vendored serde_derive");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let (default, skip) = cur.eat_attrs();
+        cur.eat_visibility();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        cur.skip_type();
+        // Trailing comma between fields.
+        if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            cur.next();
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while !cur.at_end() {
+        cur.eat_attrs();
+        cur.eat_visibility();
+        cur.skip_type();
+        count += 1;
+        if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            cur.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.eat_attrs();
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                cur.next();
+                VariantFields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                cur.next();
+                VariantFields::Tuple(count_tuple_fields(inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn render(input: &Input, mode: Mode) -> String {
+    let name = &input.name;
+    let body = match (&input.kind, mode) {
+        (Kind::NamedStruct(fields), Mode::Ser) => ser_named_struct(name, fields),
+        (Kind::NamedStruct(fields), Mode::De) => de_named_struct(name, fields),
+        (Kind::TupleStruct(len), Mode::Ser) => ser_tuple_struct(*len),
+        (Kind::TupleStruct(len), Mode::De) => de_tuple_struct(name, *len),
+        (Kind::UnitStruct, Mode::Ser) => "::serde::Value::Null".to_string(),
+        (Kind::UnitStruct, Mode::De) => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+             \"expected null for unit struct {name}\")) }}"
+        ),
+        (Kind::Enum(variants), Mode::Ser) => ser_enum(name, variants),
+        (Kind::Enum(variants), Mode::De) => de_enum(name, variants),
+    };
+    match mode {
+        Mode::Ser => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        ),
+        Mode::De => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+             }}"
+        ),
+    }
+}
+
+fn ser_named_struct(_name: &str, fields: &[Field]) -> String {
+    let mut out = String::from(
+        "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        out.push_str(&format!(
+            "__entries.push((::std::string::String::from(\"{fname}\"), \
+             ::serde::Serialize::to_value(&self.{fname})));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Map(__entries)");
+    out
+}
+
+fn de_named_struct(name: &str, fields: &[Field]) -> String {
+    let mut out = format!(
+        "let __map = match __v.as_map() {{ Some(__m) => __m, \
+         None => return ::std::result::Result::Err(::serde::Error::custom(\
+         \"expected map for struct {name}\")) }};\n\
+         ::std::result::Result::Ok({name} {{\n"
+    );
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            out.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(\
+                     ::serde::Error::missing_field(\"{name}\", \"{fname}\"))"
+                )
+            };
+            out.push_str(&format!(
+                "{fname}: match ::serde::__find(__map, \"{fname}\") {{ \
+                 Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                 None => {missing} }},\n"
+            ));
+        }
+    }
+    out.push_str("})");
+    out
+}
+
+fn ser_tuple_struct(len: usize) -> String {
+    if len == 1 {
+        "::serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..len)
+            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+            .collect();
+        format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+    }
+}
+
+fn de_tuple_struct(name: &str, len: usize) -> String {
+    if len == 1 {
+        return format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        );
+    }
+    let mut out = format!(
+        "let __items = match __v.as_seq() {{ Some(__s) if __s.len() == {len} => __s, \
+         _ => return ::std::result::Result::Err(::serde::Error::custom(\
+         \"expected sequence of {len} for {name}\")) }};\n\
+         ::std::result::Result::Ok({name}(\n"
+    );
+    for i in 0..len {
+        out.push_str(&format!(
+            "::serde::Deserialize::from_value(&__items[{i}])?,\n"
+        ));
+    }
+    out.push_str("))");
+    out
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            VariantFields::Unit => out.push_str(&format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            VariantFields::Tuple(len) => {
+                let binds: Vec<String> = (0..*len).map(|i| format!("__f{i}")).collect();
+                let payload = if *len == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                };
+                out.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                    binds.join(", ")
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut payload = String::from(
+                    "{ let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    let fname = &f.name;
+                    payload.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{fname}\"), \
+                         ::serde::Serialize::to_value({fname})));\n"
+                    ));
+                }
+                payload.push_str("::serde::Value::Map(__fields) }");
+                out.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str("}");
+    out
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            VariantFields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantFields::Tuple(len) => {
+                let body = if *len == 1 {
+                    format!(
+                        "::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?))"
+                    )
+                } else {
+                    let mut b = format!(
+                        "let __items = match __inner.as_seq() {{ \
+                         Some(__s) if __s.len() == {len} => __s, \
+                         _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected sequence of {len} for {name}::{vname}\")) }};\n\
+                         ::std::result::Result::Ok({name}::{vname}(\n"
+                    );
+                    for i in 0..*len {
+                        b.push_str(&format!(
+                            "::serde::Deserialize::from_value(&__items[{i}])?,\n"
+                        ));
+                    }
+                    b.push_str("))");
+                    b
+                };
+                tagged_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
+            }
+            VariantFields::Named(fields) => {
+                let mut body = format!(
+                    "let __map = match __inner.as_map() {{ Some(__m) => __m, \
+                     None => return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected map for variant {name}::{vname}\")) }};\n\
+                     ::std::result::Result::Ok({name}::{vname} {{\n"
+                );
+                for f in fields {
+                    let fname = &f.name;
+                    if f.skip {
+                        body.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                    } else {
+                        let missing = if f.default {
+                            "::std::default::Default::default()".to_string()
+                        } else {
+                            format!(
+                                "return ::std::result::Result::Err(\
+                                 ::serde::Error::missing_field(\
+                                 \"{name}::{vname}\", \"{fname}\"))"
+                            )
+                        };
+                        body.push_str(&format!(
+                            "{fname}: match ::serde::__find(__map, \"{fname}\") {{ \
+                             Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                             None => {missing} }},\n"
+                        ));
+                    }
+                }
+                body.push_str("})");
+                tagged_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __inner) = &__entries[0];\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"expected enum {name}, got {{}}\", __other.kind()))),\n\
+         }}"
+    )
+}
