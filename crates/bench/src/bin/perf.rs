@@ -1,0 +1,94 @@
+//! Kernel performance baseline: runs a pinned medium scenario over fixed
+//! seeds with the phase profiler enabled and writes `BENCH_kernel.json`.
+//!
+//! The scenario is *pinned*: its parameters must not drift between
+//! baseline captures, or wall-clock numbers stop being comparable across
+//! commits. Change the scenario only together with a rename (bump the
+//! `-v1` suffix) and a fresh committed baseline.
+//!
+//! ```text
+//! cargo run --release -p dtn-bench --bin perf              # 3 seeds
+//! cargo run --release -p dtn-bench --bin perf -- --seeds 1 # CI quick
+//! ```
+//!
+//! Schema of `BENCH_kernel.json` (all totals are summed across runs):
+//!
+//! ```json
+//! {"name": "...", "wall_secs": f, "sim_secs_per_sec": f,
+//!  "events_per_sec": f, "steps": n, "contacts": n, "relays": n}
+//! ```
+
+use dtn_workloads::paper::{reduced_scenario, seeds_for};
+use dtn_workloads::runner::{run_once_perf, PerfReport};
+use dtn_workloads::scenario::Arm;
+
+/// The pinned baseline scenario: the reduced-scale world under a stable
+/// name so recorded baselines are tied to an exact configuration.
+fn perf_scenario() -> dtn_workloads::scenario::Scenario {
+    reduced_scenario().named("perf-medium-v1")
+}
+
+fn main() {
+    let mut seed_count = 3usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seed_count = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| panic!("--seeds needs a positive integer"));
+            }
+            other => panic!("unknown flag {other}; usage: perf [--seeds N]"),
+        }
+        i += 1;
+    }
+
+    let scenario = perf_scenario();
+    let seeds = seeds_for(seed_count);
+    dtn_bench::print_scenario_header("kernel performance baseline", &scenario, &seeds);
+
+    // Sequential, one profiled run per seed: wall-clock must measure the
+    // kernel, not scheduler contention between concurrent runs.
+    let mut report: Option<PerfReport> = None;
+    let mut relays = 0u64;
+    for &seed in &seeds {
+        let (run, perf) = run_once_perf(&scenario, Arm::Incentive, seed);
+        relays += run.summary.relays_completed;
+        println!(
+            "seed {seed}: {:.2}s wall, {:.0} ev/s, {} relays",
+            perf.wall_secs, perf.events_per_sec, run.summary.relays_completed
+        );
+        match &mut report {
+            Some(r) => r.merge(&perf),
+            None => report = Some(perf),
+        }
+    }
+    let report = report.expect("at least one seed");
+    let contacts = report.metrics.counter("kernel.contacts_up");
+
+    println!("\n{}", report.render());
+
+    let json = format!(
+        "{{\n  \"name\": {},\n  \"wall_secs\": {:.6},\n  \"sim_secs_per_sec\": {:.3},\n  \
+         \"events_per_sec\": {:.3},\n  \"steps\": {},\n  \"contacts\": {},\n  \"relays\": {}\n}}\n",
+        serde_json::to_string(&scenario.name).expect("string encodes"),
+        report.wall_secs,
+        report.sim_secs_per_sec,
+        report.events_per_sec,
+        report.steps,
+        contacts,
+        relays
+    );
+    assert!(
+        report.events_per_sec > 0.0 && report.wall_secs > 0.0,
+        "profiled run produced no throughput"
+    );
+
+    let path = "BENCH_kernel.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("[json] {path}");
+}

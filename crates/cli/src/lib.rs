@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 
 use dtn_sim::stats::RunSummary;
-use dtn_workloads::paper::{reduced_scenario, QUICK_SEEDS};
+use dtn_workloads::paper::{reduced_scenario, seeds_for, QUICK_SEEDS};
 use dtn_workloads::runner::compare_arms;
 use dtn_workloads::scenario::{Arm, Scenario};
 
@@ -51,13 +51,26 @@ pub enum Command {
         chaos: Option<String>,
         /// Run with the cross-cutting invariant checker enabled.
         check_invariants: bool,
+        /// Optional path for a wall-clock metrics JSON dump
+        /// (`--metrics-out`); enables the phase profiler.
+        metrics_out: Option<String>,
+        /// Print the per-phase wall-clock table (`--verbose`); enables
+        /// the phase profiler.
+        verbose: bool,
     },
     /// Run both arms and print the paired comparison.
     Compare {
         /// Path to the scenario JSON.
         path: String,
-        /// How many of the quick seeds to use.
+        /// How many seeds to average over (the quick set first, then the
+        /// deterministic extension `404, 505, …`).
         seeds: usize,
+        /// Optional path for a wall-clock metrics JSON dump
+        /// (`--metrics-out`); enables the phase profiler.
+        metrics_out: Option<String>,
+        /// Print the per-phase wall-clock table (`--verbose`); enables
+        /// the phase profiler.
+        verbose: bool,
     },
     /// Print usage.
     Help,
@@ -89,6 +102,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut trace_out = None;
             let mut chaos = None;
             let mut check_invariants = false;
+            let mut metrics_out = None;
+            let mut verbose = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--arm" => {
@@ -124,6 +139,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         chaos = Some(spec);
                     }
                     "--check-invariants" => check_invariants = true,
+                    "--metrics-out" => {
+                        metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+                    }
+                    "--verbose" => verbose = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -135,11 +154,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 trace_out,
                 chaos,
                 check_invariants,
+                metrics_out,
+                verbose,
             })
         }
         "compare" => {
             let path = it.next().ok_or("compare needs a scenario path")?.clone();
             let mut seeds = QUICK_SEEDS.len();
+            let mut metrics_out = None;
+            let mut verbose = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--seeds" => {
@@ -148,14 +171,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .ok_or("--seeds needs a value")?
                             .parse()
                             .map_err(|e| format!("bad --seeds: {e}"))?;
-                        if seeds == 0 || seeds > QUICK_SEEDS.len() {
-                            return Err(format!("--seeds must be 1..={}", QUICK_SEEDS.len()));
+                        if seeds == 0 {
+                            return Err("--seeds must be at least 1".to_owned());
                         }
                     }
+                    "--metrics-out" => {
+                        metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+                    }
+                    "--verbose" => verbose = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            Ok(Command::Compare { path, seeds })
+            Ok(Command::Compare {
+                path,
+                seeds,
+                metrics_out,
+                verbose,
+            })
         }
         other => Err(format!("unknown command {other}; try 'dtn help'")),
     }
@@ -172,8 +204,17 @@ USAGE:
     dtn run <scenario.json> [--arm incentive|chitchat] [--seed N]
                             [--json out.json] [--trace out.txt]
                             [--chaos <spec>] [--check-invariants]
-    dtn compare <scenario.json> [--seeds N]
+                            [--metrics-out m.json] [--verbose]
+    dtn compare <scenario.json> [--seeds N] [--metrics-out m.json] [--verbose]
     dtn help
+
+METRICS:
+    --metrics-out writes a wall-clock performance report (per-phase timings,
+    events/sec throughput, sim-seconds-per-second speedup, peak buffer
+    occupancy) as JSON; --verbose prints the phase table to the terminal.
+    Either flag enables the kernel phase profiler, which never changes
+    simulation results. compare --seeds N past the quick set extends the
+    deterministic seed family (101, 202, 303, 404, …).
 
 CHAOS:
     --chaos takes a comma-separated fault spec, e.g.
@@ -268,6 +309,8 @@ pub fn execute(command: Command) -> Result<String, String> {
             trace_out,
             chaos,
             check_invariants,
+            metrics_out,
+            verbose,
         } => {
             let mut scenario = load_scenario(&path)?;
             if let Some(spec) = &chaos {
@@ -282,8 +325,10 @@ pub fn execute(command: Command) -> Result<String, String> {
             // Audit every 60 simulated steps: the rating-bounds scan is
             // O(nodes²), so a per-step audit would dominate a 100-node run.
             let cadence = check_invariants.then_some(60);
-            let (run, trace_text) =
-                dtn_workloads::runner::run_once_checked(&scenario, arm, seed, capacity, cadence);
+            let profile = metrics_out.is_some() || verbose;
+            let (run, trace_text, perf) = dtn_workloads::runner::run_once_observed(
+                &scenario, arm, seed, capacity, cadence, profile,
+            );
             if let (Some(out_path), Some(text)) = (&trace_out, &trace_text) {
                 std::fs::write(out_path, text)
                     .map_err(|e| format!("cannot write {out_path}: {e}"))?;
@@ -293,6 +338,9 @@ pub fn execute(command: Command) -> Result<String, String> {
                     .map_err(|e| format!("cannot serialize results: {e}"))?;
                 std::fs::write(&out_path, json)
                     .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            }
+            if let (Some(out_path), Some(report)) = (&metrics_out, &perf) {
+                write_metrics(out_path, report)?;
             }
             let mut text = format_summary(
                 &format!("{} · {} arm · seed {seed}", scenario.name, arm.label()),
@@ -311,11 +359,32 @@ pub fn execute(command: Command) -> Result<String, String> {
                 );
                 let _ = writeln!(text, "  broke nodes            {}", run.broke_nodes);
             }
+            if verbose {
+                if let Some(report) = &perf {
+                    text.push('\n');
+                    text.push_str(&report.render());
+                }
+            }
             Ok(text)
         }
-        Command::Compare { path, seeds } => {
+        Command::Compare {
+            path,
+            seeds,
+            metrics_out,
+            verbose,
+        } => {
             let scenario = load_scenario(&path)?;
-            let cmp = compare_arms(&scenario, &QUICK_SEEDS[..seeds]);
+            let seed_values = seeds_for(seeds);
+            let profile = metrics_out.is_some() || verbose;
+            let (cmp, perf) = if profile {
+                let (cmp, perf) = dtn_workloads::runner::compare_arms_perf(&scenario, &seed_values);
+                (cmp, Some(perf))
+            } else {
+                (compare_arms(&scenario, &seed_values), None)
+            };
+            if let (Some(out_path), Some(report)) = (&metrics_out, &perf) {
+                write_metrics(out_path, report)?;
+            }
             let mut text = format_summary(
                 &format!("{} · Incentive (mean of {seeds} seeds)", scenario.name),
                 &cmp.incentive,
@@ -331,9 +400,22 @@ pub fn execute(command: Command) -> Result<String, String> {
                 cmp.mdr_gap(),
                 cmp.traffic_reduction_pct()
             );
+            if verbose {
+                if let Some(report) = &perf {
+                    text.push('\n');
+                    text.push_str(&report.render());
+                }
+            }
             Ok(text)
         }
     }
+}
+
+/// Serializes a [`PerfReport`] to `path` as pretty JSON.
+fn write_metrics(path: &str, report: &dtn_workloads::runner::PerfReport) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| format!("cannot serialize metrics: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 #[cfg(test)]
@@ -374,11 +456,14 @@ mod tests {
                 trace_out: Some("t.txt".into()),
                 chaos: None,
                 check_invariants: false,
+                metrics_out: None,
+                verbose: false,
             })
         );
         assert_eq!(
             parse_args(&argv(
-                "run s.json --chaos crash=4,crashdown=120,wipe --check-invariants"
+                "run s.json --chaos crash=4,crashdown=120,wipe --check-invariants \
+                 --metrics-out m.json --verbose"
             )),
             Ok(Command::Run {
                 path: "s.json".into(),
@@ -388,15 +473,32 @@ mod tests {
                 trace_out: None,
                 chaos: Some("crash=4,crashdown=120,wipe".into()),
                 check_invariants: true,
+                metrics_out: Some("m.json".into()),
+                verbose: true,
             })
         );
         assert_eq!(
             parse_args(&argv("compare s.json --seeds 2")),
             Ok(Command::Compare {
                 path: "s.json".into(),
-                seeds: 2
+                seeds: 2,
+                metrics_out: None,
+                verbose: false,
             })
         );
+        // Seed counts beyond the quick set extend the deterministic
+        // family instead of erroring.
+        assert_eq!(
+            parse_args(&argv("compare s.json --seeds 8 --metrics-out m.json")),
+            Ok(Command::Compare {
+                path: "s.json".into(),
+                seeds: 8,
+                metrics_out: Some("m.json".into()),
+                verbose: false,
+            })
+        );
+        assert_eq!(seeds_for(3), QUICK_SEEDS.to_vec());
+        assert_eq!(seeds_for(5)[3..], [404, 505]);
     }
 
     #[test]
@@ -406,7 +508,7 @@ mod tests {
         assert!(parse_args(&argv("run s.json --arm epidemics")).is_err());
         assert!(parse_args(&argv("run s.json --seed banana")).is_err());
         assert!(parse_args(&argv("compare s.json --seeds 0")).is_err());
-        assert!(parse_args(&argv("compare s.json --seeds 99")).is_err());
+        assert!(parse_args(&argv("run s.json --metrics-out")).is_err());
         assert!(parse_args(&argv("run s.json --wat")).is_err());
         assert!(parse_args(&argv("run s.json --chaos")).is_err());
         assert!(parse_args(&argv("run s.json --chaos frobs=1")).is_err());
@@ -477,6 +579,8 @@ mod tests {
             trace_out: Some(trace_out.to_str().expect("utf8").to_owned()),
             chaos: Some("crash=2,crashdown=60,cut=5,cutdown=20,loss=0.01".into()),
             check_invariants: true,
+            metrics_out: None,
+            verbose: false,
         })
         .expect("runs");
         let trace_text = std::fs::read_to_string(&trace_out).expect("trace written");
@@ -491,6 +595,71 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&json_out).expect("json written"))
                 .expect("valid result JSON");
         assert!(dumped.created > 0);
+    }
+
+    #[test]
+    fn metrics_out_writes_a_valid_perf_report() {
+        let mut s = reduced_scenario();
+        s.nodes = 12;
+        s.area_km2 = 0.12;
+        s.duration_secs = 600.0;
+        s.message_interval_secs = 30.0;
+        s.message_ttl_secs = 500.0;
+        let dir = scratch_dir("metrics");
+        let path = dir.join("tiny.json");
+        std::fs::write(&path, serde_json::to_string(&s).expect("json")).expect("write");
+        let metrics_out = dir.join("m.json");
+        let text = execute(Command::Run {
+            path: path.to_str().expect("utf8").to_owned(),
+            arm: Arm::Incentive,
+            seed: 1,
+            json_out: None,
+            trace_out: None,
+            chaos: None,
+            check_invariants: false,
+            metrics_out: Some(metrics_out.to_str().expect("utf8").to_owned()),
+            verbose: true,
+        })
+        .expect("runs");
+        assert!(
+            text.contains("phase"),
+            "verbose output has phase table: {text}"
+        );
+        let report: dtn_workloads::runner::PerfReport =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_out).expect("written"))
+                .expect("valid PerfReport JSON");
+        assert!(!report.phases.is_empty(), "per-phase wall-clock present");
+        assert!(report.phases.iter().any(|p| p.secs > 0.0));
+        assert!(report.events_per_sec > 0.0);
+        assert!(report.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn compare_metrics_out_covers_both_arms() {
+        let mut s = reduced_scenario();
+        s.nodes = 10;
+        s.area_km2 = 0.1;
+        s.duration_secs = 400.0;
+        s.message_interval_secs = 40.0;
+        s.message_ttl_secs = 300.0;
+        let dir = scratch_dir("cmp-metrics");
+        let path = dir.join("tiny.json");
+        std::fs::write(&path, serde_json::to_string(&s).expect("json")).expect("write");
+        let metrics_out = dir.join("m.json");
+        let text = execute(Command::Compare {
+            path: path.to_str().expect("utf8").to_owned(),
+            seeds: 1,
+            metrics_out: Some(metrics_out.to_str().expect("utf8").to_owned()),
+            verbose: false,
+        })
+        .expect("runs");
+        assert!(text.contains("Incentive") && text.contains("ChitChat"));
+        let report: dtn_workloads::runner::PerfReport =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_out).expect("written"))
+                .expect("valid PerfReport JSON");
+        assert_eq!(report.runs, 2, "one run per arm");
+        assert!(report.events_per_sec > 0.0);
+        assert!(!report.phases.is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::faults::{FaultInjector, FaultPlan, FaultStats, NodeFault, TransferFau
 use crate::geometry::{Area, Point};
 use crate::invariants::{self, InvariantChecker};
 use crate::message::{Keyword, MessageBody, MessageCopy, MessageId, Priority, Quality};
+use crate::metrics::{KernelCounters, MetricsRegistry, Phase, PhaseProfiler};
 use crate::mobility::MobilityModel;
 use crate::protocol::{Protocol, Reception};
 use crate::radio::RadioConfig;
@@ -66,6 +67,7 @@ pub struct SimApi {
     energy: EnergyMeter,
     stats: StatsCollector,
     trace: TraceLog,
+    counters: KernelCounters,
     rng_root: SimRng,
 }
 
@@ -190,6 +192,7 @@ impl SimApi {
     /// Cancels a pending transfer. Returns `true` if one was cancelled.
     pub fn cancel_send(&mut self, from: NodeId, to: NodeId, message: MessageId) -> bool {
         if self.transfers.cancel(from, to, message).is_some() {
+            self.counters.transfers_aborted += 1;
             self.stats.record_abort();
             true
         } else {
@@ -269,6 +272,12 @@ impl SimApi {
     pub fn trace(&self) -> &TraceLog {
         &self.trace
     }
+
+    /// Always-on kernel event tallies (see [`KernelCounters`]).
+    #[must_use]
+    pub fn counters(&self) -> &KernelCounters {
+        &self.counters
+    }
 }
 
 /// Builder for a [`Simulation`] ([C-BUILDER]).
@@ -298,6 +307,7 @@ pub struct SimulationBuilder {
     trace: Option<TraceLog>,
     faults: Option<FaultPlan>,
     check_every: Option<u64>,
+    profile: bool,
     mobilities: Vec<Box<dyn MobilityModel>>,
     schedule: Vec<ScheduledMessage>,
 }
@@ -318,6 +328,7 @@ impl SimulationBuilder {
             trace: None,
             faults: None,
             check_every: None,
+            profile: false,
             mobilities: Vec::new(),
             schedule: Vec::new(),
         }
@@ -413,6 +424,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables the wall-clock phase profiler (see
+    /// [`crate::metrics::PhaseProfiler`]); disabled by default. Profiling
+    /// never perturbs simulation state: a profiled run reproduces the
+    /// unprofiled run's summary and trace byte for byte.
+    #[must_use]
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
     /// Adds one node with the given mobility model, returning its id via
     /// the builder order (the first added node is `NodeId(0)`).
     #[must_use]
@@ -504,6 +525,7 @@ impl SimulationBuilder {
                 },
                 stats: StatsCollector::new(),
                 trace: self.trace.unwrap_or_default(),
+                counters: KernelCounters::default(),
                 rng_root,
             },
             protocol,
@@ -520,6 +542,11 @@ impl SimulationBuilder {
             seed: self.seed,
             faults,
             checker: self.check_every.map(InvariantChecker::every),
+            profiler: if self.profile {
+                PhaseProfiler::enabled()
+            } else {
+                PhaseProfiler::disabled()
+            },
         }
     }
 }
@@ -542,6 +569,7 @@ pub struct Simulation<P> {
     seed: u64,
     faults: Option<FaultInjector>,
     checker: Option<InvariantChecker>,
+    profiler: PhaseProfiler,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -582,6 +610,30 @@ impl<P: Protocol> Simulation<P> {
         self.checker.as_ref().map(InvariantChecker::checks_run)
     }
 
+    /// The wall-clock phase profiler (disabled unless the builder's
+    /// [`SimulationBuilder::profile`] was set).
+    #[must_use]
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
+    }
+
+    /// Exports kernel counters, peak buffer occupancy and — when profiling
+    /// is on — phase timings and the per-step wall-clock histogram into a
+    /// fresh [`MetricsRegistry`].
+    #[must_use]
+    pub fn export_metrics(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.api.counters.export(&mut registry);
+        if self.profiler.is_enabled() {
+            for t in self.profiler.timings() {
+                registry.set_gauge(&format!("phase_secs.{}", t.phase), t.secs);
+            }
+            registry.set_gauge("profiler.total_secs", self.profiler.total_secs());
+            registry.insert_histogram("step_wall_us", self.profiler.step_wall_us().clone());
+        }
+        registry
+    }
+
     /// Runs the full invariant audit right now, regardless of cadence,
     /// returning the violations instead of panicking. Empty = healthy.
     #[must_use]
@@ -615,16 +667,20 @@ impl<P: Protocol> Simulation<P> {
         }
         let dt = self.api.step;
         let now = self.api.now;
+        let step_scope = self.profiler.start();
 
         // 1. Movement.
+        let scope = self.profiler.start();
         for i in 0..self.mobilities.len() {
             let p = self.api.positions[i];
             self.api.positions[i] =
                 self.mobilities[i].step(p, dt, self.api.area, &mut self.node_rngs[i]);
         }
+        self.profiler.stop(Phase::Mobility, scope);
 
         // 1b. Node-level fault injection: crash/reboot churn and battery
         // spikes, in deterministic node order off the fault stream.
+        let scope = self.profiler.start();
         let node_faults = self
             .faults
             .as_mut()
@@ -660,8 +716,10 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
         }
+        self.profiler.stop(Phase::FaultInjection, scope);
 
         // 2. Contact diff.
+        let scope = self.profiler.start();
         self.grid.rebuild(&self.api.positions);
         let mut in_range: Vec<ContactKey> = Vec::new();
         let energy = &self.api.energy;
@@ -687,14 +745,20 @@ impl<P: Protocol> Simulation<P> {
             }
         }
         let events = self.api.contacts.diff(&in_range, now);
+        self.profiler.stop(Phase::ContactDiff, scope);
+        // 2c. Protocol exchange: contact transitions dispatch into the
+        // protocol (directory/offer exchange, transfer aborts on teardown).
+        let scope = self.profiler.start();
         for ev in events {
             match ev {
                 ContactEvent::Down(key, _since) => {
+                    self.api.counters.contacts_down += 1;
                     self.api
                         .trace
                         .record(now, TraceEvent::ContactDown { a: key.0, b: key.1 });
                     let aborted = self.api.transfers.abort_between(key.0, key.1);
                     for a in aborted {
+                        self.api.counters.transfers_aborted += 1;
                         self.api.stats.record_abort();
                         self.api.trace.record(
                             now,
@@ -709,6 +773,7 @@ impl<P: Protocol> Simulation<P> {
                     self.protocol.on_contact_down(&mut self.api, key.0, key.1);
                 }
                 ContactEvent::Up(key) => {
+                    self.api.counters.contacts_up += 1;
                     self.api
                         .trace
                         .record(now, TraceEvent::ContactUp { a: key.0, b: key.1 });
@@ -716,8 +781,10 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
         }
+        self.profiler.stop(Phase::ProtocolExchange, scope);
 
         // 3. Scheduled message creations due by `now`.
+        let scope = self.profiler.start();
         while self.next_scheduled < self.schedule.len()
             && self.schedule[self.next_scheduled].at <= now
         {
@@ -725,8 +792,10 @@ impl<P: Protocol> Simulation<P> {
             self.next_scheduled += 1;
             self.create_message(m);
         }
+        self.profiler.stop(Phase::MessageCreation, scope);
 
         // 4. Transfers.
+        let scope = self.profiler.start();
         let (completed, aborted) = {
             let buffers = &self.api.buffers;
             let positions = &self.api.positions;
@@ -738,6 +807,7 @@ impl<P: Protocol> Simulation<P> {
             )
         };
         for a in aborted {
+            self.api.counters.transfers_aborted += 1;
             self.api.stats.record_abort();
             self.api.trace.record(
                 now,
@@ -750,6 +820,7 @@ impl<P: Protocol> Simulation<P> {
             self.protocol.on_transfer_aborted(&mut self.api, &a);
         }
         for c in completed {
+            self.api.counters.transfers_completed += 1;
             // 4b. Transfer-level fault injection: the payload of a
             // physically completed transfer may be lost or corrupted. The
             // airtime was genuinely spent, so both radios are still
@@ -765,6 +836,7 @@ impl<P: Protocol> Simulation<P> {
                     .api
                     .energy
                     .charge_transfer(c.from, c.to, c.airtime, c.distance_m);
+                self.api.counters.transfers_aborted += 1;
                 self.api.stats.record_abort();
                 let event = match kind {
                     TransferFault::Loss => TraceEvent::TransferLost {
@@ -806,6 +878,7 @@ impl<P: Protocol> Simulation<P> {
                 // incoming insert evicted it before this completion was
                 // processed): the payload is unusable — an abort, not a
                 // relay.
+                self.api.counters.transfers_aborted += 1;
                 self.api.stats.record_abort();
             }
             let outcome = match arriving {
@@ -840,13 +913,16 @@ impl<P: Protocol> Simulation<P> {
             self.protocol
                 .on_transfer_complete(&mut self.api, &reception);
         }
+        self.profiler.stop(Phase::Transfers, scope);
 
         // 5. Periodic TTL sweep.
+        let scope = self.profiler.start();
         if now.duration_since(self.last_sweep).as_secs() >= self.ttl_sweep_every.as_secs() {
             self.last_sweep = now;
             for i in 0..self.api.buffers.len() {
                 let expired = self.api.buffers[i].sweep_expired(now);
                 if !expired.is_empty() {
+                    self.api.counters.ttl_expiries += expired.len() as u64;
                     self.api.stats.record_expiries(expired.len());
                     for &m in &expired {
                         self.api.trace.record(
@@ -862,22 +938,39 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
         }
+        self.profiler.stop(Phase::TtlSweep, scope);
 
-        // 6. Protocol housekeeping, then advance the clock.
+        // 6. Protocol housekeeping (settlement, rating decay, sampling),
+        // then advance the clock.
+        let scope = self.profiler.start();
         self.protocol.on_tick(&mut self.api);
+        self.profiler.stop(Phase::SettlementTick, scope);
 
         // 7. Cadenced invariant audit, while the step's state is fresh.
+        let scope = self.profiler.start();
         let audit_due = self.checker.as_mut().is_some_and(InvariantChecker::due);
         if audit_due {
             self.enforce_invariants();
         }
+        self.profiler.stop(Phase::InvariantCheck, scope);
 
+        self.api.counters.steps += 1;
+        if self.profiler.is_enabled() {
+            // Peak buffer occupancy is an O(nodes) scan, so it is gated on
+            // the profiler rather than charged to every unprofiled run.
+            let used: u64 = self.api.buffers.iter().map(Buffer::used_bytes).sum();
+            if used > self.api.counters.peak_buffer_bytes {
+                self.api.counters.peak_buffer_bytes = used;
+            }
+        }
+        self.profiler.stop_step(step_scope);
         self.api.now += dt;
     }
 
     fn create_message(&mut self, m: ScheduledMessage) {
         let id = MessageId(self.next_message_id);
         self.next_message_id += 1;
+        self.api.counters.messages_created += 1;
         let body = Arc::new(MessageBody {
             id,
             source: m.source,
@@ -1077,6 +1170,88 @@ mod tests {
         let summary = sim.run_until(SimTime::from_secs(200.0));
         assert_eq!(summary.ttl_expiries, 1);
         assert!(sim.api().buffer(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn profiling_never_perturbs_results() {
+        let build = |profile: bool| {
+            SimulationBuilder::new(Area::new(2000.0, 2000.0), 99)
+                .nodes(20, || {
+                    Box::new(crate::mobility::RandomWaypoint::pedestrian())
+                })
+                .messages((0..10).map(|i| ScheduledMessage {
+                    expected_destinations: vec![NodeId((i as u32 + 1) % 20)],
+                    ..msg(i as f64 * 30.0, i as u32 % 20)
+                }))
+                .trace(TraceLog::unbounded())
+                .profile(profile)
+                .build(PushAll)
+        };
+        let mut plain = build(false);
+        let mut profiled = build(true);
+        let a = plain.run_until(SimTime::from_secs(1800.0));
+        let b = profiled.run_until(SimTime::from_secs(1800.0));
+        assert_eq!(a, b, "profiling must not change the summary");
+        assert_eq!(
+            plain.api().trace().render(),
+            profiled.api().trace().render(),
+            "profiling must not change the event trace"
+        );
+        // The profiled run actually recorded wall-clock...
+        assert!(profiled.profiler().is_enabled());
+        assert!(profiled.profiler().total_secs() > 0.0);
+        assert_eq!(profiled.profiler().step_wall_us().count(), 1800);
+        assert!(profiled.api().counters().peak_buffer_bytes > 0);
+        // ...while the plain run spent none.
+        assert!(!plain.profiler().is_enabled());
+        assert_eq!(plain.profiler().total_secs(), 0.0);
+        assert_eq!(plain.api().counters().peak_buffer_bytes, 0);
+        // Event counters are always on and identical across both runs.
+        let (ca, cb) = (plain.api().counters(), profiled.api().counters());
+        assert_eq!(
+            KernelCounters {
+                peak_buffer_bytes: 0,
+                ..*cb
+            },
+            *ca
+        );
+        assert_eq!(ca.steps, 1800);
+        assert_eq!(ca.messages_created, a.created);
+        assert_eq!(ca.transfers_aborted, a.transfers_aborted);
+        assert!(ca.contacts_up >= ca.contacts_down);
+        assert!(ca.events() > 0);
+    }
+
+    #[test]
+    fn export_metrics_carries_counters_and_phases() {
+        let mut sim = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                100.0, 100.0,
+            ))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                150.0, 100.0,
+            ))))
+            .message(msg(5.0, 0))
+            .profile(true)
+            .build(PushAll);
+        sim.run_until(SimTime::from_secs(60.0));
+        let m = sim.export_metrics();
+        assert_eq!(m.counter("kernel.steps"), 60);
+        assert_eq!(m.counter("kernel.messages_created"), 1);
+        assert_eq!(m.counter("kernel.transfers_completed"), 1);
+        assert!(m.counter("kernel.events") >= 3);
+        assert!(m.gauge("phase_secs.mobility").is_some());
+        assert!(m.gauge("profiler.total_secs").unwrap() > 0.0);
+        assert_eq!(m.histogram("step_wall_us").unwrap().count(), 60);
+        // Unprofiled export stays counters-only.
+        let mut plain = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+            .node(Box::new(Stationary))
+            .build(NullProtocol);
+        plain.run_until(SimTime::from_secs(10.0));
+        let m = plain.export_metrics();
+        assert_eq!(m.counter("kernel.steps"), 10);
+        assert!(m.gauge("profiler.total_secs").is_none());
+        assert!(m.histogram("step_wall_us").is_none());
     }
 
     #[test]

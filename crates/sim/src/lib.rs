@@ -46,6 +46,7 @@ pub mod geometry;
 pub mod invariants;
 pub mod kernel;
 pub mod message;
+pub mod metrics;
 pub mod mobility;
 pub mod mobility_map;
 pub mod protocol;
@@ -67,6 +68,9 @@ pub mod prelude {
     pub use crate::kernel::{ScheduledMessage, SimApi, Simulation, SimulationBuilder};
     pub use crate::message::{
         Annotation, Keyword, MessageBody, MessageCopy, MessageId, Priority, Quality,
+    };
+    pub use crate::metrics::{
+        Histogram, KernelCounters, MetricsRegistry, Phase, PhaseProfiler, PhaseTiming,
     };
     pub use crate::mobility::{
         MobilityModel, RandomWalk, RandomWaypoint, ScriptedWaypoints, Stationary,

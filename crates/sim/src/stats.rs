@@ -63,6 +63,10 @@ pub struct RunSummary {
     pub delivery_ratio_by_priority: BTreeMap<u8, f64>,
     /// Mean first-delivery latency, seconds.
     pub mean_latency_secs: f64,
+    /// Number of expected deliveries behind `mean_latency_secs` — the
+    /// weight a cross-seed average must give this run's latency (a seed
+    /// with one delivery must not count as much as one with 500).
+    pub latency_count: u64,
     /// Completed message transfers (the paper's "traffic").
     pub relays_completed: u64,
     /// Bytes moved by completed transfers.
@@ -215,6 +219,7 @@ impl StatsCollector {
             } else {
                 self.latency_sum_secs / self.latency_count as f64
             },
+            latency_count: self.latency_count,
             relays_completed: self.relays_completed,
             relay_bytes: self.relay_bytes,
             transfers_aborted: self.transfers_aborted,
@@ -228,9 +233,20 @@ impl StatsCollector {
 impl RunSummary {
     /// Averages several run summaries (one per seed) field-wise.
     ///
-    /// Series are averaged point-wise when all runs sampled the same times;
-    /// otherwise the first run's series is kept (runs in this crate always
-    /// sample on a fixed cadence, so the aligned case is the norm).
+    /// Three aggregation rules keep cross-seed means honest:
+    ///
+    /// * **Latency** is weighted by each run's delivery count
+    ///   (`latency_count`); delivery-free runs carry no weight instead of
+    ///   dragging the mean toward 0.0.
+    /// * **Per-priority delivery ratios** average only over runs that
+    ///   actually created messages at that priority — a level absent from
+    ///   a run means "nothing to deliver", not "delivered none".
+    /// * **Series** sampled on the same time grid are averaged point-wise.
+    ///   Misaligned series are resampled (linear interpolation) onto the
+    ///   common time grid and then averaged; if the runs share no
+    ///   overlapping time range at all, the first run's series is kept but
+    ///   renamed with a `:seed0` suffix so a plot can never pass off n=1
+    ///   data as a cross-seed mean.
     ///
     /// # Panics
     ///
@@ -244,23 +260,37 @@ impl RunSummary {
         };
         let mean_f = |f: fn(&RunSummary) -> f64| runs.iter().map(f).sum::<f64>() / n;
 
+        // Delivery-count-weighted latency: a seed with one delivery must
+        // not pull as hard as a seed with 500, and a zero-delivery seed
+        // (latency 0.0 by convention) must not pull at all.
+        let total_latency_count: u64 = runs.iter().map(|r| r.latency_count).sum();
+        let mean_latency_secs = if total_latency_count == 0 {
+            0.0
+        } else {
+            runs.iter()
+                .map(|r| r.mean_latency_secs * r.latency_count as f64)
+                .sum::<f64>()
+                / total_latency_count as f64
+        };
+
         let mut by_priority: BTreeMap<u8, f64> = BTreeMap::new();
         for level in runs
             .iter()
             .flat_map(|r| r.delivery_ratio_by_priority.keys().copied())
             .collect::<std::collections::BTreeSet<u8>>()
         {
-            let v = runs
+            // Only runs that created messages at this level participate:
+            // `summarize` emits a per-priority entry exactly when the run
+            // created traffic there, so key presence is the created-at-
+            // this-level signal.
+            let ratios: Vec<f64> = runs
                 .iter()
-                .map(|r| {
-                    r.delivery_ratio_by_priority
-                        .get(&level)
-                        .copied()
-                        .unwrap_or(0.0)
-                })
-                .sum::<f64>()
-                / n;
-            by_priority.insert(level, v);
+                .filter_map(|r| r.delivery_ratio_by_priority.get(&level).copied())
+                .collect();
+            if !ratios.is_empty() {
+                let v = ratios.iter().sum::<f64>() / ratios.len() as f64;
+                by_priority.insert(level, v);
+            }
         }
 
         let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
@@ -269,24 +299,39 @@ impl RunSummary {
             .flat_map(|r| r.series.keys().cloned())
             .collect::<std::collections::BTreeSet<String>>()
         {
-            let with_series: Vec<&Vec<(f64, f64)>> =
-                runs.iter().filter_map(|r| r.series.get(&name)).collect();
+            let with_series: Vec<&Vec<(f64, f64)>> = runs
+                .iter()
+                .filter_map(|r| r.series.get(&name))
+                .filter(|s| !s.is_empty())
+                .collect();
+            let Some(first) = with_series.first() else {
+                continue;
+            };
+            if with_series.len() == 1 {
+                series.insert(name, (*first).clone());
+                continue;
+            }
             let aligned = with_series.windows(2).all(|w| w[0].len() == w[1].len())
                 && with_series
                     .iter()
-                    .all(|s| s.iter().zip(with_series[0].iter()).all(|(a, b)| a.0 == b.0));
-            if aligned && !with_series.is_empty() {
-                let len = with_series[0].len();
+                    .all(|s| s.iter().zip(first.iter()).all(|(a, b)| a.0 == b.0));
+            if aligned {
+                let len = first.len();
                 let mut avg = Vec::with_capacity(len);
                 for i in 0..len {
-                    let t = with_series[0][i].0;
+                    let t = first[i].0;
                     let v =
                         with_series.iter().map(|s| s[i].1).sum::<f64>() / with_series.len() as f64;
                     avg.push((t, v));
                 }
                 series.insert(name, avg);
-            } else if let Some(first) = with_series.first() {
-                series.insert(name, (*first).clone());
+            } else if let Some(resampled) = resample_mean(&with_series) {
+                series.insert(name, resampled);
+            } else {
+                // No overlapping time range: nothing can honestly be
+                // averaged. Keep the first run's data but label it as a
+                // single seed's series, never as the mean.
+                series.insert(format!("{name}:seed0"), (*first).clone());
             }
         }
 
@@ -298,13 +343,77 @@ impl RunSummary {
             messages_with_delivery: mean_u(|r| r.messages_with_delivery),
             delivery_ratio: mean_f(|r| r.delivery_ratio),
             delivery_ratio_by_priority: by_priority,
-            mean_latency_secs: mean_f(|r| r.mean_latency_secs),
+            mean_latency_secs,
+            latency_count: total_latency_count,
             relays_completed: mean_u(|r| r.relays_completed),
             relay_bytes: mean_u(|r| r.relay_bytes),
             transfers_aborted: mean_u(|r| r.transfers_aborted),
             buffer_evictions: mean_u(|r| r.buffer_evictions),
             ttl_expiries: mean_u(|r| r.ttl_expiries),
             series,
+        }
+    }
+}
+
+/// Averages misaligned time series by resampling each onto their common
+/// time grid (the union of sample times clipped to the overlapping range)
+/// with linear interpolation. Returns `None` when the series share no
+/// overlapping range (or any series is empty).
+///
+/// Each input must be sorted by time, which holds for everything
+/// [`StatsCollector::push_sample`] records (simulation time is monotonic).
+fn resample_mean(series: &[&Vec<(f64, f64)>]) -> Option<Vec<(f64, f64)>> {
+    if series.iter().any(|s| s.is_empty()) {
+        return None;
+    }
+    let start = series
+        .iter()
+        .map(|s| s[0].0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let end = series
+        .iter()
+        .map(|s| s[s.len() - 1].0)
+        .fold(f64::INFINITY, f64::min);
+    if start > end {
+        return None;
+    }
+    let mut grid: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.iter().map(|&(t, _)| t))
+        .filter(|&t| t >= start && t <= end)
+        .collect();
+    grid.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    grid.dedup();
+    let mean = grid
+        .iter()
+        .map(|&t| {
+            let v = series.iter().map(|s| interpolate_at(s, t)).sum::<f64>() / series.len() as f64;
+            (t, v)
+        })
+        .collect();
+    Some(mean)
+}
+
+/// Linear interpolation of a time-sorted series at `t` (exact hits return
+/// the sample; `t` is expected to be within the series' time range).
+fn interpolate_at(series: &[(f64, f64)], t: f64) -> f64 {
+    match series.binary_search_by(|&(st, _)| st.partial_cmp(&t).expect("finite sample times")) {
+        Ok(i) => series[i].1,
+        Err(i) => {
+            if i == 0 {
+                series[0].1
+            } else if i >= series.len() {
+                series[series.len() - 1].1
+            } else {
+                let (t0, v0) = series[i - 1];
+                let (t1, v1) = series[i];
+                let span = t1 - t0;
+                if span <= 0.0 {
+                    v0
+                } else {
+                    v0 + (v1 - v0) * (t - t0) / span
+                }
+            }
         }
     }
 }
@@ -381,6 +490,116 @@ mod tests {
     fn zero_expected_pairs_yields_zero_ratio() {
         let s = StatsCollector::new();
         assert_eq!(s.summarize().delivery_ratio, 0.0);
+    }
+
+    #[test]
+    fn mean_latency_weights_by_delivery_count() {
+        // Run a: one delivery at 10 s. Run b: three deliveries at 2 s each.
+        let mut a = StatsCollector::new();
+        a.record_created(MessageId(1), Priority::High, [NodeId(1)]);
+        a.record_delivered(MessageId(1), NodeId(1), t(0.0), t(10.0));
+        let mut b = StatsCollector::new();
+        b.record_created(
+            MessageId(1),
+            Priority::High,
+            [NodeId(1), NodeId(2), NodeId(3)],
+        );
+        for node in [NodeId(1), NodeId(2), NodeId(3)] {
+            b.record_delivered(MessageId(1), node, t(0.0), t(2.0));
+        }
+        let sa = a.summarize();
+        let sb = b.summarize();
+        assert_eq!(sa.latency_count, 1);
+        assert_eq!(sb.latency_count, 3);
+        let avg = RunSummary::mean_of(&[sa, sb]);
+        // Weighted: (10·1 + 2·3) / 4 = 4.0 — not the unweighted (10+2)/2.
+        assert_eq!(avg.mean_latency_secs, 4.0);
+        assert_eq!(avg.latency_count, 4);
+    }
+
+    #[test]
+    fn delivery_free_runs_carry_no_latency_weight() {
+        let mut a = StatsCollector::new();
+        a.record_created(MessageId(1), Priority::High, [NodeId(1)]);
+        a.record_delivered(MessageId(1), NodeId(1), t(0.0), t(8.0));
+        let mut b = StatsCollector::new();
+        b.record_created(MessageId(1), Priority::High, [NodeId(1)]);
+        // b delivers nothing: its 0.0 "latency" must not drag the mean.
+        let avg = RunSummary::mean_of(&[a.summarize(), b.summarize()]);
+        assert_eq!(avg.mean_latency_secs, 8.0);
+        // All runs delivery-free → mean stays the 0.0 convention.
+        let mut c = StatsCollector::new();
+        c.record_created(MessageId(1), Priority::Low, [NodeId(1)]);
+        let empty = RunSummary::mean_of(&[c.summarize()]);
+        assert_eq!(empty.mean_latency_secs, 0.0);
+        assert_eq!(empty.latency_count, 0);
+    }
+
+    #[test]
+    fn absent_priority_levels_are_excluded_not_zeroed() {
+        // Run a created only High traffic (fully delivered); run b created
+        // only Low traffic. Neither run's missing level may count as 0.0.
+        let mut a = StatsCollector::new();
+        a.record_created(MessageId(1), Priority::High, [NodeId(1)]);
+        a.record_delivered(MessageId(1), NodeId(1), t(0.0), t(1.0));
+        let mut b = StatsCollector::new();
+        b.record_created(MessageId(2), Priority::Low, [NodeId(2)]);
+        let avg = RunSummary::mean_of(&[a.summarize(), b.summarize()]);
+        assert_eq!(
+            avg.delivery_ratio_by_priority[&Priority::High.level()],
+            1.0,
+            "only run a created High traffic, so its ratio stands alone"
+        );
+        assert_eq!(avg.delivery_ratio_by_priority[&Priority::Low.level()], 0.0);
+    }
+
+    #[test]
+    fn misaligned_series_resample_onto_common_grid() {
+        // a samples v=t at t ∈ {0, 60, 120}; b samples v=t at t ∈ {0, 30, 60}.
+        let mut a = StatsCollector::new();
+        let mut b = StatsCollector::new();
+        for secs in [0.0, 60.0, 120.0] {
+            a.push_sample("load", t(secs), secs);
+        }
+        for secs in [0.0, 30.0, 60.0] {
+            b.push_sample("load", t(secs), secs);
+        }
+        let avg = RunSummary::mean_of(&[a.summarize(), b.summarize()]);
+        // Common range [0, 60], union grid {0, 30, 60}; both series are the
+        // identity there, so the mean is the identity too — crucially with
+        // *both* runs contributing, not just the first.
+        assert_eq!(
+            avg.series["load"],
+            vec![(0.0, 0.0), (30.0, 30.0), (60.0, 60.0)]
+        );
+    }
+
+    #[test]
+    fn disjoint_series_are_tagged_not_passed_off_as_means() {
+        let mut a = StatsCollector::new();
+        a.push_sample("rating", t(0.0), 1.0);
+        a.push_sample("rating", t(10.0), 2.0);
+        let mut b = StatsCollector::new();
+        b.push_sample("rating", t(100.0), 9.0);
+        b.push_sample("rating", t(110.0), 9.5);
+        let avg = RunSummary::mean_of(&[a.summarize(), b.summarize()]);
+        assert!(
+            !avg.series.contains_key("rating"),
+            "no honest mean exists for disjoint time ranges"
+        );
+        assert_eq!(
+            avg.series["rating:seed0"],
+            vec![(0.0, 1.0), (10.0, 2.0)],
+            "first seed's data survives, clearly labelled as n=1"
+        );
+    }
+
+    #[test]
+    fn interpolation_is_linear_between_samples() {
+        let s = vec![(0.0, 0.0), (10.0, 100.0)];
+        assert_eq!(super::interpolate_at(&s, 0.0), 0.0);
+        assert_eq!(super::interpolate_at(&s, 2.5), 25.0);
+        assert_eq!(super::interpolate_at(&s, 10.0), 100.0);
     }
 
     #[test]

@@ -22,6 +22,15 @@ pub const PAPER_SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
 /// Reduced-scale seeds for quick runs (three seeds keep noise tolerable).
 pub const QUICK_SEEDS: [u64; 3] = [101, 202, 303];
 
+/// The first `n` seeds of the deterministic family behind
+/// [`QUICK_SEEDS`] and [`PAPER_SEEDS`] (`101, 202, 303, …`): requesting
+/// more seeds than the quick set extends the sequence instead of failing,
+/// so `--seeds 8` means "average over eight seeds", not an error.
+#[must_use]
+pub fn seeds_for(n: usize) -> Vec<u64> {
+    (1..=n as u64).map(|i| i * 101).collect()
+}
+
 /// The exact Table 5.1 configuration.
 #[must_use]
 pub fn table51_scenario() -> Scenario {

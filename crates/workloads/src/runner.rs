@@ -5,10 +5,12 @@ use dtn_core::params::ProtocolParams;
 use dtn_core::protocol::{DcimRouter, ProtocolStats};
 use dtn_sim::geometry::Area;
 use dtn_sim::kernel::{Simulation, SimulationBuilder};
+use dtn_sim::metrics::{MetricsRegistry, PhaseTiming};
 use dtn_sim::rng::SimRng;
 use dtn_sim::stats::RunSummary;
 use dtn_sim::time::SimTime;
 use dtn_sim::world::NodeId;
+use serde::{Deserialize, Serialize};
 
 use crate::population::Population;
 use crate::scenario::{Arm, Scenario};
@@ -85,6 +87,25 @@ pub fn build_simulation_checked(
     trace: Option<dtn_sim::trace::TraceLog>,
     check_every: Option<u64>,
 ) -> Simulation<DcimRouter> {
+    build_simulation_opts(scenario, arm, seed, trace, check_every, false)
+}
+
+/// [`build_simulation_checked`] plus the wall-clock phase profiler
+/// (`profile = true` enables per-phase timing and peak-buffer tracking;
+/// results are unaffected either way).
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+#[must_use]
+pub fn build_simulation_opts(
+    scenario: &Scenario,
+    arm: Arm,
+    seed: u64,
+    trace: Option<dtn_sim::trace::TraceLog>,
+    check_every: Option<u64>,
+    profile: bool,
+) -> Simulation<DcimRouter> {
     scenario.validate().expect("scenario must validate");
     let workload_rng = SimRng::new(seed);
     let population = Population::synthesize(scenario, &workload_rng);
@@ -131,7 +152,7 @@ pub fn build_simulation_checked(
     if let Some(every) = check_every {
         builder = builder.check_invariants_every(every);
     }
-    builder.messages(schedule).build(router)
+    builder.profile(profile).messages(schedule).build(router)
 }
 
 /// Builds the same world and workload as [`build_simulation`] but wires in
@@ -212,9 +233,28 @@ pub fn run_once_checked(
     trace_capacity: Option<usize>,
     check_every: Option<u64>,
 ) -> (ArmRun, Option<String>) {
+    let (run, rendered, _) =
+        run_once_observed(scenario, arm, seed, trace_capacity, check_every, false);
+    (run, rendered)
+}
+
+/// The fully instrumented single run: optional trace, optional invariant
+/// audit, optional wall-clock profiling (see [`PerfReport`]) — the CLI's
+/// `run` command with all flags. Profiling changes no simulation outcome.
+#[must_use]
+pub fn run_once_observed(
+    scenario: &Scenario,
+    arm: Arm,
+    seed: u64,
+    trace_capacity: Option<usize>,
+    check_every: Option<u64>,
+    profile: bool,
+) -> (ArmRun, Option<String>, Option<PerfReport>) {
     let trace = trace_capacity.map(dtn_sim::trace::TraceLog::bounded);
-    let mut sim = build_simulation_checked(scenario, arm, seed, trace, check_every);
+    let mut sim = build_simulation_opts(scenario, arm, seed, trace, check_every, profile);
+    let t0 = std::time::Instant::now();
     let _ = sim.run_until(SimTime::from_secs(scenario.duration_secs));
+    let perf = profile.then(|| PerfReport::capture(&sim, t0.elapsed().as_secs_f64()));
     let rendered = trace_capacity.map(|_| sim.api().trace().render());
     let (router, summary) = sim.finish();
     (
@@ -224,29 +264,202 @@ pub fn run_once_checked(
             protocol: router.stats(),
         },
         rendered,
+        perf,
     )
 }
 
-/// Runs one arm over several seeds (in parallel, one thread per seed) and
-/// averages the summaries.
+/// Wall-clock performance report for one or more runs: the observability
+/// record every later perf PR diffs against. Produced by the perf-enabled
+/// run variants ([`run_once_perf`], [`run_seeds_perf`],
+/// [`compare_arms_perf`]) and serialized by the CLI's `--metrics-out` and
+/// `dtn-bench`'s `perf` binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Number of `(arm, seed)` runs folded into this report.
+    pub runs: u64,
+    /// Total wall-clock seconds spent simulating.
+    pub wall_secs: f64,
+    /// Total simulated seconds.
+    pub sim_secs: f64,
+    /// Speedup over real time: simulated seconds per wall-clock second.
+    pub sim_secs_per_sec: f64,
+    /// Kernel steps executed.
+    pub steps: u64,
+    /// Kernel events processed (contacts, creations, transfers, expiries).
+    pub events: u64,
+    /// Kernel events per wall-clock second — the headline throughput.
+    pub events_per_sec: f64,
+    /// Peak total buffered bytes across all nodes (max over runs).
+    pub peak_buffer_bytes: u64,
+    /// Per-phase wall-clock totals in kernel execution order.
+    pub phases: Vec<PhaseTiming>,
+    /// The full metrics registry (counters, gauges, step-time histogram).
+    pub metrics: MetricsRegistry,
+}
+
+impl PerfReport {
+    /// Captures a finished simulation's counters and phase timings,
+    /// attributing `wall_secs` of measured wall-clock to it.
+    #[must_use]
+    pub fn capture<P: dtn_sim::protocol::Protocol>(
+        sim: &Simulation<P>,
+        wall_secs: f64,
+    ) -> PerfReport {
+        let counters = *sim.api().counters();
+        let sim_secs = sim.api().now().as_secs();
+        let wall = wall_secs.max(1e-12);
+        PerfReport {
+            runs: 1,
+            wall_secs,
+            sim_secs,
+            sim_secs_per_sec: sim_secs / wall,
+            steps: counters.steps,
+            events: counters.events(),
+            events_per_sec: counters.events() as f64 / wall,
+            peak_buffer_bytes: counters.peak_buffer_bytes,
+            phases: sim.profiler().timings(),
+            metrics: sim.export_metrics(),
+        }
+    }
+
+    /// Folds another report into this one: wall-clock, steps and events
+    /// sum; rates are re-derived; the buffer peak keeps the maximum;
+    /// phases merge by label.
+    pub fn merge(&mut self, other: &PerfReport) {
+        self.runs += other.runs;
+        self.wall_secs += other.wall_secs;
+        self.sim_secs += other.sim_secs;
+        self.steps += other.steps;
+        self.events += other.events;
+        self.peak_buffer_bytes = self.peak_buffer_bytes.max(other.peak_buffer_bytes);
+        let wall = self.wall_secs.max(1e-12);
+        self.sim_secs_per_sec = self.sim_secs / wall;
+        self.events_per_sec = self.events as f64 / wall;
+        for theirs in &other.phases {
+            if let Some(mine) = self.phases.iter_mut().find(|p| p.phase == theirs.phase) {
+                mine.secs += theirs.secs;
+                mine.calls += theirs.calls;
+            } else {
+                self.phases.push(theirs.clone());
+            }
+        }
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// A human-readable performance summary with the per-phase wall-clock
+    /// table (the CLI's `--verbose` output).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf: {} run(s), {:.2} s wall · {:.0}× real time · {:.0} events/s · peak buffers {:.1} MB",
+            self.runs,
+            self.wall_secs,
+            self.sim_secs_per_sec,
+            self.events_per_sec,
+            self.peak_buffer_bytes as f64 / 1e6
+        );
+        let total: f64 = self.phases.iter().map(|p| p.secs).sum();
+        let total = total.max(1e-12);
+        let _ = writeln!(out, "  phase              wall (s)    share");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>8.3}   {:>5.1}%",
+                p.phase,
+                p.secs,
+                100.0 * p.secs / total
+            );
+        }
+        out
+    }
+}
+
+/// [`run_once`] with the phase profiler enabled, returning the run's
+/// [`PerfReport`] alongside the results. The simulation outcome is
+/// identical to an unprofiled run of the same `(scenario, arm, seed)`.
+#[must_use]
+pub fn run_once_perf(scenario: &Scenario, arm: Arm, seed: u64) -> (ArmRun, PerfReport) {
+    let (run, _, perf) = run_once_observed(scenario, arm, seed, None, None, true);
+    (run, perf.expect("profiling was enabled"))
+}
+
+/// The worker-thread cap for multi-seed runs: the machine's available
+/// parallelism (at least 1). Unbounded one-thread-per-seed spawning
+/// oversubscribes small machines at `--full` paper scale and skews every
+/// wall-clock metric this module reports.
+#[must_use]
+pub fn seed_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs one arm over several seeds — in parallel, bounded by
+/// [`seed_parallelism`] — and averages the summaries. Results are
+/// order-stable and identical to a sequential run of the same seeds
+/// (each seed's simulation is deterministic and shares no state).
 ///
 /// # Panics
 ///
 /// Panics if `seeds` is empty or a worker thread panics.
 #[must_use]
 pub fn run_seeds(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> RunSummary {
+    RunSummary::mean_of(&run_each_seed(scenario, arm, seeds))
+}
+
+/// Runs every seed and returns the per-seed summaries in `seeds` order,
+/// at most [`seed_parallelism`] worker threads at a time.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+#[must_use]
+pub fn run_each_seed(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> Vec<RunSummary> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let runs: Vec<RunSummary> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&s| scope.spawn(move || run_once(scenario, arm, s).summary))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("seed worker panicked"))
-            .collect()
-    });
-    RunSummary::mean_of(&runs)
+    let mut runs: Vec<RunSummary> = Vec::with_capacity(seeds.len());
+    for chunk in seeds.chunks(seed_parallelism()) {
+        let chunk_runs: Vec<RunSummary> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|&s| scope.spawn(move || run_once(scenario, arm, s).summary))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("seed worker panicked"))
+                .collect()
+        });
+        runs.extend(chunk_runs);
+    }
+    runs
+}
+
+/// [`run_seeds`] with profiling: seeds run *sequentially* so the merged
+/// [`PerfReport`]'s wall-clock and throughput numbers measure the kernel,
+/// not thread-scheduler contention.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+#[must_use]
+pub fn run_seeds_perf(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> (RunSummary, PerfReport) {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut report: Option<PerfReport> = None;
+    let mut runs = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let (run, perf) = run_once_perf(scenario, arm, seed);
+        runs.push(run.summary);
+        match &mut report {
+            Some(r) => r.merge(&perf),
+            None => report = Some(perf),
+        }
+    }
+    (
+        RunSummary::mean_of(&runs),
+        report.expect("at least one seed"),
+    )
 }
 
 /// A paired comparison of the two arms on the same scenario and seeds —
@@ -298,6 +511,24 @@ pub fn compare_arms(scenario: &Scenario, seeds: &[u64]) -> Comparison {
         incentive,
         chitchat,
     }
+}
+
+/// [`compare_arms`] with profiling: both arms run sequentially (seeds
+/// too), and the returned [`PerfReport`] folds the whole comparison's
+/// wall-clock, throughput and phase breakdown together.
+#[must_use]
+pub fn compare_arms_perf(scenario: &Scenario, seeds: &[u64]) -> (Comparison, PerfReport) {
+    let (incentive, mut perf) = run_seeds_perf(scenario, Arm::Incentive, seeds);
+    let (chitchat, cc_perf) = run_seeds_perf(scenario, Arm::ChitChat, seeds);
+    perf.merge(&cc_perf);
+    (
+        Comparison {
+            name: scenario.name.clone(),
+            incentive,
+            chitchat,
+        },
+        perf,
+    )
 }
 
 #[cfg(test)]
@@ -445,5 +676,75 @@ mod tests {
         // Averaging with a second seed must move some field unless the two
         // seeds coincidentally agree everywhere (they do not).
         assert!(one != two);
+    }
+
+    #[test]
+    fn bounded_parallel_run_seeds_matches_sequential() {
+        // More seeds than most CI machines have cores, so the chunking
+        // path actually engages; the result must equal a strictly
+        // sequential evaluation, in order.
+        let s = tiny();
+        let seeds: Vec<u64> = (1..=6).collect();
+        let parallel = run_each_seed(&s, Arm::ChitChat, &seeds);
+        let sequential: Vec<_> = seeds
+            .iter()
+            .map(|&seed| run_once(&s, Arm::ChitChat, seed).summary)
+            .collect();
+        assert_eq!(parallel, sequential);
+        assert_eq!(
+            run_seeds(&s, Arm::ChitChat, &seeds),
+            RunSummary::mean_of(&sequential)
+        );
+        assert!(seed_parallelism() >= 1);
+    }
+
+    #[test]
+    fn perf_run_reproduces_unprofiled_results() {
+        let s = tiny();
+        let plain = run_once(&s, Arm::Incentive, 7);
+        let (profiled, perf) = run_once_perf(&s, Arm::Incentive, 7);
+        assert_eq!(
+            plain.summary, profiled.summary,
+            "metrics collection must not perturb the simulation"
+        );
+        assert_eq!(plain.protocol, profiled.protocol);
+        assert_eq!(perf.runs, 1);
+        assert!(perf.wall_secs > 0.0);
+        assert_eq!(perf.sim_secs, s.duration_secs);
+        assert!(perf.sim_secs_per_sec > 0.0);
+        assert_eq!(perf.steps, s.duration_secs as u64);
+        assert!(perf.events > 0);
+        assert!(perf.events_per_sec > 0.0);
+        assert!(perf.peak_buffer_bytes > 0);
+        assert!(!perf.phases.is_empty());
+        assert!(
+            perf.phases.iter().map(|p| p.secs).sum::<f64>() <= perf.wall_secs,
+            "phase totals cannot exceed the measured wall-clock"
+        );
+        assert_eq!(perf.metrics.counter("kernel.steps"), perf.steps);
+    }
+
+    #[test]
+    fn perf_reports_merge_additively() {
+        let s = tiny();
+        let (_, a) = run_once_perf(&s, Arm::ChitChat, 1);
+        let (_, b) = run_once_perf(&s, Arm::ChitChat, 2);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.runs, 2);
+        assert_eq!(merged.steps, a.steps + b.steps);
+        assert_eq!(merged.events, a.events + b.events);
+        assert!((merged.wall_secs - (a.wall_secs + b.wall_secs)).abs() < 1e-9);
+        assert_eq!(
+            merged.peak_buffer_bytes,
+            a.peak_buffer_bytes.max(b.peak_buffer_bytes)
+        );
+        let phase_sum: f64 = merged.phases.iter().map(|p| p.secs).sum();
+        let parts: f64 = a.phases.iter().chain(&b.phases).map(|p| p.secs).sum();
+        assert!((phase_sum - parts).abs() < 1e-9);
+        // And the comparison helper folds both arms into one report.
+        let (cmp, perf) = compare_arms_perf(&s, &[1]);
+        assert_eq!(perf.runs, 2, "one run per arm");
+        assert!(cmp.incentive != cmp.chitchat);
     }
 }

@@ -67,10 +67,11 @@ fn run_summary_json_round_trip() {
     assert_eq!(run.summary.series.len(), back.series.len());
 }
 
-/// `RunSummary::mean_of` with misaligned series falls back to the first
-/// run's series rather than corrupting the average.
+/// `RunSummary::mean_of` with misaligned series resamples onto the
+/// common time range by linear interpolation rather than corrupting the
+/// average (or silently dropping all but the first run).
 #[test]
-fn mean_of_with_misaligned_series_keeps_first() {
+fn mean_of_with_misaligned_series_resamples() {
     use dtn_sim::message::Priority;
     use dtn_sim::stats::StatsCollector;
     use dtn_sim::time::SimTime;
@@ -83,7 +84,12 @@ fn mean_of_with_misaligned_series_keeps_first() {
     b.record_created(MessageId(1), Priority::High, [NodeId(1)]);
     b.push_sample("s", SimTime::from_secs(15.0), 9.0); // different cadence
     let mean = RunSummary::mean_of(&[a.summarize(), b.summarize()]);
-    assert_eq!(mean.series["s"], vec![(10.0, 1.0), (20.0, 2.0)]);
+    // Common range is the single instant t=15, where a interpolates to
+    // 1.5 and b sits at 9.0; the mean is their average.
+    let s = &mean.series["s"];
+    assert_eq!(s.len(), 1);
+    assert_eq!(s[0].0, 15.0);
+    assert!((s[0].1 - 5.25).abs() < 1e-12, "got {}", s[0].1);
 }
 
 /// A one-node world is degenerate but legal: no contacts, no deliveries,
