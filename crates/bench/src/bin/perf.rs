@@ -1,9 +1,9 @@
-//! Kernel performance baseline: runs a pinned medium scenario over fixed
-//! seeds with the phase profiler enabled and writes `BENCH_kernel.json`.
+//! Kernel performance baseline: runs pinned scenarios over fixed seeds
+//! with the phase profiler enabled and writes `BENCH_kernel.json`.
 //!
-//! The scenario is *pinned*: its parameters must not drift between
+//! The scenarios are *pinned*: their parameters must not drift between
 //! baseline captures, or wall-clock numbers stop being comparable across
-//! commits. Change the scenario only together with a rename (bump the
+//! commits. Change a scenario only together with a rename (bump the
 //! `-v1` suffix) and a fresh committed baseline.
 //!
 //! ```text
@@ -11,21 +11,93 @@
 //! cargo run --release -p dtn-bench --bin perf -- --seeds 1 # CI quick
 //! ```
 //!
-//! Schema of `BENCH_kernel.json` (all totals are summed across runs):
+//! Schema of `BENCH_kernel.json`: a JSON array with one row per pinned
+//! scenario (all totals are summed across that scenario's runs):
 //!
 //! ```json
-//! {"name": "...", "wall_secs": f, "sim_secs_per_sec": f,
-//!  "events_per_sec": f, "steps": n, "contacts": n, "relays": n}
+//! [{"name": "...", "wall_secs": f, "sim_secs_per_sec": f,
+//!   "events_per_sec": f, "steps": n, "contacts": n, "relays": n,
+//!   "retried": n, "resumed": n}, ...]
 //! ```
+//!
+//! Rows: `perf-medium-v1` is the clean kernel; `chaos-recovery-v1` runs
+//! the same world under transfer loss and link cuts with the default
+//! recovery policy, so the baseline also tracks the retry/resume path.
 
+use dtn_sim::faults::FaultPlan;
+use dtn_sim::transfer::RecoveryPolicy;
 use dtn_workloads::paper::{reduced_scenario, seeds_for};
 use dtn_workloads::runner::{run_once_perf, PerfReport};
-use dtn_workloads::scenario::Arm;
+use dtn_workloads::scenario::{Arm, Scenario};
 
-/// The pinned baseline scenario: the reduced-scale world under a stable
+/// The pinned clean baseline: the reduced-scale world under a stable
 /// name so recorded baselines are tied to an exact configuration.
-fn perf_scenario() -> dtn_workloads::scenario::Scenario {
+fn perf_scenario() -> Scenario {
     reduced_scenario().named("perf-medium-v1")
+}
+
+/// The pinned recovery baseline: the same world with enough transfer
+/// loss and link churn to keep the retry queue and checkpoint store
+/// busy, so regressions in the recovery path show up as wall-clock.
+fn chaos_recovery_scenario() -> Scenario {
+    let mut s = reduced_scenario().named("chaos-recovery-v1");
+    s.chaos = Some(FaultPlan {
+        transfer_loss_prob: 0.15,
+        link_cut_per_hour: 4.0,
+        link_cut_secs: 30.0,
+        ..FaultPlan::default()
+    });
+    s.recovery = Some(RecoveryPolicy::default());
+    s
+}
+
+/// Run one pinned scenario over `seeds` and format its baseline row.
+fn bench_row(scenario: &Scenario, seeds: &[u64]) -> String {
+    dtn_bench::print_scenario_header("kernel performance baseline", scenario, seeds);
+
+    // Sequential, one profiled run per seed: wall-clock must measure the
+    // kernel, not scheduler contention between concurrent runs.
+    let mut report: Option<PerfReport> = None;
+    let mut relays = 0u64;
+    let mut retried = 0u64;
+    let mut resumed = 0u64;
+    for &seed in seeds {
+        let (run, perf) = run_once_perf(scenario, Arm::Incentive, seed);
+        relays += run.summary.relays_completed;
+        retried += run.summary.transfers_retried;
+        resumed += run.summary.transfers_resumed;
+        println!(
+            "seed {seed}: {:.2}s wall, {:.0} ev/s, {} relays",
+            perf.wall_secs, perf.events_per_sec, run.summary.relays_completed
+        );
+        match &mut report {
+            Some(r) => r.merge(&perf),
+            None => report = Some(perf),
+        }
+    }
+    let report = report.expect("at least one seed");
+    let contacts = report.metrics.counter("kernel.contacts_up");
+
+    println!("\n{}", report.render());
+    assert!(
+        report.events_per_sec > 0.0 && report.wall_secs > 0.0,
+        "profiled run produced no throughput"
+    );
+
+    format!(
+        "{{\n    \"name\": {},\n    \"wall_secs\": {:.6},\n    \"sim_secs_per_sec\": {:.3},\n    \
+         \"events_per_sec\": {:.3},\n    \"steps\": {},\n    \"contacts\": {},\n    \
+         \"relays\": {},\n    \"retried\": {},\n    \"resumed\": {}\n  }}",
+        serde_json::to_string(&scenario.name).expect("string encodes"),
+        report.wall_secs,
+        report.sim_secs_per_sec,
+        report.events_per_sec,
+        report.steps,
+        contacts,
+        relays,
+        retried,
+        resumed
+    )
 }
 
 fn main() {
@@ -47,46 +119,12 @@ fn main() {
         i += 1;
     }
 
-    let scenario = perf_scenario();
     let seeds = seeds_for(seed_count);
-    dtn_bench::print_scenario_header("kernel performance baseline", &scenario, &seeds);
-
-    // Sequential, one profiled run per seed: wall-clock must measure the
-    // kernel, not scheduler contention between concurrent runs.
-    let mut report: Option<PerfReport> = None;
-    let mut relays = 0u64;
-    for &seed in &seeds {
-        let (run, perf) = run_once_perf(&scenario, Arm::Incentive, seed);
-        relays += run.summary.relays_completed;
-        println!(
-            "seed {seed}: {:.2}s wall, {:.0} ev/s, {} relays",
-            perf.wall_secs, perf.events_per_sec, run.summary.relays_completed
-        );
-        match &mut report {
-            Some(r) => r.merge(&perf),
-            None => report = Some(perf),
-        }
-    }
-    let report = report.expect("at least one seed");
-    let contacts = report.metrics.counter("kernel.contacts_up");
-
-    println!("\n{}", report.render());
-
-    let json = format!(
-        "{{\n  \"name\": {},\n  \"wall_secs\": {:.6},\n  \"sim_secs_per_sec\": {:.3},\n  \
-         \"events_per_sec\": {:.3},\n  \"steps\": {},\n  \"contacts\": {},\n  \"relays\": {}\n}}\n",
-        serde_json::to_string(&scenario.name).expect("string encodes"),
-        report.wall_secs,
-        report.sim_secs_per_sec,
-        report.events_per_sec,
-        report.steps,
-        contacts,
-        relays
-    );
-    assert!(
-        report.events_per_sec > 0.0 && report.wall_secs > 0.0,
-        "profiled run produced no throughput"
-    );
+    let rows: Vec<String> = [perf_scenario(), chaos_recovery_scenario()]
+        .iter()
+        .map(|scenario| bench_row(scenario, &seeds))
+        .collect();
+    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
 
     let path = "BENCH_kernel.json";
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

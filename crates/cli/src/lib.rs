@@ -57,6 +57,13 @@ pub enum Command {
         /// Print the per-phase wall-clock table (`--verbose`); enables
         /// the phase profiler.
         verbose: bool,
+        /// Optional retry-cap override (`--retry-max`); any recovery flag
+        /// enables transfer recovery if the scenario did not.
+        retry_max: Option<u32>,
+        /// Optional backoff-base override in seconds (`--backoff-base`).
+        backoff_base: Option<f64>,
+        /// Optional checkpoint-resume toggle (`--resume on|off`).
+        resume: Option<bool>,
     },
     /// Run both arms and print the paired comparison.
     Compare {
@@ -104,6 +111,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut check_invariants = false;
             let mut metrics_out = None;
             let mut verbose = false;
+            let mut retry_max = None;
+            let mut backoff_base = None;
+            let mut resume = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--arm" => {
@@ -143,6 +153,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
                     }
                     "--verbose" => verbose = true,
+                    "--retry-max" => {
+                        retry_max = Some(
+                            it.next()
+                                .ok_or("--retry-max needs a count")?
+                                .parse()
+                                .map_err(|e| format!("bad --retry-max: {e}"))?,
+                        );
+                    }
+                    "--backoff-base" => {
+                        let secs: f64 = it
+                            .next()
+                            .ok_or("--backoff-base needs seconds")?
+                            .parse()
+                            .map_err(|e| format!("bad --backoff-base: {e}"))?;
+                        if !secs.is_finite() || secs < 0.0 {
+                            return Err(format!(
+                                "--backoff-base must be finite and non-negative, got {secs}"
+                            ));
+                        }
+                        backoff_base = Some(secs);
+                    }
+                    "--resume" => {
+                        resume = match it.next().map(String::as_str) {
+                            Some("on") => Some(true),
+                            Some("off") => Some(false),
+                            other => {
+                                return Err(format!(
+                                    "--resume must be 'on' or 'off', got {other:?}"
+                                ))
+                            }
+                        };
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -156,6 +198,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 check_invariants,
                 metrics_out,
                 verbose,
+                retry_max,
+                backoff_base,
+                resume,
             })
         }
         "compare" => {
@@ -205,6 +250,8 @@ USAGE:
                             [--json out.json] [--trace out.txt]
                             [--chaos <spec>] [--check-invariants]
                             [--metrics-out m.json] [--verbose]
+                            [--retry-max N] [--backoff-base SECS]
+                            [--resume on|off]
     dtn compare <scenario.json> [--seeds N] [--metrics-out m.json] [--verbose]
     dtn help
 
@@ -224,6 +271,14 @@ CHAOS:
     an invariant-breach report prints the flags needed to reproduce it.
     --check-invariants audits token conservation, rating bounds, buffer
     accounting and energy sanity every 60 simulated steps.
+
+RECOVERY:
+    Aborted transfers are normally lost. --retry-max N redelivers each
+    aborted transfer up to N times with deterministic jittered exponential
+    backoff (--backoff-base sets the base delay in seconds); --resume on
+    restarts retried transfers from their checkpointed byte offset instead
+    of from zero. Any recovery flag enables the recovery layer with
+    defaults for the rest; settlement stays exactly-once under redelivery.
 "
 }
 
@@ -311,6 +366,9 @@ pub fn execute(command: Command) -> Result<String, String> {
             check_invariants,
             metrics_out,
             verbose,
+            retry_max,
+            backoff_base,
+            resume,
         } => {
             let mut scenario = load_scenario(&path)?;
             if let Some(spec) = &chaos {
@@ -318,6 +376,26 @@ pub fn execute(command: Command) -> Result<String, String> {
                     .parse::<dtn_sim::faults::FaultPlan>()
                     .map_err(|e| format!("bad --chaos: {e}"))?;
                 scenario.chaos = Some(plan);
+            }
+            // Recovery overrides: any flag enables recovery (from the
+            // scenario's policy, or the defaults) and tweaks that field.
+            if retry_max.is_some() || backoff_base.is_some() || resume.is_some() {
+                let mut policy = scenario
+                    .recovery
+                    .unwrap_or_else(dtn_sim::transfer::RecoveryPolicy::default);
+                if let Some(n) = retry_max {
+                    policy.retry_max = n;
+                }
+                if let Some(secs) = backoff_base {
+                    policy.backoff_base_secs = secs;
+                }
+                if let Some(on) = resume {
+                    policy.resume = on;
+                }
+                policy
+                    .validate()
+                    .map_err(|e| format!("bad recovery flags: {e}"))?;
+                scenario.recovery = Some(policy);
             }
             // Traced runs bound the log (1M events) so a runaway scenario
             // cannot exhaust memory.
@@ -458,6 +536,9 @@ mod tests {
                 check_invariants: false,
                 metrics_out: None,
                 verbose: false,
+                retry_max: None,
+                backoff_base: None,
+                resume: None,
             })
         );
         assert_eq!(
@@ -475,6 +556,28 @@ mod tests {
                 check_invariants: true,
                 metrics_out: Some("m.json".into()),
                 verbose: true,
+                retry_max: None,
+                backoff_base: None,
+                resume: None,
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "run s.json --retry-max 5 --backoff-base 2.5 --resume off"
+            )),
+            Ok(Command::Run {
+                path: "s.json".into(),
+                arm: Arm::Incentive,
+                seed: QUICK_SEEDS[0],
+                json_out: None,
+                trace_out: None,
+                chaos: None,
+                check_invariants: false,
+                metrics_out: None,
+                verbose: false,
+                retry_max: Some(5),
+                backoff_base: Some(2.5),
+                resume: Some(false),
             })
         );
         assert_eq!(
@@ -513,6 +616,11 @@ mod tests {
         assert!(parse_args(&argv("run s.json --chaos")).is_err());
         assert!(parse_args(&argv("run s.json --chaos frobs=1")).is_err());
         assert!(parse_args(&argv("run s.json --chaos crash=-2")).is_err());
+        assert!(parse_args(&argv("run s.json --retry-max lots")).is_err());
+        assert!(parse_args(&argv("run s.json --backoff-base -3")).is_err());
+        assert!(parse_args(&argv("run s.json --backoff-base nan")).is_err());
+        assert!(parse_args(&argv("run s.json --resume maybe")).is_err());
+        assert!(parse_args(&argv("run s.json --resume")).is_err());
     }
 
     #[test]
@@ -581,6 +689,9 @@ mod tests {
             check_invariants: true,
             metrics_out: None,
             verbose: false,
+            retry_max: Some(3),
+            backoff_base: Some(5.0),
+            resume: Some(true),
         })
         .expect("runs");
         let trace_text = std::fs::read_to_string(&trace_out).expect("trace written");
@@ -619,6 +730,9 @@ mod tests {
             check_invariants: false,
             metrics_out: Some(metrics_out.to_str().expect("utf8").to_owned()),
             verbose: true,
+            retry_max: None,
+            backoff_base: None,
+            resume: None,
         })
         .expect("runs");
         assert!(

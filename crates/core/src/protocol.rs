@@ -496,6 +496,11 @@ impl DcimRouter {
         if !self.registry.try_claim(id, to) {
             return;
         }
+        // Count the settlement at claim time: `settlements` mirrors the
+        // registry exactly (the no-double-pay audit in `check_invariants`
+        // compares the two), even if the paid amount below works out to
+        // zero or the copy vanished between delivery and settlement.
+        self.stats.settlements += 1;
         let deliverer_meta = self.meta.get(&(from, id)).cloned().unwrap_or_default();
         let Some(copy) = api.buffer(to).get(id) else {
             return;
@@ -543,7 +548,6 @@ impl DcimRouter {
         };
         let due = award(&inputs, &self.params.incentive);
         let paid = self.ledger.transfer_up_to(to, from, due);
-        self.stats.settlements += 1;
         self.stats.tokens_awarded += paid.amount();
     }
 
@@ -782,6 +786,18 @@ impl Protocol for DcimRouter {
             }
         }
 
+        // No double-pay: each settlement consumed exactly one first-
+        // delivery claim, so redelivered copies (kernel retries racing a
+        // successful copy) can never be paid twice for the same
+        // (message, destination) pair.
+        let claims = self.registry.len() as u64;
+        if self.stats.settlements != claims {
+            violations.push(format!(
+                "double-pay guard broken: {} settlements vs {claims} first-delivery claims",
+                self.stats.settlements
+            ));
+        }
+
         // Offer hygiene: a pending prepayment quote must correspond to a
         // transfer still in flight over a live contact — anything else
         // means an interrupted hand-off escaped cleanup and could be paid
@@ -896,6 +912,55 @@ mod tests {
         assert!(r.stats().settlements >= 1);
         assert!(r.stats().tokens_awarded > 0.0);
         assert!((r.ledger().total().amount() - 600.0).abs() < 1e-9);
+    }
+
+    /// Settlement safety under redelivery: lossy chaos corrupts transfers,
+    /// the recovery layer redelivers them, and the per-step invariant
+    /// audit holds the economy to exactly one payment per delivered
+    /// (message, destination) pair throughout.
+    #[test]
+    fn redelivery_under_loss_chaos_settles_at_most_once() {
+        let mut params = ProtocolParams::paper_default();
+        params.enrichment_enabled = false;
+        let mut r = DcimRouter::new(2, params, 11);
+        r.subscribe(NodeId(1), [Keyword(1)]);
+        let messages = (0..10u64).map(|k| ScheduledMessage {
+            at: dtn_sim::time::SimTime::from_secs(10.0 + k as f64 * 60.0),
+            source: NodeId(0),
+            size_bytes: 50_000,
+            ttl_secs: 10_000.0,
+            priority: Priority::High,
+            quality: Quality::new(0.9),
+            ground_truth: vec![Keyword(1)],
+            source_tags: vec![Keyword(1)],
+            expected_destinations: vec![NodeId(1)],
+        });
+        let mut sim = SimulationBuilder::new(Area::new(500.0, 500.0), 11)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(0.0, 0.0))))
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(50.0, 0.0))))
+            .messages(messages)
+            .faults("loss=0.4".parse().unwrap())
+            .recovery(dtn_sim::transfer::RecoveryPolicy {
+                backoff_base_secs: 2.0,
+                ..dtn_sim::transfer::RecoveryPolicy::default()
+            })
+            .check_invariants_every(1)
+            .build(r);
+        let summary = sim.run_until(dtn_sim::time::SimTime::from_secs(1200.0));
+        let counters = *sim.api().counters();
+        let (r, _) = sim.finish();
+        assert!(
+            counters.transfers_aborted_injected > 0,
+            "loss chaos must corrupt some transfers"
+        );
+        assert!(counters.transfers_retried > 0, "corruption earns retries");
+        assert!(summary.delivered_pairs >= 1, "redelivery gets some through");
+        assert_eq!(
+            r.stats().settlements,
+            summary.delivered_pairs,
+            "one settlement per delivered pair, never more"
+        );
+        assert!((r.ledger().total().amount() - 400.0).abs() < 1e-9);
     }
 
     /// The avoidance gate blocks a sender the receiver rates below the

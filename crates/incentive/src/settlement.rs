@@ -30,6 +30,14 @@ use crate::ledger::Tokens;
 use crate::params::IncentiveParams;
 
 /// Enforces the only-the-first-deliverer-is-paid rule.
+///
+/// Claims are idempotent per `(message, destination)` pair, which is what
+/// makes settlement safe under redelivery: when the recovery layer retries
+/// an aborted or corrupted transfer and the same message reaches the same
+/// destination twice, only the first arrival's [`try_claim`] returns
+/// `true` — the redelivered copy settles nothing.
+///
+/// [`try_claim`]: FirstDeliveryRegistry::try_claim
 #[derive(Debug, Default)]
 pub struct FirstDeliveryRegistry {
     claimed: HashSet<(MessageId, NodeId)>,
@@ -151,6 +159,23 @@ mod tests {
         );
         assert!(reg.is_claimed(MessageId(1), NodeId(2)));
         assert_eq!(reg.len(), 3);
+    }
+
+    /// Redelivery regression: a retried transfer can deliver the same
+    /// message to the same destination again (possibly via a different
+    /// deliverer). However many times and from whomever it arrives, only
+    /// the first claim pays.
+    #[test]
+    fn redelivered_copies_never_claim_twice() {
+        let mut reg = FirstDeliveryRegistry::new();
+        assert!(reg.try_claim(MessageId(7), NodeId(1)), "first arrival pays");
+        for _redelivery in 0..5 {
+            assert!(
+                !reg.try_claim(MessageId(7), NodeId(1)),
+                "redelivered copy must not settle again"
+            );
+        }
+        assert_eq!(reg.len(), 1, "exactly one settlement recorded");
     }
 
     #[test]

@@ -70,10 +70,11 @@ impl InvariantChecker {
 /// buffer's lifetime insert/remove counters; every buffered copy has a
 /// registered message body; energy use is finite and non-negative; battery
 /// remaining stays within `[0, budget]`; the position lies inside the world
-/// area.
+/// area. Checked globally: transfer-engine byte conservation (every
+/// in-flight offset and recovery checkpoint within `[0, bytes_total]`).
 #[must_use]
 pub fn kernel_invariants(api: &SimApi) -> Vec<String> {
-    let mut violations = Vec::new();
+    let mut violations = api.transfer_byte_audit();
     let budget = api.battery_budget();
     for node in api.node_ids() {
         let buf = api.buffer(node);

@@ -25,8 +25,110 @@ use crate::rng::SimRng;
 use crate::stats::{RunSummary, StatsCollector};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceLog};
-use crate::transfer::{AbortReason, AbortedTransfer, TransferEngine};
+use crate::transfer::{AbortReason, AbortedTransfer, RecoveryPolicy, TransferEngine};
 use crate::world::{NodeId, SpatialGrid};
+
+/// Dedicated RNG stream for retry-backoff jitter ("RETRY" in ASCII), so
+/// enabling recovery never perturbs the mobility/fault/protocol streams.
+const RETRY_STREAM: u64 = 0x5245_5452_5900_0000;
+
+/// One aborted transfer waiting out its backoff in the retry queue.
+#[derive(Debug, Clone)]
+struct PendingRetry {
+    from: NodeId,
+    to: NodeId,
+    message: MessageId,
+    /// Earliest release time (backoff expiry); release additionally waits
+    /// for the pair to be back in contact.
+    ready_at: SimTime,
+}
+
+/// Deterministic retry/backoff state for the recovery layer (see
+/// [`RecoveryPolicy`]). All jitter comes from a dedicated [`SimRng`]
+/// substream, so chaos runs with recovery enabled replay byte-for-byte.
+#[derive(Debug)]
+struct RetryScheduler {
+    policy: RecoveryPolicy,
+    rng: SimRng,
+    /// Insertion-ordered queue: scan order is deterministic.
+    queue: Vec<PendingRetry>,
+    /// Retry attempts consumed per `(from, to, message)`.
+    attempts: HashMap<(NodeId, NodeId, MessageId), u32>,
+    /// Retransmissions consumed per `(from, to)` pair (budget guard).
+    peer_spent: HashMap<(NodeId, NodeId), u32>,
+    /// Corruption (`Injected`) redeliveries consumed per message.
+    redeliveries: HashMap<MessageId, u32>,
+}
+
+impl RetryScheduler {
+    fn new(policy: RecoveryPolicy, rng_root: &SimRng) -> Self {
+        RetryScheduler {
+            policy,
+            rng: rng_root.stream(RETRY_STREAM),
+            queue: Vec::new(),
+            attempts: HashMap::new(),
+            peer_spent: HashMap::new(),
+            redeliveries: HashMap::new(),
+        }
+    }
+
+    /// Decides whether `a` earns a retry and, if so, enqueues it with a
+    /// jittered exponential backoff. Returns the attempt number scheduled.
+    fn on_abort(&mut self, a: &AbortedTransfer, now: SimTime) -> Option<u32> {
+        if self.policy.retry_max == 0 {
+            return None;
+        }
+        match a.reason {
+            // Deliberate cancellation and source loss are final: there is
+            // nothing left to redeliver.
+            AbortReason::Cancelled | AbortReason::SourceGone => return None,
+            AbortReason::ContactDown => {}
+            AbortReason::Injected => {
+                if self
+                    .redeliveries
+                    .get(&a.message)
+                    .is_some_and(|&n| n >= self.policy.redelivery_cap)
+                {
+                    return None;
+                }
+            }
+        }
+        let key = (a.from, a.to, a.message);
+        if self
+            .attempts
+            .get(&key)
+            .is_some_and(|&n| n >= self.policy.retry_max)
+        {
+            return None;
+        }
+        if self
+            .peer_spent
+            .get(&(a.from, a.to))
+            .is_some_and(|&n| n >= self.policy.peer_budget)
+        {
+            return None;
+        }
+        if a.reason == AbortReason::Injected {
+            *self.redeliveries.entry(a.message).or_insert(0) += 1;
+        }
+        *self.peer_spent.entry((a.from, a.to)).or_insert(0) += 1;
+        let attempts = self.attempts.entry(key).or_insert(0);
+        *attempts += 1;
+        let attempt = *attempts;
+        // base * 2^(attempt-1), jittered ±50%, capped. The exponent is
+        // clamped so a huge retry_max cannot push the power to infinity.
+        let exp = (attempt - 1).min(60);
+        let raw = self.policy.backoff_base_secs * 2f64.powi(exp as i32);
+        let delay = (raw * self.rng.uniform(0.5, 1.5)).min(self.policy.backoff_cap_secs);
+        self.queue.push(PendingRetry {
+            from: a.from,
+            to: a.to,
+            message: a.message,
+            ready_at: now + SimDuration::from_secs(delay),
+        });
+        Some(attempt)
+    }
+}
 
 /// A message creation scheduled by the workload.
 #[derive(Debug, Clone)]
@@ -174,7 +276,25 @@ impl SimApi {
             return false;
         }
         let bytes = copy.size_bytes();
-        self.transfers.enqueue(from, to, message, bytes, self.now)
+        // With resume enabled, an enqueue that picks up a saved checkpoint
+        // counts as a resumed transfer (checkpoints only exist under a
+        // recovery policy, so this path is inert otherwise).
+        let resumes = self
+            .transfers
+            .checkpoint_of(from, to, message)
+            .is_some_and(|c| c.bytes_total == bytes);
+        if self.transfers.enqueue(from, to, message, bytes, self.now) {
+            if resumes {
+                self.counters.transfers_resumed += 1;
+                self.stats.record_resume();
+                let now = self.now;
+                self.trace
+                    .record(now, TraceEvent::TransferResumed { message, from, to });
+            }
+            true
+        } else {
+            false
+        }
     }
 
     /// Whether a transfer of `message` from `from` to `to` is pending.
@@ -189,10 +309,24 @@ impl SimApi {
         self.transfers.queue_len(from)
     }
 
+    /// Byte-conservation audit of the transfer engine: every in-flight
+    /// offset and saved checkpoint must lie within `[0, bytes_total]`.
+    /// One line per violation; empty = healthy.
+    #[must_use]
+    pub fn transfer_byte_audit(&self) -> Vec<String> {
+        self.transfers.audit_bytes()
+    }
+
+    /// Number of live partial-transfer checkpoints (0 without resume).
+    #[must_use]
+    pub fn checkpoint_count(&self) -> usize {
+        self.transfers.checkpoint_count()
+    }
+
     /// Cancels a pending transfer. Returns `true` if one was cancelled.
     pub fn cancel_send(&mut self, from: NodeId, to: NodeId, message: MessageId) -> bool {
         if self.transfers.cancel(from, to, message).is_some() {
-            self.counters.transfers_aborted += 1;
+            self.counters.note_abort(AbortReason::Cancelled);
             self.stats.record_abort();
             true
         } else {
@@ -306,6 +440,7 @@ pub struct SimulationBuilder {
     battery_joules: Option<f64>,
     trace: Option<TraceLog>,
     faults: Option<FaultPlan>,
+    recovery: Option<RecoveryPolicy>,
     check_every: Option<u64>,
     profile: bool,
     mobilities: Vec<Box<dyn MobilityModel>>,
@@ -327,6 +462,7 @@ impl SimulationBuilder {
             battery_joules: None,
             trace: None,
             faults: None,
+            recovery: None,
             check_every: None,
             profile: false,
             mobilities: Vec::new(),
@@ -407,6 +543,25 @@ impl SimulationBuilder {
             panic!("invalid fault plan: {e}");
         }
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a transfer-recovery policy (checkpoint/resume plus the
+    /// deterministic retry queue, see [`RecoveryPolicy`]); disabled by
+    /// default. An inert policy (no resume, no retries) is equivalent to
+    /// not attaching one at all. Backoff jitter draws from its own RNG
+    /// substream, so the same `(scenario, seed, policy)` replays
+    /// identically and a run without a policy is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`RecoveryPolicy::validate`].
+    #[must_use]
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        if let Err(e) = policy.validate() {
+            panic!("invalid recovery policy: {e}");
+        }
+        self.recovery = Some(policy);
         self
     }
 
@@ -503,6 +658,12 @@ impl SimulationBuilder {
         let faults = self
             .faults
             .map(|plan| FaultInjector::new(plan, &rng_root, n));
+        let recovery = self.recovery.filter(|p| !p.is_inert());
+        let retries = recovery.map(|p| RetryScheduler::new(p, &rng_root));
+        let mut engine = TransferEngine::new(n, self.radio.link_speed_bps);
+        if let Some(p) = &recovery {
+            engine.set_resume(p.resume);
+        }
         Simulation {
             api: SimApi {
                 now: SimTime::ZERO,
@@ -515,7 +676,7 @@ impl SimulationBuilder {
                     .collect(),
                 bodies: HashMap::new(),
                 contacts: ContactTable::new(),
-                transfers: TransferEngine::new(n, self.radio.link_speed_bps),
+                transfers: engine,
                 energy: {
                     let mut meter = EnergyMeter::new(n, self.radio);
                     if let Some(j) = self.battery_joules {
@@ -541,6 +702,7 @@ impl SimulationBuilder {
             finished: false,
             seed: self.seed,
             faults,
+            retries,
             checker: self.check_every.map(InvariantChecker::every),
             profiler: if self.profile {
                 PhaseProfiler::enabled()
@@ -568,6 +730,7 @@ pub struct Simulation<P> {
     finished: bool,
     seed: u64,
     faults: Option<FaultInjector>,
+    retries: Option<RetryScheduler>,
     checker: Option<InvariantChecker>,
     profiler: PhaseProfiler,
 }
@@ -595,6 +758,18 @@ impl<P: Protocol> Simulation<P> {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().map(FaultInjector::plan)
+    }
+
+    /// The attached (non-inert) recovery policy, if any.
+    #[must_use]
+    pub fn recovery_policy(&self) -> Option<&RecoveryPolicy> {
+        self.retries.as_ref().map(|r| &r.policy)
+    }
+
+    /// Transfers currently waiting in the retry queue.
+    #[must_use]
+    pub fn retry_queue_len(&self) -> usize {
+        self.retries.as_ref().map_or(0, |r| r.queue.len())
     }
 
     /// Counters of injected faults (`None` when no plan is attached).
@@ -691,6 +866,10 @@ impl<P: Protocol> Simulation<P> {
                 NodeFault::Crashed { node, wipe } => {
                     self.api.trace.record(now, TraceEvent::NodeCrashed { node });
                     if wipe {
+                        // Wiped buffers invalidate partial-transfer custody
+                        // at both ends: a wiped receiver lost the partial
+                        // bytes, a wiped sender has nothing left to resume.
+                        self.api.transfers.clear_checkpoints_involving(node);
                         let ids = self.api.buffers[node.index()].ids_sorted();
                         for &id in &ids {
                             self.api.buffers[node.index()].remove(id);
@@ -758,7 +937,7 @@ impl<P: Protocol> Simulation<P> {
                         .record(now, TraceEvent::ContactDown { a: key.0, b: key.1 });
                     let aborted = self.api.transfers.abort_between(key.0, key.1);
                     for a in aborted {
-                        self.api.counters.transfers_aborted += 1;
+                        self.api.counters.note_abort(a.reason);
                         self.api.stats.record_abort();
                         self.api.trace.record(
                             now,
@@ -769,6 +948,7 @@ impl<P: Protocol> Simulation<P> {
                             },
                         );
                         self.protocol.on_transfer_aborted(&mut self.api, &a);
+                        self.schedule_retry(&a, now);
                     }
                     self.protocol.on_contact_down(&mut self.api, key.0, key.1);
                 }
@@ -796,6 +976,11 @@ impl<P: Protocol> Simulation<P> {
 
         // 4. Transfers.
         let scope = self.profiler.start();
+        // 4a. Recovery: release retries whose backoff expired back into the
+        // engine (resuming from a checkpoint when one survives). Entries
+        // whose pair is out of contact keep waiting; entries whose copy or
+        // demand vanished are abandoned.
+        self.release_due_retries(now);
         let (completed, aborted) = {
             let buffers = &self.api.buffers;
             let positions = &self.api.positions;
@@ -807,7 +992,7 @@ impl<P: Protocol> Simulation<P> {
             )
         };
         for a in aborted {
-            self.api.counters.transfers_aborted += 1;
+            self.api.counters.note_abort(a.reason);
             self.api.stats.record_abort();
             self.api.trace.record(
                 now,
@@ -836,7 +1021,7 @@ impl<P: Protocol> Simulation<P> {
                     .api
                     .energy
                     .charge_transfer(c.from, c.to, c.airtime, c.distance_m);
-                self.api.counters.transfers_aborted += 1;
+                self.api.counters.note_abort(AbortReason::Injected);
                 self.api.stats.record_abort();
                 let event = match kind {
                     TransferFault::Loss => TraceEvent::TransferLost {
@@ -859,6 +1044,9 @@ impl<P: Protocol> Simulation<P> {
                     reason: AbortReason::Injected,
                 };
                 self.protocol.on_transfer_aborted(&mut self.api, &aborted);
+                // A destroyed payload earns a redelivery (NACK semantics),
+                // capped per message so a cursed link degrades gracefully.
+                self.schedule_retry(&aborted, now);
                 continue;
             }
             // Energy was genuinely spent either way; traffic counts only
@@ -878,7 +1066,7 @@ impl<P: Protocol> Simulation<P> {
                 // incoming insert evicted it before this completion was
                 // processed): the payload is unusable — an abort, not a
                 // relay.
-                self.api.counters.transfers_aborted += 1;
+                self.api.counters.note_abort(AbortReason::SourceGone);
                 self.api.stats.record_abort();
             }
             let outcome = match arriving {
@@ -965,6 +1153,94 @@ impl<P: Protocol> Simulation<P> {
         }
         self.profiler.stop_step(step_scope);
         self.api.now += dt;
+    }
+
+    /// Offers an aborted transfer to the retry scheduler; records the trace
+    /// event when a retry is actually scheduled. No-op without a policy.
+    fn schedule_retry(&mut self, a: &AbortedTransfer, now: SimTime) {
+        let Some(rs) = self.retries.as_mut() else {
+            return;
+        };
+        if let Some(attempt) = rs.on_abort(a, now) {
+            self.api.counters.transfers_retried += 1;
+            self.api.stats.record_retry();
+            self.api.trace.record(
+                now,
+                TraceEvent::RetryScheduled {
+                    message: a.message,
+                    from: a.from,
+                    to: a.to,
+                    attempt,
+                },
+            );
+        }
+    }
+
+    /// Releases due retries back into the transfer engine (recovery phase
+    /// 4a). A retry whose backoff expired waits further for its pair to be
+    /// back in contact; it is abandoned once the sender's copy is gone or
+    /// the receiver no longer needs the message.
+    fn release_due_retries(&mut self, now: SimTime) {
+        let Some(rs) = self.retries.as_mut() else {
+            return;
+        };
+        let mut keep = Vec::with_capacity(rs.queue.len());
+        for r in rs.queue.drain(..) {
+            if r.ready_at > now {
+                keep.push(r);
+                continue;
+            }
+            let copy_alive = self.api.buffers[r.from.index()]
+                .get(r.message)
+                .is_some_and(|c| !c.body.is_expired(now));
+            let demand_gone = self.api.buffers[r.to.index()].contains(r.message)
+                || self.api.stats.is_delivered(r.message, r.to);
+            if !copy_alive || demand_gone {
+                self.api.counters.transfers_abandoned += 1;
+                self.api.stats.record_abandon();
+                self.api.trace.record(
+                    now,
+                    TraceEvent::RetryAbandoned {
+                        message: r.message,
+                        from: r.from,
+                        to: r.to,
+                    },
+                );
+                continue;
+            }
+            if !self.api.contacts.is_up(r.from, r.to) {
+                // Backoff expired but the pair is apart: the retry fires at
+                // the next contact (DTN semantics), bounded by message TTL.
+                keep.push(r);
+                continue;
+            }
+            let bytes = self.api.buffers[r.from.index()]
+                .get(r.message)
+                .map_or(0, crate::message::MessageCopy::size_bytes);
+            let resumes = self
+                .api
+                .transfers
+                .checkpoint_of(r.from, r.to, r.message)
+                .is_some_and(|c| c.bytes_total == bytes);
+            if self
+                .api
+                .transfers
+                .enqueue(r.from, r.to, r.message, bytes, now)
+                && resumes
+            {
+                self.api.counters.transfers_resumed += 1;
+                self.api.stats.record_resume();
+                self.api.trace.record(
+                    now,
+                    TraceEvent::TransferResumed {
+                        message: r.message,
+                        from: r.from,
+                        to: r.to,
+                    },
+                );
+            }
+        }
+        rs.queue = keep;
     }
 
     fn create_message(&mut self, m: ScheduledMessage) {
@@ -1096,6 +1372,144 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A protocol that offers a message exactly once, at creation time.
+    /// Recovery from a broken transfer must come from the kernel's retry
+    /// queue — the protocol never re-offers on later contacts.
+    #[derive(Debug, Default)]
+    struct SendOnce;
+
+    impl Protocol for SendOnce {
+        fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
+            for peer in api.peers_of(node) {
+                api.send(node, peer, message);
+            }
+        }
+
+        fn on_transfer_complete(&mut self, api: &mut SimApi, r: &Reception<'_>) {
+            if matches!(r.outcome, InsertOutcome::Stored { .. }) && r.transfer.to == NodeId(1) {
+                api.mark_delivered(NodeId(1), r.transfer.message);
+            }
+        }
+    }
+
+    /// Node 1 sits in range, walks away mid-transfer, and comes back.
+    fn walkabout() -> ScriptedWaypoints {
+        ScriptedWaypoints::new(vec![
+            (0.0, Point::new(150.0, 100.0)),
+            (10.0, Point::new(150.0, 100.0)),
+            (30.0, Point::new(900.0, 900.0)),
+            (50.0, Point::new(900.0, 900.0)),
+            (70.0, Point::new(150.0, 100.0)),
+            (300.0, Point::new(150.0, 100.0)),
+        ])
+    }
+
+    fn walkabout_sim(recovery: Option<RecoveryPolicy>) -> Simulation<SendOnce> {
+        let mut b = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+            .node(Box::new(ScriptedWaypoints::pinned(Point::new(
+                100.0, 100.0,
+            ))))
+            .node(Box::new(walkabout()))
+            .message(ScheduledMessage {
+                size_bytes: 6_000_000, // 24 s of airtime: cannot finish before the break
+                ..msg(1.0, 0)
+            })
+            .trace(TraceLog::unbounded())
+            .check_invariants_every(1);
+        if let Some(p) = recovery {
+            b = b.recovery(p);
+        }
+        b.build(SendOnce)
+    }
+
+    #[test]
+    fn retry_resumes_checkpointed_transfer_after_contact_returns() {
+        let policy = RecoveryPolicy {
+            backoff_base_secs: 2.0,
+            ..RecoveryPolicy::default()
+        };
+        let mut sim = walkabout_sim(Some(policy));
+        let summary = sim.run_until(SimTime::from_secs(250.0));
+        assert_eq!(
+            summary.delivered_pairs, 1,
+            "the retried transfer must finish once the pair reconnects"
+        );
+        let c = sim.api().counters();
+        assert!(c.transfers_aborted_contact >= 1, "the break aborts");
+        assert!(c.transfers_retried >= 1, "the abort earns a retry");
+        assert!(c.transfers_resumed >= 1, "the retry resumes the checkpoint");
+        assert_eq!(summary.transfers_retried, c.transfers_retried);
+        assert_eq!(summary.transfers_resumed, c.transfers_resumed);
+        assert_eq!(sim.retry_queue_len(), 0, "no retries left pending");
+        let rendered = sim.api().trace().render();
+        assert!(rendered.contains("retry #1"));
+        assert!(rendered.contains("resume"));
+
+        // Without recovery the one-shot offer is lost with the contact.
+        let baseline = walkabout_sim(None).run_until(SimTime::from_secs(250.0));
+        assert_eq!(baseline.delivered_pairs, 0);
+        assert!(
+            summary.delivered_pairs > baseline.delivered_pairs,
+            "recovery must strictly improve delivery here"
+        );
+    }
+
+    #[test]
+    fn inert_recovery_policy_changes_nothing() {
+        let run = |recovery: Option<RecoveryPolicy>| {
+            let mut b = SimulationBuilder::new(Area::new(2000.0, 2000.0), 99)
+                .nodes(20, || {
+                    Box::new(crate::mobility::RandomWaypoint::pedestrian())
+                })
+                .messages((0..10).map(|i| ScheduledMessage {
+                    expected_destinations: vec![NodeId((i as u32 + 1) % 20)],
+                    ..msg(i as f64 * 30.0, i as u32 % 20)
+                }))
+                .trace(TraceLog::unbounded());
+            if let Some(p) = recovery {
+                b = b.recovery(p);
+            }
+            let mut sim = b.build(PushAll);
+            let summary = sim.run_until(SimTime::from_secs(1800.0));
+            (summary, sim.api().trace().render())
+        };
+        let plain = run(None);
+        let inert = run(Some(RecoveryPolicy::disabled()));
+        assert_eq!(plain, inert, "a disabled policy must not perturb the run");
+    }
+
+    #[test]
+    fn chaotic_recovery_runs_replay_identically() {
+        let plan: FaultPlan = "crash=6,crashdown=60,wipe,cut=20,cutdown=15,loss=0.2"
+            .parse()
+            .unwrap();
+        let build = || {
+            SimulationBuilder::new(Area::new(2000.0, 2000.0), 99)
+                .nodes(20, || {
+                    Box::new(crate::mobility::RandomWaypoint::pedestrian())
+                })
+                .messages((0..10).map(|i| ScheduledMessage {
+                    expected_destinations: vec![NodeId((i as u32 + 1) % 20)],
+                    ..msg(i as f64 * 30.0, i as u32 % 20)
+                }))
+                .faults(plan)
+                .recovery(RecoveryPolicy::default())
+                .check_invariants_every(1)
+                .build(PushAll)
+        };
+        let mut sa = build();
+        let a = sa.run_until(SimTime::from_secs(1800.0));
+        let mut sb = build();
+        let b = sb.run_until(SimTime::from_secs(1800.0));
+        assert_eq!(a, b, "same (seed, plan, policy) must replay byte-for-byte");
+        assert_eq!(sa.fault_stats(), sb.fault_stats());
+        assert!(
+            sa.api().counters().transfers_retried > 0,
+            "loss chaos must exercise the retry path"
+        );
+        assert!(sa.invariant_checks_run().unwrap() > 0);
     }
 
     #[test]

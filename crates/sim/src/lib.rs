@@ -82,6 +82,8 @@ pub mod prelude {
     pub use crate::stats::{RunSummary, StatsCollector};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceEntry, TraceEvent, TraceLog};
-    pub use crate::transfer::{AbortReason, AbortedTransfer, CompletedTransfer};
+    pub use crate::transfer::{
+        AbortReason, AbortedTransfer, Checkpoint, CompletedTransfer, RecoveryPolicy,
+    };
     pub use crate::world::{ordered_pair, NodeId};
 }

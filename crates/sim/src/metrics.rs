@@ -25,6 +25,8 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use crate::transfer::AbortReason;
+
 /// A fixed-bucket histogram: `bounds[i]` is the inclusive upper bound of
 /// bucket `i`, with one implicit overflow bucket at the end.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -466,8 +468,23 @@ pub struct KernelCounters {
     pub messages_created: u64,
     /// Physically completed transfers (before fault rolls).
     pub transfers_completed: u64,
-    /// Aborted transfers (contact loss, source loss, cancels, injected).
+    /// Aborted transfers — lumped total across every reason (equals the
+    /// sum of the four per-reason fields below).
     pub transfers_aborted: u64,
+    /// Aborts caused by the contact dropping mid-transfer.
+    pub transfers_aborted_contact: u64,
+    /// Aborts caused by the sender losing its copy (TTL/eviction).
+    pub transfers_aborted_source: u64,
+    /// Aborts caused by deliberate protocol cancellation.
+    pub transfers_aborted_cancelled: u64,
+    /// Aborts injected by the fault layer (payload loss/corruption).
+    pub transfers_aborted_injected: u64,
+    /// Retries scheduled by the recovery layer (0 without a policy).
+    pub transfers_retried: u64,
+    /// Enqueues that resumed from a saved checkpoint instead of byte zero.
+    pub transfers_resumed: u64,
+    /// Retries abandoned because the copy or the demand vanished.
+    pub transfers_abandoned: u64,
     /// Copies purged by the TTL sweep.
     pub ttl_expiries: u64,
     /// Peak total buffered bytes across all nodes. Only tracked while the
@@ -477,7 +494,22 @@ pub struct KernelCounters {
 }
 
 impl KernelCounters {
-    /// Total kernel events processed (throughput numerator).
+    /// Records one abort, bumping both the lumped total and the matching
+    /// per-reason tally (so corruption is distinguishable from mobility
+    /// churn in exports and the `--verbose` render).
+    pub fn note_abort(&mut self, reason: AbortReason) {
+        self.transfers_aborted += 1;
+        match reason {
+            AbortReason::ContactDown => self.transfers_aborted_contact += 1,
+            AbortReason::SourceGone => self.transfers_aborted_source += 1,
+            AbortReason::Cancelled => self.transfers_aborted_cancelled += 1,
+            AbortReason::Injected => self.transfers_aborted_injected += 1,
+        }
+    }
+
+    /// Total kernel events processed (throughput numerator). The
+    /// per-reason abort fields are a breakdown of `transfers_aborted`, not
+    /// additional events; retry-queue traffic does count.
     #[must_use]
     pub fn events(&self) -> u64 {
         self.contacts_up
@@ -485,6 +517,9 @@ impl KernelCounters {
             + self.messages_created
             + self.transfers_completed
             + self.transfers_aborted
+            + self.transfers_retried
+            + self.transfers_resumed
+            + self.transfers_abandoned
             + self.ttl_expiries
     }
 
@@ -496,6 +531,25 @@ impl KernelCounters {
         registry.add("kernel.messages_created", self.messages_created);
         registry.add("kernel.transfers_completed", self.transfers_completed);
         registry.add("kernel.transfers_aborted", self.transfers_aborted);
+        registry.add(
+            "kernel.transfers_aborted_contact",
+            self.transfers_aborted_contact,
+        );
+        registry.add(
+            "kernel.transfers_aborted_source",
+            self.transfers_aborted_source,
+        );
+        registry.add(
+            "kernel.transfers_aborted_cancelled",
+            self.transfers_aborted_cancelled,
+        );
+        registry.add(
+            "kernel.transfers_aborted_injected",
+            self.transfers_aborted_injected,
+        );
+        registry.add("kernel.transfers_retried", self.transfers_retried);
+        registry.add("kernel.transfers_resumed", self.transfers_resumed);
+        registry.add("kernel.transfers_abandoned", self.transfers_abandoned);
         registry.add("kernel.ttl_expiries", self.ttl_expiries);
         registry.add("kernel.events", self.events());
         registry.gauge_max("kernel.peak_buffer_bytes", self.peak_buffer_bytes as f64);
@@ -612,14 +666,45 @@ mod tests {
             messages_created: 4,
             transfers_completed: 5,
             transfers_aborted: 1,
+            transfers_aborted_contact: 1,
+            transfers_aborted_source: 0,
+            transfers_aborted_cancelled: 0,
+            transfers_aborted_injected: 0,
+            transfers_retried: 2,
+            transfers_resumed: 1,
+            transfers_abandoned: 1,
             ttl_expiries: 6,
             peak_buffer_bytes: 1000,
         };
-        assert_eq!(c.events(), 21);
+        assert_eq!(c.events(), 25);
         let mut m = MetricsRegistry::new();
         c.export(&mut m);
-        assert_eq!(m.counter("kernel.events"), 21);
+        assert_eq!(m.counter("kernel.events"), 25);
         assert_eq!(m.counter("kernel.steps"), 10);
+        assert_eq!(m.counter("kernel.transfers_aborted_contact"), 1);
+        assert_eq!(m.counter("kernel.transfers_retried"), 2);
+        assert_eq!(m.counter("kernel.transfers_resumed"), 1);
+        assert_eq!(m.counter("kernel.transfers_abandoned"), 1);
         assert_eq!(m.gauge("kernel.peak_buffer_bytes"), Some(1000.0));
+    }
+
+    #[test]
+    fn note_abort_splits_by_reason() {
+        let mut c = KernelCounters::default();
+        c.note_abort(AbortReason::ContactDown);
+        c.note_abort(AbortReason::ContactDown);
+        c.note_abort(AbortReason::SourceGone);
+        c.note_abort(AbortReason::Cancelled);
+        c.note_abort(AbortReason::Injected);
+        assert_eq!(c.transfers_aborted, 5);
+        assert_eq!(
+            c.transfers_aborted,
+            c.transfers_aborted_contact
+                + c.transfers_aborted_source
+                + c.transfers_aborted_cancelled
+                + c.transfers_aborted_injected
+        );
+        assert_eq!(c.transfers_aborted_contact, 2);
+        assert_eq!(c.transfers_aborted_injected, 1);
     }
 }

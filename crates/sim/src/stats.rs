@@ -38,6 +38,9 @@ pub struct StatsCollector {
     relays_completed: u64,
     relay_bytes: u64,
     transfers_aborted: u64,
+    transfers_retried: u64,
+    transfers_resumed: u64,
+    transfers_abandoned: u64,
     buffer_evictions: u64,
     ttl_expiries: u64,
     series: BTreeMap<String, Vec<(f64, f64)>>,
@@ -73,6 +76,15 @@ pub struct RunSummary {
     pub relay_bytes: u64,
     /// Transfers aborted (contact loss, source loss, cancels).
     pub transfers_aborted: u64,
+    /// Retries scheduled by the recovery layer (0 without a policy).
+    #[serde(default)]
+    pub transfers_retried: u64,
+    /// Enqueues resumed from a checkpoint instead of byte zero.
+    #[serde(default)]
+    pub transfers_resumed: u64,
+    /// Retries abandoned (copy expired/evicted, or demand already met).
+    #[serde(default)]
+    pub transfers_abandoned: u64,
     /// Copies evicted by buffer pressure.
     pub buffer_evictions: u64,
     /// Copies purged by TTL.
@@ -163,6 +175,21 @@ impl StatsCollector {
         self.transfers_aborted += 1;
     }
 
+    /// Records a retry scheduled by the recovery layer.
+    pub fn record_retry(&mut self) {
+        self.transfers_retried += 1;
+    }
+
+    /// Records an enqueue that resumed from a saved checkpoint.
+    pub fn record_resume(&mut self) {
+        self.transfers_resumed += 1;
+    }
+
+    /// Records a retry abandoned before release.
+    pub fn record_abandon(&mut self) {
+        self.transfers_abandoned += 1;
+    }
+
     /// Records `n` buffer evictions.
     pub fn record_evictions(&mut self, n: usize) {
         self.buffer_evictions += n as u64;
@@ -223,6 +250,9 @@ impl StatsCollector {
             relays_completed: self.relays_completed,
             relay_bytes: self.relay_bytes,
             transfers_aborted: self.transfers_aborted,
+            transfers_retried: self.transfers_retried,
+            transfers_resumed: self.transfers_resumed,
+            transfers_abandoned: self.transfers_abandoned,
             buffer_evictions: self.buffer_evictions,
             ttl_expiries: self.ttl_expiries,
             series: self.series.clone(),
@@ -348,6 +378,9 @@ impl RunSummary {
             relays_completed: mean_u(|r| r.relays_completed),
             relay_bytes: mean_u(|r| r.relay_bytes),
             transfers_aborted: mean_u(|r| r.transfers_aborted),
+            transfers_retried: mean_u(|r| r.transfers_retried),
+            transfers_resumed: mean_u(|r| r.transfers_resumed),
+            transfers_abandoned: mean_u(|r| r.transfers_abandoned),
             buffer_evictions: mean_u(|r| r.buffer_evictions),
             ttl_expiries: mean_u(|r| r.ttl_expiries),
             series,
@@ -476,12 +509,19 @@ mod tests {
         s.record_relay(1000);
         s.record_relay(500);
         s.record_abort();
+        s.record_retry();
+        s.record_retry();
+        s.record_resume();
+        s.record_abandon();
         s.record_evictions(3);
         s.record_expiries(2);
         let sum = s.summarize();
         assert_eq!(sum.relays_completed, 2);
         assert_eq!(sum.relay_bytes, 1500);
         assert_eq!(sum.transfers_aborted, 1);
+        assert_eq!(sum.transfers_retried, 2);
+        assert_eq!(sum.transfers_resumed, 1);
+        assert_eq!(sum.transfers_abandoned, 1);
         assert_eq!(sum.buffer_evictions, 3);
         assert_eq!(sum.ttl_expiries, 2);
     }

@@ -115,6 +115,35 @@ pub enum TraceEvent {
         /// Receiver.
         to: NodeId,
     },
+    /// The recovery layer scheduled a retry of an aborted transfer.
+    RetryScheduled {
+        /// The message to redeliver.
+        message: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// An enqueue resumed from a saved partial-transfer checkpoint.
+    TransferResumed {
+        /// The resumed message.
+        message: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The recovery layer gave up on a queued retry (copy or demand gone).
+    RetryAbandoned {
+        /// The abandoned message.
+        message: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -147,6 +176,20 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::TransferCorrupted { message, from, to } => {
                 write!(f, "corrupt {message} {from}->{to}")
+            }
+            TraceEvent::RetryScheduled {
+                message,
+                from,
+                to,
+                attempt,
+            } => {
+                write!(f, "retry #{attempt} {message} {from}->{to}")
+            }
+            TraceEvent::TransferResumed { message, from, to } => {
+                write!(f, "resume {message} {from}->{to}")
+            }
+            TraceEvent::RetryAbandoned { message, from, to } => {
+                write!(f, "abandon {message} {from}->{to}")
             }
         }
     }
@@ -249,7 +292,10 @@ impl TraceLog {
                 | TraceEvent::Delivered { message: m, .. }
                 | TraceEvent::Expired { message: m, .. }
                 | TraceEvent::TransferLost { message: m, .. }
-                | TraceEvent::TransferCorrupted { message: m, .. } => m == message,
+                | TraceEvent::TransferCorrupted { message: m, .. }
+                | TraceEvent::RetryScheduled { message: m, .. }
+                | TraceEvent::TransferResumed { message: m, .. }
+                | TraceEvent::RetryAbandoned { message: m, .. } => m == message,
                 TraceEvent::ContactUp { .. }
                 | TraceEvent::ContactDown { .. }
                 | TraceEvent::NodeCrashed { .. }
@@ -419,6 +465,22 @@ mod tests {
                 to: NodeId(1),
             },
             TraceEvent::TransferCorrupted {
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            TraceEvent::RetryScheduled {
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+                attempt: 2,
+            },
+            TraceEvent::TransferResumed {
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            TraceEvent::RetryAbandoned {
                 message: MessageId(1),
                 from: NodeId(0),
                 to: NodeId(1),

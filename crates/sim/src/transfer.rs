@@ -5,12 +5,119 @@
 //! one. A transfer progresses at the link speed while the contact stays up
 //! and is aborted if the contact drops or the sender loses its buffered copy
 //! mid-flight.
+//!
+//! With [`RecoveryPolicy::resume`] enabled the engine additionally keeps a
+//! per-`(src, dst, message)` checkpoint of the bytes already on the air when
+//! a `ContactDown` abort strikes, and a later enqueue of the same transfer
+//! resumes from that offset instead of restarting from zero (reactive
+//! fragmentation). Checkpoints are sender-side bookkeeping only — no payload
+//! is stored — and are dropped on completion, cancellation, source loss, or
+//! a buffer wipe at either endpoint.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
 
 use crate::message::MessageId;
 use crate::time::{SimDuration, SimTime};
 use crate::world::NodeId;
+
+/// Recovery knobs for the transfer path: checkpoint/resume plus the
+/// kernel's deterministic retry queue.
+///
+/// Absent (`recovery: None` in a scenario) the kernel behaves exactly as
+/// before: aborted transfers lose all progress and are never retried. The
+/// [`Default`] is a sensible *enabled* configuration — presence of the
+/// policy is what turns recovery on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RecoveryPolicy {
+    /// Checkpoint partial progress on `ContactDown` aborts and resume from
+    /// the saved byte offset at the next enqueue of the same transfer.
+    pub resume: bool,
+    /// Maximum retry attempts per `(src, dst, message)` transfer; `0`
+    /// disables the retry queue entirely.
+    pub retry_max: u32,
+    /// Base backoff in seconds: attempt `k` (0-based) waits
+    /// `base * 2^k`, jittered ±50%, capped at `backoff_cap_secs`.
+    pub backoff_base_secs: f64,
+    /// Upper bound on any single backoff delay, in seconds.
+    pub backoff_cap_secs: f64,
+    /// Per-message cap on corruption (`Injected`) redeliveries: a payload
+    /// destroyed more than this many times on one link is abandoned.
+    pub redelivery_cap: u32,
+    /// Per-`(sender, receiver)` budget of retransmissions across the whole
+    /// run; exhausted pairs stop retrying (starvation guard against a
+    /// pathologically lossy link eating the radio).
+    pub peer_budget: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            resume: true,
+            retry_max: 3,
+            backoff_base_secs: 10.0,
+            backoff_cap_secs: 300.0,
+            redelivery_cap: 2,
+            peer_budget: 64,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that changes nothing: no resume, no retries.
+    #[must_use]
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            resume: false,
+            retry_max: 0,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Whether this policy perturbs a run at all.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        !self.resume && self.retry_max == 0
+    }
+
+    /// Validates the knobs, returning a description of the first problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if any delay is non-finite or negative, the cap is
+    /// below the base, or retries are enabled with a zero base delay.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.backoff_base_secs.is_finite() || self.backoff_base_secs < 0.0 {
+            return Err(format!(
+                "backoff_base_secs must be finite and >= 0, got {}",
+                self.backoff_base_secs
+            ));
+        }
+        if !self.backoff_cap_secs.is_finite() || self.backoff_cap_secs < self.backoff_base_secs {
+            return Err(format!(
+                "backoff_cap_secs must be finite and >= backoff_base_secs, got {}",
+                self.backoff_cap_secs
+            ));
+        }
+        if self.retry_max > 0 && self.backoff_base_secs == 0.0 {
+            return Err("retries enabled but backoff_base_secs is zero".into());
+        }
+        Ok(())
+    }
+}
+
+/// A saved partial-transfer offset: how many bytes of a transfer of
+/// `bytes_total` were already on the air when the contact dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Bytes already transmitted.
+    pub bytes_sent: f64,
+    /// Total payload size the checkpoint was taken against; a resume only
+    /// applies when the re-enqueued size matches.
+    pub bytes_total: u64,
+}
 
 /// A transfer that has been requested but not yet finished.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +194,10 @@ pub struct TransferEngine {
     /// One FIFO per sender; the head is the in-flight transfer.
     queues: Vec<VecDeque<Transfer>>,
     link_speed_bps: f64,
+    /// Partial-progress offsets saved on `ContactDown`, keyed by
+    /// `(from, to, message)`. Only populated when `resume` is on.
+    checkpoints: HashMap<(NodeId, NodeId, MessageId), Checkpoint>,
+    resume: bool,
 }
 
 impl TransferEngine {
@@ -101,13 +212,87 @@ impl TransferEngine {
         TransferEngine {
             queues: vec![VecDeque::new(); node_count],
             link_speed_bps,
+            checkpoints: HashMap::new(),
+            resume: false,
         }
+    }
+
+    /// Enables (or disables) checkpoint/resume. Off by default; with it
+    /// off the engine is byte-identical to the pre-recovery engine.
+    pub fn set_resume(&mut self, on: bool) {
+        self.resume = on;
+        if !on {
+            self.checkpoints.clear();
+        }
+    }
+
+    /// The saved checkpoint for `(from, to, message)`, if any.
+    #[must_use]
+    pub fn checkpoint_of(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        message: MessageId,
+    ) -> Option<Checkpoint> {
+        self.checkpoints.get(&(from, to, message)).copied()
+    }
+
+    /// Number of live checkpoints.
+    #[must_use]
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Drops every checkpoint involving `node` as sender or receiver.
+    /// Called when a crash wipes a buffer: partial bytes at a wiped
+    /// receiver are gone, and a wiped sender has nothing left to resume.
+    pub fn clear_checkpoints_involving(&mut self, node: NodeId) {
+        self.checkpoints
+            .retain(|&(from, to, _), _| from != node && to != node);
+    }
+
+    /// Byte-conservation audit: every queued transfer and every checkpoint
+    /// must satisfy `0 <= bytes_sent <= bytes_total`. Violations are
+    /// returned sorted (deterministic output for breach reports).
+    #[must_use]
+    pub fn audit_bytes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for q in &self.queues {
+            for t in q {
+                if !(t.bytes_sent >= 0.0 && t.bytes_sent <= t.bytes_total as f64 + 1e-6) {
+                    out.push(format!(
+                        "transfer {}->{} msg {} has bytes_sent {} outside [0, {}]",
+                        t.from.index(),
+                        t.to.index(),
+                        t.message.0,
+                        t.bytes_sent,
+                        t.bytes_total
+                    ));
+                }
+            }
+        }
+        for (&(from, to, msg), c) in &self.checkpoints {
+            if !(c.bytes_sent > 0.0 && c.bytes_sent <= c.bytes_total as f64 + 1e-6) {
+                out.push(format!(
+                    "checkpoint {}->{} msg {} has bytes_sent {} outside (0, {}]",
+                    from.index(),
+                    to.index(),
+                    msg.0,
+                    c.bytes_sent,
+                    c.bytes_total
+                ));
+            }
+        }
+        out.sort();
+        out
     }
 
     /// Queues a transfer of `message` from `from` to `to`.
     ///
     /// Duplicate enqueues of the same `(from, to, message)` are ignored and
-    /// return `false`.
+    /// return `false`. With resume enabled, a matching checkpoint (same
+    /// payload size) seeds `bytes_sent` so transmission continues from the
+    /// saved offset.
     pub fn enqueue(
         &mut self,
         from: NodeId,
@@ -120,12 +305,20 @@ impl TransferEngine {
         if q.iter().any(|t| t.to == to && t.message == message) {
             return false;
         }
+        let resumed_from = if self.resume {
+            self.checkpoints
+                .get(&(from, to, message))
+                .filter(|c| c.bytes_total == bytes)
+                .map_or(0.0, |c| c.bytes_sent.min(bytes as f64))
+        } else {
+            0.0
+        };
         q.push_back(Transfer {
             from,
             to,
             message,
             bytes_total: bytes,
-            bytes_sent: 0.0,
+            bytes_sent: resumed_from,
             started_at: None,
             requested_at: now,
         });
@@ -153,7 +346,8 @@ impl TransferEngine {
     }
 
     /// Aborts every pending transfer between `a` and `b` (both directions),
-    /// returning the aborted records. Called on contact-down.
+    /// returning the aborted records. Called on contact-down. With resume
+    /// enabled, partial progress is checkpointed for a later re-enqueue.
     pub fn abort_between(&mut self, a: NodeId, b: NodeId) -> Vec<AbortedTransfer> {
         let mut out = Vec::new();
         for (from, to) in [(a, b), (b, a)] {
@@ -161,6 +355,15 @@ impl TransferEngine {
             let mut keep = VecDeque::with_capacity(q.len());
             while let Some(t) = q.pop_front() {
                 if t.to == to {
+                    if self.resume && t.bytes_sent > 0.0 {
+                        self.checkpoints.insert(
+                            (t.from, t.to, t.message),
+                            Checkpoint {
+                                bytes_sent: t.bytes_sent.min(t.bytes_total as f64),
+                                bytes_total: t.bytes_total,
+                            },
+                        );
+                    }
                     out.push(AbortedTransfer {
                         from: t.from,
                         to: t.to,
@@ -177,7 +380,8 @@ impl TransferEngine {
         out
     }
 
-    /// Cancels a specific pending transfer, if present.
+    /// Cancels a specific pending transfer, if present. Cancellation is
+    /// deliberate, so any saved checkpoint is dropped too.
     pub fn cancel(
         &mut self,
         from: NodeId,
@@ -187,6 +391,7 @@ impl TransferEngine {
         let q = &mut self.queues[from.index()];
         let pos = q.iter().position(|t| t.to == to && t.message == message)?;
         let t = q.remove(pos).expect("position valid");
+        self.checkpoints.remove(&(from, to, message));
         Some(AbortedTransfer {
             from: t.from,
             to: t.to,
@@ -219,6 +424,9 @@ impl TransferEngine {
                 let Some(head) = q.front_mut() else { break };
                 if !sender_has_copy(head.from, head.message) {
                     let t = q.pop_front().expect("head exists");
+                    // The source copy is gone for good (TTL or eviction):
+                    // nothing is left to resume from.
+                    self.checkpoints.remove(&(t.from, t.to, t.message));
                     aborted.push(AbortedTransfer {
                         from: t.from,
                         to: t.to,
@@ -236,6 +444,7 @@ impl TransferEngine {
                 if need_secs <= budget {
                     budget -= need_secs;
                     let t = q.pop_front().expect("head exists");
+                    self.checkpoints.remove(&(t.from, t.to, t.message));
                     // Airtime is transmission time: the radio only pushes
                     // this transfer while it is the head, at link speed, so
                     // the on-air seconds are exactly bytes/speed. (Wall
@@ -383,5 +592,161 @@ mod tests {
         e.enqueue(NodeId(0), NodeId(1), MessageId(1), 0, SimTime::ZERO);
         let (done, _) = step_all(&mut e, 1.0, 0.0);
         assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn resume_restores_partial_progress() {
+        let mut e = engine();
+        e.set_resume(true);
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        step_all(&mut e, 3.0, 0.0); // 300 of 1000 bytes on the air
+        let aborted = e.abort_between(NodeId(0), NodeId(1));
+        assert_eq!(aborted.len(), 1);
+        let cp = e
+            .checkpoint_of(NodeId(0), NodeId(1), MessageId(1))
+            .expect("checkpointed");
+        assert!((cp.bytes_sent - 300.0).abs() < 1e-9);
+        assert_eq!(cp.bytes_total, 1000);
+
+        // Re-enqueue: only the remaining 700 bytes are left, so the
+        // transfer completes within 7 s instead of 10.
+        assert!(e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(1),
+            1000,
+            SimTime::from_secs(60.0)
+        ));
+        let (done, _) = step_all(&mut e, 7.0, 60.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].bytes, 1000);
+        assert_eq!(e.checkpoint_count(), 0, "completion drops the checkpoint");
+    }
+
+    #[test]
+    fn resume_off_restarts_from_zero() {
+        let mut e = engine();
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        step_all(&mut e, 3.0, 0.0);
+        e.abort_between(NodeId(0), NodeId(1));
+        assert_eq!(e.checkpoint_count(), 0, "no checkpoints without resume");
+        e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(1),
+            1000,
+            SimTime::from_secs(60.0),
+        );
+        let (done, _) = step_all(&mut e, 7.0, 60.0);
+        assert!(done.is_empty(), "restart needs the full 10 s again");
+    }
+
+    #[test]
+    fn checkpoint_ignored_when_size_differs() {
+        let mut e = engine();
+        e.set_resume(true);
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        step_all(&mut e, 3.0, 0.0);
+        e.abort_between(NodeId(0), NodeId(1));
+        // Same key, different payload size: must not resume from 300.
+        e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(1),
+            500,
+            SimTime::from_secs(60.0),
+        );
+        let (done, _) = step_all(&mut e, 3.0, 60.0);
+        assert!(done.is_empty(), "500 B at 100 B/s needs 5 s from scratch");
+        assert!(e.audit_bytes().is_empty());
+    }
+
+    #[test]
+    fn cancel_and_source_gone_drop_checkpoints() {
+        let mut e = engine();
+        e.set_resume(true);
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
+        step_all(&mut e, 3.0, 0.0);
+        e.abort_between(NodeId(0), NodeId(1));
+        assert_eq!(e.checkpoint_count(), 1);
+        // Re-enqueue then cancel: deliberate abandonment clears custody.
+        e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(1),
+            1000,
+            SimTime::from_secs(10.0),
+        );
+        e.cancel(NodeId(0), NodeId(1), MessageId(1));
+        assert_eq!(e.checkpoint_count(), 0);
+
+        // Source-gone mid-flight clears the checkpoint too.
+        e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(2),
+            1000,
+            SimTime::from_secs(20.0),
+        );
+        step_all(&mut e, 3.0, 20.0);
+        e.abort_between(NodeId(0), NodeId(1));
+        assert_eq!(e.checkpoint_count(), 1);
+        e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(2),
+            1000,
+            SimTime::from_secs(30.0),
+        );
+        let (_, aborted) = e.step(
+            SimDuration::from_secs(1.0),
+            SimTime::from_secs(30.0),
+            |_, _| false,
+            |_, _| 10.0,
+        );
+        assert_eq!(aborted[0].reason, AbortReason::SourceGone);
+        assert_eq!(e.checkpoint_count(), 0);
+    }
+
+    #[test]
+    fn wipe_clears_checkpoints_for_either_endpoint() {
+        let mut e = engine();
+        e.set_resume(true);
+        for (msg, from, to) in [(1, 0, 1), (2, 2, 0), (3, 2, 3)] {
+            e.enqueue(
+                NodeId(from),
+                NodeId(to),
+                MessageId(msg),
+                1000,
+                SimTime::ZERO,
+            );
+            step_all(&mut e, 3.0, 0.0);
+            e.abort_between(NodeId(from), NodeId(to));
+        }
+        assert_eq!(e.checkpoint_count(), 3);
+        e.clear_checkpoints_involving(NodeId(0));
+        assert_eq!(e.checkpoint_count(), 1, "only 2->3 survives a wipe of 0");
+        assert!(e
+            .checkpoint_of(NodeId(2), NodeId(3), MessageId(3))
+            .is_some());
+    }
+
+    #[test]
+    fn recovery_policy_validates_and_defaults() {
+        assert!(RecoveryPolicy::default().validate().is_ok());
+        assert!(!RecoveryPolicy::default().is_inert());
+        assert!(RecoveryPolicy::disabled().is_inert());
+        let bad = RecoveryPolicy {
+            backoff_cap_secs: 1.0,
+            backoff_base_secs: 10.0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let zero_base = RecoveryPolicy {
+            backoff_base_secs: 0.0,
+            backoff_cap_secs: 0.0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(zero_base.validate().is_err());
     }
 }

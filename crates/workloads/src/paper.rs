@@ -55,6 +55,7 @@ pub fn table51_scenario() -> Scenario {
         mobility: crate::scenario::Mobility::RandomWaypoint,
         protocol: ProtocolParams::paper_default(),
         chaos: None,
+        recovery: None,
     }
 }
 

@@ -149,6 +149,9 @@ pub fn build_simulation_opts(
     if let Some(plan) = scenario.chaos {
         builder = builder.faults(plan);
     }
+    if let Some(policy) = scenario.recovery {
+        builder = builder.recovery(policy);
+    }
     if let Some(every) = check_every {
         builder = builder.check_invariants_every(every);
     }
@@ -188,6 +191,9 @@ where
     }
     if let Some(plan) = scenario.chaos {
         builder = builder.faults(plan);
+    }
+    if let Some(policy) = scenario.recovery {
+        builder = builder.recovery(policy);
     }
     builder.messages(schedule).build(protocol)
 }
@@ -360,6 +366,24 @@ impl PerfReport {
             self.sim_secs_per_sec,
             self.events_per_sec,
             self.peak_buffer_bytes as f64 / 1e6
+        );
+        let c = |name: &str| self.metrics.counter(name);
+        let _ = writeln!(
+            out,
+            "  transfers: {} completed · {} aborted (contact {} / source {} / cancelled {} / injected {})",
+            c("kernel.transfers_completed"),
+            c("kernel.transfers_aborted"),
+            c("kernel.transfers_aborted_contact"),
+            c("kernel.transfers_aborted_source"),
+            c("kernel.transfers_aborted_cancelled"),
+            c("kernel.transfers_aborted_injected"),
+        );
+        let _ = writeln!(
+            out,
+            "  recovery: {} retried · {} resumed · {} abandoned",
+            c("kernel.transfers_retried"),
+            c("kernel.transfers_resumed"),
+            c("kernel.transfers_abandoned"),
         );
         let total: f64 = self.phases.iter().map(|p| p.secs).sum();
         let total = total.max(1e-12);
@@ -639,6 +663,38 @@ mod tests {
             "chaos does not help delivery: {} vs {}",
             faulty.summary.delivery_ratio,
             clean.summary.delivery_ratio
+        );
+    }
+
+    #[test]
+    fn recovery_policy_is_wired_through_and_reported() {
+        let mut s = tiny();
+        s.chaos = Some("loss=0.3".parse().unwrap());
+        s.recovery = Some(dtn_sim::transfer::RecoveryPolicy {
+            backoff_base_secs: 5.0,
+            ..dtn_sim::transfer::RecoveryPolicy::default()
+        });
+        let sim = build_simulation(&s, Arm::Incentive, 7);
+        assert_eq!(sim.recovery_policy(), s.recovery.as_ref());
+        let (run, _, perf) = run_once_observed(&s, Arm::Incentive, 7, None, Some(60), true);
+        assert!(
+            run.summary.transfers_retried > 0,
+            "loss chaos forces retries"
+        );
+        let perf = perf.expect("profiled");
+        let rendered = perf.render();
+        assert!(rendered.contains("injected"), "abort breakdown rendered");
+        assert!(rendered.contains("retried"), "recovery counters rendered");
+        assert_eq!(
+            perf.metrics.counter("kernel.transfers_retried"),
+            run.summary.transfers_retried
+        );
+        // An inert policy builds to no recovery at all.
+        let mut off = tiny();
+        off.recovery = Some(dtn_sim::transfer::RecoveryPolicy::disabled());
+        assert_eq!(
+            build_simulation(&off, Arm::Incentive, 7).recovery_policy(),
+            None
         );
     }
 

@@ -161,6 +161,12 @@ pub struct Scenario {
     /// paper experiment.
     #[serde(default)]
     pub chaos: Option<dtn_sim::faults::FaultPlan>,
+    /// Optional transfer-recovery policy (checkpointed resume plus
+    /// deterministic retry/backoff; see
+    /// [`dtn_sim::transfer::RecoveryPolicy`]). `None` = no recovery, as in
+    /// every paper experiment — aborted transfers are simply lost.
+    #[serde(default)]
+    pub recovery: Option<dtn_sim::transfer::RecoveryPolicy>,
 }
 
 impl Scenario {
@@ -210,6 +216,9 @@ impl Scenario {
         self.protocol.validate()?;
         if let Some(chaos) = &self.chaos {
             chaos.validate()?;
+        }
+        if let Some(recovery) = &self.recovery {
+            recovery.validate()?;
         }
         Ok(())
     }
@@ -282,6 +291,13 @@ mod tests {
         let mut s = base.clone();
         s.source_tag_fraction = 0.0;
         assert!(s.validate().is_err());
+
+        let mut s = base.clone();
+        s.recovery = Some(dtn_sim::transfer::RecoveryPolicy {
+            backoff_base_secs: -1.0,
+            ..dtn_sim::transfer::RecoveryPolicy::default()
+        });
+        assert!(s.validate().is_err(), "invalid recovery policy rejected");
     }
 
     #[test]
@@ -315,6 +331,25 @@ mod tests {
         let stripped = json.replace("\"mobility\":\"ManhattanGrid\",", "");
         let legacy: Scenario = serde_json::from_str(&stripped).expect("legacy parses");
         assert_eq!(legacy.mobility, Mobility::RandomWaypoint);
+    }
+
+    #[test]
+    fn recovery_survives_serde_and_defaults_when_absent() {
+        let mut s = paper::reduced_scenario();
+        s.recovery = Some(dtn_sim::transfer::RecoveryPolicy::default());
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.recovery, s.recovery);
+        assert_eq!(back, s);
+        // Configs written before the recovery field existed still parse
+        // (and mean what they always meant: no recovery).
+        let plain = serde_json::to_string(&paper::reduced_scenario()).expect("serializable");
+        let stripped = plain
+            .replace(",\"recovery\":null", "")
+            .replace("\"recovery\":null,", "");
+        assert_ne!(stripped, plain, "the field was present to strip");
+        let legacy: Scenario = serde_json::from_str(&stripped).expect("legacy parses");
+        assert_eq!(legacy.recovery, None);
     }
 
     #[test]
