@@ -7,28 +7,63 @@
 //! `-v1` suffix) and a fresh committed baseline.
 //!
 //! ```text
-//! cargo run --release -p dtn-bench --bin perf              # 3 seeds
-//! cargo run --release -p dtn-bench --bin perf -- --seeds 1 # CI quick
+//! cargo run --release -p dtn-bench --bin perf                 # full capture
+//! cargo run --release -p dtn-bench --bin perf -- --seeds 1    # fewer seeds
+//! cargo run --release -p dtn-bench --bin perf -- --quick \
+//!     --check BENCH_kernel.json                               # CI gate
 //! ```
 //!
-//! Schema of `BENCH_kernel.json`: a JSON array with one row per pinned
-//! scenario (all totals are summed across that scenario's runs):
+//! Schema of `BENCH_kernel.json`: a JSON array with one row per
+//! (pinned scenario, thread count); totals are summed across that row's
+//! seeds. `threads` is the kernel shard count the row ran at and `mode`
+//! labels `--quick` rows, whose shortened runs are not comparable to
+//! full captures:
 //!
 //! ```json
-//! [{"name": "...", "wall_secs": f, "sim_secs_per_sec": f,
-//!   "events_per_sec": f, "steps": n, "contacts": n, "relays": n,
-//!   "retried": n, "resumed": n}, ...]
+//! [{"name": "...", "threads": n, "mode": "full|quick",
+//!   "wall_secs": f, "sim_secs_per_sec": f, "events_per_sec": f,
+//!   "steps": n, "contacts": n, "relays": n, "retried": n,
+//!   "resumed": n}, ...]
 //! ```
 //!
-//! Rows: `perf-medium-v1` is the clean kernel; `chaos-recovery-v1` runs
-//! the same world under transfer loss and link cuts with the default
-//! recovery policy, so the baseline also tracks the retry/resume path.
+//! Rows: `perf-medium-v1` is the clean kernel, captured at threads 1, 2,
+//! 4 and 8 so the baseline records the scaling curve; `chaos-recovery-v1`
+//! runs the same world under transfer loss and link cuts with the default
+//! recovery policy, tracking the retry/resume path; `perf-large-v1` is a
+//! 1000-node world at the same density (threads 1 and 4).
+//!
+//! ## Regression gate (`--check <baseline>`)
+//!
+//! With `--check`, the committed baseline is read *before* the capture,
+//! and after writing the fresh numbers the run fails if any row's
+//! `events_per_sec` fell more than `--tolerance` (default 0.25) below the
+//! committed row with the same `(name, threads)`. Rows absent from the
+//! baseline are reported but never fail the gate, so adding a scenario
+//! does not require a flag-day. The gate also enforces the parallel-step
+//! floor: `perf-medium-v1` at threads >= 4 must clear 1.5x the
+//! pre-optimization single-thread baseline ([`SEED_MEDIUM_EV_PER_SEC`]).
 
 use dtn_sim::faults::FaultPlan;
 use dtn_sim::transfer::RecoveryPolicy;
 use dtn_workloads::paper::{reduced_scenario, seeds_for};
 use dtn_workloads::runner::{run_once_perf, PerfReport};
 use dtn_workloads::scenario::{Arm, Scenario};
+use serde::Deserialize;
+
+/// `perf-medium-v1` events/sec of the single-threaded kernel as committed
+/// before the parallel step loop landed. Pinned like the scenarios: the
+/// `--check` floor asserts the sharded kernel stays >= 1.5x this number
+/// at threads >= 4, whatever the current committed baseline says.
+const SEED_MEDIUM_EV_PER_SEC: f64 = 6566.688;
+
+/// Required speedup over [`SEED_MEDIUM_EV_PER_SEC`] at threads >= 4.
+const PARALLEL_FLOOR: f64 = 1.5;
+
+/// Thread counts the medium scenario is captured at (the scaling curve).
+const MEDIUM_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Thread counts for the large scenario (one serial, one sharded point).
+const LARGE_SWEEP: [usize; 2] = [1, 4];
 
 /// The pinned clean baseline: the reduced-scale world under a stable
 /// name so recorded baselines are tied to an exact configuration.
@@ -51,9 +86,94 @@ fn chaos_recovery_scenario() -> Scenario {
     s
 }
 
-/// Run one pinned scenario over `seeds` and format its baseline row.
-fn bench_row(scenario: &Scenario, seeds: &[u64]) -> String {
-    dtn_bench::print_scenario_header("kernel performance baseline", scenario, seeds);
+/// The pinned large-world baseline: 1000 nodes at the reduced scenario's
+/// density (10 km²) over 30 simulated minutes — big enough that contact
+/// detection and the batched transfer pass dominate, short enough to run
+/// on every capture.
+fn perf_large_scenario() -> Scenario {
+    let mut s = reduced_scenario().named("perf-large-v1");
+    s.nodes = 1000;
+    s.area_km2 = 10.0;
+    s.duration_secs = 1800.0;
+    s.message_ttl_secs = 900.0;
+    s
+}
+
+/// One captured baseline row. `Deserialize` doubles as the committed-
+/// baseline reader for `--check`; `threads`/`mode` are optional there so
+/// pre-sweep baselines (which had neither field) still parse.
+#[derive(Debug, Clone, Deserialize)]
+struct BenchRow {
+    name: String,
+    #[serde(default)]
+    threads: Option<u64>,
+    #[serde(default)]
+    mode: Option<String>,
+    #[allow(dead_code)]
+    #[serde(default)]
+    wall_secs: f64,
+    #[allow(dead_code)]
+    #[serde(default)]
+    sim_secs_per_sec: f64,
+    events_per_sec: f64,
+    #[serde(default)]
+    steps: u64,
+    #[serde(default)]
+    contacts: u64,
+    #[serde(default)]
+    relays: u64,
+    #[serde(default)]
+    retried: u64,
+    #[serde(default)]
+    resumed: u64,
+}
+
+impl BenchRow {
+    fn threads(&self) -> u64 {
+        self.threads.unwrap_or(1)
+    }
+
+    /// Hand-formatted to keep the committed file's row style stable.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"name\": {},\n    \"threads\": {},\n    \"mode\": {},\n    \
+             \"wall_secs\": {:.6},\n    \"sim_secs_per_sec\": {:.3},\n    \
+             \"events_per_sec\": {:.3},\n    \"steps\": {},\n    \"contacts\": {},\n    \
+             \"relays\": {},\n    \"retried\": {},\n    \"resumed\": {}\n  }}",
+            serde_json::to_string(&self.name).expect("string encodes"),
+            self.threads(),
+            serde_json::to_string(self.mode.as_deref().unwrap_or("full")).expect("string encodes"),
+            self.wall_secs,
+            self.sim_secs_per_sec,
+            self.events_per_sec,
+            self.steps,
+            self.contacts,
+            self.relays,
+            self.retried,
+            self.resumed,
+        )
+    }
+}
+
+/// Run one pinned scenario at one thread count over `seeds`.
+fn bench_row(scenario: &Scenario, threads: usize, seeds: &[u64], quick: bool) -> BenchRow {
+    let mut scenario = scenario.clone();
+    scenario.threads = Some(threads);
+    if quick {
+        // A sixth of the pinned duration: enough steps for a stable rate,
+        // short enough for a per-commit CI gate. Quick rows are labeled
+        // (`mode`) because their absolute numbers trend slightly below a
+        // full capture's.
+        scenario.duration_secs /= 6.0;
+        scenario.message_ttl_secs = scenario.message_ttl_secs.min(scenario.duration_secs / 2.0);
+    }
+    let label = format!(
+        "{} [threads={threads}{}]",
+        scenario.name,
+        if quick { ", quick" } else { "" }
+    );
+    dtn_bench::print_scenario_header("kernel performance baseline", &scenario, seeds);
+    println!("row: {label}");
 
     // Sequential, one profiled run per seed: wall-clock must measure the
     // kernel, not scheduler contention between concurrent runs.
@@ -62,7 +182,7 @@ fn bench_row(scenario: &Scenario, seeds: &[u64]) -> String {
     let mut retried = 0u64;
     let mut resumed = 0u64;
     for &seed in seeds {
-        let (run, perf) = run_once_perf(scenario, Arm::Incentive, seed);
+        let (run, perf) = run_once_perf(&scenario, Arm::Incentive, seed);
         relays += run.summary.relays_completed;
         retried += run.summary.transfers_retried;
         resumed += run.summary.transfers_resumed;
@@ -84,24 +204,77 @@ fn bench_row(scenario: &Scenario, seeds: &[u64]) -> String {
         "profiled run produced no throughput"
     );
 
-    format!(
-        "{{\n    \"name\": {},\n    \"wall_secs\": {:.6},\n    \"sim_secs_per_sec\": {:.3},\n    \
-         \"events_per_sec\": {:.3},\n    \"steps\": {},\n    \"contacts\": {},\n    \
-         \"relays\": {},\n    \"retried\": {},\n    \"resumed\": {}\n  }}",
-        serde_json::to_string(&scenario.name).expect("string encodes"),
-        report.wall_secs,
-        report.sim_secs_per_sec,
-        report.events_per_sec,
-        report.steps,
+    BenchRow {
+        name: scenario.name.clone(),
+        threads: Some(threads as u64),
+        mode: Some(if quick { "quick" } else { "full" }.into()),
+        wall_secs: report.wall_secs,
+        sim_secs_per_sec: report.sim_secs_per_sec,
+        events_per_sec: report.events_per_sec,
+        steps: report.steps,
         contacts,
         relays,
         retried,
-        resumed
-    )
+        resumed,
+    }
+}
+
+/// The regression gate: every fresh row must stay within `tolerance` of
+/// the committed row with the same `(name, threads)`, and the medium
+/// scenario's sharded rows must clear the parallel-step floor. Returns
+/// the list of failures (empty = gate passes).
+fn check_rows(fresh: &[BenchRow], baseline: &[BenchRow], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in fresh {
+        let label = format!("{} [threads={}]", row.name, row.threads());
+        match baseline
+            .iter()
+            .find(|b| b.name == row.name && b.threads() == row.threads())
+        {
+            Some(b) => {
+                let floor = (1.0 - tolerance) * b.events_per_sec;
+                if row.events_per_sec < floor {
+                    failures.push(format!(
+                        "{label}: {:.1} ev/s fell below {:.1} \
+                         (committed {:.1} ev/s - {:.0}% tolerance)",
+                        row.events_per_sec,
+                        floor,
+                        b.events_per_sec,
+                        tolerance * 100.0
+                    ));
+                } else {
+                    println!(
+                        "[check] {label}: {:.1} ev/s vs committed {:.1} — ok",
+                        row.events_per_sec, b.events_per_sec
+                    );
+                }
+            }
+            None => println!("[check] {label}: no committed row, skipped"),
+        }
+        if row.name == "perf-medium-v1" && row.threads() >= 4 {
+            let floor = PARALLEL_FLOOR * SEED_MEDIUM_EV_PER_SEC;
+            if row.events_per_sec < floor {
+                failures.push(format!(
+                    "{label}: {:.1} ev/s misses the parallel-step floor {:.1} \
+                     ({PARALLEL_FLOOR}x the pre-optimization baseline {SEED_MEDIUM_EV_PER_SEC})",
+                    row.events_per_sec, floor
+                ));
+            } else {
+                println!(
+                    "[check] {label}: {:.1} ev/s clears the {PARALLEL_FLOOR}x floor {:.1}",
+                    row.events_per_sec, floor
+                );
+            }
+        }
+    }
+    failures
 }
 
 fn main() {
     let mut seed_count = 3usize;
+    let mut quick = false;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25f64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -114,19 +287,68 @@ fn main() {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| panic!("--seeds needs a positive integer"));
             }
-            other => panic!("unknown flag {other}; usage: perf [--seeds N]"),
+            "--quick" => quick = true,
+            "--check" => {
+                i += 1;
+                check_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| panic!("--check needs a baseline path"))
+                        .clone(),
+                );
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| panic!("--tolerance needs a fraction in [0, 1)"));
+            }
+            other => panic!(
+                "unknown flag {other}; usage: perf [--seeds N] [--quick] \
+                 [--check BASELINE.json] [--tolerance F]"
+            ),
         }
         i += 1;
     }
 
-    let seeds = seeds_for(seed_count);
-    let rows: Vec<String> = [perf_scenario(), chaos_recovery_scenario()]
-        .iter()
-        .map(|scenario| bench_row(scenario, &seeds))
-        .collect();
-    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    // Read the committed baseline before the capture overwrites it.
+    let baseline: Option<Vec<BenchRow>> = check_path.as_ref().map(|path| {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+    });
 
+    let seeds = seeds_for(seed_count);
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let medium = perf_scenario();
+    for threads in MEDIUM_SWEEP {
+        rows.push(bench_row(&medium, threads, &seeds, quick));
+    }
+    rows.push(bench_row(&chaos_recovery_scenario(), 1, &seeds, quick));
+    let large = perf_large_scenario();
+    // The large world is ~10x the medium per-step cost; one seed keeps
+    // the capture per-commit affordable without moving the rate.
+    let large_seeds = &seeds[..1];
+    for threads in LARGE_SWEEP {
+        rows.push(bench_row(&large, threads, large_seeds, quick));
+    }
+
+    let body: Vec<String> = rows.iter().map(BenchRow::to_json).collect();
+    let json = format!("[\n  {}\n]\n", body.join(",\n  "));
     let path = "BENCH_kernel.json";
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("[json] {path}");
+
+    if let Some(baseline) = baseline {
+        let failures = check_rows(&rows, &baseline, tolerance);
+        if !failures.is_empty() {
+            eprintln!("\nperf regression gate FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("[check] gate passed ({} rows)", rows.len());
+    }
 }

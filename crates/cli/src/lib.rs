@@ -64,6 +64,9 @@ pub enum Command {
         backoff_base: Option<f64>,
         /// Optional checkpoint-resume toggle (`--resume on|off`).
         resume: Option<bool>,
+        /// Optional kernel shard-count override (`--threads N`); output is
+        /// byte-identical at any value.
+        threads: Option<usize>,
     },
     /// Run both arms and print the paired comparison.
     Compare {
@@ -78,6 +81,9 @@ pub enum Command {
         /// Print the per-phase wall-clock table (`--verbose`); enables
         /// the phase profiler.
         verbose: bool,
+        /// Optional kernel shard-count override (`--threads N`); output is
+        /// byte-identical at any value.
+        threads: Option<usize>,
     },
     /// Print usage.
     Help,
@@ -114,6 +120,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut retry_max = None;
             let mut backoff_base = None;
             let mut resume = None;
+            let mut threads = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--arm" => {
@@ -185,6 +192,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             }
                         };
                     }
+                    "--threads" => threads = Some(parse_threads(it.next())?),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -201,6 +209,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 retry_max,
                 backoff_base,
                 resume,
+                threads,
             })
         }
         "compare" => {
@@ -208,6 +217,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut seeds = QUICK_SEEDS.len();
             let mut metrics_out = None;
             let mut verbose = false;
+            let mut threads = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--seeds" => {
@@ -224,6 +234,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
                     }
                     "--verbose" => verbose = true,
+                    "--threads" => threads = Some(parse_threads(it.next())?),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -232,10 +243,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seeds,
                 metrics_out,
                 verbose,
+                threads,
             })
         }
         other => Err(format!("unknown command {other}; try 'dtn help'")),
     }
+}
+
+/// Parses a `--threads` value (a positive shard count).
+fn parse_threads(value: Option<&String>) -> Result<usize, String> {
+    let n: usize = value
+        .ok_or("--threads needs a count")?
+        .parse()
+        .map_err(|e| format!("bad --threads: {e}"))?;
+    if n == 0 {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    Ok(n)
 }
 
 /// The usage text.
@@ -251,8 +275,9 @@ USAGE:
                             [--chaos <spec>] [--check-invariants]
                             [--metrics-out m.json] [--verbose]
                             [--retry-max N] [--backoff-base SECS]
-                            [--resume on|off]
+                            [--resume on|off] [--threads N]
     dtn compare <scenario.json> [--seeds N] [--metrics-out m.json] [--verbose]
+                                [--threads N]
     dtn help
 
 METRICS:
@@ -279,6 +304,13 @@ RECOVERY:
     restarts retried transfers from their checkpointed byte offset instead
     of from zero. Any recovery flag enables the recovery layer with
     defaults for the rest; settlement stays exactly-once under redelivery.
+
+PARALLELISM:
+    --threads N shards the kernel's data-parallel step phases (mobility
+    stepping, striped contact detection) over N shards, overriding the
+    scenario's `threads` field. Output is byte-identical at any value —
+    traces, summaries and metrics match the serial run exactly; only
+    wall-clock changes.
 "
 }
 
@@ -369,8 +401,12 @@ pub fn execute(command: Command) -> Result<String, String> {
             retry_max,
             backoff_base,
             resume,
+            threads,
         } => {
             let mut scenario = load_scenario(&path)?;
+            if threads.is_some() {
+                scenario.threads = threads;
+            }
             if let Some(spec) = &chaos {
                 let plan = spec
                     .parse::<dtn_sim::faults::FaultPlan>()
@@ -450,8 +486,12 @@ pub fn execute(command: Command) -> Result<String, String> {
             seeds,
             metrics_out,
             verbose,
+            threads,
         } => {
-            let scenario = load_scenario(&path)?;
+            let mut scenario = load_scenario(&path)?;
+            if threads.is_some() {
+                scenario.threads = threads;
+            }
             let seed_values = seeds_for(seeds);
             let profile = metrics_out.is_some() || verbose;
             let (cmp, perf) = if profile {
@@ -539,6 +579,7 @@ mod tests {
                 retry_max: None,
                 backoff_base: None,
                 resume: None,
+                threads: None,
             })
         );
         assert_eq!(
@@ -559,6 +600,7 @@ mod tests {
                 retry_max: None,
                 backoff_base: None,
                 resume: None,
+                threads: None,
             })
         );
         assert_eq!(
@@ -578,6 +620,7 @@ mod tests {
                 retry_max: Some(5),
                 backoff_base: Some(2.5),
                 resume: Some(false),
+                threads: None,
             })
         );
         assert_eq!(
@@ -587,6 +630,7 @@ mod tests {
                 seeds: 2,
                 metrics_out: None,
                 verbose: false,
+                threads: None,
             })
         );
         // Seed counts beyond the quick set extend the deterministic
@@ -598,10 +642,21 @@ mod tests {
                 seeds: 8,
                 metrics_out: Some("m.json".into()),
                 verbose: false,
+                threads: None,
             })
         );
         assert_eq!(seeds_for(3), QUICK_SEEDS.to_vec());
         assert_eq!(seeds_for(5)[3..], [404, 505]);
+        let Ok(Command::Run { threads, .. }) = parse_args(&argv("run s.json --threads 8")) else {
+            panic!("--threads parses on run");
+        };
+        assert_eq!(threads, Some(8));
+        let Ok(Command::Compare { threads, .. }) =
+            parse_args(&argv("compare s.json --seeds 2 --threads 4"))
+        else {
+            panic!("--threads parses on compare");
+        };
+        assert_eq!(threads, Some(4));
     }
 
     #[test]
@@ -621,6 +676,9 @@ mod tests {
         assert!(parse_args(&argv("run s.json --backoff-base nan")).is_err());
         assert!(parse_args(&argv("run s.json --resume maybe")).is_err());
         assert!(parse_args(&argv("run s.json --resume")).is_err());
+        assert!(parse_args(&argv("run s.json --threads 0")).is_err());
+        assert!(parse_args(&argv("run s.json --threads many")).is_err());
+        assert!(parse_args(&argv("compare s.json --threads")).is_err());
     }
 
     #[test]
@@ -692,6 +750,7 @@ mod tests {
             retry_max: Some(3),
             backoff_base: Some(5.0),
             resume: Some(true),
+            threads: None,
         })
         .expect("runs");
         let trace_text = std::fs::read_to_string(&trace_out).expect("trace written");
@@ -733,6 +792,7 @@ mod tests {
             retry_max: None,
             backoff_base: None,
             resume: None,
+            threads: Some(2),
         })
         .expect("runs");
         assert!(
@@ -765,6 +825,7 @@ mod tests {
             seeds: 1,
             metrics_out: Some(metrics_out.to_str().expect("utf8").to_owned()),
             verbose: false,
+            threads: None,
         })
         .expect("runs");
         assert!(text.contains("Incentive") && text.contains("ChitChat"));

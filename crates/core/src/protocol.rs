@@ -26,7 +26,7 @@
 //! plain ChitChat under the *same* behavior models — that configuration is
 //! the baseline arm of every figure in the evaluation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use dtn_sim::buffer::InsertOutcome;
 use dtn_sim::kernel::SimApi;
@@ -110,7 +110,11 @@ pub struct DcimRouter {
     registry: FirstDeliveryRegistry,
     meta: HashMap<(NodeId, MessageId), CarriedMeta>,
     pending: HashMap<(NodeId, NodeId, MessageId), PendingOffer>,
-    open_pairs: HashSet<(NodeId, NodeId)>,
+    /// Open contacts as per-node sorted peer lists. `pair_is_open` is the
+    /// single hottest membership test in the mechanism (every offer and
+    /// every exchange consults it), and binary search over a node's
+    /// handful of open peers beats hashing the pair.
+    open_adj: Vec<Vec<NodeId>>,
     last_exchange: HashMap<(NodeId, NodeId), SimTime>,
     /// Participation (selfish duty-cycle) draws. Isolated in its own
     /// stream so the Incentive and ChitChat arms of a paired comparison
@@ -148,7 +152,7 @@ impl DcimRouter {
             registry: FirstDeliveryRegistry::new(),
             meta: HashMap::new(),
             pending: HashMap::new(),
-            open_pairs: HashSet::new(),
+            open_adj: vec![Vec::new(); node_count],
             last_exchange: HashMap::new(),
             participation_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(1),
             judge_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(2),
@@ -267,7 +271,27 @@ impl DcimRouter {
 
     /// Whether the contact between `a` and `b` is open (both media on).
     fn pair_is_open(&self, a: NodeId, b: NodeId) -> bool {
-        self.open_pairs.contains(&pair(a, b))
+        self.open_adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Marks the contact between `a` and `b` open.
+    fn open_pair(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            let list = &mut self.open_adj[x.index()];
+            if let Err(i) = list.binary_search(&y) {
+                list.insert(i, y);
+            }
+        }
+    }
+
+    /// Marks the contact between `a` and `b` closed.
+    fn close_pair(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            let list = &mut self.open_adj[x.index()];
+            if let Ok(i) = list.binary_search(&y) {
+                list.remove(i);
+            }
+        }
     }
 
     /// RTSR weight exchange plus reputation gossip for one pair.
@@ -276,15 +300,10 @@ impl DcimRouter {
         // The RTSR ritual itself is the shared ChitChat implementation —
         // the incentive arm must run the identical substrate as the
         // baseline. Only the peer set differs: closed (selfish) media do
-        // not count as connected devices.
-        let open_peers = |node: NodeId| -> Vec<NodeId> {
-            api.peers_of(node)
-                .into_iter()
-                .filter(|&p| self.pair_is_open(node, p))
-                .collect()
-        };
-        let shared_a = shared_keywords(&self.tables, &open_peers(a));
-        let shared_b = shared_keywords(&self.tables, &open_peers(b));
+        // not count as connected devices — which is exactly the open
+        // adjacency (entries exist only while the contact is up).
+        let shared_a = shared_keywords(&self.tables, &self.open_adj[a.index()]);
+        let shared_b = shared_keywords(&self.tables, &self.open_adj[b.index()]);
         rtsr_exchange(
             &mut self.tables,
             a,
@@ -312,23 +331,24 @@ impl DcimRouter {
     /// — under bandwidth contention this is what delivers more high-
     /// priority messages than plain ChitChat.
     fn route(&mut self, api: &mut SimApi, from: NodeId, to: NodeId) {
-        let mut ids = api.buffer(from).ids_sorted();
-        if self.params.incentive_enabled {
-            let mut keyed: Vec<(u8, f64, MessageId)> = ids
-                .into_iter()
-                .filter_map(|id| {
-                    api.buffer(from)
-                        .get(id)
-                        .map(|c| (c.body.priority.level(), -c.body.quality.value(), id))
-                })
+        let ids: Vec<MessageId> = if self.params.incentive_enabled {
+            // One pass over the buffer, no id-sort prepass: the comparator
+            // ends in the message id, a total order, so the offer sequence
+            // is deterministic whatever order the buffer iterates in.
+            let mut keyed: Vec<(u8, f64, MessageId)> = api
+                .buffer(from)
+                .iter()
+                .map(|c| (c.body.priority.level(), -c.body.quality.value(), c.id()))
                 .collect();
-            keyed.sort_by(|a, b| {
+            keyed.sort_unstable_by(|a, b| {
                 a.0.cmp(&b.0)
                     .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .then(a.2.cmp(&b.2))
             });
-            ids = keyed.into_iter().map(|(_, _, id)| id).collect();
-        }
+            keyed.into_iter().map(|(_, _, id)| id).collect()
+        } else {
+            api.buffer(from).ids_sorted()
+        };
         let maxima = Self::buffer_maxima(api, from);
         for id in ids {
             self.offer_with_maxima(api, from, to, id, maxima);
@@ -582,7 +602,7 @@ impl Protocol for DcimRouter {
         if !(a_open && b_open) {
             return;
         }
-        self.open_pairs.insert(pair(a, b));
+        self.open_pair(a, b);
         self.exchange(api, a, b, api.step_len().as_secs());
         self.last_exchange.insert(pair(a, b), api.now());
         self.route(api, a, b);
@@ -592,7 +612,7 @@ impl Protocol for DcimRouter {
     fn on_contact_down(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
         let _ = api;
         let key = pair(a, b);
-        self.open_pairs.remove(&key);
+        self.close_pair(a, b);
         self.last_exchange.remove(&key);
         // Offers that never completed are void.
         self.pending.retain(|&(f, t, _), _| pair(f, t) != key);

@@ -14,8 +14,6 @@
 //! ratings; this is how a malicious node's bad reputation propagates
 //! network-wide (Fig. 5.4 measures exactly this propagation speed).
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use dtn_sim::world::NodeId;
@@ -44,11 +42,16 @@ pub struct GossipDigest {
 }
 
 /// One node's view of every other node's reputation.
+///
+/// Opinions live in a `Vec` sorted by subject: the gossip ritual
+/// (digest and absorb, four table walks per exchange) then reads
+/// subjects in order without a per-digest sort, and the lookup paths
+/// stay cache-resident.
 #[derive(Debug, Clone)]
 pub struct ReputationTable {
     owner: NodeId,
     params: RatingParams,
-    opinions: HashMap<NodeId, Opinion>,
+    opinions: Vec<(NodeId, Opinion)>,
 }
 
 impl ReputationTable {
@@ -58,7 +61,7 @@ impl ReputationTable {
         ReputationTable {
             owner,
             params,
-            opinions: HashMap::new(),
+            opinions: Vec::new(),
         }
     }
 
@@ -68,12 +71,30 @@ impl ReputationTable {
         self.owner
     }
 
+    /// Index of `subject` in the sorted opinions, or its insertion point.
+    fn position(&self, subject: NodeId) -> Result<usize, usize> {
+        self.opinions.binary_search_by_key(&subject, |&(n, _)| n)
+    }
+
+    /// The opinion about `subject`, creating a default entry if absent.
+    fn opinion_mut(&mut self, subject: NodeId) -> &mut Opinion {
+        let i = match self.position(subject) {
+            Ok(i) => i,
+            Err(i) => {
+                self.opinions.insert(i, (subject, Opinion::default()));
+                i
+            }
+        };
+        &mut self.opinions[i].1
+    }
+
     /// The observer's current device rating of `subject` (the neutral prior
     /// when it knows nothing about the subject).
     #[must_use]
     pub fn rating_of(&self, subject: NodeId) -> f64 {
-        self.opinions
-            .get(&subject)
+        self.position(subject)
+            .ok()
+            .map(|i| &self.opinions[i].1)
             .filter(|o| o.informed)
             .map_or(self.params.neutral_rating, |o| o.rating)
     }
@@ -81,13 +102,15 @@ impl ReputationTable {
     /// Whether the observer holds any information about `subject`.
     #[must_use]
     pub fn knows(&self, subject: NodeId) -> bool {
-        self.opinions.get(&subject).is_some_and(|o| o.informed)
+        self.position(subject)
+            .is_ok_and(|i| self.opinions[i].1.informed)
     }
 
     /// Number of first-hand message ratings recorded for `subject`.
     #[must_use]
     pub fn firsthand_count(&self, subject: NodeId) -> u32 {
-        self.opinions.get(&subject).map_or(0, |o| o.firsthand_count)
+        self.position(subject)
+            .map_or(0, |i| self.opinions[i].1.firsthand_count)
     }
 
     /// Case 1 — records a first-hand message rating for `subject` and
@@ -100,7 +123,7 @@ impl ReputationTable {
     pub fn record_message_rating(&mut self, subject: NodeId, message_rating: f64) -> f64 {
         assert!(subject != self.owner, "a node does not rate itself");
         let r = message_rating.clamp(0.0, self.params.max_rating);
-        let o = self.opinions.entry(subject).or_default();
+        let o = self.opinion_mut(subject);
         o.firsthand_sum += r;
         o.firsthand_count += 1;
         o.rating = o.firsthand_sum / f64::from(o.firsthand_count);
@@ -123,7 +146,7 @@ impl ReputationTable {
         let alpha = self.params.merge_alpha;
         let prior = self.rating_of(subject);
         let merged = (1.0 - alpha) * reported + alpha * prior;
-        let o = self.opinions.entry(subject).or_default();
+        let o = self.opinion_mut(subject);
         o.rating = merged;
         o.informed = true;
         merged
@@ -132,13 +155,12 @@ impl ReputationTable {
     /// Builds the digest this observer shares on contact.
     #[must_use]
     pub fn digest(&self) -> GossipDigest {
-        let mut ratings: Vec<(NodeId, f64)> = self
+        let ratings: Vec<(NodeId, f64)> = self
             .opinions
             .iter()
             .filter(|(_, o)| o.informed)
-            .map(|(&n, o)| (n, o.rating))
+            .map(|&(n, ref o)| (n, o.rating))
             .collect();
-        ratings.sort_by_key(|(n, _)| *n);
         GossipDigest { ratings }
     }
 
@@ -157,7 +179,7 @@ impl ReputationTable {
     /// Number of subjects with information.
     #[must_use]
     pub fn known_count(&self) -> usize {
-        self.opinions.values().filter(|o| o.informed).count()
+        self.opinions.iter().filter(|(_, o)| o.informed).count()
     }
 
     /// Ages every opinion toward the neutral prior by `factor ∈ [0, 1]`
@@ -181,7 +203,7 @@ impl ReputationTable {
             "fading factor must lie in [0, 1]"
         );
         let neutral = self.params.neutral_rating;
-        self.opinions.retain(|_, o| {
+        self.opinions.retain_mut(|&mut (_, ref mut o)| {
             o.rating = neutral + factor * (o.rating - neutral);
             o.firsthand_sum *= factor;
             let faded_count = (f64::from(o.firsthand_count) * factor).floor();

@@ -8,13 +8,61 @@
 //! once — the incentive arm of every experiment must run the *same*
 //! ChitChat substrate as the baseline arm.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use dtn_sim::message::Keyword;
 use dtn_sim::time::SimTime;
 use dtn_sim::world::NodeId;
 
 use crate::interests::{ChitChatParams, InterestTable};
+
+/// A set of keywords as a bitmap over the keyword id space.
+///
+/// Keyword ids are dense small integers drawn from the scenario's pool
+/// (Table 5.1: 200), so membership — the only operation the exchange
+/// ritual needs — is one bit test instead of a hash probe. Building the
+/// union of several peers' tables touches a handful of words; the hashed
+/// set this replaces dominated the settlement-tick profile.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordSet {
+    bits: Vec<u64>,
+}
+
+impl KeywordSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `keyword` to the set.
+    pub fn insert(&mut self, keyword: Keyword) {
+        let (word, bit) = (keyword.0 as usize / 64, keyword.0 % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1 << bit;
+    }
+
+    /// Whether `keyword` is in the set.
+    #[must_use]
+    pub fn contains(&self, keyword: Keyword) -> bool {
+        let (word, bit) = (keyword.0 as usize / 64, keyword.0 % 64);
+        self.bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of keywords in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
 
 /// Runs one RTSR weight exchange between connected `a` and `b`, crediting
 /// `connected_secs` of contact time: decay both tables (an interest shared
@@ -32,11 +80,11 @@ pub fn rtsr_exchange(
     connected_secs: f64,
     params: &ChitChatParams,
     now: SimTime,
-    shared_a: &HashSet<Keyword>,
-    shared_b: &HashSet<Keyword>,
+    shared_a: &KeywordSet,
+    shared_b: &KeywordSet,
 ) {
-    tables[a.index()].decay(now, params, |k| shared_a.contains(&k));
-    tables[b.index()].decay(now, params, |k| shared_b.contains(&k));
+    tables[a.index()].decay(now, params, |k| shared_a.contains(k));
+    tables[b.index()].decay(now, params, |k| shared_b.contains(k));
     // One snapshot suffices: grow `a` first from the still-pre-growth `b`,
     // then grow `b` from the snapshot of pre-growth `a`.
     let snap_a = tables[a.index()].clone();
@@ -53,10 +101,12 @@ pub fn rtsr_exchange(
 /// The union of keywords held by `peers`' tables — the "a connected device
 /// shares this interest" test of Algorithm 1.
 #[must_use]
-pub fn shared_keywords(tables: &[InterestTable], peers: &[NodeId]) -> HashSet<Keyword> {
-    let mut set = HashSet::new();
+pub fn shared_keywords(tables: &[InterestTable], peers: &[NodeId]) -> KeywordSet {
+    let mut set = KeywordSet::new();
     for &peer in peers {
-        set.extend(tables[peer.index()].iter().map(|(k, _)| k));
+        for (k, _) in tables[peer.index()].iter() {
+            set.insert(k);
+        }
     }
     set
 }
@@ -97,7 +147,7 @@ mod tests {
         let mut tables = vec![InterestTable::new(), InterestTable::new()];
         tables[0].subscribe(Keyword(1), &params, t(0.0));
         tables[1].subscribe(Keyword(2), &params, t(0.0));
-        let empty = HashSet::new();
+        let empty = KeywordSet::new();
         rtsr_exchange(
             &mut tables,
             NodeId(0),
@@ -124,8 +174,9 @@ mod tests {
         peer.subscribe(Keyword(1), &params, t(0.0));
         tables[0].grow(&peer, 120.0, &params, t(0.0));
         let before = tables[0].weight(Keyword(1));
-        let shared: HashSet<Keyword> = [Keyword(1)].into_iter().collect();
-        let empty = HashSet::new();
+        let mut shared = KeywordSet::new();
+        shared.insert(Keyword(1));
+        let empty = KeywordSet::new();
         rtsr_exchange(
             &mut tables,
             NodeId(0),
@@ -153,7 +204,7 @@ mod tests {
         tables[1].subscribe(Keyword(1), &params, t(0.0));
         tables[2].subscribe(Keyword(2), &params, t(0.0));
         let set = shared_keywords(&tables, &[NodeId(1), NodeId(2)]);
-        assert!(set.contains(&Keyword(1)) && set.contains(&Keyword(2)));
+        assert!(set.contains(Keyword(1)) && set.contains(Keyword(2)));
         assert_eq!(set.len(), 2);
         assert!(shared_keywords(&tables, &[]).is_empty());
     }

@@ -17,8 +17,6 @@
 //! 2. The decay divisor `β·(T_c − T_l)` is clamped below by one exchange
 //!    interval (avoiding division by ~0), and decay never *raises* a weight.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use dtn_sim::message::Keyword;
@@ -100,9 +98,16 @@ pub fn psi(own: Option<InterestKind>, peer: InterestKind) -> u8 {
 }
 
 /// A node's interest table (its social profile plus TSRs).
+///
+/// Stored as a `Vec` sorted by keyword: tables hold tens of entries, and
+/// the exchange ritual (clone → decay → grow) runs for every due contact
+/// pair every step — on that path a sorted vector beats a hash map on
+/// every count (lookups stay cache-resident, cloning is one memcpy, and
+/// `grow` consumes the peer's entries in keyword order without the sort
+/// pass a hashed table would force for determinism).
 #[derive(Debug, Clone, Default)]
 pub struct InterestTable {
-    entries: HashMap<Keyword, InterestEntry>,
+    entries: Vec<(Keyword, InterestEntry)>,
 }
 
 impl InterestTable {
@@ -112,37 +117,47 @@ impl InterestTable {
         Self::default()
     }
 
+    /// Index of `keyword` in the sorted entries, or its insertion point.
+    fn position(&self, keyword: Keyword) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&keyword, |&(k, _)| k)
+    }
+
     /// Subscribes the user to `keyword` as a direct interest at the initial
     /// weight (0.5 per the paper). Re-subscribing an existing interest
     /// upgrades a transient entry to direct without losing its weight.
     pub fn subscribe(&mut self, keyword: Keyword, params: &ChitChatParams, now: SimTime) {
-        self.entries
-            .entry(keyword)
-            .and_modify(|e| e.kind = InterestKind::Direct)
-            .or_insert(InterestEntry {
-                weight: params.initial_weight,
-                kind: InterestKind::Direct,
-                last_shared: now,
-            });
+        match self.position(keyword) {
+            Ok(i) => self.entries[i].1.kind = InterestKind::Direct,
+            Err(i) => self.entries.insert(
+                i,
+                (
+                    keyword,
+                    InterestEntry {
+                        weight: params.initial_weight,
+                        kind: InterestKind::Direct,
+                        last_shared: now,
+                    },
+                ),
+            ),
+        }
     }
 
     /// The entry for `keyword`, if present.
     #[must_use]
     pub fn get(&self, keyword: Keyword) -> Option<InterestEntry> {
-        self.entries.get(&keyword).copied()
+        self.position(keyword).ok().map(|i| self.entries[i].1)
     }
 
     /// Current weight of `keyword` (0 when absent).
     #[must_use]
     pub fn weight(&self, keyword: Keyword) -> f64 {
-        self.entries.get(&keyword).map_or(0.0, |e| e.weight)
+        self.get(keyword).map_or(0.0, |e| e.weight)
     }
 
     /// Whether `keyword` is a *direct* interest — the destination test.
     #[must_use]
     pub fn is_direct(&self, keyword: Keyword) -> bool {
-        self.entries
-            .get(&keyword)
+        self.get(keyword)
             .is_some_and(|e| e.kind == InterestKind::Direct)
     }
 
@@ -181,16 +196,16 @@ impl InterestTable {
         self.entries.is_empty()
     }
 
-    /// Iterates over `(keyword, entry)` pairs in arbitrary order.
+    /// Iterates over `(keyword, entry)` pairs in ascending keyword order.
     pub fn iter(&self) -> impl Iterator<Item = (Keyword, InterestEntry)> + '_ {
-        self.entries.iter().map(|(&k, &e)| (k, e))
+        self.entries.iter().map(|&(k, e)| (k, e))
     }
 
     /// Records that a currently-connected device shares `keyword` (updates
     /// `T_l`, freezing decay for this interest while the peer is around).
     pub fn mark_shared(&mut self, keyword: Keyword, now: SimTime) {
-        if let Some(e) = self.entries.get_mut(&keyword) {
-            e.last_shared = now;
+        if let Ok(i) = self.position(keyword) {
+            self.entries[i].1.last_shared = now;
         }
     }
 
@@ -207,7 +222,7 @@ impl InterestTable {
         mut shared_now: impl FnMut(Keyword) -> bool,
     ) {
         let min_elapsed = params.exchange_interval_secs.max(1.0);
-        self.entries.retain(|&keyword, e| {
+        self.entries.retain_mut(|&mut (keyword, ref mut e)| {
             if shared_now(keyword) {
                 e.last_shared = now;
                 return true;
@@ -246,31 +261,35 @@ impl InterestTable {
         if connected_secs <= 0.0 {
             return;
         }
-        // Deterministic iteration: sort the peer's keywords.
-        let mut peer_entries: Vec<(Keyword, InterestEntry)> = peer.iter().collect();
-        peer_entries.sort_by_key(|(k, _)| *k);
-        for (keyword, peer_entry) in peer_entries {
+        // The peer's entries are already in keyword order (deterministic
+        // iteration comes for free with the sorted representation).
+        for &(keyword, peer_entry) in &peer.entries {
             if peer_entry.weight <= 0.0 {
                 continue;
             }
-            let own_kind = self.entries.get(&keyword).map(|e| e.kind);
-            let psi = f64::from(psi(own_kind, peer_entry.kind));
-            let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
-            match self.entries.get_mut(&keyword) {
-                Some(e) => {
+            match self.position(keyword) {
+                Ok(i) => {
+                    let e = &mut self.entries[i].1;
+                    let psi = f64::from(psi(Some(e.kind), peer_entry.kind));
+                    let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
                     e.weight = (e.weight + delta).min(1.0);
                     e.last_shared = now;
                 }
-                None => {
+                Err(i) => {
+                    let psi = f64::from(psi(None, peer_entry.kind));
+                    let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
                     let weight = delta.min(1.0);
                     if weight >= params.transient_floor {
                         self.entries.insert(
-                            keyword,
-                            InterestEntry {
-                                weight,
-                                kind: InterestKind::Transient,
-                                last_shared: now,
-                            },
+                            i,
+                            (
+                                keyword,
+                                InterestEntry {
+                                    weight,
+                                    kind: InterestKind::Transient,
+                                    last_shared: now,
+                                },
+                            ),
                         );
                     }
                 }
@@ -340,7 +359,7 @@ mod tests {
         p.exchange_interval_secs = 5.0;
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &p, t(0.0));
-        if let Some(e) = table.entries.get_mut(&Keyword(1)) {
+        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
             e.weight = 0.6;
         }
         table.decay(t(5.0), &p, |_| false);
@@ -352,7 +371,7 @@ mod tests {
     fn decay_skips_shared_interests() {
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &params(), t(0.0));
-        if let Some(e) = table.entries.get_mut(&Keyword(1)) {
+        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
             e.weight = 0.9;
         }
         table.decay(t(100.0), &params(), |_| true);
@@ -367,7 +386,7 @@ mod tests {
         let p = params();
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &p, t(0.0));
-        if let Some(e) = table.entries.get_mut(&Keyword(1)) {
+        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
             e.weight = 1.0;
         }
         let mut peer = InterestTable::new();
@@ -396,7 +415,7 @@ mod tests {
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &p, t(0.0));
         // Direct weight *below* baseline must not spring back up.
-        if let Some(e) = table.entries.get_mut(&Keyword(1)) {
+        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
             e.weight = 0.2;
         }
         table.decay(t(10.0), &p, |_| false);

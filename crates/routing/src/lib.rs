@@ -47,7 +47,7 @@ pub mod prelude {
     pub use crate::cedo::CedoRouter;
     pub use crate::chitchat::ChitChatRouter;
     pub use crate::directory::InterestDirectory;
-    pub use crate::exchange::{due_pairs, rtsr_exchange, shared_keywords};
+    pub use crate::exchange::{due_pairs, rtsr_exchange, shared_keywords, KeywordSet};
     pub use crate::interests::{ChitChatParams, InterestEntry, InterestKind, InterestTable};
     pub use crate::prophet::{ProphetParams, ProphetRouter};
 }

@@ -194,14 +194,17 @@ impl Buffer {
         Some(copy)
     }
 
-    /// Removes all copies whose TTL has elapsed at `now`, returning their ids.
+    /// Removes all copies whose TTL has elapsed at `now`, returning their
+    /// ids in ascending order (the backing map iterates in hash order,
+    /// which differs between otherwise-identical runs).
     pub fn sweep_expired(&mut self, now: SimTime) -> Vec<MessageId> {
-        let expired: Vec<MessageId> = self
+        let mut expired: Vec<MessageId> = self
             .copies
             .values()
             .filter(|c| c.body.is_expired(now))
             .map(MessageCopy::id)
             .collect();
+        expired.sort_unstable();
         for id in &expired {
             self.remove(*id);
         }

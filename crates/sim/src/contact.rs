@@ -4,10 +4,10 @@
 //! each other. The kernel recomputes in-range pairs every step and diffs
 //! against the active set, producing up/down events for the protocol layer.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::time::SimTime;
-use crate::world::NodeId;
+use crate::world::{ordered_pair, NodeId};
 
 /// An unordered node pair, stored with the smaller id first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,11 +22,8 @@ impl ContactKey {
     #[must_use]
     pub fn new(a: NodeId, b: NodeId) -> Self {
         assert!(a != b, "self-contact is not a contact");
-        if a < b {
-            ContactKey(a, b)
-        } else {
-            ContactKey(b, a)
-        }
+        let (lo, hi) = ordered_pair(a, b);
+        ContactKey(lo, hi)
     }
 
     /// The peer of `node` in this contact.
@@ -59,7 +56,34 @@ pub enum ContactEvent {
 #[derive(Debug, Default)]
 pub struct ContactTable {
     active: HashMap<ContactKey, SimTime>,
+    /// Per-node sorted neighbour lists, maintained incrementally by
+    /// [`Self::diff`] so [`Self::peers_of`] is O(degree) instead of a scan
+    /// over every active contact (the protocol layer calls it per node per
+    /// exchange, which made the scan quadratic in dense worlds).
+    adjacency: HashMap<NodeId, Vec<NodeId>>,
+    /// Scratch reused across [`Self::diff`] calls to avoid rebuilding a
+    /// `HashSet` allocation every step.
+    scratch_in_range: HashSet<ContactKey>,
+    scratch_downs: Vec<ContactKey>,
     total_contacts: u64,
+}
+
+fn adj_insert(adjacency: &mut HashMap<NodeId, Vec<NodeId>>, node: NodeId, peer: NodeId) {
+    let peers = adjacency.entry(node).or_default();
+    if let Err(pos) = peers.binary_search(&peer) {
+        peers.insert(pos, peer);
+    }
+}
+
+fn adj_remove(adjacency: &mut HashMap<NodeId, Vec<NodeId>>, node: NodeId, peer: NodeId) {
+    if let Some(peers) = adjacency.get_mut(&node) {
+        if let Ok(pos) = peers.binary_search(&peer) {
+            peers.remove(pos);
+        }
+        if peers.is_empty() {
+            adjacency.remove(&node);
+        }
+    }
 }
 
 impl ContactTable {
@@ -87,21 +111,27 @@ impl ContactTable {
     /// All peers currently in contact with `node`, sorted.
     #[must_use]
     pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
-        let mut peers: Vec<NodeId> = self
-            .active
-            .keys()
-            .filter_map(|k| {
-                if k.0 == node {
-                    Some(k.1)
-                } else if k.1 == node {
-                    Some(k.0)
-                } else {
-                    None
-                }
-            })
-            .collect();
-        peers.sort_unstable();
-        peers
+        self.adjacency.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Audit: checks the incremental adjacency lists against a fresh scan of
+    /// the active contact set, returning a description of the first mismatch.
+    /// Used by tests and the invariant checker; not on the hot path.
+    pub fn audit_adjacency(&self) -> Result<(), String> {
+        let mut reference: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for k in self.active.keys() {
+            adj_insert(&mut reference, k.0, k.1);
+            adj_insert(&mut reference, k.1, k.0);
+        }
+        if reference == self.adjacency {
+            Ok(())
+        } else {
+            Err(format!(
+                "adjacency drifted from active set: {} nodes indexed, {} expected",
+                self.adjacency.len(),
+                reference.len()
+            ))
+        }
     }
 
     /// Number of currently-active contacts.
@@ -125,24 +155,31 @@ impl ContactTable {
         let mut events = Vec::new();
         // Downs: active contacts no longer in range. Indexed lookup — a
         // linear Vec::contains here makes the per-step diff quadratic in
-        // the contact count, which dominates dense 500-node runs.
-        let in_range: std::collections::HashSet<ContactKey> =
-            now_in_range.iter().copied().collect();
-        let mut downs: Vec<ContactKey> = self
-            .active
-            .keys()
-            .filter(|k| !in_range.contains(k))
-            .copied()
-            .collect();
-        downs.sort_unstable();
-        for k in downs {
+        // the contact count, which dominates dense 500-node runs. The set
+        // and the downs list are scratch buffers reused across steps so the
+        // steady-state diff allocates nothing.
+        self.scratch_in_range.clear();
+        self.scratch_in_range.extend(now_in_range.iter().copied());
+        self.scratch_downs.clear();
+        for k in self.active.keys() {
+            if !self.scratch_in_range.contains(k) {
+                self.scratch_downs.push(*k);
+            }
+        }
+        self.scratch_downs.sort_unstable();
+        for i in 0..self.scratch_downs.len() {
+            let k = self.scratch_downs[i];
             let since = self.active.remove(&k).expect("present");
+            adj_remove(&mut self.adjacency, k.0, k.1);
+            adj_remove(&mut self.adjacency, k.1, k.0);
             events.push(ContactEvent::Down(k, since));
         }
         // Ups: in-range pairs not yet active.
         for &k in now_in_range {
             if let std::collections::hash_map::Entry::Vacant(e) = self.active.entry(k) {
                 e.insert(now);
+                adj_insert(&mut self.adjacency, k.0, k.1);
+                adj_insert(&mut self.adjacency, k.1, k.0);
                 self.total_contacts += 1;
                 events.push(ContactEvent::Up(k));
             }
@@ -201,6 +238,60 @@ mod tests {
         t.diff(&[k(5, 1), k(1, 3), k(2, 3)], SimTime::ZERO);
         assert_eq!(t.peers_of(NodeId(1)), vec![NodeId(3), NodeId(5)]);
         assert_eq!(t.peers_of(NodeId(4)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn adjacency_tracks_ups_and_downs() {
+        let mut t = ContactTable::new();
+        t.diff(&[k(0, 1), k(0, 2), k(1, 2)], SimTime::ZERO);
+        assert_eq!(t.peers_of(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+        t.audit_adjacency().unwrap();
+
+        // Drop 0-1, keep the rest; 0 and 1 each lose exactly one peer.
+        t.diff(&[k(0, 2), k(1, 2)], SimTime::from_secs(5.0));
+        assert_eq!(t.peers_of(NodeId(0)), vec![NodeId(2)]);
+        assert_eq!(t.peers_of(NodeId(1)), vec![NodeId(2)]);
+        assert_eq!(t.peers_of(NodeId(2)), vec![NodeId(0), NodeId(1)]);
+        t.audit_adjacency().unwrap();
+
+        // Everything down: adjacency empties out.
+        t.diff(&[], SimTime::from_secs(6.0));
+        assert_eq!(t.peers_of(NodeId(2)), Vec::<NodeId>::new());
+        t.audit_adjacency().unwrap();
+    }
+
+    #[test]
+    fn adjacency_matches_scan_on_random_churn() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut t = ContactTable::new();
+        for step in 0..200u64 {
+            let mut in_range: Vec<ContactKey> = (0..rng.gen_range(0..20))
+                .map(|_| {
+                    let a = rng.gen_range(0..10u32);
+                    let mut b = rng.gen_range(0..10u32);
+                    if b == a {
+                        b = (b + 1) % 10;
+                    }
+                    k(a, b)
+                })
+                .collect();
+            in_range.sort_unstable();
+            in_range.dedup();
+            t.diff(&in_range, SimTime::from_secs(step as f64));
+            t.audit_adjacency().unwrap();
+            for n in 0..10u32 {
+                let node = NodeId(n);
+                let mut scan: Vec<NodeId> = t
+                    .peers_of(node)
+                    .iter()
+                    .copied()
+                    .filter(|&p| t.is_up(node, p))
+                    .collect();
+                scan.sort_unstable();
+                assert_eq!(t.peers_of(node), scan);
+            }
+        }
     }
 
     #[test]

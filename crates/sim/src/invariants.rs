@@ -71,10 +71,14 @@ impl InvariantChecker {
 /// registered message body; energy use is finite and non-negative; battery
 /// remaining stays within `[0, budget]`; the position lies inside the world
 /// area. Checked globally: transfer-engine byte conservation (every
-/// in-flight offset and recovery checkpoint within `[0, bytes_total]`).
+/// in-flight offset and recovery checkpoint within `[0, bytes_total]`),
+/// plus the incremental indexes — contact adjacency lists vs the active
+/// contact set, and the batched transfer stepper's active-sender index
+/// vs the queues it summarises.
 #[must_use]
 pub fn kernel_invariants(api: &SimApi) -> Vec<String> {
     let mut violations = api.transfer_byte_audit();
+    violations.extend(api.index_audit());
     let budget = api.battery_budget();
     for node in api.node_ids() {
         let buf = api.buffer(node);

@@ -317,6 +317,22 @@ impl SimApi {
         self.transfers.audit_bytes()
     }
 
+    /// Structural audit of the kernel's incremental indexes: contact
+    /// adjacency lists vs the active contact set, and the transfer
+    /// engine's active-sender index vs the queues themselves. One line
+    /// per violation; empty = healthy.
+    #[must_use]
+    pub fn index_audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Err(e) = self.contacts.audit_adjacency() {
+            violations.push(e);
+        }
+        if let Err(e) = self.transfers.audit_active_index() {
+            violations.push(e);
+        }
+        violations
+    }
+
     /// Number of live partial-transfer checkpoints (0 without resume).
     #[must_use]
     pub fn checkpoint_count(&self) -> usize {
@@ -443,6 +459,7 @@ pub struct SimulationBuilder {
     recovery: Option<RecoveryPolicy>,
     check_every: Option<u64>,
     profile: bool,
+    threads: usize,
     mobilities: Vec<Box<dyn MobilityModel>>,
     schedule: Vec<ScheduledMessage>,
 }
@@ -465,9 +482,26 @@ impl SimulationBuilder {
             recovery: None,
             check_every: None,
             profile: false,
+            threads: 1,
             mobilities: Vec::new(),
             schedule: Vec::new(),
         }
+    }
+
+    /// Sets the shard count for the data-parallel step phases (mobility
+    /// stepping and striped contact detection). Default 1 = the serial
+    /// path. Output is byte-identical at any value: sharding changes who
+    /// computes each node's step, never what is computed — see DESIGN.md
+    /// §10 for the determinism argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "threads must be at least 1");
+        self.threads = n;
+        self
     }
 
     /// Sets the step length (default 1 s).
@@ -693,6 +727,16 @@ impl SimulationBuilder {
             mobilities: self.mobilities,
             node_rngs,
             grid: SpatialGrid::new(self.area, grid_cell),
+            threads: self.threads,
+            // OS threads actually spawned per phase: capped by the host's
+            // core count. Purely a wall-clock decision — shard boundaries
+            // and merge order depend only on `threads`, so a 8-thread run
+            // on a 1-core box is byte-identical to the same run on 8 cores.
+            workers: self
+                .threads
+                .min(std::thread::available_parallelism().map_or(1, usize::from)),
+            scratch_in_range: Vec::new(),
+            stripe_buffers: Vec::new(),
             schedule: self.schedule,
             next_scheduled: 0,
             next_message_id: 0,
@@ -721,6 +765,16 @@ pub struct Simulation<P> {
     mobilities: Vec<Box<dyn MobilityModel>>,
     node_rngs: Vec<SimRng>,
     grid: SpatialGrid,
+    /// Configured shard count for the data-parallel phases (≥ 1).
+    threads: usize,
+    /// OS threads actually used (`min(threads, host cores)`); wall-clock
+    /// only, never affects output.
+    workers: usize,
+    /// In-range pair buffer reused across steps (was allocated per step).
+    scratch_in_range: Vec<ContactKey>,
+    /// Per-stripe pair buffers for sharded contact detection, reused
+    /// across steps and merged in fixed stripe order.
+    stripe_buffers: Vec<Vec<ContactKey>>,
     schedule: Vec<ScheduledMessage>,
     next_scheduled: usize,
     next_message_id: u64,
@@ -752,6 +806,12 @@ impl<P: Protocol> Simulation<P> {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The configured shard count for the data-parallel step phases.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The attached fault plan, if any.
@@ -799,6 +859,7 @@ impl<P: Protocol> Simulation<P> {
     pub fn export_metrics(&self) -> MetricsRegistry {
         let mut registry = MetricsRegistry::new();
         self.api.counters.export(&mut registry);
+        registry.set_gauge("kernel.threads", self.threads as f64);
         if self.profiler.is_enabled() {
             for t in self.profiler.timings() {
                 registry.set_gauge(&format!("phase_secs.{}", t.phase), t.secs);
@@ -844,12 +905,36 @@ impl<P: Protocol> Simulation<P> {
         let now = self.api.now;
         let step_scope = self.profiler.start();
 
-        // 1. Movement.
+        // 1. Movement. Each node's next position depends only on its own
+        // mobility state and its own RNG stream (`node_rngs[i]`), so the
+        // node axis is data-parallel: any partition computes identical
+        // positions and leaves every RNG in an identical state.
         let scope = self.profiler.start();
-        for i in 0..self.mobilities.len() {
-            let p = self.api.positions[i];
-            self.api.positions[i] =
-                self.mobilities[i].step(p, dt, self.api.area, &mut self.node_rngs[i]);
+        let n = self.mobilities.len();
+        if self.workers > 1 && n > 1 {
+            let chunk = n.div_ceil(self.workers);
+            let area = self.api.area;
+            std::thread::scope(|s| {
+                for ((positions, mobilities), rngs) in self
+                    .api
+                    .positions
+                    .chunks_mut(chunk)
+                    .zip(self.mobilities.chunks_mut(chunk))
+                    .zip(self.node_rngs.chunks_mut(chunk))
+                {
+                    s.spawn(move || {
+                        for ((p, m), r) in positions.iter_mut().zip(mobilities).zip(rngs) {
+                            *p = m.step(*p, dt, area, r);
+                        }
+                    });
+                }
+            });
+        } else {
+            for i in 0..n {
+                let p = self.api.positions[i];
+                self.api.positions[i] =
+                    self.mobilities[i].step(p, dt, self.api.area, &mut self.node_rngs[i]);
+            }
         }
         self.profiler.stop(Phase::Mobility, scope);
 
@@ -897,33 +982,85 @@ impl<P: Protocol> Simulation<P> {
         }
         self.profiler.stop(Phase::FaultInjection, scope);
 
-        // 2. Contact diff.
+        // 2. Contact diff. The grid sweep is sharded across row stripes:
+        // each stripe enumerates the pairs whose home cell lies in its rows
+        // into its own buffer, buffers are merged in ascending stripe order,
+        // and the merged list is sorted — the same unique pair set in the
+        // same final order as the serial sweep, whatever the stripe count.
         let scope = self.profiler.start();
         self.grid.rebuild(&self.api.positions);
-        let mut in_range: Vec<ContactKey> = Vec::new();
+        self.scratch_in_range.clear();
         let energy = &self.api.energy;
-        self.grid
-            .for_each_pair_within(&self.api.positions, self.api.radio.range_m, |a, b| {
+        let positions = &self.api.positions;
+        let range = self.api.radio.range_m;
+        let rows = self.grid.row_count();
+        let stripes = self.threads.min(rows).max(1);
+        if stripes > 1 {
+            if self.stripe_buffers.len() < stripes {
+                self.stripe_buffers.resize_with(stripes, Vec::new);
+            }
+            let per = rows.div_ceil(stripes);
+            let grid = &self.grid;
+            let sweep_stripe = |si: usize, buf: &mut Vec<ContactKey>| {
+                buf.clear();
+                grid.for_each_pair_in_rows(positions, range, si * per, (si + 1) * per, |a, b| {
+                    // A depleted radio forms no links (finite-battery model).
+                    if !energy.is_depleted(a) && !energy.is_depleted(b) {
+                        buf.push(ContactKey(a, b));
+                    }
+                });
+            };
+            let bufs = &mut self.stripe_buffers[..stripes];
+            if self.workers > 1 {
+                let per_worker = stripes.div_ceil(self.workers);
+                std::thread::scope(|s| {
+                    for (w, worker_bufs) in bufs.chunks_mut(per_worker).enumerate() {
+                        let sweep_stripe = &sweep_stripe;
+                        s.spawn(move || {
+                            for (off, buf) in worker_bufs.iter_mut().enumerate() {
+                                sweep_stripe(w * per_worker + off, buf);
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (si, buf) in bufs.iter_mut().enumerate() {
+                    sweep_stripe(si, buf);
+                }
+            }
+            for buf in &self.stripe_buffers[..stripes] {
+                self.scratch_in_range.extend_from_slice(buf);
+            }
+        } else {
+            let in_range = &mut self.scratch_in_range;
+            self.grid.for_each_pair_within(positions, range, |a, b| {
                 // A depleted radio forms no links (finite-battery model).
                 if !energy.is_depleted(a) && !energy.is_depleted(b) {
                     in_range.push(ContactKey(a, b));
                 }
             });
-        in_range.sort_unstable();
+        }
+        self.scratch_in_range.sort_unstable();
         // 2b. Link-level fault injection: crashed nodes form no links,
         // blocked (cut) pairs stay apart, and active links may be freshly
         // cut. Vetoed pairs fall out of `in_range`, so the ordinary
         // contact-down machinery (transfer aborts included) fires below.
         if let Some(inj) = self.faults.as_mut() {
             let contacts = &self.api.contacts;
-            let cuts = inj.veto_links(&mut in_range, |k| contacts.is_up(k.0, k.1), now, dt);
+            let cuts = inj.veto_links(
+                &mut self.scratch_in_range,
+                |k| contacts.is_up(k.0, k.1),
+                now,
+                dt,
+            );
             for key in cuts {
                 self.api
                     .trace
                     .record(now, TraceEvent::LinkCut { a: key.0, b: key.1 });
             }
         }
-        let events = self.api.contacts.diff(&in_range, now);
+        self.api.counters.contact_pairs += self.scratch_in_range.len() as u64;
+        let events = self.api.contacts.diff(&self.scratch_in_range, now);
         self.profiler.stop(Phase::ContactDiff, scope);
         // 2c. Protocol exchange: contact transitions dispatch into the
         // protocol (directory/offer exchange, transfer aborts on teardown).
@@ -981,6 +1118,7 @@ impl<P: Protocol> Simulation<P> {
         // whose pair is out of contact keep waiting; entries whose copy or
         // demand vanished are abandoned.
         self.release_due_retries(now);
+        self.api.counters.transfer_batch_senders += self.api.transfers.active_senders() as u64;
         let (completed, aborted) = {
             let buffers = &self.api.buffers;
             let positions = &self.api.positions;

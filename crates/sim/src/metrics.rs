@@ -487,6 +487,15 @@ pub struct KernelCounters {
     pub transfers_abandoned: u64,
     /// Copies purged by the TTL sweep.
     pub ttl_expiries: u64,
+    /// In-range pairs emitted by contact detection, summed over all steps
+    /// (the sharded sweep's workload measure). Not part of [`Self::events`]
+    /// — pairs are an input to the diff, not a kernel event.
+    pub contact_pairs: u64,
+    /// Senders visited by the batched transfer pass, summed over all steps.
+    /// Under the active-pair index this counts only populated queues; the
+    /// pre-index engine would have scanned `steps * node_count`. Not part
+    /// of [`Self::events`].
+    pub transfer_batch_senders: u64,
     /// Peak total buffered bytes across all nodes. Only tracked while the
     /// phase profiler is enabled (the scan is O(nodes) per step); reads 0
     /// on unprofiled runs.
@@ -551,6 +560,8 @@ impl KernelCounters {
         registry.add("kernel.transfers_resumed", self.transfers_resumed);
         registry.add("kernel.transfers_abandoned", self.transfers_abandoned);
         registry.add("kernel.ttl_expiries", self.ttl_expiries);
+        registry.add("kernel.contact_pairs", self.contact_pairs);
+        registry.add("kernel.transfer_batch_senders", self.transfer_batch_senders);
         registry.add("kernel.events", self.events());
         registry.gauge_max("kernel.peak_buffer_bytes", self.peak_buffer_bytes as f64);
     }
@@ -674,12 +685,18 @@ mod tests {
             transfers_resumed: 1,
             transfers_abandoned: 1,
             ttl_expiries: 6,
+            contact_pairs: 40,
+            transfer_batch_senders: 7,
             peak_buffer_bytes: 1000,
         };
+        // Workload gauges (pairs scanned, senders batched) are inputs, not
+        // events: the throughput numerator must not change under them.
         assert_eq!(c.events(), 25);
         let mut m = MetricsRegistry::new();
         c.export(&mut m);
         assert_eq!(m.counter("kernel.events"), 25);
+        assert_eq!(m.counter("kernel.contact_pairs"), 40);
+        assert_eq!(m.counter("kernel.transfer_batch_senders"), 7);
         assert_eq!(m.counter("kernel.steps"), 10);
         assert_eq!(m.counter("kernel.transfers_aborted_contact"), 1);
         assert_eq!(m.counter("kernel.transfers_retried"), 2);

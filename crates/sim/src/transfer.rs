@@ -14,7 +14,7 @@
 //! is stored — and are dropped on completion, cancellation, source loss, or
 //! a buffer wipe at either endpoint.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -193,6 +193,15 @@ pub struct AbortedTransfer {
 pub struct TransferEngine {
     /// One FIFO per sender; the head is the in-flight transfer.
     queues: Vec<VecDeque<Transfer>>,
+    /// Senders with a non-empty queue, maintained incrementally by
+    /// enqueue/cancel/abort/step. [`Self::step`] walks only this index in
+    /// one batched pass instead of scanning every sender's (mostly empty)
+    /// queue each step. A `BTreeSet` iterates in ascending sender id, which
+    /// is exactly the order the full scan used — output is byte-identical.
+    active: BTreeSet<NodeId>,
+    /// Scratch for senders drained within one `step` call, reused across
+    /// steps so the batched pass allocates nothing in steady state.
+    scratch_drained: Vec<NodeId>,
     link_speed_bps: f64,
     /// Partial-progress offsets saved on `ContactDown`, keyed by
     /// `(from, to, message)`. Only populated when `resume` is on.
@@ -211,9 +220,39 @@ impl TransferEngine {
         assert!(link_speed_bps > 0.0, "link speed must be positive");
         TransferEngine {
             queues: vec![VecDeque::new(); node_count],
+            active: BTreeSet::new(),
+            scratch_drained: Vec::new(),
             link_speed_bps,
             checkpoints: HashMap::new(),
             resume: false,
+        }
+    }
+
+    /// Number of senders with at least one queued or in-flight transfer —
+    /// the size of the batched step index.
+    #[must_use]
+    pub fn active_senders(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Audit: checks the active-sender index against the queues themselves,
+    /// returning a description of the first mismatch. Used by tests and the
+    /// invariant checker; not on the hot path.
+    pub fn audit_active_index(&self) -> Result<(), String> {
+        let reference: BTreeSet<NodeId> = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        if reference == self.active {
+            Ok(())
+        } else {
+            Err(format!(
+                "active-sender index drifted: indexed {:?}, queues say {:?}",
+                self.active, reference
+            ))
         }
     }
 
@@ -322,6 +361,7 @@ impl TransferEngine {
             started_at: None,
             requested_at: now,
         });
+        self.active.insert(from);
         true
     }
 
@@ -376,6 +416,9 @@ impl TransferEngine {
                 }
             }
             *q = keep;
+            if q.is_empty() {
+                self.active.remove(&from);
+            }
         }
         out
     }
@@ -391,6 +434,9 @@ impl TransferEngine {
         let q = &mut self.queues[from.index()];
         let pos = q.iter().position(|t| t.to == to && t.message == message)?;
         let t = q.remove(pos).expect("position valid");
+        if q.is_empty() {
+            self.active.remove(&from);
+        }
         self.checkpoints.remove(&(from, to, message));
         Some(AbortedTransfer {
             from: t.from,
@@ -416,7 +462,13 @@ impl TransferEngine {
     ) -> (Vec<CompletedTransfer>, Vec<AbortedTransfer>) {
         let mut completed = Vec::new();
         let mut aborted = Vec::new();
-        for q in &mut self.queues {
+        // One batched pass over the active-sender index. The index iterates
+        // in ascending sender id — identical to the full queue scan this
+        // replaces (empty queues contributed nothing there), so the output
+        // order is unchanged.
+        self.scratch_drained.clear();
+        for &from in &self.active {
+            let q = &mut self.queues[from.index()];
             // Drop head transfers whose source copy vanished, then progress
             // the surviving head. Budget is per-sender airtime within dt.
             let mut budget = dt.as_secs();
@@ -469,6 +521,13 @@ impl TransferEngine {
                     budget = 0.0;
                 }
             }
+            if q.is_empty() {
+                self.scratch_drained.push(from);
+            }
+        }
+        for i in 0..self.scratch_drained.len() {
+            let drained = self.scratch_drained[i];
+            self.active.remove(&drained);
         }
         (completed, aborted)
     }
@@ -729,6 +788,31 @@ mod tests {
         assert!(e
             .checkpoint_of(NodeId(2), NodeId(3), MessageId(3))
             .is_some());
+    }
+
+    #[test]
+    fn active_index_tracks_queue_population() {
+        let mut e = engine();
+        assert_eq!(e.active_senders(), 0);
+        e.enqueue(NodeId(0), NodeId(1), MessageId(1), 100, SimTime::ZERO);
+        e.enqueue(NodeId(2), NodeId(3), MessageId(2), 1000, SimTime::ZERO);
+        assert_eq!(e.active_senders(), 2);
+        e.audit_active_index().unwrap();
+
+        // Node 0's 100 B finish in one 1 s step; node 2 stays in flight.
+        let (done, _) = step_all(&mut e, 1.0, 0.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(e.active_senders(), 1);
+        e.audit_active_index().unwrap();
+
+        e.cancel(NodeId(2), NodeId(3), MessageId(2)).unwrap();
+        assert_eq!(e.active_senders(), 0);
+        e.audit_active_index().unwrap();
+
+        e.enqueue(NodeId(1), NodeId(0), MessageId(3), 500, SimTime::ZERO);
+        e.abort_between(NodeId(0), NodeId(1));
+        assert_eq!(e.active_senders(), 0);
+        e.audit_active_index().unwrap();
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub fn table51_scenario() -> Scenario {
         protocol: ProtocolParams::paper_default(),
         chaos: None,
         recovery: None,
+        threads: None,
     }
 }
 

@@ -139,6 +139,7 @@ pub fn build_simulation_opts(
         .radio(scenario.radio)
         .buffer_capacity(scenario.buffer_bytes)
         .drop_policy(drop_policy)
+        .threads(scenario.effective_threads())
         .nodes(scenario.nodes, || scenario.mobility.instantiate());
     if let Some(j) = scenario.battery_joules {
         builder = builder.battery_joules(j);
@@ -185,6 +186,7 @@ where
         // mechanism must not silently inherit whatever default the kernel
         // builder happens to carry.
         .drop_policy(dtn_sim::buffer::DropPolicy::DropOldest)
+        .threads(scenario.effective_threads())
         .nodes(scenario.nodes, || scenario.mobility.instantiate());
     if let Some(j) = scenario.battery_joules {
         builder = builder.battery_joules(j);

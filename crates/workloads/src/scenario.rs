@@ -167,6 +167,13 @@ pub struct Scenario {
     /// every paper experiment — aborted transfers are simply lost.
     #[serde(default)]
     pub recovery: Option<dtn_sim::transfer::RecoveryPolicy>,
+    /// Shard count for the kernel's data-parallel step phases (mobility,
+    /// striped contact detection). `None` = 1 = the serial kernel. Output
+    /// is byte-identical at any value — this is a wall-clock knob only, so
+    /// it is fair to sweep it on one scenario and compare against a serial
+    /// baseline. Read through [`Scenario::effective_threads`].
+    #[serde(default)]
+    pub threads: Option<usize>,
 }
 
 impl Scenario {
@@ -220,7 +227,16 @@ impl Scenario {
         if let Some(recovery) = &self.recovery {
             recovery.validate()?;
         }
+        if self.threads == Some(0) {
+            return Err("threads must be at least 1".into());
+        }
         Ok(())
+    }
+
+    /// The kernel shard count this scenario asks for (`threads`, default 1).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or(1)
     }
 
     /// Expected number of messages the traffic model will create.
@@ -350,6 +366,29 @@ mod tests {
         assert_ne!(stripped, plain, "the field was present to strip");
         let legacy: Scenario = serde_json::from_str(&stripped).expect("legacy parses");
         assert_eq!(legacy.recovery, None);
+    }
+
+    #[test]
+    fn threads_survives_serde_and_defaults_when_absent() {
+        let mut s = paper::reduced_scenario();
+        s.threads = Some(8);
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.effective_threads(), 8);
+        assert_eq!(back, s);
+        // Configs written before the threads field existed still parse
+        // (and mean what they always meant: the serial kernel).
+        let plain = serde_json::to_string(&paper::reduced_scenario()).expect("serializable");
+        let stripped = plain
+            .replace(",\"threads\":null", "")
+            .replace("\"threads\":null,", "");
+        assert_ne!(stripped, plain, "the field was present to strip");
+        let legacy: Scenario = serde_json::from_str(&stripped).expect("legacy parses");
+        assert_eq!(legacy.threads, None);
+        assert_eq!(legacy.effective_threads(), 1);
+
+        s.threads = Some(0);
+        assert!(s.validate().is_err(), "zero threads rejected");
     }
 
     #[test]
