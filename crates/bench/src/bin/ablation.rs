@@ -7,95 +7,10 @@
 //! hardware factor (promises from software factors only), and the
 //! ChitChat baseline (everything off).
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_sim::stats::RunSummary;
-use dtn_workloads::runner::run_once;
-use dtn_workloads::scenario::{Arm, Scenario};
-
-fn variant(base: &Scenario, name: &str, f: impl Fn(&mut Scenario)) -> (String, Scenario) {
-    let mut s = base.clone().named(name);
-    f(&mut s);
-    (name.to_owned(), s)
-}
-
-fn mean_runs(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> (RunSummary, f64) {
-    let runs: Vec<_> = seeds.iter().map(|&s| run_once(scenario, arm, s)).collect();
-    let awarded = runs.iter().map(|r| r.protocol.tokens_awarded).sum::<f64>() / runs.len() as f64;
-    let summaries: Vec<RunSummary> = runs.into_iter().map(|r| r.summary).collect();
-    (RunSummary::mean_of(&summaries), awarded)
-}
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let mut base = cli.scale.base_scenario();
-    base.selfish_fraction = 0.4;
-    base.malicious_fraction = 0.1;
-    print_scenario_header(
-        "Ablation — component contributions at 40% selfish, 10% malicious",
-        &base,
-        &cli.seeds,
-    );
-
-    let variants = vec![
-        variant(&base, "full", |_| {}),
-        variant(&base, "no-drm", |s| s.protocol.drm_enabled = false),
-        variant(&base, "no-enrichment", |s| {
-            s.protocol.enrichment_enabled = false
-        }),
-        variant(&base, "no-hardware", |s| {
-            s.protocol.hardware_factor_enabled = false;
-        }),
-    ];
-
-    println!(
-        "{:>14} | {:>7} | {:>8} | {:>9} | {:>9} | {:>10}",
-        "variant", "MDR", "high MDR", "relays", "bonus", "tok moved"
-    );
-    println!("{}", "-".repeat(72));
-    let mut rows = Vec::new();
-    for (name, scenario) in &variants {
-        let (summary, awarded) = mean_runs(scenario, Arm::Incentive, &cli.seeds);
-        let high = summary
-            .delivery_ratio_by_priority
-            .get(&1)
-            .copied()
-            .unwrap_or(0.0);
-        println!(
-            "{:>14} | {:>7.3} | {:>8.3} | {:>9} | {:>9} | {:>10.1}",
-            name,
-            summary.delivery_ratio,
-            high,
-            summary.relays_completed,
-            summary.bonus_deliveries,
-            awarded
-        );
-        rows.push(format!(
-            "{name},{:.6},{:.6},{},{},{:.1}",
-            summary.delivery_ratio,
-            high,
-            summary.relays_completed,
-            summary.bonus_deliveries,
-            awarded
-        ));
-    }
-    // The all-off baseline for reference.
-    let (cc, _) = mean_runs(&base, Arm::ChitChat, &cli.seeds);
-    let high = cc
-        .delivery_ratio_by_priority
-        .get(&1)
-        .copied()
-        .unwrap_or(0.0);
-    println!(
-        "{:>14} | {:>7.3} | {:>8.3} | {:>9} | {:>9} | {:>10}",
-        "chitchat", cc.delivery_ratio, high, cc.relays_completed, cc.bonus_deliveries, "-"
-    );
-    rows.push(format!(
-        "chitchat,{:.6},{:.6},{},{},0",
-        cc.delivery_ratio, high, cc.relays_completed, cc.bonus_deliveries
-    ));
-    write_csv(
-        "ablation",
-        "variant,mdr,mdr_high,relays,bonus_deliveries,tokens_awarded",
-        &rows,
-    );
+    figures::ablation::run(&cli);
+    cli.enforce_expect_warm();
 }

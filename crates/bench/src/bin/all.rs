@@ -1,25 +1,19 @@
-//! Runs every figure binary in sequence (same flags forwarded), so
-//! `cargo run --release -p dtn-bench --bin all` regenerates the complete
-//! evaluation in one go.
+//! Runs the complete evaluation in one process: the union of every
+//! figure's cells is prefetched through the sweep executor's worker pool,
+//! then each figure renders from the warm memo. Conditions shared between
+//! figures (the Fig. 5.1/5.2 sweep, Fig. 5.3's ×1.0 endowment) simulate
+//! once.
+//!
+//! ```text
+//! cargo run --release -p dtn-bench --bin all
+//! cargo run --release -p dtn-bench --bin all -- --sweep-workers 8 --sweep-cache
+//! cargo run --release -p dtn-bench --bin all -- --smoke --sweep-cache --expect-warm
+//! ```
 
-use std::process::Command;
+use dtn_bench::{figures, Cli};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
-    for bin in [
-        "fig5_1", "fig5_2", "fig5_3", "fig5_4", "fig5_5", "fig5_6", "ablation",
-    ] {
-        let path = exe_dir.join(bin);
-        println!("\n##### {bin} #####\n");
-        let status = Command::new(&path)
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        assert!(status.success(), "{bin} exited with {status}");
-    }
+    let cli = Cli::parse();
+    figures::run_all(&cli);
+    cli.enforce_expect_warm();
 }

@@ -6,124 +6,10 @@
 //! the traffic floor; ChitChat and the mechanism sit in between; CEDO
 //! serves explicitly requested keywords only.
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_routing::prelude::*;
-use dtn_sim::stats::RunSummary;
-use dtn_sim::time::SimTime;
-use dtn_workloads::prelude::*;
-
-fn run_with<P, F>(scenario: &dtn_workloads::scenario::Scenario, seed: u64, make: F) -> RunSummary
-where
-    P: dtn_sim::protocol::Protocol,
-    F: FnOnce(&Population, &[dtn_sim::kernel::ScheduledMessage]) -> P,
-{
-    let mut sim = dtn_workloads::runner::build_with_protocol(scenario, seed, make);
-    sim.run_until(SimTime::from_secs(scenario.duration_secs))
-}
-
-fn directory_from(pop: &Population) -> InterestDirectory {
-    pop.interest_directory()
-}
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let mut scenario = cli.scale.base_scenario();
-    scenario.selfish_fraction = 0.0;
-    scenario = scenario.named("baselines");
-    print_scenario_header(
-        "Baseline comparison — identical workload, every router",
-        &scenario,
-        &cli.seeds[..1],
-    );
-    let seed = cli.seeds[0];
-
-    let mut rows: Vec<(String, RunSummary)> = Vec::new();
-
-    rows.push((
-        "incentive".into(),
-        run_once(&scenario, Arm::Incentive, seed).summary,
-    ));
-    rows.push((
-        "chitchat".into(),
-        run_once(&scenario, Arm::ChitChat, seed).summary,
-    ));
-    rows.push((
-        "epidemic".into(),
-        run_with(&scenario, seed, |pop, _| {
-            EpidemicRouter::new(directory_from(pop))
-        }),
-    ));
-    rows.push((
-        "direct".into(),
-        run_with(&scenario, seed, |pop, _| {
-            DirectDeliveryRouter::new(directory_from(pop))
-        }),
-    ));
-    rows.push((
-        "spray&wait(8)".into(),
-        run_with(&scenario, seed, |pop, _| {
-            SprayAndWaitRouter::new(directory_from(pop), 8)
-        }),
-    ));
-    rows.push((
-        "two-hop".into(),
-        run_with(&scenario, seed, |pop, _| {
-            TwoHopRelayRouter::new(directory_from(pop))
-        }),
-    ));
-    rows.push((
-        "prophet".into(),
-        run_with(&scenario, seed, |pop, _| {
-            ProphetRouter::new(directory_from(pop), ProphetParams::default())
-        }),
-    ));
-    rows.push((
-        "cedo".into(),
-        run_with(&scenario, seed, |pop, schedule| {
-            // CEDO is pull-based: turn each expected (message, destination)
-            // pair into a keyword request issued at creation time.
-            let mut router = CedoRouter::new(pop.interests.len());
-            for m in schedule {
-                for &dest in &m.expected_destinations {
-                    for &kw in &m.source_tags {
-                        if pop.interests[dest.index()].contains(&kw) {
-                            router.schedule_request(m.at, dest, kw, m.ttl_secs);
-                        }
-                    }
-                }
-            }
-            router
-        }),
-    ));
-
-    println!(
-        "{:>14} | {:>7} | {:>9} | {:>12} | {:>9} | {:>9}",
-        "router", "MDR", "relays", "bytes (MB)", "latency s", "aborted"
-    );
-    println!("{}", "-".repeat(75));
-    let mut csv = Vec::new();
-    for (name, s) in &rows {
-        println!(
-            "{:>14} | {:>7.3} | {:>9} | {:>12.1} | {:>9.0} | {:>9}",
-            name,
-            s.delivery_ratio,
-            s.relays_completed,
-            s.relay_bytes as f64 / 1e6,
-            s.mean_latency_secs,
-            s.transfers_aborted
-        );
-        csv.push(format!(
-            "{name},{:.6},{},{},{:.1},{}",
-            s.delivery_ratio,
-            s.relays_completed,
-            s.relay_bytes,
-            s.mean_latency_secs,
-            s.transfers_aborted
-        ));
-    }
-    write_csv(
-        "baselines",
-        "router,mdr,relays,bytes,latency_s,aborted",
-        &csv,
-    );
+    figures::baselines::run(&cli);
+    cli.enforce_expect_warm();
 }

@@ -7,47 +7,10 @@
 //! exhaustion); neither reaches zero at 100% because selfish nodes still
 //! open their medium one encounter in ten.
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_workloads::dispersion::run_seeds_detailed;
-use dtn_workloads::paper::selfish_sweep;
-use dtn_workloads::scenario::Arm;
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let sweep = selfish_sweep(cli.scale);
-    print_scenario_header(
-        "Fig 5.1 — MDR vs percentage of selfish nodes",
-        &sweep[0],
-        &cli.seeds,
-    );
-    println!(
-        "{:>9} | {:>17} | {:>17} | {:>9}",
-        "selfish %", "Incentive MDR", "ChitChat MDR", "gap"
-    );
-    println!("{}", "-".repeat(63));
-    let mut rows = Vec::new();
-    for scenario in &sweep {
-        let pct = (scenario.selfish_fraction * 100.0).round();
-        let (_, inc) = run_seeds_detailed(scenario, Arm::Incentive, &cli.seeds);
-        let (_, cc) = run_seeds_detailed(scenario, Arm::ChitChat, &cli.seeds);
-        println!(
-            "{:>9} | {:>17} | {:>17} | {:>+9.3}",
-            pct,
-            inc.delivery_ratio.display(3),
-            cc.delivery_ratio.display(3),
-            cc.delivery_ratio.mean - inc.delivery_ratio.mean
-        );
-        rows.push(format!(
-            "{pct},{:.6},{:.6},{:.6},{:.6}",
-            inc.delivery_ratio.mean,
-            inc.delivery_ratio.std_dev,
-            cc.delivery_ratio.mean,
-            cc.delivery_ratio.std_dev
-        ));
-    }
-    write_csv(
-        "fig5_1",
-        "selfish_pct,mdr_incentive,sd_incentive,mdr_chitchat,sd_chitchat",
-        &rows,
-    );
+    figures::fig5_1::run(&cli);
+    cli.enforce_expect_warm();
 }

@@ -8,44 +8,10 @@
 //! extra destinations offset part of the saving (documented in
 //! EXPERIMENTS.md).
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_workloads::paper::selfish_sweep;
-use dtn_workloads::runner::compare_arms;
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let sweep = selfish_sweep(cli.scale);
-    print_scenario_header(
-        "Fig 5.2 — % of reduced traffic over ChitChat vs selfish nodes",
-        &sweep[0],
-        &cli.seeds,
-    );
-    println!(
-        "{:>9} | {:>15} | {:>15} | {:>11}",
-        "selfish %", "Incentive relays", "ChitChat relays", "reduction %"
-    );
-    println!("{}", "-".repeat(60));
-    let mut rows = Vec::new();
-    for scenario in &sweep {
-        let pct = (scenario.selfish_fraction * 100.0).round();
-        let cmp = compare_arms(scenario, &cli.seeds);
-        println!(
-            "{:>9} | {:>15} | {:>15} | {:>+11.1}",
-            pct,
-            cmp.incentive.relays_completed,
-            cmp.chitchat.relays_completed,
-            cmp.traffic_reduction_pct()
-        );
-        rows.push(format!(
-            "{pct},{},{},{:.4}",
-            cmp.incentive.relays_completed,
-            cmp.chitchat.relays_completed,
-            cmp.traffic_reduction_pct()
-        ));
-    }
-    write_csv(
-        "fig5_2",
-        "selfish_pct,relays_incentive,relays_chitchat,reduction_pct",
-        &rows,
-    );
+    figures::fig5_2::run(&cli);
+    cli.enforce_expect_warm();
 }

@@ -6,43 +6,10 @@
 //! percentage — more starting tokens delay exhaustion, so destinations
 //! keep receiving longer.
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_workloads::paper::token_sweep;
-use dtn_workloads::runner::run_seeds;
-use dtn_workloads::scenario::Arm;
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let sweep = token_sweep(cli.scale);
-    print_scenario_header(
-        "Fig 5.3 — MDR vs selfish % under different initial token endowments",
-        &sweep[0].1[0],
-        &cli.seeds,
-    );
-    let header: Vec<String> = sweep
-        .iter()
-        .map(|(tokens, _)| format!("{tokens:>7.0} tok"))
-        .collect();
-    println!("{:>9} | {}", "selfish %", header.join(" | "));
-    println!("{}", "-".repeat(12 + 14 * sweep.len()));
-
-    let points = sweep[0].1.len();
-    let mut rows = Vec::new();
-    for idx in 0..points {
-        let pct = (sweep[0].1[idx].selfish_fraction * 100.0).round();
-        let mut cells = Vec::new();
-        let mut csv = format!("{pct}");
-        for (_, scenarios) in &sweep {
-            let summary = run_seeds(&scenarios[idx], Arm::Incentive, &cli.seeds);
-            cells.push(format!("{:>11.3}", summary.delivery_ratio));
-            csv.push_str(&format!(",{:.6}", summary.delivery_ratio));
-        }
-        println!("{pct:>9} | {}", cells.join(" | "));
-        rows.push(csv);
-    }
-    let csv_header = std::iter::once("selfish_pct".to_owned())
-        .chain(sweep.iter().map(|(t, _)| format!("mdr_tokens_{t:.0}")))
-        .collect::<Vec<_>>()
-        .join(",");
-    write_csv("fig5_3", &csv_header, &rows);
+    figures::fig5_3::run(&cli);
+    cli.enforce_expect_warm();
 }

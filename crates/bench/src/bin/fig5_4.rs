@@ -7,75 +7,10 @@
 //! recognition accelerates with more malicious nodes; see EXPERIMENTS.md
 //! for how our curves compare on that secondary effect.)
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_core::protocol::MALICIOUS_RATING_SERIES;
-use dtn_workloads::paper::malicious_sweep;
-use dtn_workloads::runner::run_seeds;
-use dtn_workloads::scenario::Arm;
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let sweep = malicious_sweep(cli.scale);
-    print_scenario_header(
-        "Fig 5.4 — average rating of malicious nodes vs time",
-        &sweep[0],
-        &cli.seeds,
-    );
-
-    let mut series_by_pct = Vec::new();
-    for scenario in &sweep {
-        let pct = (scenario.malicious_fraction * 100.0).round();
-        let summary = run_seeds(scenario, Arm::Incentive, &cli.seeds);
-        let series = summary
-            .series
-            .get(MALICIOUS_RATING_SERIES)
-            .cloned()
-            .unwrap_or_default();
-        series_by_pct.push((pct, series));
-    }
-
-    // Align on the first series' sample times.
-    let times: Vec<f64> = series_by_pct
-        .first()
-        .map(|(_, s)| s.iter().map(|(t, _)| *t).collect())
-        .unwrap_or_default();
-    let header: Vec<String> = series_by_pct
-        .iter()
-        .map(|(pct, _)| format!("{pct:>3.0}% mal"))
-        .collect();
-    println!("{:>9} | {}", "t (min)", header.join(" | "));
-    println!("{}", "-".repeat(12 + 11 * series_by_pct.len()));
-    let mut rows = Vec::new();
-    for (i, t) in times.iter().enumerate() {
-        let mut cells = Vec::new();
-        let mut csv = format!("{:.0}", t / 60.0);
-        for (_, series) in &series_by_pct {
-            let v = series.get(i).map_or(f64::NAN, |(_, v)| *v);
-            cells.push(format!("{v:>8.3}"));
-            csv.push_str(&format!(",{v:.4}"));
-        }
-        println!("{:>9.0} | {}", t / 60.0, cells.join(" | "));
-        rows.push(csv);
-    }
-    let csv_header = std::iter::once("t_min".to_owned())
-        .chain(
-            series_by_pct
-                .iter()
-                .map(|(p, _)| format!("avg_rating_{p:.0}pct")),
-        )
-        .collect::<Vec<_>>()
-        .join(",");
-    write_csv("fig5_4", &csv_header, &rows);
-
-    for (pct, series) in &series_by_pct {
-        println!("\n{pct:.0}% malicious:");
-        print!(
-            "{}",
-            dtn_bench::ascii_chart(
-                series,
-                6,
-                &format!("time → avg rating, {pct:.0}% malicious")
-            )
-        );
-    }
+    figures::fig5_4::run(&cli);
+    cli.enforce_expect_warm();
 }

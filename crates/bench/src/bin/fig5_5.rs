@@ -6,37 +6,10 @@
 //! more alternative paths a starved destination soon meets another
 //! affordable deliverer.
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_workloads::paper::user_count_sweep;
-use dtn_workloads::runner::compare_arms;
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let sweep = user_count_sweep(cli.scale);
-    print_scenario_header(
-        "Fig 5.5 — MDR vs number of users (fixed area)",
-        &sweep[0],
-        &cli.seeds,
-    );
-    println!(
-        "{:>7} | {:>13} | {:>13} | {:>9}",
-        "users", "Incentive MDR", "ChitChat MDR", "gap"
-    );
-    println!("{}", "-".repeat(53));
-    let mut rows = Vec::new();
-    for scenario in &sweep {
-        let cmp = compare_arms(scenario, &cli.seeds);
-        println!(
-            "{:>7} | {:>13.3} | {:>13.3} | {:>+9.3}",
-            scenario.nodes,
-            cmp.incentive.delivery_ratio,
-            cmp.chitchat.delivery_ratio,
-            cmp.mdr_gap()
-        );
-        rows.push(format!(
-            "{},{:.6},{:.6}",
-            scenario.nodes, cmp.incentive.delivery_ratio, cmp.chitchat.delivery_ratio
-        ));
-    }
-    write_csv("fig5_5", "users,mdr_incentive,mdr_chitchat", &rows);
+    figures::fig5_5::run(&cli);
+    cli.enforce_expect_warm();
 }

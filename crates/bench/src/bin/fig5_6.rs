@@ -8,49 +8,10 @@
 //! and evicts low-priority copies under pressure, and such deliveries earn
 //! larger awards.
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_workloads::paper::priority_sweep;
-use dtn_workloads::runner::compare_arms;
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let sweep = priority_sweep(cli.scale);
-    print_scenario_header(
-        "Fig 5.6 — priority-segmented MDR vs selfish percentage",
-        &sweep[0],
-        &cli.seeds,
-    );
-    println!(
-        "{:>9} | {:>9} | {:>8} | {:>8} | {:>8}",
-        "selfish %", "arm", "high", "medium", "low"
-    );
-    println!("{}", "-".repeat(55));
-    let mut rows = Vec::new();
-    for scenario in &sweep {
-        let pct = (scenario.selfish_fraction * 100.0).round();
-        let cmp = compare_arms(scenario, &cli.seeds);
-        for (label, summary) in [("Incentive", &cmp.incentive), ("ChitChat", &cmp.chitchat)] {
-            let by = &summary.delivery_ratio_by_priority;
-            let get = |level: u8| by.get(&level).copied().unwrap_or(0.0);
-            println!(
-                "{:>9} | {:>9} | {:>8.3} | {:>8.3} | {:>8.3}",
-                pct,
-                label,
-                get(1),
-                get(2),
-                get(3)
-            );
-            rows.push(format!(
-                "{pct},{label},{:.6},{:.6},{:.6}",
-                get(1),
-                get(2),
-                get(3)
-            ));
-        }
-    }
-    write_csv(
-        "fig5_6",
-        "selfish_pct,arm,mdr_high,mdr_medium,mdr_low",
-        &rows,
-    );
+    figures::fig5_6::run(&cli);
+    cli.enforce_expect_warm();
 }

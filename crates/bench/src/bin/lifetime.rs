@@ -6,70 +6,10 @@
 //! delivery ratio and the number of battery-dead radios at the end of the
 //! run, for several battery budgets, with a 40% selfish population.
 
-use dtn_bench::{print_scenario_header, write_csv, Cli};
-use dtn_sim::time::SimTime;
-use dtn_workloads::prelude::*;
+use dtn_bench::{figures, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let mut base = cli.scale.base_scenario();
-    base.selfish_fraction = 0.4;
-    base = base.named("lifetime");
-    print_scenario_header(
-        "Network lifetime under finite batteries (extension)",
-        &base,
-        &cli.seeds,
-    );
-
-    println!(
-        "{:>12} | {:>9} | {:>13} | {:>13} | {:>10} | {:>10}",
-        "battery (J)", "arm", "MDR", "relays", "dead nodes", "bytes (MB)"
-    );
-    println!("{}", "-".repeat(82));
-    let mut rows = Vec::new();
-    for budget in [50.0f64, 150.0, 400.0, f64::INFINITY] {
-        for arm in Arm::BOTH {
-            let mut dead_total = 0usize;
-            let mut runs = Vec::new();
-            for &seed in &cli.seeds {
-                let mut s = base.clone();
-                if budget.is_finite() {
-                    s.battery_joules = Some(budget);
-                }
-                let mut sim = build_simulation(&s, arm, seed);
-                let _ = sim.run_until(SimTime::from_secs(s.duration_secs));
-                dead_total += sim.api().depleted_count();
-                let (_, summary) = sim.finish();
-                runs.push(summary);
-            }
-            let mean = dtn_sim::stats::RunSummary::mean_of(&runs);
-            let dead = dead_total as f64 / cli.seeds.len() as f64;
-            let label = if budget.is_finite() {
-                format!("{budget:.0}")
-            } else {
-                "ideal".to_owned()
-            };
-            println!(
-                "{:>12} | {:>9} | {:>13.3} | {:>13} | {:>10.1} | {:>10.1}",
-                label,
-                arm.label(),
-                mean.delivery_ratio,
-                mean.relays_completed,
-                dead,
-                mean.relay_bytes as f64 / 1e6
-            );
-            rows.push(format!(
-                "{label},{},{:.6},{},{dead:.1},{}",
-                arm.label(),
-                mean.delivery_ratio,
-                mean.relays_completed,
-                mean.relay_bytes
-            ));
-        }
-    }
-    write_csv(
-        "lifetime",
-        "battery_j,arm,mdr,relays,dead_nodes,bytes",
-        &rows,
-    );
+    figures::lifetime::run(&cli);
+    cli.enforce_expect_warm();
 }

@@ -30,7 +30,14 @@
 //! 4 and 8 so the baseline records the scaling curve; `chaos-recovery-v1`
 //! runs the same world under transfer loss and link cuts with the default
 //! recovery policy, tracking the retry/resume path; `perf-large-v1` is a
-//! 1000-node world at the same density (threads 1 and 4).
+//! 1000-node world at the same density (threads 1 and 4);
+//! `sweep-suite-v1` is a miniature figure grid pushed through the sweep
+//! executor at 1 worker and at `min(8, cores)` workers with a cold memo,
+//! plus a `sweep-suite-v1-warm` pass over the populated memo. For sweep
+//! rows `threads` records the *worker-pool size* (each cell runs a
+//! single-threaded kernel), `cells`/`cells_per_sec` record the suite
+//! shape, and `events_per_sec` mirrors `cells_per_sec` so the committed
+//! comparison below applies uniformly.
 //!
 //! ## Regression gate (`--check <baseline>`)
 //!
@@ -39,15 +46,23 @@
 //! `events_per_sec` fell more than `--tolerance` (default 0.25) below the
 //! committed row with the same `(name, threads)`. Rows absent from the
 //! baseline are reported but never fail the gate, so adding a scenario
-//! does not require a flag-day. The gate also enforces the parallel-step
-//! floor: `perf-medium-v1` at threads >= 4 must clear 1.5x the
-//! pre-optimization single-thread baseline ([`SEED_MEDIUM_EV_PER_SEC`]).
+//! does not require a flag-day (warm sweep rows are also exempt — memo
+//! hits are too fast for wall-clock comparisons across machines). The
+//! gate additionally enforces two *relative* floors computed within the
+//! fresh capture: `perf-medium-v1` at threads >= 4 must clear 1.5x the
+//! pre-optimization single-thread baseline ([`SEED_MEDIUM_EV_PER_SEC`]),
+//! and the sweep suite must show the pool and the cache actually paying
+//! off — cold at >= 4 workers at least [`SWEEP_COLD_SPEEDUP`]x the cold
+//! 1-worker rate, warm at least [`SWEEP_WARM_SPEEDUP`]x it.
+
+use std::time::Instant;
 
 use dtn_sim::faults::FaultPlan;
 use dtn_sim::transfer::RecoveryPolicy;
 use dtn_workloads::paper::{reduced_scenario, seeds_for};
 use dtn_workloads::runner::{run_once_perf, PerfReport};
 use dtn_workloads::scenario::{Arm, Scenario};
+use dtn_workloads::sweep::{self, run_cells, Cell};
 use serde::Deserialize;
 
 /// `perf-medium-v1` events/sec of the single-threaded kernel as committed
@@ -64,6 +79,12 @@ const MEDIUM_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// Thread counts for the large scenario (one serial, one sharded point).
 const LARGE_SWEEP: [usize; 2] = [1, 4];
+
+/// Required cold-cache sweep speedup at >= 4 workers over 1 worker.
+const SWEEP_COLD_SPEEDUP: f64 = 2.0;
+
+/// Required warm-cache sweep speedup over the cold 1-worker rate.
+const SWEEP_WARM_SPEEDUP: f64 = 5.0;
 
 /// The pinned clean baseline: the reduced-scale world under a stable
 /// name so recorded baselines are tied to an exact configuration.
@@ -99,6 +120,35 @@ fn perf_large_scenario() -> Scenario {
     s
 }
 
+/// The pinned sweep-executor baseline: a miniature figure grid (selfish
+/// fractions × both arms × seeds) of single-threaded kernels, so the row
+/// measures pool scaling and cache hits rather than intra-cell sharding.
+/// Pinned like the other scenarios: reshaping the grid requires a rename.
+fn sweep_suite_plan(quick: bool) -> Vec<Cell> {
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2, 3]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
+    let mut cells = Vec::new();
+    for selfish in [0.0, 0.2, 0.4, 0.6] {
+        let mut s = reduced_scenario().named("sweep-suite-v1");
+        s.nodes = 20;
+        s.area_km2 = 0.2;
+        s.duration_secs = 1200.0;
+        s.message_interval_secs = 30.0;
+        s.message_ttl_secs = 900.0;
+        s.selfish_fraction = selfish;
+        s.threads = Some(1);
+        for arm in Arm::BOTH {
+            for &seed in &seeds {
+                cells.push(Cell::arm(s.clone(), arm, seed));
+            }
+        }
+    }
+    cells
+}
+
 /// One captured baseline row. `Deserialize` doubles as the committed-
 /// baseline reader for `--check`; `threads`/`mode` are optional there so
 /// pre-sweep baselines (which had neither field) still parse.
@@ -126,6 +176,12 @@ struct BenchRow {
     retried: u64,
     #[serde(default)]
     resumed: u64,
+    /// Sweep rows only: cells in the suite plan (0 on kernel rows).
+    #[serde(default)]
+    cells: u64,
+    /// Sweep rows only: cells completed per wall second.
+    #[serde(default)]
+    cells_per_sec: f64,
 }
 
 impl BenchRow {
@@ -133,13 +189,23 @@ impl BenchRow {
         self.threads.unwrap_or(1)
     }
 
-    /// Hand-formatted to keep the committed file's row style stable.
+    /// Hand-formatted to keep the committed file's row style stable. The
+    /// sweep-only columns appear only on sweep rows so kernel rows keep
+    /// their historical shape.
     fn to_json(&self) -> String {
+        let sweep_cols = if self.cells > 0 {
+            format!(
+                ",\n    \"cells\": {},\n    \"cells_per_sec\": {:.3}",
+                self.cells, self.cells_per_sec
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{{\n    \"name\": {},\n    \"threads\": {},\n    \"mode\": {},\n    \
              \"wall_secs\": {:.6},\n    \"sim_secs_per_sec\": {:.3},\n    \
              \"events_per_sec\": {:.3},\n    \"steps\": {},\n    \"contacts\": {},\n    \
-             \"relays\": {},\n    \"retried\": {},\n    \"resumed\": {}\n  }}",
+             \"relays\": {},\n    \"retried\": {},\n    \"resumed\": {}{sweep_cols}\n  }}",
             serde_json::to_string(&self.name).expect("string encodes"),
             self.threads(),
             serde_json::to_string(self.mode.as_deref().unwrap_or("full")).expect("string encodes"),
@@ -216,7 +282,106 @@ fn bench_row(scenario: &Scenario, threads: usize, seeds: &[u64], quick: bool) ->
         relays,
         retried,
         resumed,
+        cells: 0,
+        cells_per_sec: 0.0,
     }
+}
+
+/// Run the pinned sweep suite once at the given worker count and time it.
+/// The memo must be cleared by the caller for cold rows; leaving it
+/// populated is what makes the warm row a pure cache measurement.
+fn sweep_suite_row(name: &str, workers: usize, plan: &[Cell], quick: bool) -> BenchRow {
+    sweep::set_workers(workers);
+    sweep::reset_metrics();
+    let started = Instant::now();
+    let results = run_cells(plan);
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(results.len(), plan.len(), "executor returned the full plan");
+    let m = sweep::metrics();
+    let relays: u64 = results.iter().map(|r| r.summary.relays_completed).sum();
+    let retried: u64 = results.iter().map(|r| r.summary.transfers_retried).sum();
+    let resumed: u64 = results.iter().map(|r| r.summary.transfers_resumed).sum();
+    let sim_secs: f64 = plan.iter().map(|c| c.scenario.duration_secs).sum();
+    let cells_per_sec = plan.len() as f64 / wall;
+    println!(
+        "row: {name} [workers={workers}{}]: {} cells in {wall:.2}s \
+         ({cells_per_sec:.1} cells/s, {} run, {} cache hits)",
+        if quick { ", quick" } else { "" },
+        plan.len(),
+        m.cells_run,
+        m.cache_hits,
+    );
+    BenchRow {
+        name: name.into(),
+        threads: Some(workers as u64),
+        mode: Some(if quick { "quick" } else { "full" }.into()),
+        wall_secs: wall,
+        sim_secs_per_sec: sim_secs / wall,
+        // Mirrors cells_per_sec so the committed comparison treats sweep
+        // rows like any other row (see the module docs).
+        events_per_sec: cells_per_sec,
+        steps: 0,
+        contacts: 0,
+        relays,
+        retried,
+        resumed,
+        cells: plan.len() as u64,
+        cells_per_sec,
+    }
+}
+
+/// The sweep suite's relative floors, computed within one fresh capture:
+/// the cold pool must beat the cold single worker, the warm memo must
+/// beat them both. Returns failures (empty = floors clear or not
+/// applicable on this machine).
+fn check_sweep_floors(fresh: &[BenchRow]) -> Vec<String> {
+    let rate = |name: &str, min_threads: u64| {
+        fresh
+            .iter()
+            .find(|r| r.name == name && r.threads() >= min_threads)
+            .map(|r| (r.threads(), r.cells_per_sec))
+    };
+    let Some((_, cold1)) = rate("sweep-suite-v1", 1).filter(|&(t, _)| t == 1) else {
+        return vec!["sweep-suite-v1 [threads=1] row missing from the capture".into()];
+    };
+    let mut failures = Vec::new();
+    match rate("sweep-suite-v1", 2) {
+        Some((workers, cold_n)) if workers >= 4 => {
+            let ratio = cold_n / cold1;
+            if ratio < SWEEP_COLD_SPEEDUP {
+                failures.push(format!(
+                    "sweep-suite-v1 [workers={workers}]: cold speedup {ratio:.2}x \
+                     below the {SWEEP_COLD_SPEEDUP}x floor ({cold_n:.1} vs {cold1:.1} cells/s)"
+                ));
+            } else {
+                println!(
+                    "[check] sweep-suite-v1 [workers={workers}]: cold speedup \
+                     {ratio:.2}x clears the {SWEEP_COLD_SPEEDUP}x floor"
+                );
+            }
+        }
+        // Fewer than 4 cores: the pool cannot be expected to hit 2x.
+        _ => println!("[check] sweep-suite-v1: < 4 workers available, cold floor skipped"),
+    }
+    match fresh.iter().find(|r| r.name == "sweep-suite-v1-warm") {
+        Some(warm) => {
+            let ratio = warm.cells_per_sec / cold1;
+            if ratio < SWEEP_WARM_SPEEDUP {
+                failures.push(format!(
+                    "sweep-suite-v1-warm: warm speedup {ratio:.2}x below the \
+                     {SWEEP_WARM_SPEEDUP}x floor ({:.1} vs {cold1:.1} cells/s)",
+                    warm.cells_per_sec
+                ));
+            } else {
+                println!(
+                    "[check] sweep-suite-v1-warm: warm speedup {ratio:.2}x \
+                     clears the {SWEEP_WARM_SPEEDUP}x floor"
+                );
+            }
+        }
+        None => failures.push("sweep-suite-v1-warm row missing from the capture".into()),
+    }
+    failures
 }
 
 /// The regression gate: every fresh row must stay within `tolerance` of
@@ -227,6 +392,13 @@ fn check_rows(fresh: &[BenchRow], baseline: &[BenchRow], tolerance: f64) -> Vec<
     let mut failures = Vec::new();
     for row in fresh {
         let label = format!("{} [threads={}]", row.name, row.threads());
+        if row.name.ends_with("-warm") {
+            // Memo hits complete in microseconds; their wall-clock rate is
+            // machine noise. The warm row is gated by its relative floor
+            // (check_sweep_floors), not by the committed baseline.
+            println!("[check] {label}: warm row, committed comparison skipped");
+            continue;
+        }
         match baseline
             .iter()
             .find(|b| b.name == row.name && b.threads() == row.threads())
@@ -334,6 +506,24 @@ fn main() {
         rows.push(bench_row(&large, threads, large_seeds, quick));
     }
 
+    // The sweep-executor suite: cold at 1 worker, cold at min(8, cores)
+    // workers, then warm over the memo the second pass populated. The
+    // disk cache stays off here — this row measures the pool and the
+    // in-process memo, not filesystem throughput.
+    let plan = sweep_suite_plan(quick);
+    let pool = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1);
+    sweep::set_cache_dir(None);
+    sweep::clear_memo();
+    rows.push(sweep_suite_row("sweep-suite-v1", 1, &plan, quick));
+    if pool > 1 {
+        sweep::clear_memo();
+        rows.push(sweep_suite_row("sweep-suite-v1", pool, &plan, quick));
+    }
+    rows.push(sweep_suite_row("sweep-suite-v1-warm", pool, &plan, quick));
+    sweep::set_workers(0);
+
     let body: Vec<String> = rows.iter().map(BenchRow::to_json).collect();
     let json = format!("[\n  {}\n]\n", body.join(",\n  "));
     let path = "BENCH_kernel.json";
@@ -341,7 +531,8 @@ fn main() {
     println!("[json] {path}");
 
     if let Some(baseline) = baseline {
-        let failures = check_rows(&rows, &baseline, tolerance);
+        let mut failures = check_rows(&rows, &baseline, tolerance);
+        failures.extend(check_sweep_floors(&rows));
         if !failures.is_empty() {
             eprintln!("\nperf regression gate FAILED:");
             for f in &failures {

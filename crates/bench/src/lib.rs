@@ -23,6 +23,12 @@ use std::path::PathBuf;
 
 use dtn_workloads::paper::Scale;
 use dtn_workloads::scenario::Scenario;
+use dtn_workloads::sweep;
+
+pub mod figures;
+
+/// Conventional location of the persistent run cache (`--sweep-cache`).
+pub const SWEEP_CACHE_DIR: &str = "results/.sweep-cache";
 
 /// Parsed command-line options shared by every figure binary.
 #[derive(Debug, Clone)]
@@ -31,21 +37,44 @@ pub struct Cli {
     pub scale: Scale,
     /// Seeds to average over (`--seeds N` truncates the scale's set).
     pub seeds: Vec<u64>,
+    /// CI smoke mode (`--smoke`): simulated durations divided by 12 so
+    /// the full figure suite finishes in CI time.
+    pub smoke: bool,
+    /// Fail if any cell missed the cache (`--expect-warm`): the CI
+    /// warm-cache invariant for the second `all` invocation.
+    pub expect_warm: bool,
 }
 
 impl Cli {
-    /// Parses `std::env::args`.
+    /// Parses `std::env::args` and applies the sweep-executor flags
+    /// (worker count, cache persistence) to the process-global executor
+    /// configuration.
     ///
-    /// Flags: `--full` (paper scale), `--seeds N` (use the first N seeds).
+    /// Flags: `--full` (paper scale), `--seeds N` (use the first N
+    /// seeds), `--sweep-workers N` (executor pool size; default = cores),
+    /// `--sweep-cache` (persist the run cache under
+    /// `results/.sweep-cache/`), `--smoke` (divide durations by 12),
+    /// `--expect-warm` (fail on any cache miss).
     ///
     /// # Panics
     ///
     /// Panics with a usage message on unknown flags.
     #[must_use]
     pub fn parse() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// [`Cli::parse`] over an explicit argument vector (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags.
+    #[must_use]
+    pub fn parse_from(args: Vec<String>) -> Self {
         let mut scale = Scale::Reduced;
         let mut seed_count: Option<usize> = None;
+        let mut smoke = false;
+        let mut expect_warm = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -59,7 +88,22 @@ impl Cli {
                     assert!(n > 0, "--seeds needs a positive integer");
                     seed_count = Some(n);
                 }
-                other => panic!("unknown flag {other}; use --full and/or --seeds N"),
+                "--sweep-workers" => {
+                    i += 1;
+                    let n = args
+                        .get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or_else(|| panic!("--sweep-workers needs a positive integer"));
+                    assert!(n > 0, "--sweep-workers needs a positive integer");
+                    sweep::set_workers(n);
+                }
+                "--sweep-cache" => sweep::set_cache_dir(Some(PathBuf::from(SWEEP_CACHE_DIR))),
+                "--smoke" => smoke = true,
+                "--expect-warm" => expect_warm = true,
+                other => panic!(
+                    "unknown flag {other}; use --full, --seeds N, --sweep-workers N, \
+                     --sweep-cache, --smoke and/or --expect-warm"
+                ),
             }
             i += 1;
         }
@@ -68,7 +112,49 @@ impl Cli {
         Cli {
             scale,
             seeds: all[..n].to_vec(),
+            smoke,
+            expect_warm,
         }
+    }
+
+    /// Applies the smoke transform: under `--smoke` the simulated
+    /// duration shrinks twelvefold (floored at ten minutes) so the full
+    /// suite runs in CI time; otherwise the scenario passes through
+    /// untouched. Every figure routes its sweep scenarios through here so
+    /// cells built for prefetch and cells built for formatting hash to
+    /// the same cache keys.
+    #[must_use]
+    pub fn prep(&self, mut scenario: Scenario) -> Scenario {
+        if self.smoke {
+            scenario.duration_secs = (scenario.duration_secs / 12.0).max(600.0);
+            scenario.message_ttl_secs = scenario.message_ttl_secs.min(scenario.duration_secs);
+        }
+        scenario
+    }
+
+    /// Asserts the warm-cache invariant when `--expect-warm` was given:
+    /// every cell of the invocation must have been a cache hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the process) if any cell missed the cache.
+    pub fn enforce_expect_warm(&self) {
+        if !self.expect_warm {
+            return;
+        }
+        let m = sweep::metrics();
+        assert!(
+            m.cache_misses == 0,
+            "--expect-warm: expected a fully warm cache, but {} cell(s) missed \
+             ({} hits, {} run)",
+            m.cache_misses,
+            m.cache_hits,
+            m.cells_run
+        );
+        println!(
+            "[sweep] warm cache verified: {} hits, 0 misses ({} from disk)",
+            m.cache_hits, m.disk_hits
+        );
     }
 }
 

@@ -84,6 +84,13 @@ pub enum Command {
         /// Optional kernel shard-count override (`--threads N`); output is
         /// byte-identical at any value.
         threads: Option<usize>,
+        /// Optional sweep-executor pool size (`--sweep-workers N`); both
+        /// arms' seeds run through one work queue. Output is
+        /// byte-identical at any value.
+        sweep_workers: Option<usize>,
+        /// Persist the executor's run cache under `results/.sweep-cache/`
+        /// (`--sweep-cache`); repeat comparisons become cache hits.
+        sweep_cache: bool,
     },
     /// Print usage.
     Help,
@@ -218,6 +225,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut metrics_out = None;
             let mut verbose = false;
             let mut threads = None;
+            let mut sweep_workers = None;
+            let mut sweep_cache = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--seeds" => {
@@ -235,6 +244,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--verbose" => verbose = true,
                     "--threads" => threads = Some(parse_threads(it.next())?),
+                    "--sweep-workers" => {
+                        let n: usize = it
+                            .next()
+                            .ok_or("--sweep-workers needs a count")?
+                            .parse()
+                            .map_err(|e| format!("bad --sweep-workers: {e}"))?;
+                        if n == 0 {
+                            return Err("--sweep-workers must be at least 1".to_owned());
+                        }
+                        sweep_workers = Some(n);
+                    }
+                    "--sweep-cache" => sweep_cache = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -244,6 +265,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics_out,
                 verbose,
                 threads,
+                sweep_workers,
+                sweep_cache,
             })
         }
         other => Err(format!("unknown command {other}; try 'dtn help'")),
@@ -277,7 +300,7 @@ USAGE:
                             [--retry-max N] [--backoff-base SECS]
                             [--resume on|off] [--threads N]
     dtn compare <scenario.json> [--seeds N] [--metrics-out m.json] [--verbose]
-                                [--threads N]
+                                [--threads N] [--sweep-workers N] [--sweep-cache]
     dtn help
 
 METRICS:
@@ -311,6 +334,15 @@ PARALLELISM:
     scenario's `threads` field. Output is byte-identical at any value —
     traces, summaries and metrics match the serial run exactly; only
     wall-clock changes.
+
+SWEEPS:
+    compare runs both arms' seeds through the sweep executor's worker
+    pool. --sweep-workers N sets the pool size (default: CPU cores);
+    results aggregate in plan order, so output is byte-identical at any
+    value. --sweep-cache persists each (scenario, arm, seed) result under
+    results/.sweep-cache/ keyed by content hash; repeating a comparison
+    becomes a set of cache hits. Corrupt or stale entries are detected by
+    hash and re-run.
 "
 }
 
@@ -487,10 +519,20 @@ pub fn execute(command: Command) -> Result<String, String> {
             metrics_out,
             verbose,
             threads,
+            sweep_workers,
+            sweep_cache,
         } => {
             let mut scenario = load_scenario(&path)?;
             if threads.is_some() {
                 scenario.threads = threads;
+            }
+            if let Some(n) = sweep_workers {
+                dtn_workloads::sweep::set_workers(n);
+            }
+            if sweep_cache {
+                dtn_workloads::sweep::set_cache_dir(Some(std::path::PathBuf::from(
+                    "results/.sweep-cache",
+                )));
             }
             let seed_values = seeds_for(seeds);
             let profile = metrics_out.is_some() || verbose;
@@ -631,6 +673,8 @@ mod tests {
                 metrics_out: None,
                 verbose: false,
                 threads: None,
+                sweep_workers: None,
+                sweep_cache: false,
             })
         );
         // Seed counts beyond the quick set extend the deterministic
@@ -643,6 +687,8 @@ mod tests {
                 metrics_out: Some("m.json".into()),
                 verbose: false,
                 threads: None,
+                sweep_workers: None,
+                sweep_cache: false,
             })
         );
         assert_eq!(seeds_for(3), QUICK_SEEDS.to_vec());
@@ -657,6 +703,16 @@ mod tests {
             panic!("--threads parses on compare");
         };
         assert_eq!(threads, Some(4));
+        let Ok(Command::Compare {
+            sweep_workers,
+            sweep_cache,
+            ..
+        }) = parse_args(&argv("compare s.json --sweep-workers 3 --sweep-cache"))
+        else {
+            panic!("sweep flags parse on compare");
+        };
+        assert_eq!(sweep_workers, Some(3));
+        assert!(sweep_cache);
     }
 
     #[test]
@@ -679,6 +735,9 @@ mod tests {
         assert!(parse_args(&argv("run s.json --threads 0")).is_err());
         assert!(parse_args(&argv("run s.json --threads many")).is_err());
         assert!(parse_args(&argv("compare s.json --threads")).is_err());
+        assert!(parse_args(&argv("compare s.json --sweep-workers 0")).is_err());
+        assert!(parse_args(&argv("compare s.json --sweep-workers")).is_err());
+        assert!(parse_args(&argv("run s.json --sweep-cache")).is_err());
     }
 
     #[test]
@@ -826,6 +885,8 @@ mod tests {
             metrics_out: Some(metrics_out.to_str().expect("utf8").to_owned()),
             verbose: false,
             threads: None,
+            sweep_workers: None,
+            sweep_cache: false,
         })
         .expect("runs");
         assert!(text.contains("Incentive") && text.contains("ChitChat"));

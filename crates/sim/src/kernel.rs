@@ -697,6 +697,7 @@ impl SimulationBuilder {
         let mut engine = TransferEngine::new(n, self.radio.link_speed_bps);
         if let Some(p) = &recovery {
             engine.set_resume(p.resume);
+            engine.set_checkpoint_capacity(p.checkpoint_capacity);
         }
         Simulation {
             api: SimApi {
@@ -1072,7 +1073,9 @@ impl<P: Protocol> Simulation<P> {
                     self.api
                         .trace
                         .record(now, TraceEvent::ContactDown { a: key.0, b: key.1 });
-                    let aborted = self.api.transfers.abort_between(key.0, key.1);
+                    let aborted = self.api.transfers.abort_between(key.0, key.1, now);
+                    self.api.counters.checkpoints_evicted =
+                        self.api.transfers.checkpoints_evicted();
                     for a in aborted {
                         self.api.counters.note_abort(a.reason);
                         self.api.stats.record_abort();
@@ -1440,7 +1443,9 @@ impl<P: Protocol> Simulation<P> {
                 self.enforce_invariants();
             }
         }
-        self.api.stats.summarize()
+        let mut summary = self.api.stats.summarize();
+        summary.depleted_nodes = self.api.depleted_count() as u64;
+        summary
     }
 
     /// Consumes the simulation, returning the protocol (for post-run
@@ -1449,7 +1454,8 @@ impl<P: Protocol> Simulation<P> {
         if !self.finished {
             self.protocol.on_finish(&mut self.api);
         }
-        let summary = self.api.stats.summarize();
+        let mut summary = self.api.stats.summarize();
+        summary.depleted_nodes = self.api.depleted_count() as u64;
         (self.protocol, summary)
     }
 }

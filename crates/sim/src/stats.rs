@@ -89,6 +89,10 @@ pub struct RunSummary {
     pub buffer_evictions: u64,
     /// Copies purged by TTL.
     pub ttl_expiries: u64,
+    /// Nodes whose battery hit zero before the run ended (0 with an
+    /// unlimited energy budget).
+    #[serde(default)]
+    pub depleted_nodes: u64,
     /// Named time series recorded during the run.
     pub series: BTreeMap<String, Vec<(f64, f64)>>,
 }
@@ -255,6 +259,9 @@ impl StatsCollector {
             transfers_abandoned: self.transfers_abandoned,
             buffer_evictions: self.buffer_evictions,
             ttl_expiries: self.ttl_expiries,
+            // Depletion lives in the energy meter, not the collector; the
+            // kernel stamps it onto the summary at finalization.
+            depleted_nodes: 0,
             series: self.series.clone(),
         }
     }
@@ -383,6 +390,7 @@ impl RunSummary {
             transfers_abandoned: mean_u(|r| r.transfers_abandoned),
             buffer_evictions: mean_u(|r| r.buffer_evictions),
             ttl_expiries: mean_u(|r| r.ttl_expiries),
+            depleted_nodes: mean_u(|r| r.depleted_nodes),
             series,
         }
     }

@@ -50,6 +50,10 @@ pub struct RecoveryPolicy {
     /// run; exhausted pairs stop retrying (starvation guard against a
     /// pathologically lossy link eating the radio).
     pub peer_budget: u32,
+    /// Upper bound on live checkpoints; `0` means unbounded. At capacity
+    /// the least-recently-touched checkpoint (by sim time, ties broken by
+    /// key) is evicted — its transfer restarts from byte zero if retried.
+    pub checkpoint_capacity: usize,
 }
 
 impl Default for RecoveryPolicy {
@@ -61,6 +65,7 @@ impl Default for RecoveryPolicy {
             backoff_cap_secs: 300.0,
             redelivery_cap: 2,
             peer_budget: 64,
+            checkpoint_capacity: 1024,
         }
     }
 }
@@ -117,6 +122,16 @@ pub struct Checkpoint {
     /// Total payload size the checkpoint was taken against; a resume only
     /// applies when the re-enqueued size matches.
     pub bytes_total: u64,
+}
+
+/// A stored checkpoint plus the LRU bookkeeping the capacity bound needs.
+#[derive(Debug, Clone, Copy)]
+struct CheckpointSlot {
+    checkpoint: Checkpoint,
+    /// Sim time of the last save or resume-read; the eviction victim is
+    /// the minimum `(last_touch, key)` (the key tie-break keeps eviction
+    /// order deterministic when several checkpoints share a timestamp).
+    last_touch: SimTime,
 }
 
 /// A transfer that has been requested but not yet finished.
@@ -205,8 +220,14 @@ pub struct TransferEngine {
     link_speed_bps: f64,
     /// Partial-progress offsets saved on `ContactDown`, keyed by
     /// `(from, to, message)`. Only populated when `resume` is on.
-    checkpoints: HashMap<(NodeId, NodeId, MessageId), Checkpoint>,
+    checkpoints: HashMap<(NodeId, NodeId, MessageId), CheckpointSlot>,
     resume: bool,
+    /// Max live checkpoints (`0` = unbounded); see
+    /// [`RecoveryPolicy::checkpoint_capacity`].
+    checkpoint_capacity: usize,
+    /// Checkpoints dropped by the capacity bound (not by completion,
+    /// cancellation, or wipes).
+    checkpoints_evicted: u64,
 }
 
 impl TransferEngine {
@@ -225,6 +246,8 @@ impl TransferEngine {
             link_speed_bps,
             checkpoints: HashMap::new(),
             resume: false,
+            checkpoint_capacity: 0,
+            checkpoints_evicted: 0,
         }
     }
 
@@ -273,13 +296,48 @@ impl TransferEngine {
         to: NodeId,
         message: MessageId,
     ) -> Option<Checkpoint> {
-        self.checkpoints.get(&(from, to, message)).copied()
+        self.checkpoints
+            .get(&(from, to, message))
+            .map(|s| s.checkpoint)
     }
 
     /// Number of live checkpoints.
     #[must_use]
     pub fn checkpoint_count(&self) -> usize {
         self.checkpoints.len()
+    }
+
+    /// Bounds the checkpoint store to `capacity` entries (`0` = unbounded),
+    /// evicting least-recently-touched entries immediately if already over.
+    pub fn set_checkpoint_capacity(&mut self, capacity: usize) {
+        self.checkpoint_capacity = capacity;
+        self.evict_to_capacity();
+    }
+
+    /// Checkpoints dropped so far by the capacity bound.
+    #[must_use]
+    pub fn checkpoints_evicted(&self) -> u64 {
+        self.checkpoints_evicted
+    }
+
+    /// Evicts least-recently-touched checkpoints until the store fits the
+    /// capacity bound. Victim order is the minimum `(last_touch, key)` —
+    /// deterministic even though the store itself is a `HashMap`.
+    fn evict_to_capacity(&mut self) {
+        if self.checkpoint_capacity == 0 {
+            return;
+        }
+        while self.checkpoints.len() > self.checkpoint_capacity {
+            let victim = self
+                .checkpoints
+                .iter()
+                .map(|(&k, s)| (s.last_touch.as_secs(), k))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
+                .map(|(_, k)| k)
+                .expect("store over capacity is non-empty");
+            self.checkpoints.remove(&victim);
+            self.checkpoints_evicted += 1;
+        }
     }
 
     /// Drops every checkpoint involving `node` as sender or receiver.
@@ -310,7 +368,8 @@ impl TransferEngine {
                 }
             }
         }
-        for (&(from, to, msg), c) in &self.checkpoints {
+        for (&(from, to, msg), slot) in &self.checkpoints {
+            let c = slot.checkpoint;
             if !(c.bytes_sent > 0.0 && c.bytes_sent <= c.bytes_total as f64 + 1e-6) {
                 out.push(format!(
                     "checkpoint {}->{} msg {} has bytes_sent {} outside (0, {}]",
@@ -345,10 +404,15 @@ impl TransferEngine {
             return false;
         }
         let resumed_from = if self.resume {
-            self.checkpoints
-                .get(&(from, to, message))
-                .filter(|c| c.bytes_total == bytes)
-                .map_or(0.0, |c| c.bytes_sent.min(bytes as f64))
+            match self.checkpoints.get_mut(&(from, to, message)) {
+                Some(slot) if slot.checkpoint.bytes_total == bytes => {
+                    // A resume-read counts as a touch: a checkpoint that is
+                    // actively being retried should outlive cold ones.
+                    slot.last_touch = now;
+                    slot.checkpoint.bytes_sent.min(bytes as f64)
+                }
+                _ => 0.0,
+            }
         } else {
             0.0
         };
@@ -387,8 +451,9 @@ impl TransferEngine {
 
     /// Aborts every pending transfer between `a` and `b` (both directions),
     /// returning the aborted records. Called on contact-down. With resume
-    /// enabled, partial progress is checkpointed for a later re-enqueue.
-    pub fn abort_between(&mut self, a: NodeId, b: NodeId) -> Vec<AbortedTransfer> {
+    /// enabled, partial progress is checkpointed (touched at `now`) for a
+    /// later re-enqueue.
+    pub fn abort_between(&mut self, a: NodeId, b: NodeId, now: SimTime) -> Vec<AbortedTransfer> {
         let mut out = Vec::new();
         for (from, to) in [(a, b), (b, a)] {
             let q = &mut self.queues[from.index()];
@@ -398,9 +463,12 @@ impl TransferEngine {
                     if self.resume && t.bytes_sent > 0.0 {
                         self.checkpoints.insert(
                             (t.from, t.to, t.message),
-                            Checkpoint {
-                                bytes_sent: t.bytes_sent.min(t.bytes_total as f64),
-                                bytes_total: t.bytes_total,
+                            CheckpointSlot {
+                                checkpoint: Checkpoint {
+                                    bytes_sent: t.bytes_sent.min(t.bytes_total as f64),
+                                    bytes_total: t.bytes_total,
+                                },
+                                last_touch: now,
                             },
                         );
                     }
@@ -420,6 +488,7 @@ impl TransferEngine {
                 self.active.remove(&from);
             }
         }
+        self.evict_to_capacity();
         out
     }
 
@@ -599,7 +668,7 @@ mod tests {
         e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
         e.enqueue(NodeId(1), NodeId(0), MessageId(2), 1000, SimTime::ZERO);
         e.enqueue(NodeId(0), NodeId(2), MessageId(3), 1000, SimTime::ZERO);
-        let aborted = e.abort_between(NodeId(0), NodeId(1));
+        let aborted = e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(aborted.len(), 2);
         assert!(aborted.iter().all(|a| a.reason == AbortReason::ContactDown));
         assert!(
@@ -640,7 +709,7 @@ mod tests {
         let mut e = engine();
         e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
         step_all(&mut e, 3.0, 0.0);
-        let aborted = e.abort_between(NodeId(0), NodeId(1));
+        let aborted = e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(aborted.len(), 1);
         assert!((aborted[0].bytes_sent - 300.0).abs() < 1e-9);
     }
@@ -659,7 +728,7 @@ mod tests {
         e.set_resume(true);
         e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
         step_all(&mut e, 3.0, 0.0); // 300 of 1000 bytes on the air
-        let aborted = e.abort_between(NodeId(0), NodeId(1));
+        let aborted = e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(aborted.len(), 1);
         let cp = e
             .checkpoint_of(NodeId(0), NodeId(1), MessageId(1))
@@ -687,7 +756,7 @@ mod tests {
         let mut e = engine();
         e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
         step_all(&mut e, 3.0, 0.0);
-        e.abort_between(NodeId(0), NodeId(1));
+        e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(e.checkpoint_count(), 0, "no checkpoints without resume");
         e.enqueue(
             NodeId(0),
@@ -706,7 +775,7 @@ mod tests {
         e.set_resume(true);
         e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
         step_all(&mut e, 3.0, 0.0);
-        e.abort_between(NodeId(0), NodeId(1));
+        e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         // Same key, different payload size: must not resume from 300.
         e.enqueue(
             NodeId(0),
@@ -726,7 +795,7 @@ mod tests {
         e.set_resume(true);
         e.enqueue(NodeId(0), NodeId(1), MessageId(1), 1000, SimTime::ZERO);
         step_all(&mut e, 3.0, 0.0);
-        e.abort_between(NodeId(0), NodeId(1));
+        e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(e.checkpoint_count(), 1);
         // Re-enqueue then cancel: deliberate abandonment clears custody.
         e.enqueue(
@@ -748,7 +817,7 @@ mod tests {
             SimTime::from_secs(20.0),
         );
         step_all(&mut e, 3.0, 20.0);
-        e.abort_between(NodeId(0), NodeId(1));
+        e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(e.checkpoint_count(), 1);
         e.enqueue(
             NodeId(0),
@@ -780,7 +849,7 @@ mod tests {
                 SimTime::ZERO,
             );
             step_all(&mut e, 3.0, 0.0);
-            e.abort_between(NodeId(from), NodeId(to));
+            e.abort_between(NodeId(from), NodeId(to), SimTime::ZERO);
         }
         assert_eq!(e.checkpoint_count(), 3);
         e.clear_checkpoints_involving(NodeId(0));
@@ -810,9 +879,84 @@ mod tests {
         e.audit_active_index().unwrap();
 
         e.enqueue(NodeId(1), NodeId(0), MessageId(3), 500, SimTime::ZERO);
-        e.abort_between(NodeId(0), NodeId(1));
+        e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(e.active_senders(), 0);
         e.audit_active_index().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_capacity_evicts_least_recently_touched() {
+        let mut e = engine();
+        e.set_resume(true);
+        e.set_checkpoint_capacity(2);
+        // Three partial transfers checkpointed at t=10, 20, 30.
+        for (msg, at) in [(1u64, 10.0), (2, 20.0), (3, 30.0)] {
+            e.enqueue(
+                NodeId(0),
+                NodeId(1),
+                MessageId(msg),
+                1000,
+                SimTime::from_secs(at),
+            );
+            step_all(&mut e, 3.0, at);
+            e.abort_between(NodeId(0), NodeId(1), SimTime::from_secs(at));
+        }
+        assert_eq!(e.checkpoint_count(), 2, "capacity bound holds");
+        assert_eq!(e.checkpoints_evicted(), 1);
+        assert!(
+            e.checkpoint_of(NodeId(0), NodeId(1), MessageId(1))
+                .is_none(),
+            "oldest touch (t=10) evicted first"
+        );
+        assert!(e
+            .checkpoint_of(NodeId(0), NodeId(1), MessageId(2))
+            .is_some());
+
+        // Touch msg 2 by resuming it at t=40, then checkpoint msg 4:
+        // msg 3 (untouched since t=30) is now the LRU victim.
+        e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(2),
+            1000,
+            SimTime::from_secs(40.0),
+        );
+        e.abort_between(NodeId(0), NodeId(1), SimTime::from_secs(40.0));
+        e.enqueue(
+            NodeId(0),
+            NodeId(1),
+            MessageId(4),
+            1000,
+            SimTime::from_secs(50.0),
+        );
+        step_all(&mut e, 3.0, 50.0);
+        e.abort_between(NodeId(0), NodeId(1), SimTime::from_secs(50.0));
+        assert_eq!(e.checkpoints_evicted(), 2);
+        assert!(
+            e.checkpoint_of(NodeId(0), NodeId(1), MessageId(3))
+                .is_none(),
+            "LRU victim is the untouched checkpoint, not the resumed one"
+        );
+        assert!(e
+            .checkpoint_of(NodeId(0), NodeId(1), MessageId(2))
+            .is_some());
+        assert!(e
+            .checkpoint_of(NodeId(0), NodeId(1), MessageId(4))
+            .is_some());
+        assert!(e.audit_bytes().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let mut e = engine();
+        e.set_resume(true);
+        for msg in 1..=5u64 {
+            e.enqueue(NodeId(0), NodeId(1), MessageId(msg), 1000, SimTime::ZERO);
+            step_all(&mut e, 1.0, 0.0);
+            e.abort_between(NodeId(0), NodeId(1), SimTime::ZERO);
+        }
+        assert_eq!(e.checkpoint_count(), 5);
+        assert_eq!(e.checkpoints_evicted(), 0);
     }
 
     #[test]

@@ -94,24 +94,15 @@ impl SeedStats {
 
 /// Runs one arm over `seeds` and returns the per-seed summaries plus their
 /// aggregate — the long form of [`crate::runner::run_seeds`] for reports
-/// that want error bars.
+/// that want error bars. Seeds execute (and memoize) on the
+/// [`crate::sweep`] executor, like every other multi-seed entry point.
 #[must_use]
 pub fn run_seeds_detailed(
     scenario: &crate::scenario::Scenario,
     arm: crate::scenario::Arm,
     seeds: &[u64],
 ) -> (Vec<RunSummary>, SeedStats) {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    let runs: Vec<RunSummary> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&s| scope.spawn(move || crate::runner::run_once(scenario, arm, s).summary))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("seed worker panicked"))
-            .collect()
-    });
+    let runs = crate::sweep::run_arm_seeds(scenario, arm, seeds);
     let stats = SeedStats::of(&runs);
     (runs, stats)
 }

@@ -11,6 +11,8 @@
 //!   content and expected destination sets;
 //! * [`runner`] — builds simulations, runs seeds, pairs the Incentive and
 //!   ChitChat arms over identical workloads;
+//! * [`sweep`] — the work-stealing sweep executor with a memoized run
+//!   cache: whole figure grids as one saturated worker-pool queue;
 //! * [`paper`] — Table 5.1 constructors and the per-figure sweeps
 //!   (Figs. 5.1–5.6).
 //!
@@ -39,6 +41,7 @@ pub mod paper;
 pub mod population;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 pub mod traffic;
 
 /// The most commonly used items, for glob import.
@@ -53,5 +56,6 @@ pub mod prelude {
         build_simulation, compare_arms, protocol_for, run_once, run_seeds, ArmRun, Comparison,
     };
     pub use crate::scenario::{Arm, Mobility, Scenario, SourceClassMix};
+    pub use crate::sweep::{run_cells, Cell, CellKind, CellResult, RouterKind};
     pub use crate::traffic::generate_schedule;
 }

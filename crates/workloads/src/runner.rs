@@ -423,10 +423,10 @@ pub fn seed_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs one arm over several seeds — in parallel, bounded by
-/// [`seed_parallelism`] — and averages the summaries. Results are
-/// order-stable and identical to a sequential run of the same seeds
-/// (each seed's simulation is deterministic and shares no state).
+/// Runs one arm over several seeds — through the [`crate::sweep`]
+/// executor's shared worker-pool queue — and averages the summaries.
+/// Results are order-stable and identical to a sequential run of the same
+/// seeds (each seed's simulation is deterministic and shares no state).
 ///
 /// # Panics
 ///
@@ -436,30 +436,19 @@ pub fn run_seeds(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> RunSummary {
     RunSummary::mean_of(&run_each_seed(scenario, arm, seeds))
 }
 
-/// Runs every seed and returns the per-seed summaries in `seeds` order,
-/// at most [`seed_parallelism`] worker threads at a time.
+/// Runs every seed and returns the per-seed summaries in `seeds` order.
+///
+/// Seeds execute on the sweep executor's worker pool: one shared queue,
+/// no chunk barriers (the old `chunks(seed_parallelism())` path made every
+/// chunk wait on its slowest seed), and memoized — a seed another figure
+/// already simulated is answered from the run cache.
 ///
 /// # Panics
 ///
 /// Panics if `seeds` is empty or a worker thread panics.
 #[must_use]
 pub fn run_each_seed(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> Vec<RunSummary> {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    let mut runs: Vec<RunSummary> = Vec::with_capacity(seeds.len());
-    for chunk in seeds.chunks(seed_parallelism()) {
-        let chunk_runs: Vec<RunSummary> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunk
-                .iter()
-                .map(|&s| scope.spawn(move || run_once(scenario, arm, s).summary))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("seed worker panicked"))
-                .collect()
-        });
-        runs.extend(chunk_runs);
-    }
-    runs
+    crate::sweep::run_arm_seeds(scenario, arm, seeds)
 }
 
 /// [`run_seeds`] with profiling: seeds run *sequentially* so the merged
@@ -520,22 +509,33 @@ impl Comparison {
     }
 }
 
-/// Runs both arms over `seeds` (the two arms in parallel, each arm's
-/// seeds in parallel) and pairs the averaged results.
+/// Runs both arms over `seeds` as one sweep plan (every `(arm, seed)`
+/// cell on the shared worker pool) and pairs the averaged results.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
 #[must_use]
 pub fn compare_arms(scenario: &Scenario, seeds: &[u64]) -> Comparison {
-    let (incentive, chitchat) = std::thread::scope(|scope| {
-        let inc = scope.spawn(|| run_seeds(scenario, Arm::Incentive, seeds));
-        let cc = scope.spawn(|| run_seeds(scenario, Arm::ChitChat, seeds));
-        (
-            inc.join().expect("incentive arm panicked"),
-            cc.join().expect("chitchat arm panicked"),
-        )
-    });
+    use crate::sweep::{run_cells, Cell};
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let cells: Vec<Cell> = Arm::BOTH
+        .iter()
+        .flat_map(|&arm| {
+            seeds
+                .iter()
+                .map(move |&seed| Cell::arm(scenario.clone(), arm, seed))
+        })
+        .collect();
+    let results = run_cells(&cells);
+    let (inc, cc) = results.split_at(seeds.len());
+    let mean = |half: &[crate::sweep::CellResult]| {
+        RunSummary::mean_of(&half.iter().map(|r| r.summary.clone()).collect::<Vec<_>>())
+    };
     Comparison {
         name: scenario.name.clone(),
-        incentive,
-        chitchat,
+        incentive: mean(inc),
+        chitchat: mean(cc),
     }
 }
 
@@ -737,23 +737,48 @@ mod tests {
     }
 
     #[test]
-    fn bounded_parallel_run_seeds_matches_sequential() {
-        // More seeds than most CI machines have cores, so the chunking
-        // path actually engages; the result must equal a strictly
-        // sequential evaluation, in order.
+    fn executor_run_seeds_matches_sequential_merge() {
+        // More seeds than most CI machines have cores, so the executor's
+        // queue actually backs up; the merged result must equal the old
+        // strictly sequential merge, in order. (Seven seeds: the figure
+        // binaries' largest seed family plus headroom, per the chunk-path
+        // removal note.)
         let s = tiny();
-        let seeds: Vec<u64> = (1..=6).collect();
-        let parallel = run_each_seed(&s, Arm::ChitChat, &seeds);
+        let seeds: Vec<u64> = (1..=7).collect();
+        crate::sweep::clear_memo();
+        let pooled = run_each_seed(&s, Arm::ChitChat, &seeds);
         let sequential: Vec<_> = seeds
             .iter()
             .map(|&seed| run_once(&s, Arm::ChitChat, seed).summary)
             .collect();
-        assert_eq!(parallel, sequential);
+        assert_eq!(pooled, sequential);
         assert_eq!(
             run_seeds(&s, Arm::ChitChat, &seeds),
             RunSummary::mean_of(&sequential)
         );
         assert!(seed_parallelism() >= 1);
+    }
+
+    #[test]
+    fn compare_arms_routes_both_arms_through_one_plan() {
+        let s = tiny();
+        crate::sweep::clear_memo();
+        let cmp = compare_arms(&s, &[1, 2]);
+        assert_eq!(cmp.name, s.name);
+        assert_eq!(
+            cmp.incentive,
+            RunSummary::mean_of(&[
+                run_once(&s, Arm::Incentive, 1).summary,
+                run_once(&s, Arm::Incentive, 2).summary,
+            ])
+        );
+        assert_eq!(
+            cmp.chitchat,
+            RunSummary::mean_of(&[
+                run_once(&s, Arm::ChitChat, 1).summary,
+                run_once(&s, Arm::ChitChat, 2).summary,
+            ])
+        );
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! Work-stealing sweep executor with a memoized run cache.
+//!
+//! The paper's evaluation is a grid of independent simulation cells —
+//! `(scenario, arm-or-router, seed)` triples. This module executes such a
+//! grid on a fixed worker pool pulling from one shared injector queue (no
+//! chunk barriers: a finished worker immediately steals the next pending
+//! cell) and aggregates results **in plan order**, so the output is
+//! byte-identical regardless of worker count or completion order.
+//!
+//! On top of the executor sits a memoized run cache: each cell is keyed by
+//! a content hash of its canonicalized scenario, its arm/router tag, its
+//! seed, and the crate version. Within a process the cache lives in
+//! memory; with [`set_cache_dir`] it is additionally persisted as one JSON
+//! file per cell under `results/.sweep-cache/`, each entry carrying an
+//! integrity hash so corrupted or truncated files are detected and re-run
+//! rather than trusted. Cache hits return the exact `CellResult` the
+//! original run produced (bit-identical summaries; golden-checked in the
+//! test suite).
+//!
+//! ## Queue design
+//!
+//! The classic work-stealing layout (per-worker deques plus a global
+//! injector) earns its complexity when tasks are microseconds long and
+//! queue contention is measurable. Here every task is a full simulation —
+//! milliseconds at miniature scale, seconds to minutes at paper scale —
+//! so the queue is popped a few hundred times per sweep at most. A single
+//! contended `Mutex<VecDeque>` injector benches indistinguishably from a
+//! deque-per-worker layout at that task granularity (the lock is held for
+//! nanoseconds per multi-second task; see DESIGN.md §11 for the
+//! measurement), so the simple shared injector is the implementation.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+use dtn_sim::metrics::MetricsRegistry;
+use dtn_sim::stats::RunSummary;
+use dtn_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{self, seed_parallelism};
+use crate::scenario::{Arm, Scenario};
+
+/// A third-party router arm for baseline-comparison cells, mirroring the
+/// routers `dtn-routing` ships. Carried by value (not by closure) so a
+/// cell is hashable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterKind {
+    /// Flood every contact (MDR ceiling, traffic worst case).
+    Epidemic,
+    /// Source-only delivery (traffic floor).
+    DirectDelivery,
+    /// Binary spray-and-wait with the given initial copy budget.
+    SprayAndWait(u32),
+    /// Source hands one copy to relays; relays deliver only.
+    TwoHop,
+    /// PRoPHET with default parameters.
+    Prophet,
+    /// CEDO, pull-based: expected pairs become keyword requests at
+    /// creation time.
+    Cedo,
+}
+
+impl RouterKind {
+    /// Stable tag used in cache keys and labels.
+    #[must_use]
+    pub fn tag(&self) -> String {
+        match self {
+            RouterKind::Epidemic => "epidemic".into(),
+            RouterKind::DirectDelivery => "direct".into(),
+            RouterKind::SprayAndWait(copies) => format!("spray{copies}"),
+            RouterKind::TwoHop => "twohop".into(),
+            RouterKind::Prophet => "prophet".into(),
+            RouterKind::Cedo => "cedo".into(),
+        }
+    }
+}
+
+/// What mechanism a cell runs: one of the paper's two arms, or a
+/// third-party router on the identical workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// The mechanism (or the ChitChat baseline) via [`runner::run_once`].
+    Arm(Arm),
+    /// A third-party router via [`runner::build_with_protocol`].
+    Router(RouterKind),
+}
+
+impl CellKind {
+    /// Stable tag used in cache keys.
+    #[must_use]
+    pub fn tag(&self) -> String {
+        match self {
+            CellKind::Arm(Arm::Incentive) => "arm:incentive".into(),
+            CellKind::Arm(Arm::ChitChat) => "arm:chitchat".into(),
+            CellKind::Router(kind) => format!("router:{}", kind.tag()),
+        }
+    }
+}
+
+/// One unit of sweep work: a scenario under one mechanism and one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The experimental condition.
+    pub scenario: Scenario,
+    /// Which mechanism runs it.
+    pub kind: CellKind,
+    /// The RNG seed.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// A mechanism-arm cell.
+    #[must_use]
+    pub fn arm(scenario: Scenario, arm: Arm, seed: u64) -> Self {
+        Cell {
+            scenario,
+            kind: CellKind::Arm(arm),
+            seed,
+        }
+    }
+
+    /// A third-party-router cell.
+    #[must_use]
+    pub fn router(scenario: Scenario, kind: RouterKind, seed: u64) -> Self {
+        Cell {
+            scenario,
+            kind: CellKind::Router(kind),
+            seed,
+        }
+    }
+
+    /// The cell's content-hash cache key.
+    ///
+    /// The scenario is canonicalized by clearing its cosmetic `name`
+    /// before hashing: two sweeps that build the *same condition* under
+    /// different labels (e.g. Fig. 5.3's ×1.0-endowment column and
+    /// Fig. 5.1's incentive curve) share cache entries. Everything that
+    /// changes the simulation — every Table 5.1 knob, chaos plan,
+    /// recovery policy, the arm/router tag, the seed — feeds the hash, as
+    /// does the crate version so stale caches die on upgrade. Serde
+    /// serializes struct fields in declaration order, so the JSON byte
+    /// stream is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario cannot be serialized (non-finite floats).
+    #[must_use]
+    pub fn cache_key(&self) -> u128 {
+        let mut canonical = self.scenario.clone();
+        canonical.name = String::new();
+        let scenario_json = serde_json::to_string(&canonical).expect("scenario serializes to JSON");
+        let mut hash = Fnv128::new();
+        hash.update(scenario_json.as_bytes());
+        hash.update(b"\x00");
+        hash.update(self.kind.tag().as_bytes());
+        hash.update(b"\x00");
+        hash.update(&self.seed.to_le_bytes());
+        hash.update(b"\x00");
+        hash.update(env!("CARGO_PKG_VERSION").as_bytes());
+        hash.finish()
+    }
+}
+
+/// The memoized outcome of one cell — the kernel summary plus the scalar
+/// protocol counters the figure binaries consume (`ProtocolStats` itself
+/// is not serializable; these are the fields the harness actually plots).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Kernel-level statistics.
+    pub summary: RunSummary,
+    /// Settled first deliveries (0 for router/ChitChat cells).
+    pub settlements: u64,
+    /// Tokens paid out in settlements (0.0 for router/ChitChat cells).
+    pub tokens_awarded: f64,
+    /// Nodes that ended the run with zero tokens.
+    pub broke_nodes: u64,
+}
+
+/// 128-bit FNV-1a: stable across platforms and runs (unlike `DefaultHasher`,
+/// which randomizes per process), with enough width that the figure grid
+/// (hundreds of cells) cannot realistically collide.
+struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Self {
+        Fnv128 {
+            state: Self::OFFSET,
+        }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Hex digest of arbitrary bytes, used as the on-disk integrity hash.
+fn fnv128_hex(bytes: &[u8]) -> String {
+    let mut h = Fnv128::new();
+    h.update(bytes);
+    format!("{:032x}", h.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Process-global executor configuration and cache state.
+// ---------------------------------------------------------------------------
+
+/// Worker override; 0 means "use [`seed_parallelism`]".
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative executor counters (process lifetime; [`reset_metrics`] for
+/// per-phase measurement).
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CELLS_RUN: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_REJECTED: AtomicU64 = AtomicU64::new(0);
+
+fn memo() -> &'static Mutex<HashMap<u128, CellResult>> {
+    static MEMO: OnceLock<Mutex<HashMap<u128, CellResult>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cache_dir_slot() -> &'static Mutex<Option<PathBuf>> {
+    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+/// Sets the worker-pool size for subsequent [`run_cells`] calls; `0`
+/// restores the default ([`seed_parallelism`], the machine's cores).
+pub fn set_workers(n: usize) {
+    WORKERS.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker-pool size.
+#[must_use]
+pub fn workers() -> usize {
+    match WORKERS.load(Ordering::SeqCst) {
+        0 => seed_parallelism(),
+        n => n,
+    }
+}
+
+/// Enables (`Some(dir)`) or disables (`None`) on-disk cache persistence.
+/// The conventional location is `results/.sweep-cache/`; default off.
+pub fn set_cache_dir(dir: Option<PathBuf>) {
+    *cache_dir_slot().lock().expect("cache dir lock") = dir;
+}
+
+/// The configured on-disk cache directory, if any.
+#[must_use]
+pub fn cache_dir() -> Option<PathBuf> {
+    cache_dir_slot().lock().expect("cache dir lock").clone()
+}
+
+/// Drops every in-memory cache entry (on-disk entries survive). Used by
+/// cold-cache benchmarks and the cache-correctness tests.
+pub fn clear_memo() {
+    memo().lock().expect("memo lock").clear();
+}
+
+/// A point-in-time snapshot of the executor's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepMetrics {
+    /// Cells answered from the in-memory or on-disk cache.
+    pub cache_hits: u64,
+    /// Cells that had to be simulated.
+    pub cache_misses: u64,
+    /// Cells actually executed (deduplicated misses; a plan that lists
+    /// the same cell twice runs it once).
+    pub cells_run: u64,
+    /// Cache hits served from disk (subset of `cache_hits`).
+    pub disk_hits: u64,
+    /// On-disk entries rejected as corrupt/truncated and re-run.
+    pub disk_rejected: u64,
+}
+
+/// Reads the cumulative executor counters.
+#[must_use]
+pub fn metrics() -> SweepMetrics {
+    SweepMetrics {
+        cache_hits: CACHE_HITS.load(Ordering::SeqCst),
+        cache_misses: CACHE_MISSES.load(Ordering::SeqCst),
+        cells_run: CELLS_RUN.load(Ordering::SeqCst),
+        disk_hits: DISK_HITS.load(Ordering::SeqCst),
+        disk_rejected: DISK_REJECTED.load(Ordering::SeqCst),
+    }
+}
+
+/// Zeroes the executor counters (e.g. between a cold and a warm phase of
+/// a benchmark).
+pub fn reset_metrics() {
+    CACHE_HITS.store(0, Ordering::SeqCst);
+    CACHE_MISSES.store(0, Ordering::SeqCst);
+    CELLS_RUN.store(0, Ordering::SeqCst);
+    DISK_HITS.store(0, Ordering::SeqCst);
+    DISK_REJECTED.store(0, Ordering::SeqCst);
+}
+
+/// Exports the executor configuration and counters into a metrics
+/// registry (the `kernel.sweep_workers` gauge plus `sweep.*` counters).
+pub fn export_metrics(registry: &mut MetricsRegistry) {
+    let m = metrics();
+    registry.set_gauge("kernel.sweep_workers", workers() as f64);
+    registry.add("sweep.cache_hits", m.cache_hits);
+    registry.add("sweep.cache_misses", m.cache_misses);
+    registry.add("sweep.cells_run", m.cells_run);
+    registry.add("sweep.disk_hits", m.disk_hits);
+    registry.add("sweep.disk_rejected", m.disk_rejected);
+}
+
+// ---------------------------------------------------------------------------
+// Disk persistence.
+// ---------------------------------------------------------------------------
+
+/// On-disk cache entry: the payload is stored as an *encoded string* so
+/// the integrity hash is computed over exactly the bytes that will be
+/// re-parsed — any flipped or missing byte changes the digest.
+#[derive(Debug, Serialize, Deserialize)]
+struct DiskEntry {
+    /// The cell's cache key, hex — a moved/renamed file is rejected.
+    key: String,
+    /// FNV-128 hex digest of `payload`.
+    payload_hash: String,
+    /// JSON-encoded [`CellResult`].
+    payload: String,
+}
+
+fn disk_path(dir: &Path, key: u128) -> PathBuf {
+    dir.join(format!("{key:032x}.json"))
+}
+
+/// Loads a cell result from disk, verifying the integrity hash. Corrupted,
+/// truncated, or mismatched entries are discarded (and counted) — the
+/// cell re-runs instead of trusting the bytes.
+fn disk_load(dir: &Path, key: u128) -> Option<CellResult> {
+    let path = disk_path(dir, key);
+    let raw = std::fs::read_to_string(&path).ok()?;
+    let parsed: Result<DiskEntry, _> = serde_json::from_str(&raw);
+    let rejected = |why: &str| {
+        DISK_REJECTED.fetch_add(1, Ordering::SeqCst);
+        eprintln!(
+            "sweep-cache: discarding {} ({why}); the cell will re-run",
+            path.display()
+        );
+        None
+    };
+    let entry = match parsed {
+        Ok(e) => e,
+        Err(_) => return rejected("unparseable or truncated"),
+    };
+    if entry.key != format!("{key:032x}") {
+        return rejected("key mismatch");
+    }
+    if fnv128_hex(entry.payload.as_bytes()) != entry.payload_hash {
+        return rejected("payload hash mismatch");
+    }
+    match serde_json::from_str::<CellResult>(&entry.payload) {
+        Ok(result) => Some(result),
+        Err(_) => rejected("payload undecodable"),
+    }
+}
+
+/// Persists a cell result; failures are warnings, never errors (the cache
+/// is an accelerator, not a dependency).
+fn disk_store(dir: &Path, key: u128, result: &CellResult) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("sweep-cache: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let payload = match serde_json::to_string(result) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sweep-cache: cannot encode cell result: {e}");
+            return;
+        }
+    };
+    let entry = DiskEntry {
+        key: format!("{key:032x}"),
+        payload_hash: fnv128_hex(payload.as_bytes()),
+        payload,
+    };
+    let encoded = serde_json::to_string(&entry).expect("disk entry serializes");
+    let path = disk_path(dir, key);
+    // Write-then-rename so a crash mid-write leaves no truncated entry
+    // under the final name (and a truncated temp file fails the hash
+    // check anyway).
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, encoded)
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .is_err()
+    {
+        eprintln!("sweep-cache: cannot write {}", path.display());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell execution.
+// ---------------------------------------------------------------------------
+
+/// Simulates one cell from scratch (no cache involvement).
+#[must_use]
+pub fn run_cell_uncached(cell: &Cell) -> CellResult {
+    match cell.kind {
+        CellKind::Arm(arm) => {
+            let run = runner::run_once(&cell.scenario, arm, cell.seed);
+            CellResult {
+                summary: run.summary,
+                settlements: run.protocol.settlements,
+                tokens_awarded: run.protocol.tokens_awarded,
+                broke_nodes: run.broke_nodes as u64,
+            }
+        }
+        CellKind::Router(kind) => {
+            let summary = run_router_cell(&cell.scenario, kind, cell.seed);
+            CellResult {
+                summary,
+                settlements: 0,
+                tokens_awarded: 0.0,
+                broke_nodes: 0,
+            }
+        }
+    }
+}
+
+fn run_router_cell(scenario: &Scenario, kind: RouterKind, seed: u64) -> RunSummary {
+    use dtn_routing::prelude::*;
+    fn finish<P: dtn_sim::protocol::Protocol>(
+        mut sim: dtn_sim::kernel::Simulation<P>,
+        duration_secs: f64,
+    ) -> RunSummary {
+        sim.run_until(SimTime::from_secs(duration_secs))
+    }
+    let duration = scenario.duration_secs;
+    match kind {
+        RouterKind::Epidemic => finish(
+            runner::build_with_protocol(scenario, seed, |pop, _| {
+                EpidemicRouter::new(pop.interest_directory())
+            }),
+            duration,
+        ),
+        RouterKind::DirectDelivery => finish(
+            runner::build_with_protocol(scenario, seed, |pop, _| {
+                DirectDeliveryRouter::new(pop.interest_directory())
+            }),
+            duration,
+        ),
+        RouterKind::SprayAndWait(copies) => finish(
+            runner::build_with_protocol(scenario, seed, |pop, _| {
+                SprayAndWaitRouter::new(pop.interest_directory(), copies)
+            }),
+            duration,
+        ),
+        RouterKind::TwoHop => finish(
+            runner::build_with_protocol(scenario, seed, |pop, _| {
+                TwoHopRelayRouter::new(pop.interest_directory())
+            }),
+            duration,
+        ),
+        RouterKind::Prophet => finish(
+            runner::build_with_protocol(scenario, seed, |pop, _| {
+                ProphetRouter::new(pop.interest_directory(), ProphetParams::default())
+            }),
+            duration,
+        ),
+        RouterKind::Cedo => finish(
+            runner::build_with_protocol(scenario, seed, |pop, schedule| {
+                // CEDO is pull-based: each expected (message, destination)
+                // pair becomes a keyword request issued at creation time.
+                let mut router = CedoRouter::new(pop.interests.len());
+                for m in schedule {
+                    for &dest in &m.expected_destinations {
+                        for &kw in &m.source_tags {
+                            if pop.interests[dest.index()].contains(&kw) {
+                                router.schedule_request(m.at, dest, kw, m.ttl_secs);
+                            }
+                        }
+                    }
+                }
+                router
+            }),
+            duration,
+        ),
+    }
+}
+
+/// Executes a plan of cells and returns their results **in plan order**.
+///
+/// Cached cells (in-memory, then on-disk if persistence is enabled) are
+/// answered without simulating. The remaining distinct cells are pushed
+/// onto one shared injector queue and drained by a pool of
+/// [`workers`] threads — no chunk barriers, so a finished worker
+/// immediately picks up the next pending cell and the pool stays
+/// saturated until the queue is empty. Duplicate cells within one plan
+/// run once.
+///
+/// Determinism: each cell's simulation is deterministic and shares no
+/// state with its neighbours; results land in per-cell slots and are read
+/// back in plan order, so the returned vector (and everything aggregated
+/// from it) is byte-identical at any worker count.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a simulation invariant breach).
+#[must_use]
+pub fn run_cells(cells: &[Cell]) -> Vec<CellResult> {
+    let keys: Vec<u128> = cells.iter().map(Cell::cache_key).collect();
+    let dir = cache_dir();
+
+    // Resolve what is already known. `pending` maps each distinct missing
+    // key to the index of the first cell that needs it.
+    let mut resolved: HashMap<u128, CellResult> = HashMap::new();
+    let mut pending: Vec<(u128, usize)> = Vec::new();
+    {
+        let mut memo = memo().lock().expect("memo lock");
+        for (i, &key) in keys.iter().enumerate() {
+            if resolved.contains_key(&key) || pending.iter().any(|&(k, _)| k == key) {
+                continue;
+            }
+            if let Some(hit) = memo.get(&key) {
+                CACHE_HITS.fetch_add(1, Ordering::SeqCst);
+                resolved.insert(key, hit.clone());
+            } else if let Some(hit) = dir.as_deref().and_then(|d| disk_load(d, key)) {
+                CACHE_HITS.fetch_add(1, Ordering::SeqCst);
+                DISK_HITS.fetch_add(1, Ordering::SeqCst);
+                // Promote to the memo so later plans in this process pay
+                // the parse-and-verify cost once, not per figure.
+                memo.insert(key, hit.clone());
+                resolved.insert(key, hit);
+            } else {
+                CACHE_MISSES.fetch_add(1, Ordering::SeqCst);
+                pending.push((key, i));
+            }
+        }
+    }
+
+    // Drain the misses through the worker pool.
+    if !pending.is_empty() {
+        CELLS_RUN.fetch_add(pending.len() as u64, Ordering::SeqCst);
+        let injector: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            (0..pending.len()).map(|_| Mutex::new(None)).collect();
+        let pool = workers().min(pending.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                scope.spawn(|| loop {
+                    let next = injector.lock().expect("injector lock").pop_front();
+                    let Some(slot) = next else { break };
+                    let (_, cell_idx) = pending[slot];
+                    let result = run_cell_uncached(&cells[cell_idx]);
+                    *slots[slot].lock().expect("slot lock") = Some(result);
+                });
+            }
+        });
+        let mut memo = memo().lock().expect("memo lock");
+        for (slot, &(key, _)) in pending.iter().enumerate() {
+            let result = slots[slot]
+                .lock()
+                .expect("slot lock")
+                .take()
+                .expect("worker filled the slot");
+            if let Some(d) = dir.as_deref() {
+                disk_store(d, key, &result);
+            }
+            memo.insert(key, result.clone());
+            resolved.insert(key, result);
+        }
+    }
+
+    // Plan-order aggregation.
+    keys.iter()
+        .map(|key| resolved.get(key).expect("every key resolved").clone())
+        .collect()
+}
+
+/// Runs one arm over several seeds through the executor, returning the
+/// per-seed summaries in `seeds` order.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+#[must_use]
+pub fn run_arm_seeds(scenario: &Scenario, arm: Arm, seeds: &[u64]) -> Vec<RunSummary> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let cells: Vec<Cell> = seeds
+        .iter()
+        .map(|&seed| Cell::arm(scenario.clone(), arm, seed))
+        .collect();
+    run_cells(&cells).into_iter().map(|r| r.summary).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn tiny(name: &str) -> Scenario {
+        let mut s = paper::reduced_scenario();
+        s.nodes = 16;
+        s.area_km2 = 0.2;
+        s.duration_secs = 600.0;
+        s.message_interval_secs = 30.0;
+        s.message_ttl_secs = 500.0;
+        s.named(name)
+    }
+
+    #[test]
+    fn cache_key_ignores_name_but_nothing_else() {
+        let a = Cell::arm(tiny("alpha"), Arm::Incentive, 7);
+        let b = Cell::arm(tiny("beta"), Arm::Incentive, 7);
+        assert_eq!(a.cache_key(), b.cache_key(), "names are cosmetic");
+
+        let other_seed = Cell::arm(tiny("alpha"), Arm::Incentive, 8);
+        assert_ne!(a.cache_key(), other_seed.cache_key());
+        let other_arm = Cell::arm(tiny("alpha"), Arm::ChitChat, 7);
+        assert_ne!(a.cache_key(), other_arm.cache_key());
+        let mut tweaked = tiny("alpha");
+        tweaked.selfish_fraction = 0.35;
+        assert_ne!(
+            a.cache_key(),
+            Cell::arm(tweaked, Arm::Incentive, 7).cache_key()
+        );
+        let router = Cell::router(tiny("alpha"), RouterKind::Epidemic, 7);
+        assert_ne!(a.cache_key(), router.cache_key());
+        assert_ne!(
+            Cell::router(tiny("x"), RouterKind::SprayAndWait(4), 7).cache_key(),
+            Cell::router(tiny("x"), RouterKind::SprayAndWait(8), 7).cache_key()
+        );
+    }
+
+    #[test]
+    fn executor_matches_direct_runs_at_any_worker_count() {
+        let s = tiny("exec");
+        let cells: Vec<Cell> = [
+            (Arm::Incentive, 1u64),
+            (Arm::ChitChat, 1),
+            (Arm::Incentive, 2),
+        ]
+        .iter()
+        .map(|&(arm, seed)| Cell::arm(s.clone(), arm, seed))
+        .collect();
+        let direct: Vec<CellResult> = cells.iter().map(run_cell_uncached).collect();
+
+        let prior = workers();
+        for n in [1usize, 4] {
+            set_workers(n);
+            clear_memo();
+            let pooled = run_cells(&cells);
+            assert_eq!(pooled, direct, "worker count {n} must not change results");
+        }
+        set_workers(prior);
+    }
+
+    #[test]
+    fn duplicate_cells_run_once_and_agree() {
+        let s = tiny("dup");
+        clear_memo();
+        let before = metrics();
+        let cells = vec![
+            Cell::arm(s.clone(), Arm::ChitChat, 3),
+            Cell::arm(s.clone(), Arm::ChitChat, 3),
+            Cell::arm(s.named("renamed"), Arm::ChitChat, 3),
+        ];
+        let results = run_cells(&cells);
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2], "rename dedups via canonical key");
+        let after = metrics();
+        assert_eq!(after.cells_run - before.cells_run, 1, "one simulation");
+    }
+
+    #[test]
+    fn memo_serves_second_call_without_running() {
+        let s = tiny("memo");
+        clear_memo();
+        let cells = vec![Cell::arm(s, Arm::ChitChat, 5)];
+        let cold = run_cells(&cells);
+        let before = metrics();
+        let warm = run_cells(&cells);
+        let after = metrics();
+        assert_eq!(cold, warm, "cache hit is bit-identical");
+        assert_eq!(after.cells_run, before.cells_run, "nothing re-ran");
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+    }
+
+    #[test]
+    fn router_cells_execute_through_the_pool() {
+        let s = tiny("routers");
+        clear_memo();
+        let cells = vec![
+            Cell::router(s.clone(), RouterKind::Epidemic, 2),
+            Cell::router(s.clone(), RouterKind::DirectDelivery, 2),
+        ];
+        let results = run_cells(&cells);
+        assert!(
+            results[0].summary.relays_completed > results[1].summary.relays_completed,
+            "epidemic floods more than direct delivery"
+        );
+        assert_eq!(results[0].settlements, 0, "routers have no economy");
+    }
+}

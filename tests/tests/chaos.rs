@@ -256,7 +256,7 @@ proptest! {
                     now += dt;
                 }
                 EngineOp::AbortBetween { a, b } => {
-                    let _ = engine.abort_between(NodeId(a), NodeId(b));
+                    let _ = engine.abort_between(NodeId(a), NodeId(b), now);
                 }
                 EngineOp::Cancel { from, to, msg } => {
                     let _ = engine.cancel(NodeId(from), NodeId(to), MessageId(msg));
@@ -351,4 +351,54 @@ proptest! {
         let back: FaultPlan = spec.parse().expect("rendered specs parse");
         prop_assert_eq!(plan, back, "spec was {}", spec);
     }
+}
+
+/// Checkpoint-store pressure: a capacity-1 store under contact flaps and
+/// transfer loss evicts constantly, yet the evict → retry →
+/// resume-from-zero path keeps the invariant audit green, replays
+/// identically, and never double-settles (the audit's token-conservation
+/// check would flag a double award).
+#[test]
+fn checkpoint_eviction_under_pressure_stays_settlement_safe() {
+    let mut s = chaotic("cut=20,cutdown=5,loss=0.1");
+    s.recovery = Some(RecoveryPolicy {
+        resume: true,
+        checkpoint_capacity: 1,
+        ..RecoveryPolicy::default()
+    });
+    let s = s.named("chaos-evict");
+
+    let audited = run_audited(&s, Arm::Incentive, 9);
+    assert!(
+        audited.summary.transfers_retried > 0,
+        "the regime must exercise the retry queue"
+    );
+
+    // The profiled twin exposes the kernel counters; the observability
+    // layer must not change results.
+    let (profiled, perf) = dtn_workloads::runner::run_once_perf(&s, Arm::Incentive, 9);
+    assert_eq!(audited.summary, profiled.summary, "observers are inert");
+    assert!(
+        perf.metrics.counter("kernel.checkpoints_evicted") > 0,
+        "capacity 1 under flaps must evict"
+    );
+
+    // Deterministic replay, evictions included.
+    let (replay, perf2) = dtn_workloads::runner::run_once_perf(&s, Arm::Incentive, 9);
+    assert_eq!(profiled.summary, replay.summary);
+    assert_eq!(
+        perf.metrics.counter("kernel.checkpoints_evicted"),
+        perf2.metrics.counter("kernel.checkpoints_evicted")
+    );
+
+    // An unbounded store on the identical run is the control: no
+    // evictions, and the books still balance.
+    let mut unbounded = s.clone();
+    unbounded.recovery = Some(RecoveryPolicy {
+        resume: true,
+        checkpoint_capacity: 0,
+        ..RecoveryPolicy::default()
+    });
+    let (_, perf3) = dtn_workloads::runner::run_once_perf(&unbounded, Arm::Incentive, 9);
+    assert_eq!(perf3.metrics.counter("kernel.checkpoints_evicted"), 0);
 }

@@ -184,7 +184,7 @@ proptest! {
                     now += dt;
                 }
                 EngineOp::AbortBetween { a, b } => {
-                    let _ = engine.abort_between(NodeId(a), NodeId(b));
+                    let _ = engine.abort_between(NodeId(a), NodeId(b), now);
                 }
                 EngineOp::Cancel { from, to, msg } => {
                     let _ = engine.cancel(NodeId(from), NodeId(to), MessageId(msg));
