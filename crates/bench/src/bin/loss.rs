@@ -1,0 +1,16 @@
+//! Recovery-aware loss sweep (ours, beyond the paper): message delivery
+//! under in-flight payload loss from 0% to 40%, with the kernel's
+//! checkpointed retry layer off vs on, on the incentive arm.
+//!
+//! ```text
+//! cargo run --release -p dtn-bench --bin loss
+//! cargo run --release -p dtn-bench --bin loss -- --smoke --sweep-cache
+//! ```
+
+use dtn_bench::{figures, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    figures::loss::run(&cli);
+    cli.enforce_expect_warm();
+}

@@ -1,0 +1,18 @@
+//! Router × overlay matrix (ours, beyond the paper): the incentive
+//! overlay composed with every routing backend on one workload. The
+//! paper's headline "Incentive vs ChitChat" comparison is the chitchat
+//! column of this 12-cell grid; the other columns measure how much of the
+//! incentive win is router-independent.
+//!
+//! ```text
+//! cargo run --release -p dtn-bench --bin matrix
+//! cargo run --release -p dtn-bench --bin matrix -- --smoke --sweep-cache
+//! ```
+
+use dtn_bench::{figures, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    figures::matrix::run(&cli);
+    cli.enforce_expect_warm();
+}

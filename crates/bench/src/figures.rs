@@ -52,6 +52,8 @@ pub fn suite_cells(cli: &Cli) -> Vec<Cell> {
     cells.extend(ablation::cells(cli));
     cells.extend(baselines::cells(cli));
     cells.extend(lifetime::cells(cli));
+    cells.extend(matrix::cells(cli));
+    cells.extend(loss::cells(cli));
     cells
 }
 
@@ -71,7 +73,7 @@ pub fn run_all(cli: &Cli) {
         m.cells_run, m.cache_hits, m.disk_hits
     );
     type FigureEntry = (&'static str, fn(&Cli));
-    let figures: [FigureEntry; 9] = [
+    let figures: [FigureEntry; 11] = [
         ("fig5_1", fig5_1::run),
         ("fig5_2", fig5_2::run),
         ("fig5_3", fig5_3::run),
@@ -81,6 +83,8 @@ pub fn run_all(cli: &Cli) {
         ("ablation", ablation::run),
         ("baselines", baselines::run),
         ("lifetime", lifetime::run),
+        ("matrix", matrix::run),
+        ("loss", loss::run),
     ];
     for (name, run) in figures {
         println!("\n##### {name} #####\n");
@@ -629,38 +633,48 @@ pub mod baselines {
         cli.prep(scenario.named("baselines"))
     }
 
-    /// The comparison's row order: label + cell kind, one seed each.
+    /// Maps a grid backend to its legacy standalone-router row. ChitChat
+    /// is covered by the two arm rows; the compile-time-exhaustive match
+    /// means a new `BackendKind` variant fails this build until the
+    /// comparison table grows with it.
+    fn router_for(kind: dtn_workloads::prelude::BackendKind) -> Option<(String, RouterKind)> {
+        use dtn_workloads::prelude::BackendKind;
+        match kind {
+            BackendKind::ChitChat => None,
+            BackendKind::Epidemic => Some(("epidemic".into(), RouterKind::Epidemic)),
+            BackendKind::DirectDelivery => Some(("direct".into(), RouterKind::DirectDelivery)),
+            BackendKind::SprayAndWait(n) => {
+                Some((format!("spray&wait({n})"), RouterKind::SprayAndWait(n)))
+            }
+            BackendKind::TwoHop => Some(("two-hop".into(), RouterKind::TwoHop)),
+            BackendKind::Prophet => Some(("prophet".into(), RouterKind::Prophet)),
+        }
+    }
+
+    /// The comparison's row order: label + cell kind, one seed each. The
+    /// router rows enumerate [`dtn_workloads::prelude::BackendKind::ALL`]
+    /// (plus CEDO, which has no backend adapter) instead of a hand-written
+    /// list, so the table cannot silently fall behind the grid.
     fn table(cli: &Cli) -> Vec<(String, Cell)> {
         let s = scenario(cli);
         let seed = cli.seeds[0];
-        vec![
+        let mut rows = vec![
             (
-                "incentive".into(),
+                "incentive".to_owned(),
                 Cell::arm(s.clone(), Arm::Incentive, seed),
             ),
-            ("chitchat".into(), Cell::arm(s.clone(), Arm::ChitChat, seed)),
             (
-                "epidemic".into(),
-                Cell::router(s.clone(), RouterKind::Epidemic, seed),
+                "chitchat".to_owned(),
+                Cell::arm(s.clone(), Arm::ChitChat, seed),
             ),
-            (
-                "direct".into(),
-                Cell::router(s.clone(), RouterKind::DirectDelivery, seed),
-            ),
-            (
-                "spray&wait(8)".into(),
-                Cell::router(s.clone(), RouterKind::SprayAndWait(8), seed),
-            ),
-            (
-                "two-hop".into(),
-                Cell::router(s.clone(), RouterKind::TwoHop, seed),
-            ),
-            (
-                "prophet".into(),
-                Cell::router(s.clone(), RouterKind::Prophet, seed),
-            ),
-            ("cedo".into(), Cell::router(s, RouterKind::Cedo, seed)),
-        ]
+        ];
+        for kind in dtn_workloads::prelude::BackendKind::ALL {
+            if let Some((label, router)) = router_for(kind) {
+                rows.push((label, Cell::router(s.clone(), router, seed)));
+            }
+        }
+        rows.push(("cedo".to_owned(), Cell::router(s, RouterKind::Cedo, seed)));
+        rows
     }
 
     /// Executor cells: both arms plus the six third-party routers.
@@ -811,6 +825,183 @@ pub mod lifetime {
     }
 }
 
+/// Router × overlay matrix (extension): the incentive overlay composed
+/// with every routing backend on one workload. The paper's headline
+/// "Incentive vs ChitChat" comparison is the chitchat column of this
+/// grid; the other columns measure how much of the win is
+/// router-independent.
+pub mod matrix {
+    use super::*;
+    use crate::{print_scenario_header, write_csv};
+    use dtn_sim::stats::RunSummary;
+    use dtn_workloads::prelude::{BackendKind, Overlay};
+
+    fn scenario(cli: &Cli) -> Scenario {
+        let mut s = cli.scale.base_scenario();
+        s.selfish_fraction = 0.2;
+        cli.prep(s.named("matrix"))
+    }
+
+    /// Executor cells: the full backend × overlay grid, every seed. The
+    /// ChitChat rows canonicalize to the paper arms inside
+    /// [`Cell::backend`], so they share cache entries with Figs. 5.1–5.6.
+    #[must_use]
+    pub fn cells(cli: &Cli) -> Vec<Cell> {
+        let s = scenario(cli);
+        let mut cells = Vec::new();
+        for backend in BackendKind::ALL {
+            for overlay in Overlay::BOTH {
+                for &seed in &cli.seeds {
+                    cells.push(Cell::backend(s.clone(), backend, overlay, seed));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Prints the 12-row grid and writes `results/matrix.csv`.
+    pub fn run(cli: &Cli) {
+        let scenario = scenario(cli);
+        let results = run_cells(&cells(cli));
+        print_scenario_header(
+            "Matrix — incentive overlay × routing backend (extension)",
+            &scenario,
+            &cli.seeds,
+        );
+        println!(
+            "{:>10} | {:>9} | {:>7} | {:>9} | {:>10} | {:>9} | {:>8}",
+            "backend", "overlay", "MDR", "relays", "bytes (MB)", "latency s", "settled"
+        );
+        println!("{}", "-".repeat(80));
+        let mut rows = Vec::new();
+        let per_cell = cli.seeds.len();
+        let mut chunks = results.chunks(per_cell);
+        for backend in BackendKind::ALL {
+            for overlay in Overlay::BOTH {
+                let chunk = chunks.next().expect("plan covers the grid");
+                let summaries: Vec<RunSummary> = chunk.iter().map(|r| r.summary.clone()).collect();
+                let mean = RunSummary::mean_of(&summaries);
+                let settled =
+                    chunk.iter().map(|r| r.settlements).sum::<u64>() as f64 / per_cell as f64;
+                println!(
+                    "{:>10} | {:>9} | {:>7.3} | {:>9} | {:>10.1} | {:>9.0} | {:>8.1}",
+                    backend.tag(),
+                    overlay.label(),
+                    mean.delivery_ratio,
+                    mean.relays_completed,
+                    mean.relay_bytes as f64 / 1e6,
+                    mean.mean_latency_secs,
+                    settled
+                );
+                rows.push(format!(
+                    "{},{},{:.6},{},{},{:.1},{:.1}",
+                    backend.tag(),
+                    overlay.tag(),
+                    mean.delivery_ratio,
+                    mean.relays_completed,
+                    mean.relay_bytes,
+                    mean.mean_latency_secs,
+                    settled
+                ));
+            }
+        }
+        write_csv(
+            "matrix",
+            "backend,overlay,mdr,relays,bytes,latency_s,settlements",
+            &rows,
+        );
+    }
+}
+
+/// Recovery-aware loss sweep (extension): delivery under in-flight payload
+/// loss with the kernel's retry/resume layer on vs off, incentive arm.
+pub mod loss {
+    use super::*;
+    use crate::{print_scenario_header, write_csv};
+    use dtn_sim::stats::RunSummary;
+    use dtn_sim::transfer::RecoveryPolicy;
+    use dtn_workloads::scenario::Arm;
+
+    /// The in-flight loss probabilities swept.
+    pub const LOSSES: [f64; 5] = [0.0, 0.1, 0.2, 0.3, 0.4];
+
+    fn base(cli: &Cli) -> Scenario {
+        let mut s = cli.scale.base_scenario();
+        s.selfish_fraction = 0.2;
+        cli.prep(s.named("loss"))
+    }
+
+    fn scenario_for(base: &Scenario, loss: f64, retries: bool) -> Scenario {
+        let mut s = base.clone();
+        if loss > 0.0 {
+            s.chaos = Some(format!("loss={loss}").parse().expect("valid spec"));
+        }
+        if retries {
+            s.recovery = Some(RecoveryPolicy::default());
+        }
+        s
+    }
+
+    /// Executor cells: every loss level × retries {off, on} × seeds.
+    #[must_use]
+    pub fn cells(cli: &Cli) -> Vec<Cell> {
+        let base = base(cli);
+        let mut cells = Vec::new();
+        for loss in LOSSES {
+            for retries in [false, true] {
+                for &seed in &cli.seeds {
+                    cells.push(Cell::arm(
+                        scenario_for(&base, loss, retries),
+                        Arm::Incentive,
+                        seed,
+                    ));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Prints the table and writes `results/loss.csv`.
+    pub fn run(cli: &Cli) {
+        let base = base(cli);
+        let results = run_cells(&cells(cli));
+        print_scenario_header(
+            "Loss sweep — delivery vs payload loss, retries off/on (extension)",
+            &base,
+            &cli.seeds,
+        );
+        println!(
+            "{:>7} | {:>13} | {:>12} | {:>9} | {:>8}",
+            "loss %", "MDR (no retry)", "MDR (retry)", "retried", "gain"
+        );
+        println!("{}", "-".repeat(60));
+        let mut rows = Vec::new();
+        let per_cell = cli.seeds.len();
+        let mut chunks = results.chunks(per_cell);
+        for loss in LOSSES {
+            let mean_of = |chunk: &[dtn_workloads::sweep::CellResult]| {
+                let summaries: Vec<RunSummary> = chunk.iter().map(|r| r.summary.clone()).collect();
+                RunSummary::mean_of(&summaries)
+            };
+            let off = mean_of(chunks.next().expect("plan covers the sweep"));
+            let on = mean_of(chunks.next().expect("plan covers the sweep"));
+            println!(
+                "{:>7.0} | {:>13.3} | {:>12.3} | {:>9} | {:>+8.3}",
+                loss * 100.0,
+                off.delivery_ratio,
+                on.delivery_ratio,
+                on.transfers_retried,
+                on.delivery_ratio - off.delivery_ratio
+            );
+            rows.push(format!(
+                "{loss},{:.6},{:.6},{}",
+                off.delivery_ratio, on.delivery_ratio, on.transfers_retried
+            ));
+        }
+        write_csv("loss", "loss,mdr_no_retry,mdr_retry,retried", &rows);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -839,6 +1030,8 @@ mod tests {
             ablation::cells(&cli).len(),
             baselines::cells(&cli).len(),
             lifetime::cells(&cli).len(),
+            matrix::cells(&cli).len(),
+            loss::cells(&cli).len(),
         ];
         assert_eq!(union.len(), parts.iter().sum::<usize>());
         // Figs. 5.1 and 5.2 are the same sweep: their cells must share
@@ -861,6 +1054,39 @@ mod tests {
             ..cli.clone()
         };
         assert_eq!(off.prep(base.clone()).duration_secs, base.duration_secs);
+    }
+
+    #[test]
+    fn matrix_covers_the_full_grid_and_reuses_the_arm_cells() {
+        use dtn_workloads::sweep::CellKind;
+        let cli = cli();
+        let cells = matrix::cells(&cli);
+        // 6 backends × 2 overlays × 2 seeds.
+        assert_eq!(cells.len(), 24);
+        let arm_rows = cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::Arm(_)))
+            .count();
+        assert_eq!(
+            arm_rows,
+            2 * cli.seeds.len(),
+            "the ChitChat rows canonicalize to the paper arms and share their cache"
+        );
+    }
+
+    #[test]
+    fn loss_cells_leave_the_clean_point_chaos_free() {
+        let cli = cli();
+        let cells = loss::cells(&cli);
+        // 5 loss levels × retries {off, on} × 2 seeds.
+        assert_eq!(cells.len(), 20);
+        let clean = cells.iter().filter(|c| c.scenario.chaos.is_none()).count();
+        assert_eq!(clean, 4, "loss=0 rows carry no fault plan");
+        let with_recovery = cells
+            .iter()
+            .filter(|c| c.scenario.recovery.is_some())
+            .count();
+        assert_eq!(with_recovery, 10, "half the sweep runs with retries on");
     }
 
     #[test]

@@ -21,7 +21,8 @@ use std::fmt::Write as _;
 
 use dtn_sim::stats::RunSummary;
 use dtn_workloads::paper::{reduced_scenario, seeds_for, QUICK_SEEDS};
-use dtn_workloads::runner::compare_arms;
+use dtn_workloads::prelude::BackendKind;
+use dtn_workloads::runner::{compare_arms, compare_overlays};
 use dtn_workloads::scenario::{Arm, Scenario};
 
 /// A parsed command.
@@ -91,6 +92,11 @@ pub enum Command {
         /// Persist the executor's run cache under `results/.sweep-cache/`
         /// (`--sweep-cache`); repeat comparisons become cache hits.
         sweep_cache: bool,
+        /// Optional routing backend (`--router <spec>`): the comparison
+        /// becomes "incentive overlay on vs off" over that substrate.
+        /// Overrides the scenario's `backend` field; defaults to chitchat
+        /// (the paper's arms).
+        router: Option<BackendKind>,
     },
     /// Print usage.
     Help,
@@ -227,8 +233,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut threads = None;
             let mut sweep_workers = None;
             let mut sweep_cache = false;
+            let mut router = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--router" => {
+                        let spec = it.next().ok_or("--router needs a router name")?;
+                        router = Some(
+                            BackendKind::parse(spec).map_err(|e| format!("bad --router: {e}"))?,
+                        );
+                    }
                     "--seeds" => {
                         seeds = it
                             .next()
@@ -267,6 +280,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 threads,
                 sweep_workers,
                 sweep_cache,
+                router,
             })
         }
         other => Err(format!("unknown command {other}; try 'dtn help'")),
@@ -301,6 +315,7 @@ USAGE:
                             [--resume on|off] [--threads N]
     dtn compare <scenario.json> [--seeds N] [--metrics-out m.json] [--verbose]
                                 [--threads N] [--sweep-workers N] [--sweep-cache]
+                                [--router chitchat|epidemic|direct|spray[:N]|twohop|prophet]
     dtn help
 
 METRICS:
@@ -343,6 +358,13 @@ SWEEPS:
     results/.sweep-cache/ keyed by content hash; repeating a comparison
     becomes a set of cache hits. Corrupt or stale entries are detected by
     hash and re-run.
+
+ROUTERS:
+    compare --router <spec> swaps the routing substrate under the incentive
+    overlay: the comparison becomes overlay-on vs overlay-off over that
+    router on the identical workload. chitchat (the default) is the paper's
+    Incentive-vs-ChitChat arms. The flag overrides the scenario's optional
+    `backend` field. Profiling flags apply to the chitchat path only.
 "
 }
 
@@ -521,6 +543,7 @@ pub fn execute(command: Command) -> Result<String, String> {
             threads,
             sweep_workers,
             sweep_cache,
+            router,
         } => {
             let mut scenario = load_scenario(&path)?;
             if threads.is_some() {
@@ -534,7 +557,44 @@ pub fn execute(command: Command) -> Result<String, String> {
                     "results/.sweep-cache",
                 )));
             }
+            // The flag overrides the scenario's own `backend` field;
+            // chitchat is the paper's arms and takes the classic path.
+            let backend = router.unwrap_or_else(|| scenario.effective_backend());
             let seed_values = seeds_for(seeds);
+            if backend != BackendKind::ChitChat {
+                if metrics_out.is_some() || verbose {
+                    return Err(format!(
+                        "--metrics-out/--verbose profiling covers the chitchat (arm) path \
+                         only; rerun without them or without --router {}",
+                        backend.tag()
+                    ));
+                }
+                let cmp = compare_overlays(&scenario, backend, &seed_values);
+                let mut text = format_summary(
+                    &format!(
+                        "{} · Incentive over {} (mean of {seeds} seeds)",
+                        scenario.name,
+                        backend.label()
+                    ),
+                    &cmp.incentive,
+                );
+                text.push('\n');
+                text.push_str(&format_summary(
+                    &format!(
+                        "{} · Plain {} (mean of {seeds} seeds)",
+                        scenario.name,
+                        backend.label()
+                    ),
+                    &cmp.chitchat,
+                ));
+                let _ = writeln!(
+                    text,
+                    "\npaired: MDR gap {:+.4}, traffic reduction {:+.1}%",
+                    cmp.mdr_gap(),
+                    cmp.traffic_reduction_pct()
+                );
+                return Ok(text);
+            }
             let profile = metrics_out.is_some() || verbose;
             let (cmp, perf) = if profile {
                 let (cmp, perf) = dtn_workloads::runner::compare_arms_perf(&scenario, &seed_values);
@@ -675,6 +735,7 @@ mod tests {
                 threads: None,
                 sweep_workers: None,
                 sweep_cache: false,
+                router: None,
             })
         );
         // Seed counts beyond the quick set extend the deterministic
@@ -689,8 +750,26 @@ mod tests {
                 threads: None,
                 sweep_workers: None,
                 sweep_cache: false,
+                router: None,
             })
         );
+        // Every router spelling parses, including the ticketed spray form.
+        for (spec, expected) in [
+            ("chitchat", BackendKind::ChitChat),
+            ("epidemic", BackendKind::Epidemic),
+            ("direct", BackendKind::DirectDelivery),
+            ("spray", BackendKind::SprayAndWait(8)),
+            ("spray:4", BackendKind::SprayAndWait(4)),
+            ("twohop", BackendKind::TwoHop),
+            ("prophet", BackendKind::Prophet),
+        ] {
+            let Ok(Command::Compare { router, .. }) =
+                parse_args(&argv(&format!("compare s.json --router {spec}")))
+            else {
+                panic!("--router {spec} parses");
+            };
+            assert_eq!(router, Some(expected), "spelling {spec}");
+        }
         assert_eq!(seeds_for(3), QUICK_SEEDS.to_vec());
         assert_eq!(seeds_for(5)[3..], [404, 505]);
         let Ok(Command::Run { threads, .. }) = parse_args(&argv("run s.json --threads 8")) else {
@@ -738,6 +817,10 @@ mod tests {
         assert!(parse_args(&argv("compare s.json --sweep-workers 0")).is_err());
         assert!(parse_args(&argv("compare s.json --sweep-workers")).is_err());
         assert!(parse_args(&argv("run s.json --sweep-cache")).is_err());
+        assert!(parse_args(&argv("compare s.json --router")).is_err());
+        assert!(parse_args(&argv("compare s.json --router flooding")).is_err());
+        assert!(parse_args(&argv("compare s.json --router spray:0")).is_err());
+        assert!(parse_args(&argv("run s.json --router epidemic")).is_err());
     }
 
     #[test]
@@ -887,6 +970,7 @@ mod tests {
             threads: None,
             sweep_workers: None,
             sweep_cache: false,
+            router: None,
         })
         .expect("runs");
         assert!(text.contains("Incentive") && text.contains("ChitChat"));
@@ -896,6 +980,48 @@ mod tests {
         assert_eq!(report.runs, 2, "one run per arm");
         assert!(report.events_per_sec > 0.0);
         assert!(!report.phases.is_empty());
+    }
+
+    #[test]
+    fn compare_with_a_router_runs_the_overlay_grid() {
+        let mut s = reduced_scenario();
+        s.nodes = 10;
+        s.area_km2 = 0.1;
+        s.duration_secs = 400.0;
+        s.message_interval_secs = 40.0;
+        s.message_ttl_secs = 300.0;
+        let dir = scratch_dir("cmp-router");
+        let path = dir.join("tiny.json");
+        std::fs::write(&path, serde_json::to_string(&s).expect("json")).expect("write");
+        let text = execute(Command::Compare {
+            path: path.to_str().expect("utf8").to_owned(),
+            seeds: 1,
+            metrics_out: None,
+            verbose: false,
+            threads: None,
+            sweep_workers: None,
+            sweep_cache: false,
+            router: Some(BackendKind::Epidemic),
+        })
+        .expect("runs");
+        assert!(
+            text.contains("Incentive over Epidemic") && text.contains("Plain Epidemic"),
+            "labels name the substrate: {text}"
+        );
+        assert!(text.contains("MDR gap"));
+        // Profiling only covers the arm path; the refusal is explicit.
+        let err = execute(Command::Compare {
+            path: path.to_str().expect("utf8").to_owned(),
+            seeds: 1,
+            metrics_out: None,
+            verbose: true,
+            threads: None,
+            sweep_workers: None,
+            sweep_cache: false,
+            router: Some(BackendKind::Epidemic),
+        })
+        .expect_err("profiling with a non-chitchat router is refused");
+        assert!(err.contains("chitchat"), "error explains the limit: {err}");
     }
 
     #[test]

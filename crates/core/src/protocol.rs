@@ -42,7 +42,8 @@ use dtn_incentive::promise::{software_incentive, tag_incentive, SoftwareFactors}
 use dtn_incentive::settlement::{award, relay_prepayment, AwardInputs, FirstDeliveryRegistry};
 use dtn_reputation::rating::{relay_message_rating, source_message_rating};
 use dtn_reputation::table::{average_rating_of, ReputationTable};
-use dtn_routing::exchange::{due_pairs, rtsr_exchange, shared_keywords};
+use dtn_routing::backend::{ChitChatBackend, RouterBackend};
+use dtn_routing::exchange::due_pairs;
 use dtn_routing::interests::InterestTable;
 
 use crate::behavior::NodeBehavior;
@@ -98,11 +99,14 @@ pub struct ProtocolStats {
     pub irrelevant_tags_added: u64,
 }
 
-/// The paper's protocol: ChitChat + credit incentives + DRM + enrichment.
+/// The paper's protocol: a routing backend + credit incentives + DRM +
+/// enrichment. Defaults to the ChitChat substrate the paper evaluates on;
+/// any [`RouterBackend`] composes with the same overlay (see
+/// [`DcimRouter::with_backend`]).
 #[derive(Debug)]
-pub struct DcimRouter {
+pub struct DcimRouter<B: RouterBackend = ChitChatBackend> {
     params: ProtocolParams,
-    tables: Vec<InterestTable>,
+    backend: B,
     roles: Vec<Role>,
     behaviors: Vec<NodeBehavior>,
     ledger: TokenLedger,
@@ -130,7 +134,8 @@ pub struct DcimRouter {
 use dtn_sim::world::ordered_pair as pair;
 
 impl DcimRouter {
-    /// Creates the router for `node_count` nodes.
+    /// Creates the router for `node_count` nodes over the paper's ChitChat
+    /// substrate.
     ///
     /// All nodes start honest with the default role; the workload assigns
     /// behaviors, roles and subscriptions before the run.
@@ -140,9 +145,31 @@ impl DcimRouter {
     /// Panics if `params` fail validation.
     #[must_use]
     pub fn new(node_count: usize, params: ProtocolParams, seed: u64) -> Self {
+        let backend = ChitChatBackend::new(node_count, params.chitchat);
+        Self::with_backend(backend, params, seed)
+    }
+
+    /// `node`'s RTSR interest table.
+    #[must_use]
+    pub fn table(&self, node: NodeId) -> &InterestTable {
+        self.backend.table(node)
+    }
+}
+
+impl<B: RouterBackend> DcimRouter<B> {
+    /// Creates the router over an arbitrary routing backend: the same
+    /// overlay (participation gate, credits, DRM, enrichment, audits)
+    /// wrapping the backend's forwarding rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    #[must_use]
+    pub fn with_backend(backend: B, params: ProtocolParams, seed: u64) -> Self {
         params.validate().expect("protocol params must validate");
+        let node_count = backend.node_count();
         DcimRouter {
-            tables: vec![InterestTable::new(); node_count],
+            backend,
             roles: vec![Role::default(); node_count],
             behaviors: vec![NodeBehavior::Honest; node_count],
             ledger: TokenLedger::new(node_count, Tokens::new(params.incentive.initial_tokens)),
@@ -170,7 +197,7 @@ impl DcimRouter {
         keywords: impl IntoIterator<Item = dtn_sim::message::Keyword>,
     ) {
         for kw in keywords {
-            self.tables[node.index()].subscribe(kw, &self.params.chitchat, SimTime::ZERO);
+            self.backend.subscribe(node, kw, SimTime::ZERO);
         }
     }
 
@@ -212,10 +239,10 @@ impl DcimRouter {
         &self.ledger
     }
 
-    /// `node`'s RTSR interest table.
+    /// The routing backend.
     #[must_use]
-    pub fn table(&self, node: NodeId) -> &InterestTable {
-        &self.tables[node.index()]
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// `node`'s reputation table.
@@ -294,25 +321,22 @@ impl DcimRouter {
         }
     }
 
-    /// RTSR weight exchange plus reputation gossip for one pair.
+    /// Backend state exchange plus reputation gossip for one pair.
     fn exchange(&mut self, api: &SimApi, a: NodeId, b: NodeId, connected_secs: f64) {
         let now = api.now();
-        // The RTSR ritual itself is the shared ChitChat implementation —
-        // the incentive arm must run the identical substrate as the
-        // baseline. Only the peer set differs: closed (selfish) media do
-        // not count as connected devices — which is exactly the open
-        // adjacency (entries exist only while the contact is up).
-        let shared_a = shared_keywords(&self.tables, &self.open_adj[a.index()]);
-        let shared_b = shared_keywords(&self.tables, &self.open_adj[b.index()]);
-        rtsr_exchange(
-            &mut self.tables,
+        // The backend's exchange ritual (ChitChat's RTSR decay/growth) is
+        // shared between the overlay-on and overlay-off arms — both must
+        // run the identical substrate. Only the peer set differs: closed
+        // (selfish) media do not count as connected devices — which is
+        // exactly the open adjacency (entries exist only while the contact
+        // is up).
+        self.backend.exchange(
+            now,
             a,
             b,
             connected_secs,
-            &self.params.chitchat,
-            now,
-            &shared_a,
-            &shared_b,
+            &self.open_adj[a.index()],
+            &self.open_adj[b.index()],
         );
 
         if self.params.drm_enabled {
@@ -399,7 +423,11 @@ impl DcimRouter {
         let priority = copy.body.priority;
         let size = copy.size_bytes();
         let quality = copy.body.quality.value();
-        let dest = self.tables[to.index()].is_destination_for(&keywords);
+        let source = copy.body.source;
+        if !self.backend.may_offer(from, source) {
+            return;
+        }
+        let dest = self.backend.is_destination(to, &keywords);
         if dest && api.is_delivered(to, id) {
             return;
         }
@@ -421,9 +449,8 @@ impl DcimRouter {
             return;
         }
 
-        let s_from = self.tables[from.index()].sum_of_weights(&keywords);
-        let s_to = self.tables[to.index()].sum_of_weights(&keywords);
-        if !dest && s_to <= s_from {
+        // The backend's relay rule (ChitChat: `S_v > S_u`).
+        if !dest && !self.backend.accepts_relay(from, to, id, source, &keywords) {
             return;
         }
 
@@ -435,7 +462,7 @@ impl DcimRouter {
         // hand-offs up front, or does not receive the message at all.
         let mut prepay = None;
         if !dest && incentive_on {
-            let mean = self.tables[to.index()].mean_weight(&keywords);
+            let mean = self.backend.mean_weight(to, &keywords);
             if let Some(amount) =
                 relay_prepayment(mean, Tokens::new(software), &self.params.incentive)
             {
@@ -448,6 +475,7 @@ impl DcimRouter {
         }
 
         if api.send(from, to, id) {
+            self.backend.on_send_initiated(from, to, id, dest);
             self.pending.insert(
                 (from, to, id),
                 PendingOffer {
@@ -475,10 +503,10 @@ impl DcimRouter {
             return 0.0;
         }
         // w_m: the best sum of weights among the sender's open peers.
-        let mut w_m: f64 = self.tables[to.index()].sum_of_weights(keywords);
+        let mut w_m: f64 = self.backend.interest_sum(to, keywords);
         for peer in api.peers_of(from) {
             if self.pair_is_open(from, peer) {
-                w_m = w_m.max(self.tables[peer.index()].sum_of_weights(keywords));
+                w_m = w_m.max(self.backend.interest_sum(peer, keywords));
             }
         }
         // S_m / Q_m: maxima over the sender's buffer (precomputed per
@@ -486,7 +514,7 @@ impl DcimRouter {
         let s_m = maxima.0.max(size);
         let q_m = maxima.1.max(quality);
         let factors = SoftwareFactors {
-            receiver_interest_sum: self.tables[to.index()].sum_of_weights(keywords),
+            receiver_interest_sum: self.backend.interest_sum(to, keywords),
             max_connected_interest_sum: w_m,
             size_bytes: size,
             max_size_bytes: s_m,
@@ -593,16 +621,18 @@ impl DcimRouter {
     }
 }
 
-impl Protocol for DcimRouter {
+impl<B: RouterBackend> Protocol for DcimRouter<B> {
     fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
         // Participation gate: either endpoint's closed medium kills the
-        // contact for its whole duration.
+        // contact for its whole duration (for the backend too — a closed
+        // medium exchanges nothing).
         let a_open = self.behaviors[a.index()].participates(&mut self.participation_rng);
         let b_open = self.behaviors[b.index()].participates(&mut self.participation_rng);
         if !(a_open && b_open) {
             return;
         }
         self.open_pair(a, b);
+        self.backend.on_contact_open(api.now(), a, b);
         self.exchange(api, a, b, api.step_len().as_secs());
         self.last_exchange.insert(pair(a, b), api.now());
         self.route(api, a, b);
@@ -621,6 +651,7 @@ impl Protocol for DcimRouter {
     fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
         // The source holds its copy with no promise attached.
         self.meta.insert((node, message), CarriedMeta::default());
+        self.backend.on_message_created(node, message);
         for peer in api.peers_of(node) {
             self.offer(api, node, peer, message);
         }
@@ -630,6 +661,7 @@ impl Protocol for DcimRouter {
         let (from, to, id) = (r.transfer.from, r.transfer.to, r.transfer.message);
         let offer = self.pending.remove(&(from, to, id));
         let InsertOutcome::Stored { .. } = r.outcome else {
+            self.backend.on_send_failed(from, to, id);
             return;
         };
 
@@ -646,10 +678,12 @@ impl Protocol for DcimRouter {
                 } else {
                     self.stats.refused_unaffordable_prepay += 1;
                     api.buffer_mut(to).remove(id);
+                    self.backend.on_send_failed(from, to, id);
                     return;
                 }
             }
         }
+        self.backend.on_stored(from, to, id);
 
         // Classify delivery against the tags as *received* — before the
         // receiver's own enrichment below, which must not convert its hop
@@ -703,7 +737,7 @@ impl Protocol for DcimRouter {
         }
 
         // Delivery and settlement (against the arrival-time tag set).
-        if self.tables[to.index()].is_destination_for(&keywords_at_arrival) {
+        if self.backend.is_destination(to, &keywords_at_arrival) {
             let fresh = api.mark_delivered(to, id);
             if fresh && self.params.incentive_enabled {
                 let quote = offer.map_or(0.0, |o| o.software_promise);
@@ -725,6 +759,8 @@ impl Protocol for DcimRouter {
         let _ = api;
         self.pending
             .remove(&(aborted.from, aborted.to, aborted.message));
+        self.backend
+            .on_send_failed(aborted.from, aborted.to, aborted.message);
     }
 
     fn on_expired(&mut self, api: &mut SimApi, node: NodeId, messages: &[MessageId]) {
@@ -732,6 +768,7 @@ impl Protocol for DcimRouter {
         for &m in messages {
             self.meta.remove(&(node, m));
         }
+        self.backend.on_removed(node, messages);
     }
 
     fn on_evicted(&mut self, api: &mut SimApi, node: NodeId, messages: &[MessageId]) {
@@ -739,6 +776,7 @@ impl Protocol for DcimRouter {
         for &m in messages {
             self.meta.remove(&(node, m));
         }
+        self.backend.on_removed(node, messages);
     }
 
     fn on_tick(&mut self, api: &mut SimApi) {
@@ -772,7 +810,7 @@ impl Protocol for DcimRouter {
         // tokens between nodes, so the ledger total must stay at the
         // endowment and no balance may go negative.
         if self.params.incentive_enabled {
-            let endowment = self.tables.len() as f64 * self.params.incentive.initial_tokens;
+            let endowment = self.backend.node_count() as f64 * self.params.incentive.initial_tokens;
             let total = self.ledger.total().amount();
             let tolerance = 1e-6 * endowment.max(1.0);
             if (total - endowment).abs() > tolerance {

@@ -13,6 +13,9 @@
 //!   history-based DTN baseline.
 //! * [`cedo`] — CEDO, the request-driven content-centric dissemination
 //!   scheme the thesis contrasts ChitChat with (§1.2).
+//! * [`backend`] — the [`backend::RouterBackend`] seam: every router above
+//!   as a pluggable substrate the incentive overlay in `dtn-core` composes
+//!   with.
 //! * [`interests`] — the RTSR interest-table model shared with `dtn-core`.
 //! * [`directory`] — static interest registry used by the node-centric
 //!   baselines' delivery criterion.
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod baselines;
 pub mod cedo;
 pub mod chitchat;
@@ -41,6 +45,10 @@ pub mod prophet;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::backend::{
+        BackendKind, ChitChatBackend, DirectBackend, EpidemicBackend, Overlay, ProphetBackend,
+        RouterBackend, SprayBackend, TwoHopBackend,
+    };
     pub use crate::baselines::{
         DirectDeliveryRouter, EpidemicRouter, SprayAndWaitRouter, TwoHopRelayRouter,
     };

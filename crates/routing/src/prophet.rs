@@ -51,15 +51,16 @@ impl Default for ProphetParams {
     }
 }
 
-/// One node's predictability table.
+/// One node's predictability table (shared with [`crate::backend`]'s
+/// PRoPHET backend).
 #[derive(Debug, Clone, Default)]
-struct Predictability {
+pub(crate) struct Predictability {
     p: HashMap<NodeId, f64>,
     last_aged: f64,
 }
 
 impl Predictability {
-    fn age(&mut self, now: f64, params: &ProphetParams) {
+    pub(crate) fn age(&mut self, now: f64, params: &ProphetParams) {
         let units = (now - self.last_aged) / params.age_unit_secs;
         if units <= 0.0 {
             return;
@@ -72,12 +73,17 @@ impl Predictability {
         self.last_aged = now;
     }
 
-    fn encounter(&mut self, peer: NodeId, params: &ProphetParams) {
+    pub(crate) fn encounter(&mut self, peer: NodeId, params: &ProphetParams) {
         let e = self.p.entry(peer).or_insert(0.0);
         *e += (1.0 - *e) * params.p_init;
     }
 
-    fn transit(&mut self, via: NodeId, peer_table: &HashMap<NodeId, f64>, params: &ProphetParams) {
+    pub(crate) fn transit(
+        &mut self,
+        via: NodeId,
+        peer_table: &HashMap<NodeId, f64>,
+        params: &ProphetParams,
+    ) {
         let p_ab = self.p.get(&via).copied().unwrap_or(0.0);
         for (&c, &p_bc) in peer_table {
             let e = self.p.entry(c).or_insert(0.0);
@@ -85,8 +91,14 @@ impl Predictability {
         }
     }
 
-    fn get(&self, node: NodeId) -> f64 {
+    pub(crate) fn get(&self, node: NodeId) -> f64 {
         self.p.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// A copy of the raw table, for the pre-transit snapshots the update
+    /// rule needs.
+    pub(crate) fn snapshot(&self) -> HashMap<NodeId, f64> {
+        self.p.clone()
     }
 }
 

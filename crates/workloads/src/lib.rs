@@ -53,9 +53,12 @@ pub mod prelude {
     };
     pub use crate::population::{Population, SourceClass};
     pub use crate::runner::{
-        build_simulation, compare_arms, protocol_for, run_once, run_seeds, ArmRun, Comparison,
+        arm_for, build_backend_simulation, build_simulation, compare_arms, compare_overlays,
+        protocol_for, run_backend, run_backend_checked, run_once, run_seeds, ArmRun, BackendRouter,
+        Comparison,
     };
     pub use crate::scenario::{Arm, Mobility, Scenario, SourceClassMix};
     pub use crate::sweep::{run_cells, Cell, CellKind, CellResult, RouterKind};
     pub use crate::traffic::generate_schedule;
+    pub use dtn_routing::backend::{BackendKind, Overlay};
 }

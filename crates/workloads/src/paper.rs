@@ -57,6 +57,8 @@ pub fn table51_scenario() -> Scenario {
         chaos: None,
         recovery: None,
         threads: None,
+        backend: None,
+        overlay: None,
     }
 }
 

@@ -3,6 +3,7 @@
 use dtn_core::behavior::NodeBehavior;
 use dtn_core::params::ProtocolParams;
 use dtn_core::protocol::{DcimRouter, ProtocolStats};
+use dtn_routing::backend::{BackendKind, Overlay, RouterBackend};
 use dtn_sim::geometry::Area;
 use dtn_sim::kernel::{Simulation, SimulationBuilder};
 use dtn_sim::metrics::{MetricsRegistry, PhaseTiming};
@@ -198,6 +199,111 @@ where
         builder = builder.recovery(policy);
     }
     builder.messages(schedule).build(protocol)
+}
+
+/// The incentive overlay over a dynamically chosen routing backend.
+pub type BackendRouter = DcimRouter<Box<dyn RouterBackend>>;
+
+/// The [`Arm`] a given overlay state corresponds to: the overlay axis *is*
+/// the paper's arm split, generalized beyond ChitChat.
+#[must_use]
+pub fn arm_for(overlay: Overlay) -> Arm {
+    match overlay {
+        Overlay::On => Arm::Incentive,
+        Overlay::Off => Arm::ChitChat,
+    }
+}
+
+/// Builds the incentive overlay over an arbitrary routing backend on the
+/// *identical* world and workload as [`build_simulation_checked`]: same
+/// mobility, population (interests, behaviors, classes, roles), message
+/// schedule, chaos plan, recovery policy and drop-policy rule. With
+/// `BackendKind::ChitChat` this reproduces the corresponding `Arm` build
+/// byte-for-byte — that equivalence is pinned by the conformance suite.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+#[must_use]
+pub fn build_backend_simulation(
+    scenario: &Scenario,
+    kind: BackendKind,
+    overlay: Overlay,
+    seed: u64,
+    check_every: Option<u64>,
+) -> Simulation<BackendRouter> {
+    scenario.validate().expect("scenario must validate");
+    let workload_rng = SimRng::new(seed);
+    let population = Population::synthesize(scenario, &workload_rng);
+    let schedule = generate_schedule(scenario, &population, &workload_rng);
+
+    let params = protocol_for(scenario, arm_for(overlay));
+    let backend = kind.instantiate(scenario.nodes, &params.chitchat);
+    let mut router = DcimRouter::with_backend(backend, params, seed);
+    for i in 0..population.interests.len() {
+        let node = NodeId(i as u32);
+        router.subscribe(node, population.sorted_interests(node));
+    }
+    for (i, &behavior) in population.behaviors.iter().enumerate() {
+        if behavior != NodeBehavior::Honest {
+            router.set_behavior(NodeId(i as u32), behavior);
+        }
+    }
+    for (i, &role) in population.roles.iter().enumerate() {
+        router.set_role(NodeId(i as u32), role);
+    }
+
+    let drop_policy = if params.incentive_enabled {
+        dtn_sim::buffer::DropPolicy::DropLowestPriority
+    } else {
+        dtn_sim::buffer::DropPolicy::DropOldest
+    };
+    let mut builder = SimulationBuilder::new(Area::square_km(scenario.area_km2), seed)
+        .radio(scenario.radio)
+        .buffer_capacity(scenario.buffer_bytes)
+        .drop_policy(drop_policy)
+        .threads(scenario.effective_threads())
+        .nodes(scenario.nodes, || scenario.mobility.instantiate());
+    if let Some(j) = scenario.battery_joules {
+        builder = builder.battery_joules(j);
+    }
+    if let Some(plan) = scenario.chaos {
+        builder = builder.faults(plan);
+    }
+    if let Some(policy) = scenario.recovery {
+        builder = builder.recovery(policy);
+    }
+    if let Some(every) = check_every {
+        builder = builder.check_invariants_every(every);
+    }
+    builder.messages(schedule).build(router)
+}
+
+/// Runs one `(scenario, backend, overlay, seed)` cell to completion.
+#[must_use]
+pub fn run_backend(scenario: &Scenario, kind: BackendKind, overlay: Overlay, seed: u64) -> ArmRun {
+    run_backend_checked(scenario, kind, overlay, seed, None)
+}
+
+/// [`run_backend`] with an optional invariant-audit cadence: the same
+/// token-conservation, rating-bound and no-double-pay audits the paper
+/// arms run under apply to every backend × overlay combination.
+#[must_use]
+pub fn run_backend_checked(
+    scenario: &Scenario,
+    kind: BackendKind,
+    overlay: Overlay,
+    seed: u64,
+    check_every: Option<u64>,
+) -> ArmRun {
+    let mut sim = build_backend_simulation(scenario, kind, overlay, seed, check_every);
+    let _ = sim.run_until(SimTime::from_secs(scenario.duration_secs));
+    let (router, summary) = sim.finish();
+    ArmRun {
+        summary,
+        broke_nodes: router.ledger().broke_nodes().len(),
+        protocol: router.stats(),
+    }
 }
 
 /// The result of one arm under one seed.
@@ -555,6 +661,39 @@ pub fn compare_arms_perf(scenario: &Scenario, seeds: &[u64]) -> (Comparison, Per
         },
         perf,
     )
+}
+
+/// Runs overlay-on and overlay-off over `seeds` for one backend as a
+/// single sweep plan and pairs the averaged results: the generalized form
+/// of [`compare_arms`] ("Incentive vs ChitChat" is exactly
+/// `compare_overlays(_, BackendKind::ChitChat, _)` — and its cells share
+/// the arm cells' cache entries).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+#[must_use]
+pub fn compare_overlays(scenario: &Scenario, kind: BackendKind, seeds: &[u64]) -> Comparison {
+    use crate::sweep::{run_cells, Cell};
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let cells: Vec<Cell> = Overlay::BOTH
+        .iter()
+        .flat_map(|&overlay| {
+            seeds
+                .iter()
+                .map(move |&seed| Cell::backend(scenario.clone(), kind, overlay, seed))
+        })
+        .collect();
+    let results = run_cells(&cells);
+    let (on, off) = results.split_at(seeds.len());
+    let mean = |half: &[crate::sweep::CellResult]| {
+        RunSummary::mean_of(&half.iter().map(|r| r.summary.clone()).collect::<Vec<_>>())
+    };
+    Comparison {
+        name: scenario.name.clone(),
+        incentive: mean(on),
+        chitchat: mean(off),
+    }
 }
 
 #[cfg(test)]

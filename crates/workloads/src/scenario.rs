@@ -174,6 +174,16 @@ pub struct Scenario {
     /// baseline. Read through [`Scenario::effective_threads`].
     #[serde(default)]
     pub threads: Option<usize>,
+    /// The routing backend the incentive overlay composes with (`None` =
+    /// the paper's ChitChat substrate). Read through
+    /// [`Scenario::effective_backend`].
+    #[serde(default)]
+    pub backend: Option<dtn_routing::backend::BackendKind>,
+    /// Whether the incentive mechanism wraps the backend (`None` = decided
+    /// by the run's [`Arm`]/overlay argument, as in every paper
+    /// experiment). Read through [`Scenario::effective_overlay`].
+    #[serde(default)]
+    pub overlay: Option<dtn_routing::backend::Overlay>,
 }
 
 impl Scenario {
@@ -230,7 +240,28 @@ impl Scenario {
         if self.threads == Some(0) {
             return Err("threads must be at least 1".into());
         }
+        if self.backend == Some(dtn_routing::backend::BackendKind::SprayAndWait(0)) {
+            return Err("spray-and-wait needs at least one ticket".into());
+        }
         Ok(())
+    }
+
+    /// The routing backend this scenario asks for (default: ChitChat).
+    #[must_use]
+    pub fn effective_backend(&self) -> dtn_routing::backend::BackendKind {
+        self.backend
+            .unwrap_or(dtn_routing::backend::BackendKind::ChitChat)
+    }
+
+    /// The overlay state this scenario asks for, given the caller's
+    /// default (callers that predate the backend grid pass their `Arm`
+    /// translated to an overlay).
+    #[must_use]
+    pub fn effective_overlay(
+        &self,
+        fallback: dtn_routing::backend::Overlay,
+    ) -> dtn_routing::backend::Overlay {
+        self.overlay.unwrap_or(fallback)
     }
 
     /// The kernel shard count this scenario asks for (`threads`, default 1).
@@ -389,6 +420,33 @@ mod tests {
 
         s.threads = Some(0);
         assert!(s.validate().is_err(), "zero threads rejected");
+    }
+
+    #[test]
+    fn backend_and_overlay_survive_serde_and_default_when_absent() {
+        use dtn_routing::backend::{BackendKind, Overlay};
+        let mut s = paper::reduced_scenario();
+        s.backend = Some(BackendKind::Prophet);
+        s.overlay = Some(Overlay::On);
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.effective_backend(), BackendKind::Prophet);
+        assert_eq!(back.effective_overlay(Overlay::Off), Overlay::On);
+        assert_eq!(back, s);
+        // Configs written before the backend grid existed still parse (and
+        // mean what they always meant: ChitChat, overlay per the arm).
+        let plain = serde_json::to_string(&paper::reduced_scenario()).expect("serializable");
+        let stripped = plain
+            .replace(",\"backend\":null", "")
+            .replace(",\"overlay\":null", "");
+        assert_ne!(stripped, plain, "the fields were present to strip");
+        let legacy: Scenario = serde_json::from_str(&stripped).expect("legacy parses");
+        assert_eq!(legacy.backend, None);
+        assert_eq!(legacy.effective_backend(), BackendKind::ChitChat);
+        assert_eq!(legacy.effective_overlay(Overlay::Off), Overlay::Off);
+
+        s.backend = Some(BackendKind::SprayAndWait(0));
+        assert!(s.validate().is_err(), "zero spray tickets rejected");
     }
 
     #[test]

@@ -41,6 +41,8 @@ use dtn_sim::stats::RunSummary;
 use dtn_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+use dtn_routing::backend::{BackendKind, Overlay};
+
 use crate::runner::{self, seed_parallelism};
 use crate::scenario::{Arm, Scenario};
 
@@ -79,13 +81,23 @@ impl RouterKind {
     }
 }
 
-/// What mechanism a cell runs: one of the paper's two arms, or a
-/// third-party router on the identical workload.
+/// What mechanism a cell runs: one of the paper's two arms, a (backend ×
+/// overlay) grid point, or a third-party router on the identical workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellKind {
     /// The mechanism (or the ChitChat baseline) via [`runner::run_once`].
     Arm(Arm),
-    /// A third-party router via [`runner::build_with_protocol`].
+    /// The incentive overlay over an arbitrary routing backend via
+    /// [`runner::run_backend`]. ChitChat-backend cells are canonicalized
+    /// to [`CellKind::Arm`] by [`Cell::backend`], never constructed here.
+    Backend {
+        /// The routing substrate.
+        backend: BackendKind,
+        /// Whether the mechanism wraps it.
+        overlay: Overlay,
+    },
+    /// A third-party router via [`runner::build_with_protocol`] (legacy
+    /// standalone baselines: no behavior models, drop-oldest buffers).
     Router(RouterKind),
 }
 
@@ -96,6 +108,9 @@ impl CellKind {
         match self {
             CellKind::Arm(Arm::Incentive) => "arm:incentive".into(),
             CellKind::Arm(Arm::ChitChat) => "arm:chitchat".into(),
+            CellKind::Backend { backend, overlay } => {
+                format!("backend:{}+overlay:{}", backend.tag(), overlay.tag())
+            }
             CellKind::Router(kind) => format!("router:{}", kind.tag()),
         }
     }
@@ -123,6 +138,26 @@ impl Cell {
         }
     }
 
+    /// A (backend × overlay) grid cell.
+    ///
+    /// ChitChat-backend cells canonicalize to the corresponding paper arm —
+    /// the grid's "Incentive over ChitChat" and "Plain ChitChat" rows *are*
+    /// the paper's two arms, so they share cache entries (and goldens) with
+    /// every pre-grid sweep instead of re-running under a new tag.
+    #[must_use]
+    pub fn backend(scenario: Scenario, backend: BackendKind, overlay: Overlay, seed: u64) -> Self {
+        let kind = match (backend, overlay) {
+            (BackendKind::ChitChat, Overlay::On) => CellKind::Arm(Arm::Incentive),
+            (BackendKind::ChitChat, Overlay::Off) => CellKind::Arm(Arm::ChitChat),
+            _ => CellKind::Backend { backend, overlay },
+        };
+        Cell {
+            scenario,
+            kind,
+            seed,
+        }
+    }
+
     /// A third-party-router cell.
     #[must_use]
     pub fn router(scenario: Scenario, kind: RouterKind, seed: u64) -> Self {
@@ -145,6 +180,12 @@ impl Cell {
     /// serializes struct fields in declaration order, so the JSON byte
     /// stream is deterministic.
     ///
+    /// The scenario's own `backend`/`overlay` plumbing fields are removed
+    /// before hashing: the cell's `kind` tag is the authoritative grid
+    /// coordinate (the runner ignores the scenario fields once a cell is
+    /// built), and their absence keeps every pre-grid cache entry
+    /// byte-compatible.
+    ///
     /// # Panics
     ///
     /// Panics if the scenario cannot be serialized (non-finite floats).
@@ -152,7 +193,12 @@ impl Cell {
     pub fn cache_key(&self) -> u128 {
         let mut canonical = self.scenario.clone();
         canonical.name = String::new();
-        let scenario_json = serde_json::to_string(&canonical).expect("scenario serializes to JSON");
+        let mut value = Serialize::to_value(&canonical);
+        if let serde_json::Value::Map(entries) = &mut value {
+            entries.retain(|(key, _)| key != "backend" && key != "overlay");
+        }
+        let scenario_json =
+            serde_json::to_string(&RawJson(value)).expect("scenario serializes to JSON");
         let mut hash = Fnv128::new();
         hash.update(scenario_json.as_bytes());
         hash.update(b"\x00");
@@ -178,6 +224,16 @@ pub struct CellResult {
     pub tokens_awarded: f64,
     /// Nodes that ended the run with zero tokens.
     pub broke_nodes: u64,
+}
+
+/// Carries a pre-built JSON value through the serde facade so the
+/// canonicalized scenario (plumbing fields stripped) can be stringified.
+struct RawJson(serde_json::Value);
+
+impl Serialize for RawJson {
+    fn to_value(&self) -> serde_json::Value {
+        self.0.clone()
+    }
 }
 
 /// 128-bit FNV-1a: stable across platforms and runs (unlike `DefaultHasher`,
@@ -419,6 +475,15 @@ pub fn run_cell_uncached(cell: &Cell) -> CellResult {
     match cell.kind {
         CellKind::Arm(arm) => {
             let run = runner::run_once(&cell.scenario, arm, cell.seed);
+            CellResult {
+                summary: run.summary,
+                settlements: run.protocol.settlements,
+                tokens_awarded: run.protocol.tokens_awarded,
+                broke_nodes: run.broke_nodes as u64,
+            }
+        }
+        CellKind::Backend { backend, overlay } => {
+            let run = runner::run_backend(&cell.scenario, backend, overlay, cell.seed);
             CellResult {
                 summary: run.summary,
                 settlements: run.protocol.settlements,
@@ -695,6 +760,73 @@ mod tests {
         assert_eq!(cold, warm, "cache hit is bit-identical");
         assert_eq!(after.cells_run, before.cells_run, "nothing re-ran");
         assert_eq!(after.cache_hits, before.cache_hits + 1);
+    }
+
+    #[test]
+    fn chitchat_backend_cells_canonicalize_to_the_paper_arms() {
+        // The grid's ChitChat rows ARE the paper arms: same kind, same key,
+        // so they share cache entries with every pre-grid sweep.
+        let on = Cell::backend(tiny("grid"), BackendKind::ChitChat, Overlay::On, 7);
+        assert_eq!(on.kind, CellKind::Arm(Arm::Incentive));
+        assert_eq!(
+            on.cache_key(),
+            Cell::arm(tiny("grid"), Arm::Incentive, 7).cache_key()
+        );
+        let off = Cell::backend(tiny("grid"), BackendKind::ChitChat, Overlay::Off, 7);
+        assert_eq!(off.kind, CellKind::Arm(Arm::ChitChat));
+
+        // Non-ChitChat grid points get their own tag space, distinct from
+        // both the arms and the legacy standalone-router cells.
+        let grid = Cell::backend(tiny("grid"), BackendKind::Epidemic, Overlay::On, 7);
+        assert_eq!(
+            grid.kind,
+            CellKind::Backend {
+                backend: BackendKind::Epidemic,
+                overlay: Overlay::On,
+            }
+        );
+        assert_ne!(grid.cache_key(), on.cache_key());
+        assert_ne!(
+            grid.cache_key(),
+            Cell::router(tiny("grid"), RouterKind::Epidemic, 7).cache_key()
+        );
+        assert_ne!(
+            grid.cache_key(),
+            Cell::backend(tiny("grid"), BackendKind::Epidemic, Overlay::Off, 7).cache_key()
+        );
+    }
+
+    #[test]
+    fn scenario_plumbing_fields_do_not_fork_the_cache_key() {
+        // `Scenario::backend`/`overlay` are defaults consumed when the plan
+        // is built; the cell's kind is authoritative, so setting them must
+        // not split the cache (and their absence from the hash keeps
+        // pre-grid disk entries valid).
+        let bare = Cell::arm(tiny("plumb"), Arm::Incentive, 9);
+        let mut annotated_scenario = tiny("plumb");
+        annotated_scenario.backend = Some(BackendKind::Prophet);
+        annotated_scenario.overlay = Some(Overlay::Off);
+        let annotated = Cell::arm(annotated_scenario, Arm::Incentive, 9);
+        assert_eq!(bare.cache_key(), annotated.cache_key());
+    }
+
+    #[test]
+    fn backend_cells_execute_through_the_pool() {
+        let s = tiny("backend-pool");
+        clear_memo();
+        let cells = vec![
+            Cell::backend(s.clone(), BackendKind::Epidemic, Overlay::On, 2),
+            Cell::backend(s.clone(), BackendKind::DirectDelivery, Overlay::On, 2),
+        ];
+        let results = run_cells(&cells);
+        for r in &results {
+            let ratio = r.summary.delivery_ratio;
+            assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} out of range");
+        }
+        assert!(
+            results[0].summary.relays_completed > results[1].summary.relays_completed,
+            "epidemic floods more than direct delivery under the overlay too"
+        );
     }
 
     #[test]

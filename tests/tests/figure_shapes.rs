@@ -154,3 +154,48 @@ fn fig5_6_shape_high_priority_favored() {
         "incentive prioritization at least matches chitchat: {inc_high}-{inc_low} vs {cc_high}-{cc_low}"
     );
 }
+
+/// Loss-figure direction: under in-flight payload loss, turning the
+/// kernel's retry layer on never loses deliveries, and at deep loss it
+/// strictly recovers some. Runs through the sweep executor — the same
+/// path the `loss` figure binary takes.
+#[test]
+fn loss_shape_retries_dominate_at_every_loss_level() {
+    use dtn_sim::transfer::RecoveryPolicy;
+    use dtn_workloads::sweep::{run_cells, Cell};
+
+    let delivered_at = |loss: f64, retries: bool| {
+        let mut s = fast_scenario();
+        s.chaos = Some(format!("loss={loss}").parse().expect("valid spec"));
+        if retries {
+            s.recovery = Some(RecoveryPolicy {
+                backoff_base_secs: 5.0,
+                ..RecoveryPolicy::default()
+            });
+        }
+        let cells: Vec<Cell> = SEEDS
+            .iter()
+            .map(|&seed| Cell::arm(s.clone(), Arm::Incentive, seed))
+            .collect();
+        let results = run_cells(&cells);
+        let pairs: u64 = results.iter().map(|r| r.summary.delivered_pairs).sum();
+        let retried: u64 = results.iter().map(|r| r.summary.transfers_retried).sum();
+        (pairs, retried)
+    };
+
+    for loss in [0.2, 0.4] {
+        let (off, _) = delivered_at(loss, false);
+        let (on, retried) = delivered_at(loss, true);
+        assert!(retried > 0, "loss {loss}: the retry queue actually fired");
+        assert!(
+            on >= off,
+            "loss {loss}: retries never lose deliveries ({on} vs {off})"
+        );
+    }
+    let (off_deep, _) = delivered_at(0.4, false);
+    let (on_deep, _) = delivered_at(0.4, true);
+    assert!(
+        on_deep > off_deep,
+        "deep loss: retries strictly recover deliveries ({on_deep} vs {off_deep})"
+    );
+}

@@ -16,6 +16,7 @@ use dtn_sim::protocol::{Protocol, Reception};
 use dtn_sim::time::SimTime;
 use dtn_sim::trace::TraceLog;
 use dtn_sim::world::NodeId;
+use dtn_workloads::prelude::*;
 
 /// Minimal deterministic flooder: push anything the peer lacks, mark
 /// arrivals at node 1 as delivered. No RNG, no internal state.
@@ -131,4 +132,161 @@ fn history_of_extracts_the_message_slice() {
     assert!(history
         .iter()
         .all(|e| !matches!(e.event, dtn_sim::trace::TraceEvent::ContactUp { .. })));
+}
+
+// ---------------------------------------------------------------------------
+// Paper-arm golden equivalence.
+//
+// The two arms the paper evaluates (Incentive, ChitChat) are pinned as a
+// fixture captured *before* the RouterBackend refactor: trace hash, full
+// RunSummary, and the mechanism counters, across three seeds, clean and
+// under chaos. Any refactor of the protocol hot path must reproduce these
+// runs byte-for-byte, at any thread count. Re-bless deliberately with
+//
+//     DTN_BLESS=1 cargo test -p dtn-integration-tests --test golden_trace
+// ---------------------------------------------------------------------------
+
+const PAPER_GOLDEN_SEEDS: [u64; 3] = [101, 202, 303];
+const PAPER_GOLDEN_CHAOS: &str = "cut=120,cutdown=15,loss=0.05";
+
+/// A small world in the paper's economic regime, cheap enough to run
+/// twelve times in a debug-mode test.
+fn paper_golden_scenario(chaos: Option<&str>) -> Scenario {
+    let mut s = reduced_scenario();
+    s.nodes = 14;
+    s.area_km2 = 0.14;
+    s.duration_secs = 600.0;
+    s.message_interval_secs = 30.0;
+    s.message_ttl_secs = 450.0;
+    s.selfish_fraction = 0.2;
+    s.protocol.incentive.initial_tokens = 20.0;
+    if let Some(spec) = chaos {
+        s.chaos = Some(spec.parse().expect("valid chaos spec"));
+    }
+    let label = if chaos.is_some() { "chaos" } else { "clean" };
+    s.named(format!("golden-paper-{label}"))
+}
+
+/// 128-bit FNV-1a, hex-rendered: a content fingerprint for trace text too
+/// large to embed in the fixture.
+fn fnv128_hex(text: &str) -> String {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for byte in text.as_bytes() {
+        hash ^= u128::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:032x}")
+}
+
+/// A [`serde_json::Value`] carried verbatim through the vendored serde
+/// facade (which has no blanket `Serialize`/`Deserialize` for `Value`).
+struct RawValue(serde_json::Value);
+
+impl serde::Serialize for RawValue {
+    fn to_value(&self) -> serde_json::Value {
+        self.0.clone()
+    }
+}
+
+impl serde::Deserialize for RawValue {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::Error> {
+        Ok(RawValue(v.clone()))
+    }
+}
+
+/// One golden record: everything the refactor must preserve about a run.
+fn capture(scenario: &Scenario, arm: Arm, seed: u64) -> serde_json::Value {
+    use serde::Serialize as _;
+    let (run, trace) = dtn_workloads::runner::run_once_traced(scenario, arm, seed, Some(1_000_000));
+    let trace = trace.expect("trace requested");
+    serde_json::Value::Map(vec![
+        (
+            "trace_fnv128".to_string(),
+            serde_json::Value::Str(fnv128_hex(&trace)),
+        ),
+        ("summary".to_string(), run.summary.to_value()),
+        (
+            "settlements".to_string(),
+            run.protocol.settlements.to_value(),
+        ),
+        (
+            "tokens_awarded".to_string(),
+            run.protocol.tokens_awarded.to_value(),
+        ),
+        ("broke_nodes".to_string(), run.broke_nodes.to_value()),
+    ])
+}
+
+fn golden_key(arm: Arm, chaos: Option<&str>, seed: u64) -> String {
+    let regime = if chaos.is_some() { "chaos" } else { "clean" };
+    format!("{}/{regime}/{seed}", arm.label())
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens/paper_arms.json")
+}
+
+fn load_goldens() -> serde_json::Value {
+    let text = std::fs::read_to_string(golden_path())
+        .expect("pinned fixture tests/goldens/paper_arms.json (bless with DTN_BLESS=1)");
+    let raw: RawValue = serde_json::from_str(&text).expect("fixture parses");
+    raw.0
+}
+
+#[test]
+fn paper_arms_match_the_pre_refactor_goldens() {
+    let mut actual: Vec<(String, serde_json::Value)> = Vec::new();
+    for chaos in [None, Some(PAPER_GOLDEN_CHAOS)] {
+        let scenario = paper_golden_scenario(chaos);
+        for arm in Arm::BOTH {
+            for seed in PAPER_GOLDEN_SEEDS {
+                actual.push((golden_key(arm, chaos, seed), capture(&scenario, arm, seed)));
+            }
+        }
+    }
+    if std::env::var_os("DTN_BLESS").is_some() {
+        let path = golden_path();
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("mkdir");
+        let text = serde_json::to_string_pretty(&RawValue(serde_json::Value::Map(actual)))
+            .expect("fixture serializes");
+        std::fs::write(&path, text).expect("fixture written");
+        return;
+    }
+    let golden = load_goldens();
+    let entries = golden.as_map().expect("fixture is an object");
+    assert_eq!(
+        actual.len(),
+        entries.len(),
+        "fixture covers exactly the captured grid"
+    );
+    for (key, value) in &actual {
+        assert_eq!(
+            Some(value),
+            golden.get(key),
+            "{key} diverged from the pre-refactor golden"
+        );
+    }
+}
+
+/// The kernel's determinism contract extends the fixture across thread
+/// counts: a sharded run must still reproduce the single-threaded golden.
+#[test]
+fn paper_arm_goldens_hold_at_thread_count_two() {
+    if std::env::var_os("DTN_BLESS").is_some() {
+        return; // fixture being regenerated by the capture test
+    }
+    let golden = load_goldens();
+    for arm in Arm::BOTH {
+        let mut scenario = paper_golden_scenario(Some(PAPER_GOLDEN_CHAOS));
+        scenario.threads = Some(2);
+        let actual = capture(&scenario, arm, PAPER_GOLDEN_SEEDS[0]);
+        let key = golden_key(arm, Some(PAPER_GOLDEN_CHAOS), PAPER_GOLDEN_SEEDS[0]);
+        assert_eq!(
+            Some(&actual),
+            golden.get(&key),
+            "{key} diverged at threads=2"
+        );
+    }
 }
