@@ -1,0 +1,20 @@
+//! Adversarial economy sweep (ours, beyond the paper): what fraction of
+//! the closed token economy do economically rational attackers —
+//! free-riders, minority-game players, tag-farmer rings, whitewashers —
+//! capture as their population grows, and how much of that capture do the
+//! sequenced, reputation-weighted gossip and watchdog custody
+//! countermeasures claw back. Every cell runs with a periodic
+//! `check_invariants` audit.
+//!
+//! ```text
+//! cargo run --release -p dtn-bench --bin adversary
+//! cargo run --release -p dtn-bench --bin adversary -- --smoke --sweep-cache
+//! ```
+
+use dtn_bench::{figures, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    figures::adversary::run(&cli);
+    cli.enforce_expect_warm();
+}

@@ -54,6 +54,7 @@ pub fn suite_cells(cli: &Cli) -> Vec<Cell> {
     cells.extend(lifetime::cells(cli));
     cells.extend(matrix::cells(cli));
     cells.extend(loss::cells(cli));
+    cells.extend(adversary::cells(cli));
     cells
 }
 
@@ -73,7 +74,7 @@ pub fn run_all(cli: &Cli) {
         m.cells_run, m.cache_hits, m.disk_hits
     );
     type FigureEntry = (&'static str, fn(&Cli));
-    let figures: [FigureEntry; 11] = [
+    let figures: [FigureEntry; 12] = [
         ("fig5_1", fig5_1::run),
         ("fig5_2", fig5_2::run),
         ("fig5_3", fig5_3::run),
@@ -85,6 +86,7 @@ pub fn run_all(cli: &Cli) {
         ("lifetime", lifetime::run),
         ("matrix", matrix::run),
         ("loss", loss::run),
+        ("adversary", adversary::run),
     ];
     for (name, run) in figures {
         println!("\n##### {name} #####\n");
@@ -1002,6 +1004,132 @@ pub mod loss {
     }
 }
 
+/// Adversarial economy sweep (extension): fraction of the token economy
+/// captured by strategic nodes vs attacker population, with the
+/// reputation-weighted-gossip/watchdog countermeasures off and on.
+/// Every cell runs with a periodic `check_invariants` audit so economic
+/// conservation is machine-checked under attack.
+pub mod adversary {
+    use super::*;
+    use crate::{print_scenario_header, write_csv};
+    use dtn_core::strategy::StrategyMix;
+    use dtn_workloads::scenario::Arm;
+    use dtn_workloads::sweep::CellResult;
+
+    /// Attacker population fractions swept: the honest baseline plus four
+    /// escalating attacker populations.
+    pub const FRACTIONS: [f64; 5] = [0.0, 0.1, 0.2, 0.3, 0.4];
+
+    /// Simulated-seconds between `check_invariants` audits in every cell.
+    pub const AUDIT_EVERY: u64 = 300;
+
+    fn base(cli: &Cli) -> Scenario {
+        cli.prep(cli.scale.base_scenario().named("adversary"))
+    }
+
+    /// The strategy mix at a given attacker fraction: 40% free-riders,
+    /// 10% minority-game players, 30% tag farmers, 20% whitewashers —
+    /// every strategy in the book, weighted toward the custody attacks
+    /// the watchdog can see. `None` for the honest/defense-free corner so
+    /// that cell keeps its strategy-free cache key.
+    fn mix_for(fraction: f64, defense: bool) -> Option<StrategyMix> {
+        if fraction == 0.0 && !defense {
+            return None;
+        }
+        Some(StrategyMix {
+            free_rider_fraction: fraction * 0.4,
+            minority_fraction: fraction * 0.1,
+            farmer_fraction: fraction * 0.3,
+            whitewash_fraction: fraction * 0.2,
+            defense,
+            ..StrategyMix::default()
+        })
+    }
+
+    fn scenario_for(base: &Scenario, fraction: f64, defense: bool) -> Scenario {
+        let mut s = base.clone();
+        s.strategies = mix_for(fraction, defense);
+        s.audit_every = Some(AUDIT_EVERY);
+        s
+    }
+
+    /// Executor cells: every attacker fraction × defense {off, on} ×
+    /// seeds, incentive arm.
+    #[must_use]
+    pub fn cells(cli: &Cli) -> Vec<Cell> {
+        let base = base(cli);
+        let mut cells = Vec::new();
+        for fraction in FRACTIONS {
+            for defense in [false, true] {
+                for &seed in &cli.seeds {
+                    cells.push(Cell::arm(
+                        scenario_for(&base, fraction, defense),
+                        Arm::Incentive,
+                        seed,
+                    ));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Prints the table and writes `results/adversary.csv`.
+    pub fn run(cli: &Cli) {
+        let base = base(cli);
+        let results = run_cells(&cells(cli));
+        print_scenario_header(
+            "Adversary sweep — economy captured by strategic nodes, defense off/on (extension)",
+            &base,
+            &cli.seeds,
+        );
+        println!(
+            "{:>10} | {:>9} | {:>13} | {:>12} | {:>8} | {:>8}",
+            "attacker %", "attackers", "capture (off)", "capture (on)", "mdr off", "mdr on"
+        );
+        println!("{}", "-".repeat(76));
+        let endowment = base.nodes as f64 * base.protocol.incentive.initial_tokens;
+        let mut rows = Vec::new();
+        let per_cell = cli.seeds.len();
+        let mut chunks = results.chunks(per_cell);
+        for fraction in FRACTIONS {
+            let attackers: usize = mix_for(fraction, true)
+                .map(|m| m.counts(base.nodes).iter().sum())
+                .unwrap_or(0);
+            let capture_of = |chunk: &[CellResult]| {
+                chunk
+                    .iter()
+                    .map(|r| r.attacker_tokens / endowment)
+                    .sum::<f64>()
+                    / chunk.len() as f64
+            };
+            let mdr_of = |chunk: &[CellResult]| {
+                chunk.iter().map(|r| r.summary.delivery_ratio).sum::<f64>() / chunk.len() as f64
+            };
+            let off = chunks.next().expect("plan covers the sweep");
+            let on = chunks.next().expect("plan covers the sweep");
+            let (cap_off, cap_on) = (capture_of(off), capture_of(on));
+            let (mdr_off, mdr_on) = (mdr_of(off), mdr_of(on));
+            println!(
+                "{:>10.0} | {:>9} | {:>13.4} | {:>12.4} | {:>8.3} | {:>8.3}",
+                fraction * 100.0,
+                attackers,
+                cap_off,
+                cap_on,
+                mdr_off,
+                mdr_on
+            );
+            rows.push(format!(
+                "{fraction},{attackers},{cap_off:.6},{cap_on:.6},{mdr_off:.6},{mdr_on:.6}"
+            ));
+        }
+        write_csv(
+            "adversary",
+            "attacker_fraction,attackers,capture_defense_off,capture_defense_on,mdr_defense_off,mdr_defense_on",
+            &rows,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1032,6 +1160,7 @@ mod tests {
             lifetime::cells(&cli).len(),
             matrix::cells(&cli).len(),
             loss::cells(&cli).len(),
+            adversary::cells(&cli).len(),
         ];
         assert_eq!(union.len(), parts.iter().sum::<usize>());
         // Figs. 5.1 and 5.2 are the same sweep: their cells must share
@@ -1087,6 +1216,36 @@ mod tests {
             .filter(|c| c.scenario.recovery.is_some())
             .count();
         assert_eq!(with_recovery, 10, "half the sweep runs with retries on");
+    }
+
+    #[test]
+    fn adversary_cells_audit_everything_and_keep_the_honest_corner_clean() {
+        let cli = cli();
+        let cells = adversary::cells(&cli);
+        // 5 attacker fractions × defense {off, on} × 2 seeds.
+        assert_eq!(cells.len(), 20);
+        assert!(
+            cells.iter().all(|c| c.scenario.audit_every.is_some()),
+            "every adversary cell runs invariant-audited"
+        );
+        let strategy_free = cells
+            .iter()
+            .filter(|c| c.scenario.strategies.is_none())
+            .count();
+        assert_eq!(
+            strategy_free,
+            cli.seeds.len(),
+            "only the honest/defense-off corner keeps a strategy-free scenario"
+        );
+        let armed = cells
+            .iter()
+            .filter(|c| c.scenario.strategies.is_some_and(|m| m.defense))
+            .count();
+        assert_eq!(
+            armed,
+            5 * cli.seeds.len(),
+            "half the sweep arms the defense"
+        );
     }
 
     #[test]

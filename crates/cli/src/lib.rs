@@ -50,6 +50,10 @@ pub enum Command {
         /// Optional fault-injection spec (overrides the scenario's
         /// `chaos` field; see `FaultPlan::from_str` for the grammar).
         chaos: Option<String>,
+        /// Optional adversarial strategy-mix spec (overrides the
+        /// scenario's `strategies` field; see `StrategyMix::from_str`
+        /// for the grammar).
+        strategies: Option<String>,
         /// Run with the cross-cutting invariant checker enabled.
         check_invariants: bool,
         /// Optional path for a wall-clock metrics JSON dump
@@ -127,6 +131,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut json_out = None;
             let mut trace_out = None;
             let mut chaos = None;
+            let mut strategies = None;
             let mut check_invariants = false;
             let mut metrics_out = None;
             let mut verbose = false;
@@ -167,6 +172,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         spec.parse::<dtn_sim::faults::FaultPlan>()
                             .map_err(|e| format!("bad --chaos: {e}"))?;
                         chaos = Some(spec);
+                    }
+                    "--strategies" => {
+                        let spec = it.next().ok_or("--strategies needs a mix spec")?.clone();
+                        // Parse eagerly so a typo fails at the prompt, not
+                        // minutes into a run.
+                        spec.parse::<dtn_core::strategy::StrategyMix>()
+                            .map_err(|e| format!("bad --strategies: {e}"))?;
+                        strategies = Some(spec);
                     }
                     "--check-invariants" => check_invariants = true,
                     "--metrics-out" => {
@@ -216,6 +229,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 json_out,
                 trace_out,
                 chaos,
+                strategies,
                 check_invariants,
                 metrics_out,
                 verbose,
@@ -309,7 +323,8 @@ USAGE:
     dtn validate <scenario.json>         check a scenario file
     dtn run <scenario.json> [--arm incentive|chitchat] [--seed N]
                             [--json out.json] [--trace out.txt]
-                            [--chaos <spec>] [--check-invariants]
+                            [--chaos <spec>] [--strategies <spec>]
+                            [--check-invariants]
                             [--metrics-out m.json] [--verbose]
                             [--retry-max N] [--backoff-base SECS]
                             [--resume on|off] [--threads N]
@@ -334,6 +349,17 @@ CHAOS:
     an invariant-breach report prints the flags needed to reproduce it.
     --check-invariants audits token conservation, rating bounds, buffer
     accounting and energy sanity every 60 simulated steps.
+
+STRATEGIES:
+    --strategies assigns economically rational adversary strategies to a
+    fraction of the population (overriding the scenario's `strategies`
+    field), e.g.
+        --strategies 'free=0.2,farm=0.1,white=0.05,minority=0.1,cost=0.05,churn=3600,defense'
+    (free/farm/white/minority are population fractions; cost is the
+    minority-game per-contact energy cost in tokens; churn is the
+    whitewasher identity-churn interval in seconds; 'defense' arms the
+    sequenced, reputation-weighted gossip and watchdog custody
+    countermeasures). Identical (scenario, seed, spec) runs replay exactly.
 
 RECOVERY:
     Aborted transfers are normally lost. --retry-max N redelivers each
@@ -449,6 +475,7 @@ pub fn execute(command: Command) -> Result<String, String> {
             json_out,
             trace_out,
             chaos,
+            strategies,
             check_invariants,
             metrics_out,
             verbose,
@@ -466,6 +493,12 @@ pub fn execute(command: Command) -> Result<String, String> {
                     .parse::<dtn_sim::faults::FaultPlan>()
                     .map_err(|e| format!("bad --chaos: {e}"))?;
                 scenario.chaos = Some(plan);
+            }
+            if let Some(spec) = &strategies {
+                let mix = spec
+                    .parse::<dtn_core::strategy::StrategyMix>()
+                    .map_err(|e| format!("bad --strategies: {e}"))?;
+                scenario.strategies = Some(mix);
             }
             // Recovery overrides: any flag enables recovery (from the
             // scenario's policy, or the defaults) and tweaks that field.
@@ -675,6 +708,7 @@ mod tests {
                 json_out: Some("o.json".into()),
                 trace_out: Some("t.txt".into()),
                 chaos: None,
+                strategies: None,
                 check_invariants: false,
                 metrics_out: None,
                 verbose: false,
@@ -696,6 +730,7 @@ mod tests {
                 json_out: None,
                 trace_out: None,
                 chaos: Some("crash=4,crashdown=120,wipe".into()),
+                strategies: None,
                 check_invariants: true,
                 metrics_out: Some("m.json".into()),
                 verbose: true,
@@ -716,6 +751,7 @@ mod tests {
                 json_out: None,
                 trace_out: None,
                 chaos: None,
+                strategies: None,
                 check_invariants: false,
                 metrics_out: None,
                 verbose: false,
@@ -772,6 +808,12 @@ mod tests {
         }
         assert_eq!(seeds_for(3), QUICK_SEEDS.to_vec());
         assert_eq!(seeds_for(5)[3..], [404, 505]);
+        let Ok(Command::Run { strategies, .. }) =
+            parse_args(&argv("run s.json --strategies free=0.1,farm=0.1,defense"))
+        else {
+            panic!("--strategies parses on run");
+        };
+        assert_eq!(strategies, Some("free=0.1,farm=0.1,defense".into()));
         let Ok(Command::Run { threads, .. }) = parse_args(&argv("run s.json --threads 8")) else {
             panic!("--threads parses on run");
         };
@@ -806,6 +848,11 @@ mod tests {
         assert!(parse_args(&argv("run s.json --chaos")).is_err());
         assert!(parse_args(&argv("run s.json --chaos frobs=1")).is_err());
         assert!(parse_args(&argv("run s.json --chaos crash=-2")).is_err());
+        assert!(parse_args(&argv("run s.json --strategies")).is_err());
+        assert!(parse_args(&argv("run s.json --strategies frobs=1")).is_err());
+        assert!(parse_args(&argv("run s.json --strategies free=2")).is_err());
+        assert!(parse_args(&argv("run s.json --strategies free=0.6,farm=0.6")).is_err());
+        assert!(parse_args(&argv("compare s.json --strategies free=0.1")).is_err());
         assert!(parse_args(&argv("run s.json --retry-max lots")).is_err());
         assert!(parse_args(&argv("run s.json --backoff-base -3")).is_err());
         assert!(parse_args(&argv("run s.json --backoff-base nan")).is_err());
@@ -886,6 +933,7 @@ mod tests {
             json_out: Some(json_out.to_str().expect("utf8").to_owned()),
             trace_out: Some(trace_out.to_str().expect("utf8").to_owned()),
             chaos: Some("crash=2,crashdown=60,cut=5,cutdown=20,loss=0.01".into()),
+            strategies: Some("free=0.2,defense".into()),
             check_invariants: true,
             metrics_out: None,
             verbose: false,
@@ -928,6 +976,7 @@ mod tests {
             json_out: None,
             trace_out: None,
             chaos: None,
+            strategies: None,
             check_invariants: false,
             metrics_out: Some(metrics_out.to_str().expect("utf8").to_owned()),
             verbose: true,

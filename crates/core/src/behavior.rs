@@ -55,6 +55,28 @@ impl NodeBehavior {
     pub fn is_malicious(&self) -> bool {
         matches!(self, NodeBehavior::Malicious)
     }
+
+    /// Validates the behavior's parameters: a selfish duty cycle must be a
+    /// finite probability in `[0, 1]`. NaN or out-of-range values would
+    /// silently skew [`Self::participates`] (the kernel's `chance` clamps
+    /// nothing), so scenarios reject them at build time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            NodeBehavior::Selfish { duty_cycle } => {
+                if !duty_cycle.is_finite() || !(0.0..=1.0).contains(&duty_cycle) {
+                    return Err(format!(
+                        "selfish duty_cycle must be a probability in [0, 1], got {duty_cycle}"
+                    ));
+                }
+                Ok(())
+            }
+            NodeBehavior::Honest | NodeBehavior::Malicious => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +107,23 @@ mod tests {
         assert!(NodeBehavior::Malicious.is_malicious());
         assert!(!NodeBehavior::Honest.is_selfish());
         assert_eq!(NodeBehavior::default(), NodeBehavior::Honest);
+    }
+
+    #[test]
+    fn validation_rejects_bad_duty_cycles() {
+        assert_eq!(NodeBehavior::Honest.validate(), Ok(()));
+        assert_eq!(NodeBehavior::Malicious.validate(), Ok(()));
+        assert_eq!(NodeBehavior::paper_selfish().validate(), Ok(()));
+        for bad in [f64::NAN, f64::INFINITY, -0.1, 1.1] {
+            assert!(
+                NodeBehavior::Selfish { duty_cycle: bad }
+                    .validate()
+                    .is_err(),
+                "duty_cycle {bad} must be rejected"
+            );
+        }
+        assert_eq!(NodeBehavior::Selfish { duty_cycle: 0.0 }.validate(), Ok(()));
+        assert_eq!(NodeBehavior::Selfish { duty_cycle: 1.0 }.validate(), Ok(()));
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod judge;
 pub mod ops;
 pub mod params;
 pub mod protocol;
+pub mod strategy;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -53,5 +54,6 @@ pub mod prelude {
     pub use crate::protocol::{
         DcimRouter, ProtocolStats, BROKE_NODES_SERIES, MALICIOUS_RATING_SERIES,
     };
+    pub use crate::strategy::{StrategyKind, StrategyMix};
     pub use dtn_incentive::params::Role;
 }

@@ -42,6 +42,7 @@ use dtn_incentive::promise::{software_incentive, tag_incentive, SoftwareFactors}
 use dtn_incentive::settlement::{award, relay_prepayment, AwardInputs, FirstDeliveryRegistry};
 use dtn_reputation::rating::{relay_message_rating, source_message_rating};
 use dtn_reputation::table::{average_rating_of, ReputationTable};
+use dtn_reputation::watchdog::Watchdog;
 use dtn_routing::backend::{ChitChatBackend, RouterBackend};
 use dtn_routing::exchange::due_pairs;
 use dtn_routing::interests::InterestTable;
@@ -50,6 +51,7 @@ use crate::behavior::NodeBehavior;
 use crate::enrich::enrich_copy;
 use crate::judge::judge_message;
 use crate::params::ProtocolParams;
+use crate::strategy::StrategyKind;
 
 /// The series name under which the Fig. 5.4 metric is sampled.
 pub const MALICIOUS_RATING_SERIES: &str = "malicious_avg_rating";
@@ -63,6 +65,10 @@ struct CarriedMeta {
     rx_joules: f64,
     /// `r_{m_v,x}`: message ratings accumulated along the path.
     path_ratings: Vec<f64>,
+    /// Who handed this holder the copy (`None` for the source). Feeds the
+    /// watchdog: when the holder forwards onward, the giver learns its
+    /// custody hand-off was honored.
+    received_from: Option<NodeId>,
 }
 
 /// A routing decision made at offer time, resolved at transfer completion.
@@ -97,6 +103,16 @@ pub struct ProtocolStats {
     pub relevant_tags_added: u64,
     /// Irrelevant (malicious) tags added network-wide.
     pub irrelevant_tags_added: u64,
+    /// Relay copies silently discarded by free-riding strategy nodes.
+    pub strategy_drops: u64,
+    /// Identity churns executed by whitewashing strategy nodes.
+    pub whitewash_churns: u64,
+    /// Gossip digests rejected as replays of an already-seen sequence
+    /// number (defense arm only).
+    pub gossip_replays_rejected: u64,
+    /// Custody hand-offs withheld because the sender's watchdog finds the
+    /// would-be forwarder suspicious (defense arm only).
+    pub refused_suspected_dropper: u64,
 }
 
 /// The paper's protocol: a routing backend + credit incentives + DRM +
@@ -129,6 +145,30 @@ pub struct DcimRouter<B: RouterBackend = ChitChatBackend> {
     enrich_rng: SimRng,
     last_sample: f64,
     stats: ProtocolStats,
+    /// Per-node economic strategy (`None` = plays the protocol straight).
+    strategies: Vec<Option<StrategyKind>>,
+    /// Whether any node has a strategy assigned.
+    strategy_mode: bool,
+    /// Whether the countermeasures (sequenced weighted gossip, watchdog
+    /// custody gate) are armed.
+    strategy_defense: bool,
+    /// Per-node forwarding watchdogs (allocated lazily — empty until a
+    /// strategy or the defense is configured, so the paper-default path
+    /// pays nothing).
+    watchdogs: Vec<Watchdog>,
+    /// Per-node strategy bookkeeping (same lazy allocation).
+    strategy_state: Vec<StrategyState>,
+}
+
+/// Per-node mutable bookkeeping for strategy players.
+#[derive(Debug, Clone, Copy, Default)]
+struct StrategyState {
+    /// Contacts seen by a minority-game player.
+    contacts: u64,
+    /// Consecutive contacts the player sat out (probes every 20th).
+    skipped: u64,
+    /// Sim-time seconds of a whitewasher's last identity churn.
+    last_churn: f64,
 }
 
 use dtn_sim::world::ordered_pair as pair;
@@ -187,6 +227,11 @@ impl<B: RouterBackend> DcimRouter<B> {
             last_sample: 0.0,
             params,
             stats: ProtocolStats::default(),
+            strategies: vec![None; node_count],
+            strategy_mode: false,
+            strategy_defense: false,
+            watchdogs: Vec::new(),
+            strategy_state: Vec::new(),
         }
     }
 
@@ -209,6 +254,70 @@ impl<B: RouterBackend> DcimRouter<B> {
     /// Sets `node`'s role in the hierarchy.
     pub fn set_role(&mut self, node: NodeId, role: Role) {
         self.roles[node.index()] = role;
+    }
+
+    /// Assigns (or clears) `node`'s economic strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy's parameters fail validation.
+    pub fn set_strategy(&mut self, node: NodeId, strategy: Option<StrategyKind>) {
+        if let Some(s) = strategy {
+            s.validate().expect("strategy params must validate");
+        }
+        self.strategies[node.index()] = strategy;
+        self.strategy_mode = self.strategies.iter().any(Option::is_some);
+        self.ensure_adversarial_state();
+    }
+
+    /// Arms or disarms the countermeasures: digests are issued with
+    /// monotonic sequence numbers and absorbed weighted by the observer's
+    /// rating of the reporter, and custody hand-offs to watchdog-suspicious
+    /// forwarders are withheld.
+    pub fn set_strategy_defense(&mut self, armed: bool) {
+        self.strategy_defense = armed;
+        self.ensure_adversarial_state();
+    }
+
+    /// `node`'s economic strategy, if any.
+    #[must_use]
+    pub fn strategy(&self, node: NodeId) -> Option<StrategyKind> {
+        self.strategies[node.index()]
+    }
+
+    /// `node`'s forwarding watchdog (`None` until strategies or the
+    /// defense are configured).
+    #[must_use]
+    pub fn watchdog(&self, node: NodeId) -> Option<&Watchdog> {
+        self.watchdogs.get(node.index())
+    }
+
+    /// The combined token balance of every strategy-playing node: the
+    /// slice of the closed economy the attackers currently hold.
+    #[must_use]
+    pub fn attacker_tokens(&self) -> f64 {
+        self.strategies
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| self.ledger.balance(NodeId(i as u32)).amount())
+            // fold, not sum: an empty f64 sum is -0.0, which would leak a
+            // negative zero into the CSV for attacker-free runs.
+            .fold(0.0, |acc, balance| acc + balance)
+    }
+
+    /// Whether any adversarial machinery (strategies or defenses) is live.
+    fn adversarial(&self) -> bool {
+        self.strategy_mode || self.strategy_defense
+    }
+
+    /// Allocates the lazy per-node adversarial state on first use.
+    fn ensure_adversarial_state(&mut self) {
+        if self.adversarial() && self.watchdogs.is_empty() {
+            let n = self.backend.node_count();
+            self.watchdogs = vec![Watchdog::new(); n];
+            self.strategy_state = vec![StrategyState::default(); n];
+        }
     }
 
     /// Moves tokens between nodes before (or during) a run — deployment
@@ -296,6 +405,72 @@ impl<B: RouterBackend> DcimRouter<B> {
         )
     }
 
+    /// Whether `node`'s medium is open for this encounter.
+    ///
+    /// Minority-game players decide deterministically — open while still
+    /// exploring (first ten contacts) or while the realized token yield
+    /// per contact beats their energy cost, plus a probe every twentieth
+    /// sat-out contact to re-sample the market. Everyone else draws the
+    /// behavior gate (selfish duty cycle) as before; the deterministic
+    /// branch makes no RNG draws, matching `Honest`.
+    fn participation_decision(&mut self, node: NodeId) -> bool {
+        if let Some(StrategyKind::MinorityGame { energy_cost }) = self.strategies[node.index()] {
+            let initial = self.params.incentive.initial_tokens;
+            let earned = self.ledger.balance(node).amount() - initial;
+            let st = &mut self.strategy_state[node.index()];
+            st.contacts += 1;
+            let yield_per_contact = earned / st.contacts as f64;
+            if st.contacts <= 10 || yield_per_contact >= energy_cost {
+                st.skipped = 0;
+                true
+            } else {
+                st.skipped += 1;
+                st.skipped.is_multiple_of(20)
+            }
+        } else {
+            self.behaviors[node.index()].participates(&mut self.participation_rng)
+        }
+    }
+
+    /// Whitewash churn: once its network-wide average rating has sunk
+    /// below neutral and the churn interval has elapsed, the node sheds
+    /// its identity — every other observer forgets its opinion (and the
+    /// issuer's replay watermark), every watchdog forgets its forwarding
+    /// record, and the node restarts from the neutral prior. Its token
+    /// balance survives the churn: the economy stays closed.
+    fn maybe_whitewash(&mut self, now: SimTime, node: NodeId) {
+        let Some(StrategyKind::Whitewasher {
+            churn_interval_secs,
+        }) = self.strategies[node.index()]
+        else {
+            return;
+        };
+        let t = now.as_secs();
+        if t - self.strategy_state[node.index()].last_churn < churn_interval_secs {
+            return;
+        }
+        let observers: Vec<NodeId> = (0..self.backend.node_count() as u32)
+            .map(NodeId)
+            .filter(|&n| n != node)
+            .collect();
+        let avg = average_rating_of(&self.reputation, &observers, &[node]);
+        if avg >= self.params.rating.neutral_rating {
+            return;
+        }
+        self.strategy_state[node.index()].last_churn = t;
+        for table in &mut self.reputation {
+            if table.owner() != node {
+                table.forget(node);
+            }
+        }
+        for (i, watchdog) in self.watchdogs.iter_mut().enumerate() {
+            if i != node.index() {
+                watchdog.forget(node);
+            }
+        }
+        self.stats.whitewash_churns += 1;
+    }
+
     /// Whether the contact between `a` and `b` is open (both media on).
     fn pair_is_open(&self, a: NodeId, b: NodeId) -> bool {
         self.open_adj[a.index()].binary_search(&b).is_ok()
@@ -340,10 +515,29 @@ impl<B: RouterBackend> DcimRouter<B> {
         );
 
         if self.params.drm_enabled {
-            let digest_a = self.reputation[a.index()].digest();
-            let digest_b = self.reputation[b.index()].digest();
-            self.reputation[a.index()].absorb_digest(b, &digest_b);
-            self.reputation[b.index()].absorb_digest(a, &digest_a);
+            if self.strategy_defense {
+                // Countermeasure gossip: each digest carries the issuer's
+                // monotonic sequence number (replayed or stale copies are
+                // rejected) and is absorbed discounted by the observer's
+                // own rating of the reporter — a liar's poisoned digest
+                // moves opinions only as far as the liar is trusted.
+                let digest_a = self.reputation[a.index()].issue_digest();
+                let digest_b = self.reputation[b.index()].issue_digest();
+                let max = self.params.rating.max_rating;
+                let trust_in_b = self.reputation[a.index()].rating_of(b) / max;
+                let trust_in_a = self.reputation[b.index()].rating_of(a) / max;
+                if !self.reputation[a.index()].absorb_digest_weighted(b, &digest_b, trust_in_b) {
+                    self.stats.gossip_replays_rejected += 1;
+                }
+                if !self.reputation[b.index()].absorb_digest_weighted(a, &digest_a, trust_in_a) {
+                    self.stats.gossip_replays_rejected += 1;
+                }
+            } else {
+                let digest_a = self.reputation[a.index()].digest();
+                let digest_b = self.reputation[b.index()].digest();
+                self.reputation[a.index()].absorb_digest(b, &digest_b);
+                self.reputation[b.index()].absorb_digest(a, &digest_a);
+            }
         }
     }
 
@@ -451,6 +645,17 @@ impl<B: RouterBackend> DcimRouter<B> {
 
         // The backend's relay rule (ChitChat: `S_v > S_u`).
         if !dest && !self.backend.accepts_relay(from, to, id, source, &keywords) {
+            return;
+        }
+
+        // Countermeasure custody gate: the sender's own watchdog evidence
+        // — hand-offs to `to` that were never seen forwarded onward —
+        // withholds relay custody from suspected droppers. Destinations
+        // are exempt: delivering to a free-rider's direct interest is
+        // still a delivery.
+        if !dest && self.strategy_defense && self.watchdogs[from.index()].is_suspicious(to, 0.3, 5)
+        {
+            self.stats.refused_suspected_dropper += 1;
             return;
         }
 
@@ -626,10 +831,14 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         // Participation gate: either endpoint's closed medium kills the
         // contact for its whole duration (for the backend too — a closed
         // medium exchanges nothing).
-        let a_open = self.behaviors[a.index()].participates(&mut self.participation_rng);
-        let b_open = self.behaviors[b.index()].participates(&mut self.participation_rng);
+        let a_open = self.participation_decision(a);
+        let b_open = self.participation_decision(b);
         if !(a_open && b_open) {
             return;
+        }
+        if self.strategy_mode {
+            self.maybe_whitewash(api.now(), a);
+            self.maybe_whitewash(api.now(), b);
         }
         self.open_pair(a, b);
         self.backend.on_contact_open(api.now(), a, b);
@@ -693,12 +902,40 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
             .get(id)
             .map(|c| c.keywords())
             .unwrap_or_default();
+        let dest_at_arrival = self.backend.is_destination(to, &keywords_at_arrival);
+
+        let inherited = self.meta.get(&(from, id)).cloned().unwrap_or_default();
+
+        // Watchdog bookkeeping (adversarial runs only): a relay store is a
+        // custody hand-off the giver now watches; any onward forward
+        // confirms the hand-off that brought *this* sender its copy.
+        if self.adversarial() {
+            if !dest_at_arrival {
+                self.watchdogs[from.index()].record_handoff(to, id);
+            }
+            if let Some(giver) = inherited.received_from {
+                self.watchdogs[giver.index()].record_confirmation(from, id);
+            }
+        }
+
+        // Free-riders accept relay custody and silently discard the copy:
+        // the hand-off looked cooperative (and any prepayment credit
+        // stands), but nothing is carried, judged, enriched or re-offered.
+        // Only the giver's watchdog — a confirmation that never arrives —
+        // can see this; the content DRM never rates a dropped message.
+        if !dest_at_arrival && self.strategies[to.index()] == Some(StrategyKind::FreeRider) {
+            api.buffer_mut(to).remove(id);
+            self.backend.on_removed(to, &[id]);
+            self.meta.remove(&(to, id));
+            self.stats.strategy_drops += 1;
+            return;
+        }
 
         // Attach the carried incentive state to the new holder.
-        let inherited = self.meta.get(&(from, id)).cloned().unwrap_or_default();
         let mut new_meta = CarriedMeta {
             rx_joules: r.rx_joules,
             path_ratings: inherited.path_ratings,
+            received_from: Some(from),
         };
 
         // DRM: the receiver judges the annotating nodes on the path (a
@@ -709,8 +946,27 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
                 // `self` fields — disjoint borrows, no clone needed.
                 let judgements =
                     judge_message(copy, to, &self.params.rating, 0.25, &mut self.judge_rng);
+                let farmer_ring = match self.strategies[to.index()] {
+                    Some(StrategyKind::TagFarmer { ring }) => Some(ring),
+                    _ => None,
+                };
                 for j in &judgements {
-                    let message_rating = if j.is_source {
+                    // A colluding tag-farmer's verdict is a foregone
+                    // conclusion: fellow ring members get the top rating,
+                    // outsiders get zero — the judgement draws still
+                    // happen (same rng stream shape), only the verdict is
+                    // overridden.
+                    let message_rating = if let Some(ring) = farmer_ring {
+                        let same_ring = matches!(
+                            self.strategies[j.subject.index()],
+                            Some(StrategyKind::TagFarmer { ring: r }) if r == ring
+                        );
+                        if same_ring {
+                            self.params.rating.max_rating
+                        } else {
+                            0.0
+                        }
+                    } else if j.is_source {
                         source_message_rating(&j.judgement, &self.params.rating)
                     } else {
                         relay_message_rating(&j.judgement, &self.params.rating)
@@ -726,8 +982,16 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         }
         self.meta.insert((to, id), new_meta);
 
-        // Content enrichment by the new holder.
-        let behavior = self.behaviors[to.index()];
+        // Content enrichment by the new holder. Tag farmers and
+        // whitewashers pollute carried content exactly like the paper's
+        // malicious nodes — the strategies differ in how they launder the
+        // reputational consequences, not in the pollution itself.
+        let behavior = match self.strategies[to.index()] {
+            Some(StrategyKind::TagFarmer { .. } | StrategyKind::Whitewasher { .. }) => {
+                NodeBehavior::Malicious
+            }
+            _ => self.behaviors[to.index()],
+        };
         let enr_params = self.params;
         let now = api.now();
         if let Some(copy) = api.buffer_mut(to).get_mut(id) {
@@ -737,7 +1001,7 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         }
 
         // Delivery and settlement (against the arrival-time tag set).
-        if self.backend.is_destination(to, &keywords_at_arrival) {
+        if dest_at_arrival {
             let fresh = api.mark_delivered(to, id);
             if fresh && self.params.incentive_enabled {
                 let quote = offer.map_or(0.0, |o| o.software_promise);

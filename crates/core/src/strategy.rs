@@ -1,0 +1,391 @@
+//! Strategic, economically rational adversary models (extension).
+//!
+//! [`crate::behavior::NodeBehavior`] covers the paper's populations —
+//! duty-cycled selfish radios and tag-polluting malicious nodes. The
+//! strategies here sit *on top* of that layer and game the economy
+//! itself:
+//!
+//! * **Free-riders** accept custody (pocketing the cooperative look and
+//!   any relay prepayment owed to them later), then silently drop the
+//!   copy. The content DRM never sees them — a dropped message is never
+//!   rated — so only the forwarding [`Watchdog`] can (thesis ref \[26\]).
+//! * **Minority-game players** (Chahin et al., PAPERS.md) open the radio
+//!   only when the *expected token yield per contact* beats a fixed
+//!   energy cost, exploring first and then free-riding on participation
+//!   whenever the market is saturated.
+//! * **Tag-farmer rings** collude: members rate one another `max_rating`
+//!   and everyone else `0`, poisoning gossip to steer reputation-scaled
+//!   awards toward the ring. Countered by EigenTrust-style weighted
+//!   absorption (SNIPPETS.md ADR-0008).
+//! * **Whitewashers** behave maliciously, and when their reputation
+//!   collapses they churn identity: every observer forgets them and they
+//!   restart from the neutral prior (keeping their token balance — the
+//!   economy is closed).
+//!
+//! [`Watchdog`]: dtn_reputation::watchdog::Watchdog
+
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// One node's economic strategy. Nodes without a strategy play the
+/// protocol straight (their [`crate::behavior::NodeBehavior`] still
+/// applies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Accepts custody and silently drops relay copies, keeping tokens
+    /// and saving the energy of forwarding.
+    FreeRider,
+    /// Opens the radio only when the expected token yield of a contact
+    /// beats `energy_cost` (minority-game participation).
+    MinorityGame {
+        /// Token-denominated cost of keeping the radio open for one
+        /// contact.
+        energy_cost: f64,
+    },
+    /// Colludes with fellow ring members: rates them `max_rating` and
+    /// outsiders `0`, and pollutes carried messages like a malicious
+    /// node.
+    TagFarmer {
+        /// Collusion-ring identifier; members recognize one another.
+        ring: u32,
+    },
+    /// Behaves maliciously and sheds the resulting bad identity by churn
+    /// every `churn_interval_secs` once its average rating has sunk
+    /// below neutral.
+    Whitewasher {
+        /// Seconds between identity-churn opportunities.
+        churn_interval_secs: f64,
+    },
+}
+
+impl StrategyKind {
+    /// Validates the strategy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            StrategyKind::FreeRider | StrategyKind::TagFarmer { .. } => Ok(()),
+            StrategyKind::MinorityGame { energy_cost } => {
+                if !energy_cost.is_finite() || energy_cost < 0.0 {
+                    return Err(format!(
+                        "minority-game energy_cost must be finite and non-negative, \
+                         got {energy_cost}"
+                    ));
+                }
+                Ok(())
+            }
+            StrategyKind::Whitewasher {
+                churn_interval_secs,
+            } => {
+                if !churn_interval_secs.is_finite() || churn_interval_secs <= 0.0 {
+                    return Err(format!(
+                        "whitewasher churn_interval_secs must be finite and positive, \
+                         got {churn_interval_secs}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A population-level strategy mix: what fraction of the nodes plays each
+/// strategy, the strategies' shared parameters, and whether the
+/// countermeasures (sequenced, reputation-weighted gossip plus
+/// watchdog-gated custody) are armed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyMix {
+    /// Fraction of nodes that free-ride (accept custody, silently drop).
+    pub free_rider_fraction: f64,
+    /// Fraction of nodes playing the minority-game participation
+    /// strategy.
+    pub minority_fraction: f64,
+    /// Fraction of nodes in the colluding tag-farmer ring.
+    pub farmer_fraction: f64,
+    /// Fraction of nodes whitewashing via identity churn.
+    pub whitewash_fraction: f64,
+    /// Token-denominated per-contact energy cost for minority-game
+    /// players.
+    pub minority_energy_cost: f64,
+    /// Seconds between whitewasher identity churns.
+    pub churn_interval_secs: f64,
+    /// Arms the countermeasures: digests are issued with monotonic
+    /// sequence numbers and absorbed weighted by the observer's rating of
+    /// the reporter, and senders refuse custody hand-offs to
+    /// watchdog-suspicious forwarders.
+    pub defense: bool,
+}
+
+impl Default for StrategyMix {
+    fn default() -> Self {
+        StrategyMix {
+            free_rider_fraction: 0.0,
+            minority_fraction: 0.0,
+            farmer_fraction: 0.0,
+            whitewash_fraction: 0.0,
+            minority_energy_cost: 0.05,
+            churn_interval_secs: 3600.0,
+            defense: false,
+        }
+    }
+}
+
+impl StrategyMix {
+    /// The combined fraction of strategy-playing (attacker) nodes.
+    #[must_use]
+    pub fn attacker_fraction(&self) -> f64 {
+        self.free_rider_fraction
+            + self.minority_fraction
+            + self.farmer_fraction
+            + self.whitewash_fraction
+    }
+
+    /// Whether the mix assigns no strategies at all (a defense-only or
+    /// fully empty mix).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.attacker_fraction() == 0.0
+    }
+
+    /// How many of `nodes` play each strategy, in declaration order
+    /// (free-riders, minority-game, farmers, whitewashers). Rounded per
+    /// fraction and clamped so the total never exceeds `nodes`.
+    #[must_use]
+    pub fn counts(&self, nodes: usize) -> [usize; 4] {
+        let mut remaining = nodes;
+        let mut out = [0usize; 4];
+        let fractions = [
+            self.free_rider_fraction,
+            self.minority_fraction,
+            self.farmer_fraction,
+            self.whitewash_fraction,
+        ];
+        for (slot, fraction) in out.iter_mut().zip(fractions) {
+            let want = (fraction * nodes as f64).round() as usize;
+            *slot = want.min(remaining);
+            remaining -= *slot;
+        }
+        out
+    }
+
+    /// The concrete strategy for the attacker with population `rank`
+    /// among `counts` (as returned by [`Self::counts`]); `None` past the
+    /// attacker population.
+    #[must_use]
+    pub fn kind_for_rank(&self, rank: usize, counts: [usize; 4]) -> Option<StrategyKind> {
+        let [free, minority, farm, white] = counts;
+        if rank < free {
+            Some(StrategyKind::FreeRider)
+        } else if rank < free + minority {
+            Some(StrategyKind::MinorityGame {
+                energy_cost: self.minority_energy_cost,
+            })
+        } else if rank < free + minority + farm {
+            Some(StrategyKind::TagFarmer { ring: 0 })
+        } else if rank < free + minority + farm + white {
+            Some(StrategyKind::Whitewasher {
+                churn_interval_secs: self.churn_interval_secs,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Validates the mix: every fraction a probability, their sum at most
+    /// one, and the shared strategy parameters in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, fraction) in [
+            ("free_rider_fraction", self.free_rider_fraction),
+            ("minority_fraction", self.minority_fraction),
+            ("farmer_fraction", self.farmer_fraction),
+            ("whitewash_fraction", self.whitewash_fraction),
+        ] {
+            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                return Err(format!("{name} must lie in [0, 1], got {fraction}"));
+            }
+        }
+        if self.attacker_fraction() > 1.0 + 1e-9 {
+            return Err(format!(
+                "strategy fractions sum to {:.3} > 1",
+                self.attacker_fraction()
+            ));
+        }
+        StrategyKind::MinorityGame {
+            energy_cost: self.minority_energy_cost,
+        }
+        .validate()?;
+        StrategyKind::Whitewasher {
+            churn_interval_secs: self.churn_interval_secs,
+        }
+        .validate()?;
+        Ok(())
+    }
+}
+
+impl FromStr for StrategyMix {
+    type Err = String;
+
+    /// Parses a compact spec, mirroring the chaos fault-spec grammar:
+    /// comma-separated `key=value` pairs plus the bare `defense` flag.
+    ///
+    /// ```text
+    /// free=0.2,minority=0.1,farm=0.1,white=0.05,cost=0.05,churn=3600,defense
+    /// ```
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut mix = StrategyMix::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (part, None),
+            };
+            let num = |v: Option<&str>| -> Result<f64, String> {
+                v.ok_or_else(|| format!("{key} needs a value, e.g. {key}=0.2"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad {key}: {e}"))
+            };
+            match key {
+                "free" => mix.free_rider_fraction = num(value)?,
+                "minority" => mix.minority_fraction = num(value)?,
+                "farm" => mix.farmer_fraction = num(value)?,
+                "white" => mix.whitewash_fraction = num(value)?,
+                "cost" => mix.minority_energy_cost = num(value)?,
+                "churn" => mix.churn_interval_secs = num(value)?,
+                "defense" => {
+                    if value.is_some() {
+                        return Err("defense takes no value".to_owned());
+                    }
+                    mix.defense = true;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown strategy key {other}; use free=, minority=, farm=, \
+                         white=, cost=, churn= and/or defense"
+                    ))
+                }
+            }
+        }
+        mix.validate()?;
+        Ok(mix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_every_key() {
+        let mix: StrategyMix =
+            "free=0.2,minority=0.1,farm=0.1,white=0.05,cost=0.3,churn=900,defense"
+                .parse()
+                .expect("valid spec");
+        assert_eq!(mix.free_rider_fraction, 0.2);
+        assert_eq!(mix.minority_fraction, 0.1);
+        assert_eq!(mix.farmer_fraction, 0.1);
+        assert_eq!(mix.whitewash_fraction, 0.05);
+        assert_eq!(mix.minority_energy_cost, 0.3);
+        assert_eq!(mix.churn_interval_secs, 900.0);
+        assert!(mix.defense);
+        assert!((mix.attacker_fraction() - 0.45).abs() < 1e-12);
+        assert!(!mix.is_empty());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        assert!("frob=0.1".parse::<StrategyMix>().is_err());
+        assert!("free".parse::<StrategyMix>().is_err());
+        assert!("free=lots".parse::<StrategyMix>().is_err());
+        assert!("defense=1".parse::<StrategyMix>().is_err());
+        assert!("free=1.5".parse::<StrategyMix>().is_err());
+        assert!(
+            "free=0.6,farm=0.6".parse::<StrategyMix>().is_err(),
+            "sum > 1"
+        );
+        assert!("free=0.1,cost=-1".parse::<StrategyMix>().is_err());
+        assert!("free=0.1,churn=0".parse::<StrategyMix>().is_err());
+        assert!("free=nan".parse::<StrategyMix>().is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_the_default_mix() {
+        let mix: StrategyMix = "".parse().expect("empty spec");
+        assert_eq!(mix, StrategyMix::default());
+        assert!(mix.is_empty());
+        assert!("defense".parse::<StrategyMix>().expect("flag only").defense);
+    }
+
+    #[test]
+    fn counts_round_and_never_exceed_population() {
+        let mix: StrategyMix = "free=0.2,minority=0.1,farm=0.1,white=0.05"
+            .parse()
+            .expect("valid");
+        let counts = mix.counts(40);
+        assert_eq!(counts, [8, 4, 4, 2]);
+        // Rounding overflow is clamped: four fractions of 0.3 on 10 nodes
+        // would round to 3 + 3 + 3 + 3 = 12 > 10.
+        let heavy = StrategyMix {
+            free_rider_fraction: 0.3,
+            minority_fraction: 0.3,
+            farmer_fraction: 0.3,
+            whitewash_fraction: 0.1,
+            ..StrategyMix::default()
+        };
+        let counts = heavy.counts(10);
+        assert!(counts.iter().sum::<usize>() <= 10);
+    }
+
+    #[test]
+    fn rank_assignment_covers_the_attacker_population_in_order() {
+        let mix: StrategyMix = "free=0.2,minority=0.1,farm=0.1,white=0.05,cost=0.3,churn=900"
+            .parse()
+            .expect("valid");
+        let counts = mix.counts(40);
+        assert_eq!(mix.kind_for_rank(0, counts), Some(StrategyKind::FreeRider));
+        assert_eq!(mix.kind_for_rank(7, counts), Some(StrategyKind::FreeRider));
+        assert_eq!(
+            mix.kind_for_rank(8, counts),
+            Some(StrategyKind::MinorityGame { energy_cost: 0.3 })
+        );
+        assert_eq!(
+            mix.kind_for_rank(12, counts),
+            Some(StrategyKind::TagFarmer { ring: 0 })
+        );
+        assert_eq!(
+            mix.kind_for_rank(16, counts),
+            Some(StrategyKind::Whitewasher {
+                churn_interval_secs: 900.0
+            })
+        );
+        assert_eq!(mix.kind_for_rank(18, counts), None);
+    }
+
+    #[test]
+    fn kind_validation_rejects_bad_parameters() {
+        assert!(StrategyKind::FreeRider.validate().is_ok());
+        assert!(StrategyKind::MinorityGame {
+            energy_cost: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(StrategyKind::Whitewasher {
+            churn_interval_secs: -5.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn mix_round_trips_through_serde() {
+        let mix: StrategyMix = "free=0.2,white=0.1,defense".parse().expect("valid");
+        let json = serde_json::to_string(&mix).expect("serializes");
+        let back: StrategyMix = serde_json::from_str(&json).expect("parses");
+        assert_eq!(mix, back);
+    }
+}

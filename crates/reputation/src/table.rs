@@ -25,8 +25,13 @@ use crate::rating::RatingParams;
 struct Opinion {
     /// Sum of first-hand message ratings given to the subject.
     firsthand_sum: f64,
-    /// Number of first-hand message ratings.
-    firsthand_count: u32,
+    /// Effective first-hand evidence weight. Each rating adds 1.0;
+    /// [`ReputationTable::fade`] scales it by the fading factor together
+    /// with `firsthand_sum`, so the running mean `sum / weight` stays
+    /// within the rating scale no matter how sum and weight have decayed.
+    /// (The old integer count was floored on fade while the sum was
+    /// scaled, which let the recomputed mean exceed `max_rating`.)
+    firsthand_weight: f64,
     /// The current device rating (case 1 and case 2 applied in arrival
     /// order).
     rating: f64,
@@ -39,6 +44,12 @@ struct Opinion {
 pub struct GossipDigest {
     /// `(subject, rating)` pairs, sorted by subject for determinism.
     pub ratings: Vec<(NodeId, f64)>,
+    /// Issuer-monotonic sequence number; `0` marks an unsequenced
+    /// (legacy) digest that bypasses replay detection. Stamped by
+    /// [`ReputationTable::issue_digest`] and checked by
+    /// [`ReputationTable::absorb_digest_weighted`].
+    #[serde(default)]
+    pub sequence: u64,
 }
 
 /// One node's view of every other node's reputation.
@@ -52,6 +63,11 @@ pub struct ReputationTable {
     owner: NodeId,
     params: RatingParams,
     opinions: Vec<(NodeId, Opinion)>,
+    /// Digests issued so far; the next [`Self::issue_digest`] stamps
+    /// `issued + 1`.
+    issued: u64,
+    /// Highest digest sequence seen per reporter, sorted by reporter.
+    last_seen_seq: Vec<(NodeId, u64)>,
 }
 
 impl ReputationTable {
@@ -62,6 +78,8 @@ impl ReputationTable {
             owner,
             params,
             opinions: Vec::new(),
+            issued: 0,
+            last_seen_seq: Vec::new(),
         }
     }
 
@@ -106,27 +124,31 @@ impl ReputationTable {
             .is_ok_and(|i| self.opinions[i].1.informed)
     }
 
-    /// Number of first-hand message ratings recorded for `subject`.
+    /// Number of first-hand message ratings recorded for `subject`
+    /// (rounded effective evidence weight once fading has been applied).
     #[must_use]
     pub fn firsthand_count(&self, subject: NodeId) -> u32 {
         self.position(subject)
-            .map_or(0, |i| self.opinions[i].1.firsthand_count)
+            .map_or(0.0, |i| self.opinions[i].1.firsthand_weight)
+            .round() as u32
     }
 
     /// Case 1 — records a first-hand message rating for `subject` and
-    /// recomputes the device rating as the running mean of all first-hand
-    /// message ratings. Returns the updated device rating.
+    /// recomputes the device rating as the (evidence-weighted) running
+    /// mean of all first-hand message ratings, clamped to the rating
+    /// scale. Returns the updated device rating.
     ///
     /// # Panics
     ///
     /// Panics if `subject` is the owner (nodes do not rate themselves).
     pub fn record_message_rating(&mut self, subject: NodeId, message_rating: f64) -> f64 {
         assert!(subject != self.owner, "a node does not rate itself");
-        let r = message_rating.clamp(0.0, self.params.max_rating);
+        let max = self.params.max_rating;
+        let r = message_rating.clamp(0.0, max);
         let o = self.opinion_mut(subject);
         o.firsthand_sum += r;
-        o.firsthand_count += 1;
-        o.rating = o.firsthand_sum / f64::from(o.firsthand_count);
+        o.firsthand_weight += 1.0;
+        o.rating = (o.firsthand_sum / o.firsthand_weight).clamp(0.0, max);
         o.informed = true;
         o.rating
     }
@@ -139,20 +161,44 @@ impl ReputationTable {
     /// reputations of oneself are not actionable. Returns the updated
     /// rating.
     pub fn merge_reported_rating(&mut self, subject: NodeId, reported: f64) -> f64 {
+        self.merge_reported_rating_weighted(subject, reported, 1.0)
+    }
+
+    /// Case 2 with a credibility weight `w ∈ [0, 1]` on the reporter:
+    /// `r_{v,u} ← r_{v,u} + w·(1−α)·(r_{v,z} − r_{v,u})`. At `w = 1` this
+    /// is exactly [`Self::merge_reported_rating`]; at `w = 0` the report
+    /// is discarded (EigenTrust-style discounting of low-reputation
+    /// reporters, SNIPPETS.md ADR-0008). Returns the (possibly unchanged)
+    /// rating of `subject`.
+    pub fn merge_reported_rating_weighted(
+        &mut self,
+        subject: NodeId,
+        reported: f64,
+        weight: f64,
+    ) -> f64 {
         if subject == self.owner {
             return self.params.neutral_rating;
         }
+        let w = if weight.is_finite() {
+            weight.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let prior = self.rating_of(subject);
+        if w <= 0.0 {
+            return prior;
+        }
         let reported = reported.clamp(0.0, self.params.max_rating);
         let alpha = self.params.merge_alpha;
-        let prior = self.rating_of(subject);
-        let merged = (1.0 - alpha) * reported + alpha * prior;
+        let merged = prior + w * (1.0 - alpha) * (reported - prior);
         let o = self.opinion_mut(subject);
         o.rating = merged;
         o.informed = true;
         merged
     }
 
-    /// Builds the digest this observer shares on contact.
+    /// Builds the digest this observer shares on contact (unsequenced:
+    /// `sequence = 0`, the legacy wire format).
     #[must_use]
     pub fn digest(&self) -> GossipDigest {
         let ratings: Vec<(NodeId, f64)> = self
@@ -161,18 +207,80 @@ impl ReputationTable {
             .filter(|(_, o)| o.informed)
             .map(|&(n, ref o)| (n, o.rating))
             .collect();
-        GossipDigest { ratings }
+        GossipDigest {
+            ratings,
+            sequence: 0,
+        }
+    }
+
+    /// Builds a *sequenced* digest: like [`Self::digest`] but stamped with
+    /// the next issuer-monotonic sequence number, so receivers can reject
+    /// replayed or re-forged copies via
+    /// [`Self::absorb_digest_weighted`].
+    pub fn issue_digest(&mut self) -> GossipDigest {
+        self.issued += 1;
+        let mut digest = self.digest();
+        digest.sequence = self.issued;
+        digest
     }
 
     /// Absorbs a peer's digest via case-2 merges (skipping entries about
     /// the observer itself and about the reporting peer — a peer's opinion
     /// of itself is not credible testimony).
     pub fn absorb_digest(&mut self, reporter: NodeId, digest: &GossipDigest) {
+        let _ = self.absorb_digest_weighted(reporter, digest, 1.0);
+    }
+
+    /// Absorbs a peer's digest with replay protection and credibility
+    /// weighting. A sequenced digest (`sequence > 0`) is rejected — and
+    /// `false` returned — unless its sequence strictly exceeds the highest
+    /// sequence previously accepted from `reporter`; accepted entries are
+    /// merged through [`Self::merge_reported_rating_weighted`] with
+    /// `weight` (the observer's normalized trust in the reporter).
+    /// Unsequenced digests always merge.
+    pub fn absorb_digest_weighted(
+        &mut self,
+        reporter: NodeId,
+        digest: &GossipDigest,
+        weight: f64,
+    ) -> bool {
+        if digest.sequence != 0 {
+            match self
+                .last_seen_seq
+                .binary_search_by_key(&reporter, |&(n, _)| n)
+            {
+                Ok(i) => {
+                    if digest.sequence <= self.last_seen_seq[i].1 {
+                        return false;
+                    }
+                    self.last_seen_seq[i].1 = digest.sequence;
+                }
+                Err(i) => self.last_seen_seq.insert(i, (reporter, digest.sequence)),
+            }
+        }
         for &(subject, rating) in &digest.ratings {
             if subject == self.owner || subject == reporter {
                 continue;
             }
-            self.merge_reported_rating(subject, rating);
+            self.merge_reported_rating_weighted(subject, rating, weight);
+        }
+        true
+    }
+
+    /// Erases everything known about `subject`: its opinion entry and its
+    /// replay-protection watermark. Models the observer's view of an
+    /// identity that has left the network — a whitewashing node re-joining
+    /// under a fresh identity starts from the neutral prior (and from
+    /// sequence zero).
+    pub fn forget(&mut self, subject: NodeId) {
+        if let Ok(i) = self.position(subject) {
+            self.opinions.remove(i);
+        }
+        if let Ok(i) = self
+            .last_seen_seq
+            .binary_search_by_key(&subject, |&(n, _)| n)
+        {
+            self.last_seen_seq.remove(i);
         }
     }
 
@@ -205,14 +313,16 @@ impl ReputationTable {
         let neutral = self.params.neutral_rating;
         self.opinions.retain_mut(|&mut (_, ref mut o)| {
             o.rating = neutral + factor * (o.rating - neutral);
+            // Sum and weight fade by the same factor, so the running mean
+            // they define is invariant under fading and stays in scale.
             o.firsthand_sum *= factor;
-            let faded_count = (f64::from(o.firsthand_count) * factor).floor();
-            o.firsthand_count = faded_count as u32;
-            if o.firsthand_count == 0 {
+            o.firsthand_weight *= factor;
+            if o.firsthand_weight <= 1e-9 {
+                o.firsthand_weight = 0.0;
                 o.firsthand_sum = 0.0;
             }
             // Drop fully-faded opinions: indistinguishable from ignorance.
-            let informative = (o.rating - neutral).abs() > 1e-9 || o.firsthand_count > 0;
+            let informative = (o.rating - neutral).abs() > 1e-9 || o.firsthand_weight > 0.0;
             o.informed = informative;
             informative
         });
@@ -221,6 +331,11 @@ impl ReputationTable {
 
 /// The network-wide average rating of each node in `subjects` as seen by
 /// `observers` — the quantity Fig. 5.4 plots over time for malicious nodes.
+///
+/// Observers are resolved by [`ReputationTable::owner`], not by indexing
+/// `tables[obs.index()]` — observer ids need not be dense table indices
+/// (indexing used to panic on sparse observer sets). Observers without a
+/// table contribute nothing.
 #[must_use]
 pub fn average_rating_of(
     tables: &[ReputationTable],
@@ -230,7 +345,15 @@ pub fn average_rating_of(
     let mut sum = 0.0;
     let mut n = 0u64;
     for &obs in observers {
-        let table = &tables[obs.index()];
+        // Fast path: tables laid out with owner == index (the runner's
+        // layout); fall back to an owner scan for sparse observer sets.
+        let table = match tables.get(obs.index()).filter(|t| t.owner() == obs) {
+            Some(t) => t,
+            None => match tables.iter().find(|t| t.owner() == obs) {
+                Some(t) => t,
+                None => continue,
+            },
+        };
         for &subj in subjects {
             if subj == obs {
                 continue;
@@ -430,5 +553,108 @@ mod tests {
     #[should_panic(expected = "fading factor")]
     fn fade_rejects_out_of_range() {
         table(0).fade(1.5);
+    }
+
+    /// Regression for the fade inconsistency: three 5.0 ratings then
+    /// `fade(0.4)` left sum = 6.0 but floored the count to 1, so the next
+    /// 5.0 recomputed the mean as (6.0 + 5.0)/2 = 5.5 > max_rating. With
+    /// the fractional weight the mean is (6.0 + 5.0)/2.2 = 5.0 exactly.
+    #[test]
+    fn fade_then_record_stays_within_scale() {
+        let mut t = table(0);
+        for _ in 0..3 {
+            t.record_message_rating(NodeId(1), 5.0);
+        }
+        t.fade(0.4);
+        let r = t.record_message_rating(NodeId(1), 5.0);
+        assert!(r <= 5.0, "mean exceeded max_rating after fade: {r}");
+        assert!((r - 5.0).abs() < 1e-12, "all-5.0 evidence means 5.0: {r}");
+        assert!(t.rating_of(NodeId(1)) <= 5.0);
+    }
+
+    #[test]
+    fn average_rating_handles_sparse_observers() {
+        let params = RatingParams::paper_default();
+        // Tables owned by 5 and 9: observer ids far beyond the slice's
+        // index range (the old index-based lookup panicked here).
+        let mut tables = vec![
+            ReputationTable::new(NodeId(5), params),
+            ReputationTable::new(NodeId(9), params),
+        ];
+        tables[0].record_message_rating(NodeId(2), 1.0);
+        tables[1].record_message_rating(NodeId(2), 3.0);
+        let avg = average_rating_of(&tables, &[NodeId(5), NodeId(9)], &[NodeId(2)]);
+        assert_eq!(avg, 2.0);
+        // Observers without a table are skipped, not a panic.
+        let avg = average_rating_of(&tables, &[NodeId(42)], &[NodeId(2)]);
+        assert_eq!(avg, 0.0);
+    }
+
+    #[test]
+    fn sequenced_digests_reject_replay_and_stale_copies() {
+        let mut reporter = table(1);
+        reporter.record_message_rating(NodeId(2), 0.5);
+        let d1 = reporter.issue_digest();
+        let d2 = reporter.issue_digest();
+        assert_eq!((d1.sequence, d2.sequence), (1, 2));
+
+        let mut t = table(0);
+        assert!(t.absorb_digest_weighted(NodeId(1), &d1, 1.0));
+        assert!(!t.absorb_digest_weighted(NodeId(1), &d1, 1.0), "replay");
+        let after_first = t.rating_of(NodeId(2));
+        assert!(t.absorb_digest_weighted(NodeId(1), &d2, 1.0));
+        assert!(
+            !t.absorb_digest_weighted(NodeId(1), &d1, 1.0),
+            "stale out-of-order copy rejected"
+        );
+        assert!(t.rating_of(NodeId(2)) < after_first, "d2 merged once");
+        // Sequences are per-issuer: another reporter's seq-1 still lands.
+        assert!(t.absorb_digest_weighted(NodeId(3), &d1, 1.0));
+        // Unsequenced digests bypass replay detection entirely.
+        let legacy = reporter.digest();
+        assert_eq!(legacy.sequence, 0);
+        assert!(t.absorb_digest_weighted(NodeId(1), &legacy, 1.0));
+    }
+
+    #[test]
+    fn weighted_merge_discounts_low_credibility_reporters() {
+        // Full-weight merge ≡ the classic case-2 rule.
+        let mut full = table(0);
+        full.record_message_rating(NodeId(1), 4.0);
+        let mut classic = full.clone();
+        full.merge_reported_rating_weighted(NodeId(1), 1.0, 1.0);
+        classic.merge_reported_rating(NodeId(1), 1.0);
+        assert_eq!(full.rating_of(NodeId(1)), classic.rating_of(NodeId(1)));
+
+        // Half weight moves half as far; zero weight not at all.
+        let mut half = table(0);
+        half.record_message_rating(NodeId(1), 4.0);
+        half.merge_reported_rating_weighted(NodeId(1), 1.0, 0.5);
+        let moved_full = 4.0 - full.rating_of(NodeId(1));
+        let moved_half = 4.0 - half.rating_of(NodeId(1));
+        assert!((moved_half - moved_full / 2.0).abs() < 1e-12);
+        let mut zero = table(0);
+        zero.record_message_rating(NodeId(1), 4.0);
+        zero.merge_reported_rating_weighted(NodeId(1), 1.0, 0.0);
+        assert_eq!(zero.rating_of(NodeId(1)), 4.0);
+        assert_eq!(
+            zero.merge_reported_rating_weighted(NodeId(1), 1.0, f64::NAN),
+            4.0
+        );
+    }
+
+    #[test]
+    fn forget_erases_opinion_and_replay_watermark() {
+        let mut t = table(0);
+        t.record_message_rating(NodeId(1), 0.0);
+        let mut reporter = table(1);
+        reporter.record_message_rating(NodeId(2), 1.0);
+        let d = reporter.issue_digest();
+        assert!(t.absorb_digest_weighted(NodeId(1), &d, 1.0));
+        t.forget(NodeId(1));
+        assert!(!t.knows(NodeId(1)), "opinion gone");
+        assert_eq!(t.rating_of(NodeId(1)), 2.5, "back to the prior");
+        // The fresh identity restarts its sequence space.
+        assert!(t.absorb_digest_weighted(NodeId(1), &d, 1.0), "seq reset");
     }
 }

@@ -16,12 +16,18 @@
 //! the Beta-expectation trust is `(p + 1) / (h + 2)` — the Laplace-
 //! smoothed success rate, starting at the neutral 0.5 with no evidence.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
 use dtn_sim::message::MessageId;
 use dtn_sim::world::NodeId;
+
+/// Default bound on outstanding unconfirmed hand-offs. When the pending
+/// set reaches this size the oldest hand-offs are expired first — they
+/// remain counted as hand-offs (the custody transfer was real), but a
+/// later PFM for them carries no evidence.
+pub const DEFAULT_PENDING_CAPACITY: usize = 4096;
 
 /// Evidence about one forwarder.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,40 +47,110 @@ impl ForwarderRecord {
 }
 
 /// One node's forwarding watchdog.
-#[derive(Debug, Clone, Default)]
+///
+/// The pending set is bounded ([`DEFAULT_PENDING_CAPACITY`], overridable
+/// via [`Watchdog::with_pending_capacity`]) and expires deterministically
+/// oldest-first: membership lives in an ordered `BTreeSet` and insertion
+/// order in a queue, so identical call sequences always expire identical
+/// hand-offs regardless of hasher state.
+#[derive(Debug, Clone)]
 pub struct Watchdog {
     records: HashMap<NodeId, ForwarderRecord>,
     /// Outstanding hand-offs awaiting confirmation.
-    pending: HashMap<(NodeId, MessageId), ()>,
+    pending: BTreeSet<(NodeId, MessageId)>,
+    /// Insertion order of `pending` entries; confirmed entries linger as
+    /// tombstones (skipped on expiry) and are compacted periodically.
+    order: VecDeque<(NodeId, MessageId)>,
+    capacity: usize,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            records: HashMap::new(),
+            pending: BTreeSet::new(),
+            order: VecDeque::new(),
+            capacity: DEFAULT_PENDING_CAPACITY,
+        }
+    }
 }
 
 impl Watchdog {
-    /// Creates an empty watchdog.
+    /// Creates an empty watchdog with the default pending capacity.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty watchdog bounding the pending set at `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_pending_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "pending capacity must be at least 1");
+        Watchdog {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// The bound on outstanding unconfirmed hand-offs.
+    #[must_use]
+    pub fn pending_capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Records handing `message` to `forwarder`.
     ///
     /// Duplicate hand-offs of the same message to the same forwarder are
-    /// counted once (retransmissions are not independent evidence).
+    /// counted once (retransmissions are not independent evidence). At
+    /// capacity, the oldest outstanding hand-off is expired: it stays
+    /// counted as a hand-off, but stops awaiting confirmation.
     pub fn record_handoff(&mut self, forwarder: NodeId, message: MessageId) {
-        if self.pending.insert((forwarder, message), ()).is_none() {
+        if self.pending.insert((forwarder, message)) {
+            self.order.push_back((forwarder, message));
             self.records.entry(forwarder).or_default().handoffs += 1;
+            while self.pending.len() > self.capacity {
+                match self.order.pop_front() {
+                    // Tombstones (already confirmed) shrink nothing and
+                    // the loop pops again.
+                    Some(oldest) => {
+                        self.pending.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+            // Bound the order queue too: drop accumulated tombstones.
+            if self.order.len() > self.capacity.saturating_mul(2) {
+                let pending = &self.pending;
+                self.order.retain(|key| pending.contains(key));
+            }
         }
     }
 
     /// Records a delivery confirmation (PFM) for `message` via
     /// `forwarder`. Returns `false` when no matching hand-off was pending
-    /// (spurious or duplicate PFMs carry no evidence).
+    /// (spurious or duplicate PFMs — or PFMs for expired hand-offs —
+    /// carry no evidence).
     pub fn record_confirmation(&mut self, forwarder: NodeId, message: MessageId) -> bool {
-        if self.pending.remove(&(forwarder, message)).is_some() {
+        if self.pending.remove(&(forwarder, message)) {
             self.records.entry(forwarder).or_default().confirmed += 1;
             true
         } else {
             false
         }
+    }
+
+    /// Erases all evidence about `forwarder` (its record and any pending
+    /// hand-offs) — the watchdog's view of an identity that left the
+    /// network.
+    pub fn forget(&mut self, forwarder: NodeId) {
+        self.records.remove(&forwarder);
+        self.pending.retain(|&(f, _)| f != forwarder);
+        let pending = &self.pending;
+        self.order.retain(|key| pending.contains(key));
     }
 
     /// The trust score for `forwarder` (0.5 with no evidence).
@@ -197,6 +273,61 @@ mod tests {
             "double PFM"
         );
         assert_eq!(w.record(NodeId(1)).confirmed, 1);
+    }
+
+    #[test]
+    fn pending_set_is_bounded_and_expires_oldest_first() {
+        let mut w = Watchdog::with_pending_capacity(2);
+        assert_eq!(w.pending_capacity(), 2);
+        w.record_handoff(NodeId(1), MessageId(0));
+        w.record_handoff(NodeId(1), MessageId(1));
+        w.record_handoff(NodeId(1), MessageId(2)); // expires (1, m0)
+        assert_eq!(w.pending_count(), 2);
+        assert_eq!(w.record(NodeId(1)).handoffs, 3, "expiry keeps the count");
+        assert!(
+            !w.record_confirmation(NodeId(1), MessageId(0)),
+            "PFM for an expired hand-off carries no evidence"
+        );
+        assert!(w.record_confirmation(NodeId(1), MessageId(1)));
+        assert!(w.record_confirmation(NodeId(1), MessageId(2)));
+        assert_eq!(w.pending_count(), 0);
+        // Confirmed tombstones do not count against the capacity: two
+        // fresh hand-offs fit without expiring each other.
+        w.record_handoff(NodeId(2), MessageId(3));
+        w.record_handoff(NodeId(2), MessageId(4));
+        assert_eq!(w.pending_count(), 2);
+        assert!(w.record_confirmation(NodeId(2), MessageId(3)));
+    }
+
+    #[test]
+    fn long_runs_never_exceed_capacity() {
+        let mut w = Watchdog::with_pending_capacity(8);
+        for m in 0..1000u64 {
+            w.record_handoff(NodeId(m as u32 % 5), MessageId(m));
+            if m % 3 == 0 {
+                w.record_confirmation(NodeId(m as u32 % 5), MessageId(m));
+            }
+            assert!(w.pending_count() <= 8);
+        }
+    }
+
+    #[test]
+    fn forget_erases_records_and_pending() {
+        let mut w = Watchdog::new();
+        w.record_handoff(NodeId(1), MessageId(0));
+        w.record_handoff(NodeId(2), MessageId(1));
+        w.forget(NodeId(1));
+        assert_eq!(w.record(NodeId(1)), ForwarderRecord::default());
+        assert_eq!(w.trust(NodeId(1)), 0.5, "back to neutral");
+        assert_eq!(w.pending_count(), 1, "other forwarders unaffected");
+        assert!(!w.record_confirmation(NodeId(1), MessageId(0)));
+        assert!(w.record_confirmation(NodeId(2), MessageId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Watchdog::with_pending_capacity(0);
     }
 
     #[test]

@@ -62,6 +62,36 @@ proptest! {
         }
     }
 
+    /// Device ratings remain on the scale under arbitrary interleavings of
+    /// first-hand ratings, gossip merges *and fading*. This is the property
+    /// that catches the historical fade bug: `fade` used to scale the
+    /// first-hand sum but floor the integer count, so a post-fade
+    /// `record_message_rating` could recompute a mean above `max_rating`.
+    #[test]
+    fn table_ratings_bounded_under_fade(
+        ops in prop::collection::vec((1u32..10, -5.0f64..15.0, 0u8..8), 0..200)
+    ) {
+        let p = RatingParams::paper_default();
+        let mut t = ReputationTable::new(NodeId(0), p);
+        for (subject, value, op) in ops {
+            let subject = NodeId(subject);
+            match op {
+                0..=3 => {
+                    t.record_message_rating(subject, value);
+                }
+                4..=6 => {
+                    t.merge_reported_rating(subject, value);
+                }
+                _ => t.fade((value / 15.0).clamp(0.0, 1.0)),
+            }
+            for n in 1..10u32 {
+                let r = t.rating_of(NodeId(n));
+                prop_assert!(r.is_finite());
+                prop_assert!(r >= 0.0 && r <= p.max_rating);
+            }
+        }
+    }
+
     /// Case-1 is exactly the mean of the clamped first-hand ratings.
     #[test]
     fn case1_is_exact_mean(ratings in prop::collection::vec(0.0f64..5.0, 1..40)) {
@@ -99,6 +129,7 @@ proptest! {
         let p = RatingParams::paper_default();
         let digest = GossipDigest {
             ratings: entries.into_iter().map(|(n, r)| (NodeId(n), r)).collect(),
+            sequence: 0,
         };
         let owner = NodeId(99);
         let mut t = ReputationTable::new(owner, p);
@@ -107,6 +138,31 @@ proptest! {
         prop_assert!(!t.knows(NodeId(reporter)));
         for n in 0..10u32 {
             let r = t.rating_of(NodeId(n));
+            prop_assert!(r >= 0.0 && r <= p.max_rating);
+        }
+    }
+
+    /// Weighted absorption keeps ratings on scale for any weight, and a
+    /// sequenced digest is accepted exactly once per issuer while an
+    /// unsequenced one always merges.
+    #[test]
+    fn weighted_absorption_safe(
+        entries in prop::collection::vec((0u32..10, -2.0f64..8.0), 0..30),
+        weight in -1.0f64..2.0,
+        sequence in 0u64..5
+    ) {
+        let p = RatingParams::paper_default();
+        let digest = GossipDigest {
+            ratings: entries.into_iter().map(|(n, r)| (NodeId(n), r)).collect(),
+            sequence,
+        };
+        let mut t = ReputationTable::new(NodeId(99), p);
+        prop_assert!(t.absorb_digest_weighted(NodeId(50), &digest, weight));
+        let again = t.absorb_digest_weighted(NodeId(50), &digest, weight);
+        prop_assert_eq!(again, sequence == 0);
+        for n in 0..10u32 {
+            let r = t.rating_of(NodeId(n));
+            prop_assert!(r.is_finite());
             prop_assert!(r >= 0.0 && r <= p.max_rating);
         }
     }

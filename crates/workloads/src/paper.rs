@@ -59,6 +59,9 @@ pub fn table51_scenario() -> Scenario {
         threads: None,
         backend: None,
         overlay: None,
+        strategies: None,
+        audit_every: None,
+        selfish_duty_cycle: None,
     }
 }
 

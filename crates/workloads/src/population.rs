@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 
 use dtn_core::behavior::NodeBehavior;
+use dtn_core::strategy::StrategyKind;
 use dtn_incentive::params::Role;
 use dtn_routing::directory::InterestDirectory;
 use dtn_sim::message::{Keyword, Priority};
@@ -66,6 +67,9 @@ pub struct Population {
     pub roles: Vec<Role>,
     /// Per-node source class.
     pub classes: Vec<SourceClass>,
+    /// Per-node economic strategy (`None` everywhere unless the scenario
+    /// configures a strategy mix).
+    pub strategies: Vec<Option<StrategyKind>>,
 }
 
 impl Population {
@@ -94,9 +98,12 @@ impl Population {
         let malicious_count = (scenario.malicious_fraction * n as f64).round() as usize;
         let special = behavior_rng.choose_indices(n, (selfish_count + malicious_count).min(n));
         let mut behaviors = vec![NodeBehavior::Honest; n];
+        let selfish = NodeBehavior::Selfish {
+            duty_cycle: scenario.effective_selfish_duty_cycle(),
+        };
         for (rank, &idx) in special.iter().enumerate() {
             behaviors[idx] = if rank < selfish_count {
-                NodeBehavior::paper_selfish()
+                selfish
             } else {
                 NodeBehavior::Malicious
             };
@@ -127,12 +134,36 @@ impl Population {
             })
             .collect();
 
+        // Strategy assignment draws from its own stream, and *only* when
+        // the scenario configures attackers: a strategy-free scenario must
+        // consume exactly the draws it always consumed, so every existing
+        // run (and golden) is byte-identical.
+        let mut strategies = vec![None; n];
+        if let Some(mix) = &scenario.strategies {
+            let counts = mix.counts(n);
+            let attackers: usize = counts.iter().sum();
+            if attackers > 0 {
+                let mut strategy_rng = rng.stream(5);
+                let chosen = strategy_rng.choose_indices(n, attackers);
+                for (rank, &idx) in chosen.iter().enumerate() {
+                    strategies[idx] = mix.kind_for_rank(rank, counts);
+                }
+            }
+        }
+
         Population {
             interests,
             behaviors,
             roles,
             classes,
+            strategies,
         }
+    }
+
+    /// Count of strategy-playing (attacker) nodes.
+    #[must_use]
+    pub fn attacker_count(&self) -> usize {
+        self.strategies.iter().filter(|s| s.is_some()).count()
     }
 
     /// Each node's direct interests, sorted — the canonical subscription
@@ -271,6 +302,47 @@ mod tests {
         assert_eq!(a.interests, b.interests);
         assert_eq!(a.behaviors, b.behaviors);
         assert_eq!(a.classes, b.classes);
+    }
+
+    #[test]
+    fn strategies_follow_the_mix_and_leave_other_streams_untouched() {
+        let mut s = paper::reduced_scenario();
+        s.strategies = Some("free=0.2,minority=0.1,farm=0.1,white=0.05".parse().unwrap());
+        let p = Population::synthesize(&s, &SimRng::new(7));
+        let mix = s.strategies.unwrap();
+        assert_eq!(p.attacker_count(), mix.counts(s.nodes).iter().sum());
+        let free = p
+            .strategies
+            .iter()
+            .filter(|k| **k == Some(StrategyKind::FreeRider))
+            .count();
+        assert_eq!(free, 20);
+        // The strategy stream is separate: interests/behaviors/classes/
+        // roles are identical with and without strategies configured.
+        let plain = Population::synthesize(&paper::reduced_scenario(), &SimRng::new(7));
+        assert_eq!(p.interests, plain.interests);
+        assert_eq!(p.behaviors, plain.behaviors);
+        assert_eq!(p.classes, plain.classes);
+        assert_eq!(p.roles, plain.roles);
+        assert!(plain.strategies.iter().all(Option::is_none));
+        // A defense-only mix assigns nobody and draws nothing.
+        let mut d = paper::reduced_scenario();
+        d.strategies = Some("defense".parse().unwrap());
+        let defended = Population::synthesize(&d, &SimRng::new(7));
+        assert_eq!(defended.attacker_count(), 0);
+    }
+
+    #[test]
+    fn selfish_duty_cycle_override_reaches_behaviors() {
+        let mut s = paper::reduced_scenario();
+        s.selfish_fraction = 0.3;
+        s.selfish_duty_cycle = Some(0.25);
+        let p = Population::synthesize(&s, &SimRng::new(11));
+        assert!(p
+            .behaviors
+            .iter()
+            .filter(|b| b.is_selfish())
+            .all(|b| *b == NodeBehavior::Selfish { duty_cycle: 0.25 }));
     }
 
     #[test]

@@ -108,6 +108,7 @@ pub fn build_simulation_opts(
     profile: bool,
 ) -> Simulation<DcimRouter> {
     scenario.validate().expect("scenario must validate");
+    let check_every = check_every.or(scenario.audit_every);
     let workload_rng = SimRng::new(seed);
     let population = Population::synthesize(scenario, &workload_rng);
     let schedule = generate_schedule(scenario, &population, &workload_rng);
@@ -125,6 +126,7 @@ pub fn build_simulation_opts(
     for (i, &role) in population.roles.iter().enumerate() {
         router.set_role(NodeId(i as u32), role);
     }
+    apply_strategies(&mut router, scenario, &population);
 
     // The mechanism evicts lowest-priority copies first under buffer
     // pressure; without it (plain ChitChat, or an ablation with the credit
@@ -158,6 +160,27 @@ pub fn build_simulation_opts(
         builder = builder.check_invariants_every(every);
     }
     builder.profile(profile).messages(schedule).build(router)
+}
+
+/// Wires the population's strategy assignment (and the mix's defense flag)
+/// into a router. A scenario without strategies touches nothing, so the
+/// router stays on the byte-identical paper-default path.
+fn apply_strategies<B: RouterBackend>(
+    router: &mut DcimRouter<B>,
+    scenario: &Scenario,
+    population: &Population,
+) {
+    let Some(mix) = &scenario.strategies else {
+        return;
+    };
+    for (i, &strategy) in population.strategies.iter().enumerate() {
+        if strategy.is_some() {
+            router.set_strategy(NodeId(i as u32), strategy);
+        }
+    }
+    if mix.defense {
+        router.set_strategy_defense(true);
+    }
 }
 
 /// Builds the same world and workload as [`build_simulation`] but wires in
@@ -233,6 +256,7 @@ pub fn build_backend_simulation(
     check_every: Option<u64>,
 ) -> Simulation<BackendRouter> {
     scenario.validate().expect("scenario must validate");
+    let check_every = check_every.or(scenario.audit_every);
     let workload_rng = SimRng::new(seed);
     let population = Population::synthesize(scenario, &workload_rng);
     let schedule = generate_schedule(scenario, &population, &workload_rng);
@@ -252,6 +276,7 @@ pub fn build_backend_simulation(
     for (i, &role) in population.roles.iter().enumerate() {
         router.set_role(NodeId(i as u32), role);
     }
+    apply_strategies(&mut router, scenario, &population);
 
     let drop_policy = if params.incentive_enabled {
         dtn_sim::buffer::DropPolicy::DropLowestPriority
@@ -302,6 +327,7 @@ pub fn run_backend_checked(
     ArmRun {
         summary,
         broke_nodes: router.ledger().broke_nodes().len(),
+        attacker_tokens: router.attacker_tokens(),
         protocol: router.stats(),
     }
 }
@@ -315,6 +341,9 @@ pub struct ArmRun {
     pub protocol: ProtocolStats,
     /// Nodes that ended the run with zero tokens.
     pub broke_nodes: usize,
+    /// Tokens held by strategy-playing nodes at the end of the run
+    /// (`0.0` in every strategy-free scenario).
+    pub attacker_tokens: f64,
 }
 
 /// Runs one `(scenario, arm, seed)` to completion.
@@ -375,6 +404,7 @@ pub fn run_once_observed(
         ArmRun {
             summary,
             broke_nodes: router.ledger().broke_nodes().len(),
+            attacker_tokens: router.attacker_tokens(),
             protocol: router.stats(),
         },
         rendered,

@@ -184,6 +184,26 @@ pub struct Scenario {
     /// experiment). Read through [`Scenario::effective_overlay`].
     #[serde(default)]
     pub overlay: Option<dtn_routing::backend::Overlay>,
+    /// Optional economic-adversary population
+    /// ([`dtn_core::strategy::StrategyMix`]): free-riders, minority-game
+    /// players, tag-farmer rings, whitewashers, and whether the
+    /// countermeasures are armed. `None` = no strategies, as in every
+    /// paper experiment.
+    #[serde(default)]
+    pub strategies: Option<dtn_core::strategy::StrategyMix>,
+    /// Optional in-run invariant audit cadence in sim-seconds, applied
+    /// when the caller does not pass its own cadence — the adversary
+    /// experiments set this so every sweep cell is audited even through
+    /// the memoizing cache path. `None` = audit only when the caller asks.
+    #[serde(default)]
+    pub audit_every: Option<u64>,
+    /// Duty cycle of the selfish population (`None` = the paper's 0.1:
+    /// "open one out of ten times"). Read through
+    /// [`Scenario::effective_selfish_duty_cycle`]; validated at build time
+    /// so NaN or out-of-range probabilities cannot skew the participation
+    /// gate silently.
+    #[serde(default)]
+    pub selfish_duty_cycle: Option<f64>,
 }
 
 impl Scenario {
@@ -243,7 +263,23 @@ impl Scenario {
         if self.backend == Some(dtn_routing::backend::BackendKind::SprayAndWait(0)) {
             return Err("spray-and-wait needs at least one ticket".into());
         }
+        if let Some(mix) = &self.strategies {
+            mix.validate()?;
+        }
+        if self.audit_every == Some(0) {
+            return Err("audit_every must be at least 1 when set".into());
+        }
+        dtn_core::behavior::NodeBehavior::Selfish {
+            duty_cycle: self.effective_selfish_duty_cycle(),
+        }
+        .validate()?;
         Ok(())
+    }
+
+    /// The selfish population's duty cycle (default: the paper's 0.1).
+    #[must_use]
+    pub fn effective_selfish_duty_cycle(&self) -> f64 {
+        self.selfish_duty_cycle.unwrap_or(0.1)
     }
 
     /// The routing backend this scenario asks for (default: ChitChat).
@@ -447,6 +483,53 @@ mod tests {
 
         s.backend = Some(BackendKind::SprayAndWait(0));
         assert!(s.validate().is_err(), "zero spray tickets rejected");
+    }
+
+    #[test]
+    fn strategy_fields_survive_serde_and_default_when_absent() {
+        let mut s = paper::reduced_scenario();
+        s.strategies = Some("free=0.2,defense".parse().expect("valid mix"));
+        s.audit_every = Some(300);
+        s.selfish_duty_cycle = Some(0.25);
+        assert_eq!(s.validate(), Ok(()));
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, s);
+        assert_eq!(back.effective_selfish_duty_cycle(), 0.25);
+        // Configs written before the adversary suite existed still parse
+        // (and mean what they always meant: no strategies, no standing
+        // audit, the paper's 0.1 duty cycle).
+        let plain = serde_json::to_string(&paper::reduced_scenario()).expect("serializable");
+        let stripped = plain
+            .replace(",\"strategies\":null", "")
+            .replace(",\"audit_every\":null", "")
+            .replace(",\"selfish_duty_cycle\":null", "");
+        assert_ne!(stripped, plain, "the fields were present to strip");
+        let legacy: Scenario = serde_json::from_str(&stripped).expect("legacy parses");
+        assert_eq!(legacy.strategies, None);
+        assert_eq!(legacy.audit_every, None);
+        assert_eq!(legacy.effective_selfish_duty_cycle(), 0.1);
+    }
+
+    #[test]
+    fn strategy_fields_are_validated_at_build_time() {
+        let mut s = paper::reduced_scenario();
+        s.audit_every = Some(0);
+        assert!(s.validate().is_err(), "zero audit cadence rejected");
+
+        let mut s = paper::reduced_scenario();
+        s.selfish_duty_cycle = Some(f64::NAN);
+        assert!(s.validate().is_err(), "NaN duty cycle rejected");
+        s.selfish_duty_cycle = Some(1.5);
+        assert!(s.validate().is_err(), "out-of-range duty cycle rejected");
+
+        let mut s = paper::reduced_scenario();
+        s.strategies = Some(dtn_core::strategy::StrategyMix {
+            free_rider_fraction: 0.8,
+            farmer_fraction: 0.8,
+            ..Default::default()
+        });
+        assert!(s.validate().is_err(), "overfull strategy mix rejected");
     }
 
     #[test]

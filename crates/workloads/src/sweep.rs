@@ -184,7 +184,11 @@ impl Cell {
     /// before hashing: the cell's `kind` tag is the authoritative grid
     /// coordinate (the runner ignores the scenario fields once a cell is
     /// built), and their absence keeps every pre-grid cache entry
-    /// byte-compatible.
+    /// byte-compatible. Optional fields added later (`strategies`,
+    /// `audit_every`, `selfish_duty_cycle`) are stripped only while unset:
+    /// a scenario that leaves them at their defaults hashes to the key it
+    /// always had, while configuring any of them forks the key (they all
+    /// change the simulation).
     ///
     /// # Panics
     ///
@@ -195,7 +199,16 @@ impl Cell {
         canonical.name = String::new();
         let mut value = Serialize::to_value(&canonical);
         if let serde_json::Value::Map(entries) = &mut value {
-            entries.retain(|(key, _)| key != "backend" && key != "overlay");
+            entries.retain(|(key, value)| {
+                if key == "backend" || key == "overlay" {
+                    return false;
+                }
+                let null_when_unset = matches!(
+                    key.as_str(),
+                    "strategies" | "audit_every" | "selfish_duty_cycle"
+                );
+                !(null_when_unset && matches!(value, serde_json::Value::Null))
+            });
         }
         let scenario_json =
             serde_json::to_string(&RawJson(value)).expect("scenario serializes to JSON");
@@ -224,6 +237,11 @@ pub struct CellResult {
     pub tokens_awarded: f64,
     /// Nodes that ended the run with zero tokens.
     pub broke_nodes: u64,
+    /// Tokens held by strategy-playing nodes at the end of the run (0.0
+    /// for strategy-free and router cells). `serde(default)` so cache
+    /// entries written before the adversary suite still deserialize.
+    #[serde(default)]
+    pub attacker_tokens: f64,
 }
 
 /// Carries a pre-built JSON value through the serde facade so the
@@ -480,6 +498,7 @@ pub fn run_cell_uncached(cell: &Cell) -> CellResult {
                 settlements: run.protocol.settlements,
                 tokens_awarded: run.protocol.tokens_awarded,
                 broke_nodes: run.broke_nodes as u64,
+                attacker_tokens: run.attacker_tokens,
             }
         }
         CellKind::Backend { backend, overlay } => {
@@ -489,6 +508,7 @@ pub fn run_cell_uncached(cell: &Cell) -> CellResult {
                 settlements: run.protocol.settlements,
                 tokens_awarded: run.protocol.tokens_awarded,
                 broke_nodes: run.broke_nodes as u64,
+                attacker_tokens: run.attacker_tokens,
             }
         }
         CellKind::Router(kind) => {
@@ -498,6 +518,7 @@ pub fn run_cell_uncached(cell: &Cell) -> CellResult {
                 settlements: 0,
                 tokens_awarded: 0.0,
                 broke_nodes: 0,
+                attacker_tokens: 0.0,
             }
         }
     }
@@ -808,6 +829,48 @@ mod tests {
         annotated_scenario.overlay = Some(Overlay::Off);
         let annotated = Cell::arm(annotated_scenario, Arm::Incentive, 9);
         assert_eq!(bare.cache_key(), annotated.cache_key());
+    }
+
+    #[test]
+    fn unset_strategy_fields_keep_pre_existing_cache_keys() {
+        // Leaving the adversary-suite fields at their defaults must hash to
+        // the same key the scenario had before the fields existed (so no
+        // disk cache is invalidated); configuring any of them forks it.
+        let bare = Cell::arm(tiny("strat"), Arm::Incentive, 9);
+        let defaulted = {
+            let mut s = tiny("strat");
+            s.strategies = None;
+            s.audit_every = None;
+            s.selfish_duty_cycle = None;
+            Cell::arm(s, Arm::Incentive, 9)
+        };
+        assert_eq!(bare.cache_key(), defaulted.cache_key());
+
+        let mut with_mix = tiny("strat");
+        with_mix.strategies = Some("free=0.2".parse().unwrap());
+        assert_ne!(
+            bare.cache_key(),
+            Cell::arm(with_mix.clone(), Arm::Incentive, 9).cache_key()
+        );
+        let mut defended = with_mix.clone();
+        defended.strategies = Some("free=0.2,defense".parse().unwrap());
+        assert_ne!(
+            Cell::arm(with_mix, Arm::Incentive, 9).cache_key(),
+            Cell::arm(defended, Arm::Incentive, 9).cache_key(),
+            "the defense flag is part of the condition"
+        );
+        let mut audited = tiny("strat");
+        audited.audit_every = Some(60);
+        assert_ne!(
+            bare.cache_key(),
+            Cell::arm(audited, Arm::Incentive, 9).cache_key()
+        );
+        let mut duty = tiny("strat");
+        duty.selfish_duty_cycle = Some(0.2);
+        assert_ne!(
+            bare.cache_key(),
+            Cell::arm(duty, Arm::Incentive, 9).cache_key()
+        );
     }
 
     #[test]

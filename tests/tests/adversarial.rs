@@ -3,6 +3,7 @@
 //! what the mechanism defends against (and document what it does not —
 //! the thesis cites whitewashing as handled only by related work [10]).
 
+use dtn_core::strategy::{StrategyKind, StrategyMix};
 use dtn_reputation::prelude::*;
 use dtn_sim::prelude::*;
 use dtn_workloads::prelude::*;
@@ -73,6 +74,7 @@ fn self_praise_in_gossip_is_ignored() {
     let mut honest = ReputationTable::new(NodeId(0), params);
     let digest = GossipDigest {
         ratings: vec![(NodeId(7), 5.0)],
+        sequence: 0,
     };
     honest.absorb_digest(NodeId(7), &digest);
     assert!(!honest.knows(NodeId(7)));
@@ -137,6 +139,217 @@ fn whitewashing_limitation_fresh_identity_starts_neutral() {
     // The same adversary "re-registers" as node 2: a clean slate.
     assert_eq!(observer.rating_of(NodeId(2)), params.neutral_rating);
     assert!(!observer.knows(NodeId(2)));
+}
+
+/// A 30-node, 45-minute scenario dense enough for the strategic-node
+/// machinery to engage, with the given population mix.
+fn strategy_scenario(name: &str, mix: StrategyMix) -> Scenario {
+    let mut s = reduced_scenario();
+    s.nodes = 30;
+    s.area_km2 = 0.3;
+    s.duration_secs = 2700.0;
+    s.protocol.rating_prob = 0.5;
+    s.strategies = Some(mix);
+    s.named(name)
+}
+
+/// Economically rational free-riders accept custody and silently drop.
+/// The watchdog is the only component that can see the drop: with the
+/// defense armed, senders accumulate unconfirmed hand-offs and start
+/// refusing the droppers custody.
+#[test]
+fn free_riders_are_caught_by_the_watchdog_and_refused_custody() {
+    let mix = StrategyMix {
+        free_rider_fraction: 0.3,
+        defense: true,
+        ..StrategyMix::default()
+    };
+    let s = strategy_scenario("free-riders", mix);
+    let mut sim = build_simulation(&s, Arm::Incentive, 17);
+    let _ = sim.run_until(SimTime::from_secs(s.duration_secs));
+    let (router, _) = sim.finish();
+    let stats = router.stats();
+    assert!(
+        stats.strategy_drops > 0,
+        "free riders actually drop custody"
+    );
+    assert!(
+        stats.refused_suspected_dropper > 0,
+        "the watchdog custody gate fired"
+    );
+    let riders: Vec<NodeId> = (0..s.nodes as u32)
+        .map(NodeId)
+        .filter(|&n| router.strategy(n) == Some(StrategyKind::FreeRider))
+        .collect();
+    assert_eq!(riders.len(), 9, "0.3 × 30 nodes free-ride");
+    let pinned = (0..s.nodes as u32).map(NodeId).any(|observer| {
+        router
+            .watchdog(observer)
+            .is_some_and(|w| riders.iter().any(|&r| w.is_suspicious(r, 0.3, 5)))
+    });
+    assert!(pinned, "at least one watchdog pinned a dropper");
+}
+
+/// Minority-game players open their radio only while the expected token
+/// yield beats the energy cost: with an unaffordable cost the players go
+/// dark after the probe phase and the network moves fewer messages.
+#[test]
+fn minority_game_players_shut_their_radio_when_yield_trails_cost() {
+    let mix = StrategyMix {
+        minority_fraction: 0.4,
+        minority_energy_cost: 1000.0,
+        ..StrategyMix::default()
+    };
+    let s = strategy_scenario("minority", mix);
+    let mut honest = s.clone();
+    honest.strategies = None;
+    let run = |scenario: &Scenario| {
+        let mut sim = build_simulation(scenario, Arm::Incentive, 17);
+        let _ = sim.run_until(SimTime::from_secs(scenario.duration_secs));
+        sim.finish()
+    };
+    let (router, strategic) = run(&s);
+    let (_, baseline) = run(&honest);
+    let players = (0..s.nodes as u32)
+        .map(NodeId)
+        .filter(|&n| matches!(router.strategy(n), Some(StrategyKind::MinorityGame { .. })))
+        .count();
+    assert_eq!(players, 12, "0.4 × 30 nodes play the minority game");
+    assert!(
+        strategic.relays_completed < baseline.relays_completed,
+        "dark radios move fewer messages: {} vs {}",
+        strategic.relays_completed,
+        baseline.relays_completed
+    );
+}
+
+/// Colluding tag farmers rate ring mates to the ceiling and outsiders to
+/// the floor, so the ring's mutual opinion decouples from the honest
+/// population's first-hand experience of the farmers' junk tags.
+#[test]
+fn tag_farmers_inflate_ring_mates_above_the_honest_view() {
+    let mix = StrategyMix {
+        farmer_fraction: 0.2,
+        ..StrategyMix::default()
+    };
+    let s = strategy_scenario("farmers", mix);
+    let mut sim = build_simulation(&s, Arm::Incentive, 17);
+    let _ = sim.run_until(SimTime::from_secs(s.duration_secs));
+    let (router, _) = sim.finish();
+    let farmers: Vec<NodeId> = (0..s.nodes as u32)
+        .map(NodeId)
+        .filter(|&n| matches!(router.strategy(n), Some(StrategyKind::TagFarmer { .. })))
+        .collect();
+    assert_eq!(farmers.len(), 6, "0.2 × 30 nodes farm tags");
+    let mean = |observers: &[NodeId], subjects: &[NodeId]| {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for &o in observers {
+            for &subj in subjects {
+                if o != subj {
+                    sum += router.reputation(o).rating_of(subj);
+                    n += 1;
+                }
+            }
+        }
+        sum / f64::from(n.max(1))
+    };
+    let honest: Vec<NodeId> = (0..s.nodes as u32)
+        .map(NodeId)
+        .filter(|n| !farmers.contains(n))
+        .collect();
+    let ring_view = mean(&farmers, &farmers);
+    let honest_view = mean(&honest, &farmers);
+    assert!(
+        ring_view > honest_view,
+        "the ring vouches for itself: ring {ring_view:.2} vs honest {honest_view:.2}"
+    );
+}
+
+/// Whitewashers shed a below-neutral identity by churning: every table
+/// and watchdog forgets them and they restart from the neutral prior.
+#[test]
+fn whitewashers_churn_their_bad_identity() {
+    let mix = StrategyMix {
+        whitewash_fraction: 0.2,
+        churn_interval_secs: 600.0,
+        ..StrategyMix::default()
+    };
+    let s = strategy_scenario("whitewash", mix);
+    let mut sim = build_simulation(&s, Arm::Incentive, 17);
+    let _ = sim.run_until(SimTime::from_secs(s.duration_secs));
+    let (router, _) = sim.finish();
+    assert!(
+        router.stats().whitewash_churns > 0,
+        "at least one identity churn fired"
+    );
+}
+
+/// Sequenced digests are replay-protected per issuer; legacy unsequenced
+/// digests (sequence 0) keep the paper's always-merge behavior.
+#[test]
+fn sequenced_digests_reject_replays_but_legacy_digests_pass() {
+    let params = RatingParams::paper_default();
+    let mut issuer = ReputationTable::new(NodeId(1), params);
+    issuer.record_message_rating(NodeId(2), 4.0);
+    let mut observer = ReputationTable::new(NodeId(0), params);
+    let digest = issuer.issue_digest();
+    assert!(observer.absorb_digest_weighted(NodeId(1), &digest, 1.0));
+    assert!(
+        !observer.absorb_digest_weighted(NodeId(1), &digest, 1.0),
+        "an identical re-send is a replay"
+    );
+    let fresh = issuer.issue_digest();
+    assert!(
+        observer.absorb_digest_weighted(NodeId(1), &fresh, 1.0),
+        "the next sequence is accepted"
+    );
+    let legacy = GossipDigest {
+        ratings: vec![(NodeId(2), 4.0)],
+        sequence: 0,
+    };
+    assert!(observer.absorb_digest_weighted(NodeId(1), &legacy, 1.0));
+    assert!(
+        observer.absorb_digest_weighted(NodeId(1), &legacy, 1.0),
+        "unsequenced digests always merge (paper behavior)"
+    );
+}
+
+/// Strategy runs replay exactly: identical (scenario, seed) pairs produce
+/// identical economics, drop counts and delivery.
+#[test]
+fn strategy_runs_are_deterministic() {
+    let mix = StrategyMix {
+        free_rider_fraction: 0.2,
+        farmer_fraction: 0.1,
+        whitewash_fraction: 0.1,
+        churn_interval_secs: 600.0,
+        defense: true,
+        ..StrategyMix::default()
+    };
+    let s = strategy_scenario("determinism", mix);
+    let run = |seed| {
+        let mut sim = build_simulation(&s, Arm::Incentive, seed);
+        let _ = sim.run_until(SimTime::from_secs(s.duration_secs));
+        let (router, summary) = sim.finish();
+        (
+            router.stats(),
+            router.attacker_tokens(),
+            summary.delivery_ratio,
+        )
+    };
+    let (stats_a, tokens_a, mdr_a) = run(23);
+    let (stats_b, tokens_b, mdr_b) = run(23);
+    assert_eq!(stats_a.strategy_drops, stats_b.strategy_drops);
+    assert_eq!(stats_a.whitewash_churns, stats_b.whitewash_churns);
+    assert_eq!(
+        stats_a.refused_suspected_dropper,
+        stats_b.refused_suspected_dropper
+    );
+    assert_eq!(stats_a.settlements, stats_b.settlements);
+    assert_eq!(tokens_a, tokens_b);
+    assert_eq!(mdr_a, mdr_b);
+    assert!(stats_a.strategy_drops > 0, "the mix actually engaged");
 }
 
 /// Selfish free-riding is punished even without the DRM: with the DRM off
