@@ -21,7 +21,9 @@ use std::fmt::Write as _;
 
 use dtn_sim::stats::RunSummary;
 use dtn_workloads::paper::{reduced_scenario, seeds_for, QUICK_SEEDS};
-use dtn_workloads::prelude::BackendKind;
+use dtn_workloads::prelude::{
+    read_snapshot, run_with_snapshots, BackendKind, RunMeta, RunProgress, SnapshotPolicy,
+};
 use dtn_workloads::runner::{compare_arms, compare_overlays};
 use dtn_workloads::scenario::{Arm, Scenario};
 
@@ -72,6 +74,16 @@ pub enum Command {
         /// Optional kernel shard-count override (`--threads N`); output is
         /// byte-identical at any value.
         threads: Option<usize>,
+        /// Optional periodic-snapshot cadence in simulated seconds
+        /// (`--snapshot-every`); requires `--snapshot-dir`.
+        snapshot_every: Option<f64>,
+        /// Optional directory for whole-world snapshots
+        /// (`--snapshot-dir`); also receives the final snapshot a SIGINT
+        /// flushes.
+        snapshot_dir: Option<String>,
+        /// Optional snapshot file to resume from (`--resume-from`); the
+        /// run continues byte-identically to never having stopped.
+        resume_from: Option<String>,
     },
     /// Run both arms and print the paired comparison.
     Compare {
@@ -139,6 +151,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut backoff_base = None;
             let mut resume = None;
             let mut threads = None;
+            let mut snapshot_every = None;
+            let mut snapshot_dir = None;
+            let mut resume_from = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--arm" => {
@@ -219,8 +234,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--threads" => threads = Some(parse_threads(it.next())?),
+                    "--snapshot-every" => {
+                        let secs: f64 = it
+                            .next()
+                            .ok_or("--snapshot-every needs simulated seconds")?
+                            .parse()
+                            .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+                        if !secs.is_finite() || secs <= 0.0 {
+                            return Err(format!(
+                                "--snapshot-every must be finite and positive, got {secs}"
+                            ));
+                        }
+                        snapshot_every = Some(secs);
+                    }
+                    "--snapshot-dir" => {
+                        snapshot_dir =
+                            Some(it.next().ok_or("--snapshot-dir needs a path")?.clone());
+                    }
+                    "--resume-from" => {
+                        resume_from = Some(
+                            it.next()
+                                .ok_or("--resume-from needs a snapshot path")?
+                                .clone(),
+                        );
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
+            }
+            if snapshot_every.is_some() && snapshot_dir.is_none() {
+                return Err("--snapshot-every needs --snapshot-dir".to_owned());
             }
             Ok(Command::Run {
                 path,
@@ -237,6 +279,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 backoff_base,
                 resume,
                 threads,
+                snapshot_every,
+                snapshot_dir,
+                resume_from,
             })
         }
         "compare" => {
@@ -328,6 +373,8 @@ USAGE:
                             [--metrics-out m.json] [--verbose]
                             [--retry-max N] [--backoff-base SECS]
                             [--resume on|off] [--threads N]
+                            [--snapshot-every SIMSECS] [--snapshot-dir DIR]
+                            [--resume-from FILE]
     dtn compare <scenario.json> [--seeds N] [--metrics-out m.json] [--verbose]
                                 [--threads N] [--sweep-workers N] [--sweep-cache]
                                 [--router chitchat|epidemic|direct|spray[:N]|twohop|prophet]
@@ -368,6 +415,19 @@ RECOVERY:
     restarts retried transfers from their checkpointed byte offset instead
     of from zero. Any recovery flag enables the recovery layer with
     defaults for the rest; settlement stays exactly-once under redelivery.
+
+SNAPSHOTS:
+    --snapshot-dir DIR makes the run crash-resumable: --snapshot-every N
+    writes a whole-world snapshot into DIR at every N simulated seconds
+    (atomically: tmp-then-rename, checksummed), and SIGINT (Ctrl-C) flushes
+    a final snapshot plus any --metrics-out report before exiting with
+    status 130. --resume-from FILE rebuilds the interrupted run from a
+    snapshot and continues byte-identically to never having stopped —
+    traces, summaries and metrics all match the uninterrupted run. The
+    resuming command line must name the same scenario, arm, seed and
+    instrumentation flags as the interrupted one (the snapshot embeds them
+    and the mismatch is a typed error). Profiling a resumed run reports
+    wall-clock from the resume point only.
 
 PARALLELISM:
     --threads N shards the kernel's data-parallel step phases (mobility
@@ -448,25 +508,54 @@ pub fn format_summary(title: &str, s: &RunSummary) -> String {
     out
 }
 
+/// What executing a command produced.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Human-readable output for stdout.
+    pub text: String,
+    /// Whether a run stopped on the interrupt flag; the caller should
+    /// exit with status 130 (128 + SIGINT) after printing.
+    pub interrupted: bool,
+}
+
 /// Executes a parsed command, writing human output to the returned string.
 ///
 /// # Errors
 ///
 /// Returns the error text to print to stderr (exit code 1).
 pub fn execute(command: Command) -> Result<String, String> {
+    execute_with_interrupt(command, &|| false).map(|o| o.text)
+}
+
+/// [`execute`] with an interrupt flag, polled between simulation steps on
+/// the `run` path (other commands ignore it). When the flag fires the run
+/// flushes its `--metrics-out` report and — with `--snapshot-dir` — a
+/// final whole-world snapshot before returning with `interrupted = true`.
+///
+/// # Errors
+///
+/// Returns the error text to print to stderr (exit code 1).
+pub fn execute_with_interrupt(
+    command: Command,
+    interrupt: &dyn Fn() -> bool,
+) -> Result<ExecOutcome, String> {
+    let done = |text: String| ExecOutcome {
+        text,
+        interrupted: false,
+    };
     match command {
-        Command::Help => Ok(usage().to_owned()),
-        Command::Template => Ok(template_json()),
+        Command::Help => Ok(done(usage().to_owned())),
+        Command::Template => Ok(done(template_json())),
         Command::Validate { path } => {
             let s = load_scenario(&path)?;
-            Ok(format!(
+            Ok(done(format!(
                 "{path} OK: '{}', {} nodes, {:.1} km², {:.1} h, {} messages expected\n",
                 s.name,
                 s.nodes,
                 s.area_km2,
                 s.duration_secs / 3600.0,
                 s.expected_message_count()
-            ))
+            )))
         }
         Command::Run {
             path,
@@ -483,6 +572,9 @@ pub fn execute(command: Command) -> Result<String, String> {
             backoff_base,
             resume,
             threads,
+            snapshot_every,
+            snapshot_dir,
+            resume_from,
         } => {
             let mut scenario = load_scenario(&path)?;
             if threads.is_some() {
@@ -527,15 +619,125 @@ pub fn execute(command: Command) -> Result<String, String> {
             // O(nodes²), so a per-step audit would dominate a 100-node run.
             let cadence = check_invariants.then_some(60);
             let profile = metrics_out.is_some() || verbose;
-            let (run, trace_text, perf) = dtn_workloads::runner::run_once_observed(
-                &scenario, arm, seed, capacity, cadence, profile,
+            // Run identity as the snapshot layer records it: the snapshot
+            // embeds this and a resumed command line must rebuild it
+            // exactly, or the dynamic state would be restored into a
+            // different world.
+            let meta = RunMeta {
+                scenario: scenario.clone(),
+                arm,
+                seed,
+                trace_capacity: capacity,
+                check_every: cadence,
+            };
+            // Read (and reject) the resume document before paying for the
+            // world build; restore after, into the identical configuration.
+            let resume_doc = match &resume_from {
+                Some(file) => {
+                    let doc = read_snapshot(std::path::Path::new(file))
+                        .map_err(|e| format!("cannot resume: {e}"))?;
+                    if doc.meta != meta {
+                        return Err(format!(
+                            "cannot resume: {file} records '{}' · {} arm · seed {} \
+                             (trace {}, audit {}), but this command line builds '{}' · \
+                             {} arm · seed {} (trace {}, audit {}); rerun with the flags \
+                             the interrupted run used",
+                            doc.meta.scenario.name,
+                            doc.meta.arm.label(),
+                            doc.meta.seed,
+                            doc.meta.trace_capacity.is_some(),
+                            doc.meta.check_every.is_some(),
+                            meta.scenario.name,
+                            meta.arm.label(),
+                            meta.seed,
+                            meta.trace_capacity.is_some(),
+                            meta.check_every.is_some(),
+                        ));
+                    }
+                    Some(doc)
+                }
+                None => None,
+            };
+            let mut sim = dtn_workloads::runner::build_simulation_opts(
+                &scenario,
+                arm,
+                seed,
+                capacity.map(dtn_sim::trace::TraceLog::bounded),
+                cadence,
+                profile,
             );
+            if let Some(doc) = &resume_doc {
+                sim.restore(&doc.world)
+                    .map_err(|e| format!("cannot resume: {e}"))?;
+            }
+            let policy = match &snapshot_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("cannot create {dir}: {e}"))?;
+                    Some(SnapshotPolicy {
+                        // No cadence means "final flush only": the
+                        // interrupt handler still lands a checkpoint, but
+                        // no periodic ones are due.
+                        every_secs: snapshot_every.unwrap_or(f64::INFINITY),
+                        dir: std::path::PathBuf::from(dir),
+                    })
+                }
+                None => None,
+            };
+            let t0 = std::time::Instant::now();
+            let progress = run_with_snapshots(
+                &mut sim,
+                &meta,
+                dtn_sim::time::SimTime::from_secs(scenario.duration_secs),
+                policy.as_ref(),
+                &|_| interrupt(),
+            )
+            .map_err(|e| format!("cannot write snapshot: {e}"))?;
+            if let RunProgress::Interrupted { at, snapshot } = progress {
+                if let Some(out_path) = &metrics_out {
+                    let report = dtn_workloads::runner::PerfReport::capture(
+                        &sim,
+                        t0.elapsed().as_secs_f64(),
+                    );
+                    write_metrics(out_path, &report)?;
+                }
+                let mut text = format!(
+                    "interrupted at t={:.0}s · {} · {} arm · seed {seed}\n",
+                    at.as_secs(),
+                    scenario.name,
+                    arm.label()
+                );
+                match snapshot {
+                    Some(p) => {
+                        let _ = writeln!(
+                            text,
+                            "final snapshot: {} (continue with --resume-from)",
+                            p.display()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            text,
+                            "no snapshot written; pass --snapshot-dir to make runs resumable"
+                        );
+                    }
+                }
+                return Ok(ExecOutcome {
+                    text,
+                    interrupted: true,
+                });
+            }
+            let perf = profile.then(|| {
+                dtn_workloads::runner::PerfReport::capture(&sim, t0.elapsed().as_secs_f64())
+            });
+            let trace_text = capacity.map(|_| sim.api().trace().render());
+            let (router, summary) = sim.finish();
             if let (Some(out_path), Some(text)) = (&trace_out, &trace_text) {
                 std::fs::write(out_path, text)
                     .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             }
             if let Some(out_path) = json_out {
-                let json = serde_json::to_string_pretty(&run.summary)
+                let json = serde_json::to_string_pretty(&summary)
                     .map_err(|e| format!("cannot serialize results: {e}"))?;
                 std::fs::write(&out_path, json)
                     .map_err(|e| format!("cannot write {out_path}: {e}"))?;
@@ -545,20 +747,17 @@ pub fn execute(command: Command) -> Result<String, String> {
             }
             let mut text = format_summary(
                 &format!("{} · {} arm · seed {seed}", scenario.name, arm.label()),
-                &run.summary,
+                &summary,
             );
             if arm == Arm::Incentive {
+                let stats = router.stats();
+                let _ = writeln!(text, "  settlements            {}", stats.settlements);
+                let _ = writeln!(text, "  tokens awarded         {:.1}", stats.tokens_awarded);
                 let _ = writeln!(
                     text,
-                    "  settlements            {}",
-                    run.protocol.settlements
+                    "  broke nodes            {}",
+                    router.ledger().broke_nodes().len()
                 );
-                let _ = writeln!(
-                    text,
-                    "  tokens awarded         {:.1}",
-                    run.protocol.tokens_awarded
-                );
-                let _ = writeln!(text, "  broke nodes            {}", run.broke_nodes);
             }
             if verbose {
                 if let Some(report) = &perf {
@@ -566,7 +765,7 @@ pub fn execute(command: Command) -> Result<String, String> {
                     text.push_str(&report.render());
                 }
             }
-            Ok(text)
+            Ok(done(text))
         }
         Command::Compare {
             path,
@@ -626,7 +825,7 @@ pub fn execute(command: Command) -> Result<String, String> {
                     cmp.mdr_gap(),
                     cmp.traffic_reduction_pct()
                 );
-                return Ok(text);
+                return Ok(done(text));
             }
             let profile = metrics_out.is_some() || verbose;
             let (cmp, perf) = if profile {
@@ -659,9 +858,38 @@ pub fn execute(command: Command) -> Result<String, String> {
                     text.push_str(&report.render());
                 }
             }
-            Ok(text)
+            Ok(done(text))
         }
     }
+}
+
+/// The async-signal-safe SIGINT latch: the handler only stores a flag,
+/// and the run loop polls it between simulation steps.
+static SIGINT_FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn sigint_handler(_signum: i32) {
+    SIGINT_FLAG.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Installs a SIGINT handler that latches [`struct@SIGINT_FLAG`] instead of
+/// killing the process, so `dtn run` can flush its `--metrics-out` report
+/// and a final snapshot before exiting with status 130. Returns the flag;
+/// on non-Unix platforms this installs nothing and the flag stays false.
+pub fn install_sigint_flag() -> &'static std::sync::atomic::AtomicBool {
+    #[cfg(unix)]
+    {
+        // libc's `signal` without pulling in a crate: the handler only
+        // touches an atomic, which is async-signal-safe.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, sigint_handler);
+        }
+    }
+    &SIGINT_FLAG
 }
 
 /// Serializes a [`PerfReport`] to `path` as pretty JSON.
@@ -716,6 +944,9 @@ mod tests {
                 backoff_base: None,
                 resume: None,
                 threads: None,
+                snapshot_every: None,
+                snapshot_dir: None,
+                resume_from: None,
             })
         );
         assert_eq!(
@@ -738,6 +969,9 @@ mod tests {
                 backoff_base: None,
                 resume: None,
                 threads: None,
+                snapshot_every: None,
+                snapshot_dir: None,
+                resume_from: None,
             })
         );
         assert_eq!(
@@ -759,6 +993,9 @@ mod tests {
                 backoff_base: Some(2.5),
                 resume: Some(false),
                 threads: None,
+                snapshot_every: None,
+                snapshot_dir: None,
+                resume_from: None,
             })
         );
         assert_eq!(
@@ -834,6 +1071,33 @@ mod tests {
         };
         assert_eq!(sweep_workers, Some(3));
         assert!(sweep_cache);
+        let Ok(Command::Run {
+            snapshot_every,
+            snapshot_dir,
+            resume_from,
+            ..
+        }) = parse_args(&argv(
+            "run s.json --snapshot-every 300 --snapshot-dir snaps \
+             --resume-from snaps/snap-000000000600.dtnsnap",
+        ))
+        else {
+            panic!("snapshot flags parse on run");
+        };
+        assert_eq!(snapshot_every, Some(300.0));
+        assert_eq!(snapshot_dir, Some("snaps".into()));
+        assert_eq!(resume_from, Some("snaps/snap-000000000600.dtnsnap".into()));
+        // --snapshot-dir alone is valid: no periodic checkpoints, but the
+        // SIGINT flush still has somewhere to land.
+        let Ok(Command::Run {
+            snapshot_every,
+            snapshot_dir,
+            ..
+        }) = parse_args(&argv("run s.json --snapshot-dir snaps"))
+        else {
+            panic!("--snapshot-dir alone parses on run");
+        };
+        assert_eq!(snapshot_every, None);
+        assert_eq!(snapshot_dir, Some("snaps".into()));
     }
 
     #[test]
@@ -868,6 +1132,15 @@ mod tests {
         assert!(parse_args(&argv("compare s.json --router flooding")).is_err());
         assert!(parse_args(&argv("compare s.json --router spray:0")).is_err());
         assert!(parse_args(&argv("run s.json --router epidemic")).is_err());
+        assert!(parse_args(&argv("run s.json --snapshot-every")).is_err());
+        assert!(parse_args(&argv("run s.json --snapshot-every soon --snapshot-dir d")).is_err());
+        assert!(parse_args(&argv("run s.json --snapshot-every 0 --snapshot-dir d")).is_err());
+        assert!(parse_args(&argv("run s.json --snapshot-every -60 --snapshot-dir d")).is_err());
+        assert!(parse_args(&argv("run s.json --snapshot-every inf --snapshot-dir d")).is_err());
+        assert!(parse_args(&argv("run s.json --snapshot-every 300")).is_err());
+        assert!(parse_args(&argv("run s.json --snapshot-dir")).is_err());
+        assert!(parse_args(&argv("run s.json --resume-from")).is_err());
+        assert!(parse_args(&argv("compare s.json --snapshot-dir d")).is_err());
     }
 
     #[test]
@@ -941,6 +1214,9 @@ mod tests {
             backoff_base: Some(5.0),
             resume: Some(true),
             threads: None,
+            snapshot_every: None,
+            snapshot_dir: None,
+            resume_from: None,
         })
         .expect("runs");
         let trace_text = std::fs::read_to_string(&trace_out).expect("trace written");
@@ -984,6 +1260,9 @@ mod tests {
             backoff_base: None,
             resume: None,
             threads: Some(2),
+            snapshot_every: None,
+            snapshot_dir: None,
+            resume_from: None,
         })
         .expect("runs");
         assert!(
@@ -1071,6 +1350,153 @@ mod tests {
         })
         .expect_err("profiling with a non-chitchat router is refused");
         assert!(err.contains("chitchat"), "error explains the limit: {err}");
+    }
+
+    /// A tiny chaos+strategies scenario on disk, for the resume tests.
+    fn resumable_scenario(dir: &std::path::Path) -> String {
+        let mut s = reduced_scenario();
+        s.nodes = 12;
+        s.area_km2 = 0.12;
+        s.duration_secs = 600.0;
+        s.message_interval_secs = 30.0;
+        s.message_ttl_secs = 500.0;
+        s.chaos = Some(
+            "crash=2,crashdown=60,cut=5,cutdown=20,loss=0.01"
+                .parse()
+                .expect("valid chaos"),
+        );
+        s.strategies = Some("free=0.2,defense".parse().expect("valid mix"));
+        let path = dir.join("tiny.json");
+        std::fs::write(&path, serde_json::to_string(&s).expect("json")).expect("write");
+        path.to_str().expect("utf8").to_owned()
+    }
+
+    /// The `run` command for that scenario, with every snapshot knob open.
+    fn run_command(
+        path: &str,
+        dir: &std::path::Path,
+        tag: &str,
+        seed: u64,
+        metrics_out: Option<String>,
+        snapshot_dir: Option<String>,
+        resume_from: Option<String>,
+    ) -> Command {
+        Command::Run {
+            path: path.to_owned(),
+            arm: Arm::Incentive,
+            seed,
+            json_out: Some(dir.join(format!("{tag}.json")).to_str().unwrap().to_owned()),
+            trace_out: Some(dir.join(format!("{tag}.txt")).to_str().unwrap().to_owned()),
+            chaos: None,
+            strategies: None,
+            check_invariants: false,
+            metrics_out,
+            verbose: false,
+            retry_max: None,
+            backoff_base: None,
+            resume: None,
+            threads: None,
+            snapshot_every: Some(100.0),
+            snapshot_dir,
+            resume_from,
+        }
+    }
+
+    #[test]
+    fn interrupt_flushes_metrics_and_a_final_snapshot() {
+        let dir = scratch_dir("interrupt");
+        let snaps = dir.join("snaps");
+        let path = resumable_scenario(&dir);
+        let metrics_out = dir.join("m.json");
+        let polls = std::sync::atomic::AtomicUsize::new(0);
+        let outcome = execute_with_interrupt(
+            run_command(
+                &path,
+                &dir,
+                "cut-short",
+                1,
+                Some(metrics_out.to_str().unwrap().to_owned()),
+                Some(snaps.to_str().unwrap().to_owned()),
+                None,
+            ),
+            // Trip the flag mid-run, the way a SIGINT latch would.
+            &|| polls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) > 500,
+        )
+        .expect("an interrupted run is not an error");
+        assert!(outcome.interrupted, "the flag must stop the run");
+        assert!(
+            outcome.text.contains("--resume-from"),
+            "the output points at the snapshot: {}",
+            outcome.text
+        );
+        let report: dtn_workloads::runner::PerfReport =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_out).expect("metrics flushed"))
+                .expect("valid PerfReport JSON");
+        assert!(report.wall_secs > 0.0);
+        let last = dtn_workloads::resume::latest_snapshot(&snaps)
+            .expect("readable dir")
+            .expect("a final snapshot was flushed");
+        assert!(dtn_workloads::resume::read_snapshot(&last).is_ok());
+    }
+
+    #[test]
+    fn resumed_run_matches_the_uninterrupted_run() {
+        let dir = scratch_dir("resume");
+        let snaps = dir.join("snaps");
+        let path = resumable_scenario(&dir);
+
+        let golden =
+            execute(run_command(&path, &dir, "golden", 1, None, None, None)).expect("runs");
+
+        let polls = std::sync::atomic::AtomicUsize::new(0);
+        let outcome = execute_with_interrupt(
+            run_command(
+                &path,
+                &dir,
+                "victim",
+                1,
+                None,
+                Some(snaps.to_str().unwrap().to_owned()),
+                None,
+            ),
+            &|| polls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) > 500,
+        )
+        .expect("interruption is clean");
+        assert!(outcome.interrupted);
+        let last = dtn_workloads::resume::latest_snapshot(&snaps)
+            .expect("readable dir")
+            .expect("a snapshot to resume from");
+
+        let resumed = execute(run_command(
+            &path,
+            &dir,
+            "resumed",
+            1,
+            None,
+            None,
+            Some(last.to_str().unwrap().to_owned()),
+        ))
+        .expect("resumes");
+        assert_eq!(resumed, golden, "printed summary diverged");
+        for ext in ["json", "txt"] {
+            let a = std::fs::read_to_string(dir.join(format!("golden.{ext}"))).expect("golden");
+            let b = std::fs::read_to_string(dir.join(format!("resumed.{ext}"))).expect("resumed");
+            assert_eq!(a, b, "{ext} artifact diverged after resume");
+        }
+
+        // The same snapshot under a different command line is refused with
+        // an identity mismatch, not silently restored.
+        let err = execute(run_command(
+            &path,
+            &dir,
+            "wrong",
+            2,
+            None,
+            None,
+            Some(last.to_str().unwrap().to_owned()),
+        ))
+        .expect_err("a different seed is a different run");
+        assert!(err.contains("cannot resume"), "typed refusal: {err}");
     }
 
     #[test]

@@ -9,8 +9,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match dtn_cli::execute(command) {
-        Ok(text) => print!("{text}"),
+    // Ctrl-C latches a flag the run loop polls: the run flushes its
+    // metrics report and a final snapshot, then exits 130 (128 + SIGINT)
+    // so scripts can tell an interrupted run from a finished one.
+    let sigint = dtn_cli::install_sigint_flag();
+    match dtn_cli::execute_with_interrupt(command, &|| {
+        sigint.load(std::sync::atomic::Ordering::Relaxed)
+    }) {
+        Ok(outcome) => {
+            print!("{}", outcome.text);
+            if outcome.interrupted {
+                std::process::exit(130);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

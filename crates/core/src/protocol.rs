@@ -32,17 +32,19 @@ use dtn_sim::buffer::InsertOutcome;
 use dtn_sim::kernel::SimApi;
 use dtn_sim::message::{MessageId, Priority};
 use dtn_sim::protocol::{Protocol, Reception};
-use dtn_sim::rng::SimRng;
+use dtn_sim::rng::{RngState, SimRng};
 use dtn_sim::time::SimTime;
 use dtn_sim::world::NodeId;
 
-use dtn_incentive::ledger::{TokenLedger, Tokens};
+use serde::{Deserialize, Serialize};
+
+use dtn_incentive::ledger::{TokenLedger, TokenLedgerState, Tokens};
 use dtn_incentive::params::Role;
 use dtn_incentive::promise::{software_incentive, tag_incentive, SoftwareFactors};
 use dtn_incentive::settlement::{award, relay_prepayment, AwardInputs, FirstDeliveryRegistry};
 use dtn_reputation::rating::{relay_message_rating, source_message_rating};
-use dtn_reputation::table::{average_rating_of, ReputationTable};
-use dtn_reputation::watchdog::Watchdog;
+use dtn_reputation::table::{average_rating_of, ReputationTable, ReputationTableState};
+use dtn_reputation::watchdog::{Watchdog, WatchdogState};
 use dtn_routing::backend::{ChitChatBackend, RouterBackend};
 use dtn_routing::exchange::due_pairs;
 use dtn_routing::interests::InterestTable;
@@ -59,7 +61,7 @@ pub const MALICIOUS_RATING_SERIES: &str = "malicious_avg_rating";
 pub const BROKE_NODES_SERIES: &str = "broke_nodes";
 
 /// Incentive state that travels with a node's copy of a message.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct CarriedMeta {
     /// Joules this holder spent receiving the copy (feeds `I_h`).
     rx_joules: f64,
@@ -72,7 +74,7 @@ struct CarriedMeta {
 }
 
 /// A routing decision made at offer time, resolved at transfer completion.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct PendingOffer {
     /// The software promise quoted to the receiver.
     software_promise: f64,
@@ -82,7 +84,7 @@ struct PendingOffer {
 }
 
 /// Aggregate counters of the mechanism's internal economy.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolStats {
     /// Settled first deliveries.
     pub settlements: u64,
@@ -161,7 +163,7 @@ pub struct DcimRouter<B: RouterBackend = ChitChatBackend> {
 }
 
 /// Per-node mutable bookkeeping for strategy players.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 struct StrategyState {
     /// Contacts seen by a minority-game player.
     contacts: u64,
@@ -169,6 +171,34 @@ struct StrategyState {
     skipped: u64,
     /// Sim-time seconds of a whitewasher's last identity churn.
     last_churn: f64,
+}
+
+/// Serialized form of a [`DcimRouter`]'s dynamic state — everything the
+/// mechanism mutates during a run, with hash containers in canonical
+/// key-sorted order. Configuration (params, roles, behaviors, strategy
+/// assignments, defense arming) is deliberately absent: a resumed run
+/// rebuilds it from the same scenario, and restore cross-checks the parts
+/// whose shape depends on it (table counts, lazy adversarial arrays).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DcimState {
+    /// The routing backend's own opaque document.
+    backend: serde::Value,
+    ledger: TokenLedgerState,
+    reputation: Vec<ReputationTableState>,
+    registry: Vec<(MessageId, NodeId)>,
+    meta: Vec<(NodeId, MessageId, CarriedMeta)>,
+    pending: Vec<(NodeId, NodeId, MessageId, PendingOffer)>,
+    open_adj: Vec<Vec<NodeId>>,
+    last_exchange: Vec<(NodeId, NodeId, SimTime)>,
+    participation_rng: RngState,
+    judge_rng: RngState,
+    enrich_rng: RngState,
+    /// `None` encodes the non-finite force-next-sample sentinel
+    /// (JSON cannot carry `-inf`).
+    last_sample: Option<f64>,
+    stats: ProtocolStats,
+    watchdogs: Vec<WatchdogState>,
+    strategy_state: Vec<StrategyState>,
 }
 
 use dtn_sim::world::ordered_pair as pair;
@@ -804,6 +834,117 @@ impl<B: RouterBackend> DcimRouter<B> {
         self.stats.tokens_awarded += paid.amount();
     }
 
+    /// Captures the mechanism's dynamic state for a whole-world snapshot.
+    fn export_state(&self) -> DcimState {
+        let mut meta: Vec<(NodeId, MessageId, CarriedMeta)> = self
+            .meta
+            .iter()
+            .map(|(&(n, m), c)| (n, m, c.clone()))
+            .collect();
+        meta.sort_unstable_by_key(|&(n, m, _)| (n, m));
+        let mut pending: Vec<(NodeId, NodeId, MessageId, PendingOffer)> = self
+            .pending
+            .iter()
+            .map(|(&(f, t, m), &o)| (f, t, m, o))
+            .collect();
+        pending.sort_unstable_by_key(|&(f, t, m, _)| (f, t, m));
+        let mut last_exchange: Vec<(NodeId, NodeId, SimTime)> = self
+            .last_exchange
+            .iter()
+            .map(|(&(a, b), &t)| (a, b, t))
+            .collect();
+        last_exchange.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        DcimState {
+            backend: self.backend.snapshot_state(),
+            ledger: self.ledger.export_state(),
+            reputation: self
+                .reputation
+                .iter()
+                .map(ReputationTable::export_state)
+                .collect(),
+            registry: self.registry.export_state(),
+            meta,
+            pending,
+            open_adj: self.open_adj.clone(),
+            last_exchange,
+            participation_rng: self.participation_rng.state(),
+            judge_rng: self.judge_rng.state(),
+            enrich_rng: self.enrich_rng.state(),
+            last_sample: self.last_sample.is_finite().then_some(self.last_sample),
+            stats: self.stats,
+            watchdogs: self.watchdogs.iter().map(Watchdog::export_state).collect(),
+            strategy_state: self.strategy_state.clone(),
+        }
+    }
+
+    /// Overwrites the mechanism's dynamic state from a snapshot, after
+    /// cross-checking it against this router's configuration.
+    fn import_state(&mut self, state: &DcimState) -> Result<(), String> {
+        let n = self.backend.node_count();
+        if state.reputation.len() != n {
+            return Err(format!(
+                "snapshot holds {} reputation tables for a {n}-node protocol",
+                state.reputation.len()
+            ));
+        }
+        if state.open_adj.len() != n {
+            return Err(format!(
+                "snapshot holds {} adjacency lists for a {n}-node protocol",
+                state.open_adj.len()
+            ));
+        }
+        // The adversarial arrays are allocated from configuration, not
+        // from the snapshot — the snapshot must agree with the arm this
+        // router was built for.
+        self.ensure_adversarial_state();
+        if state.watchdogs.len() != self.watchdogs.len() {
+            return Err(format!(
+                "snapshot holds {} watchdogs but this configuration allocates {}",
+                state.watchdogs.len(),
+                self.watchdogs.len()
+            ));
+        }
+        if state.strategy_state.len() != self.strategy_state.len() {
+            return Err(format!(
+                "snapshot holds {} strategy records but this configuration allocates {}",
+                state.strategy_state.len(),
+                self.strategy_state.len()
+            ));
+        }
+        self.backend.restore_state(&state.backend)?;
+        self.ledger.import_state(&state.ledger)?;
+        for (table, doc) in self.reputation.iter_mut().zip(&state.reputation) {
+            table.import_state(doc);
+        }
+        self.registry.import_state(&state.registry);
+        self.meta = state
+            .meta
+            .iter()
+            .map(|(n, m, c)| ((*n, *m), c.clone()))
+            .collect();
+        self.pending = state
+            .pending
+            .iter()
+            .map(|&(f, t, m, o)| ((f, t, m), o))
+            .collect();
+        self.open_adj.clone_from(&state.open_adj);
+        self.last_exchange = state
+            .last_exchange
+            .iter()
+            .map(|&(a, b, t)| ((a, b), t))
+            .collect();
+        self.participation_rng = SimRng::from_state(state.participation_rng);
+        self.judge_rng = SimRng::from_state(state.judge_rng);
+        self.enrich_rng = SimRng::from_state(state.enrich_rng);
+        self.last_sample = state.last_sample.unwrap_or(f64::NEG_INFINITY);
+        self.stats = state.stats;
+        for (watchdog, doc) in self.watchdogs.iter_mut().zip(&state.watchdogs) {
+            watchdog.import_state(doc);
+        }
+        self.strategy_state.clone_from(&state.strategy_state);
+        Ok(())
+    }
+
     /// Fig. 5.4 sampling plus broke-node tracking.
     fn sample(&mut self, api: &mut SimApi) {
         let now = api.now().as_secs();
@@ -1065,6 +1206,16 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         // Final sample so short runs still record the series.
         self.last_sample = f64::NEG_INFINITY;
         self.sample(api);
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.export_state().to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let doc = DcimState::from_value(state)
+            .map_err(|e| format!("protocol state does not parse as a DCIM document: {e}"))?;
+        self.import_state(&doc)
     }
 
     fn check_invariants(&self, api: &SimApi) -> Vec<String> {

@@ -212,6 +212,43 @@ impl TokenLedger {
             .map(|(i, _)| NodeId(i as u32))
             .collect()
     }
+
+    /// Captures the ledger's state for a whole-world snapshot.
+    #[must_use]
+    pub fn export_state(&self) -> TokenLedgerState {
+        TokenLedgerState {
+            balances: self.balances.clone(),
+            transfers: self.transfers,
+        }
+    }
+
+    /// Overwrites the ledger from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the snapshot's node count differs from this ledger's.
+    pub fn import_state(&mut self, state: &TokenLedgerState) -> Result<(), String> {
+        if state.balances.len() != self.balances.len() {
+            return Err(format!(
+                "snapshot holds {} balances for a {}-node ledger",
+                state.balances.len(),
+                self.balances.len()
+            ));
+        }
+        self.balances.clone_from(&state.balances);
+        self.transfers = state.transfers;
+        Ok(())
+    }
+}
+
+/// Serialized form of a [`TokenLedger`]: per-node balances in node order
+/// plus the lifetime transfer count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenLedgerState {
+    /// Balance of each node, in node order.
+    pub balances: Vec<f64>,
+    /// Successful transfers executed so far.
+    pub transfers: u64,
 }
 
 #[cfg(test)]

@@ -76,6 +76,21 @@ impl FirstDeliveryRegistry {
     pub fn is_empty(&self) -> bool {
         self.claimed.is_empty()
     }
+
+    /// The claimed `(message, destination)` pairs, sorted, for a
+    /// whole-world snapshot.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<(MessageId, NodeId)> {
+        let mut pairs: Vec<(MessageId, NodeId)> = self.claimed.iter().copied().collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Overwrites the registry with the pairs captured by
+    /// [`FirstDeliveryRegistry::export_state`].
+    pub fn import_state(&mut self, pairs: &[(MessageId, NodeId)]) {
+        self.claimed = pairs.iter().copied().collect();
+    }
 }
 
 /// Inputs to the award computation for one delivery.

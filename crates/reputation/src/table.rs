@@ -327,6 +327,34 @@ impl ReputationTable {
             informative
         });
     }
+
+    /// Captures the table's dynamic state for a whole-world snapshot
+    /// (owner and rating parameters are build configuration).
+    #[must_use]
+    pub fn export_state(&self) -> ReputationTableState {
+        ReputationTableState {
+            opinions: self.opinions.clone(),
+            issued: self.issued,
+            last_seen_seq: self.last_seen_seq.clone(),
+        }
+    }
+
+    /// Overwrites the table's dynamic state from a snapshot.
+    pub fn import_state(&mut self, state: &ReputationTableState) {
+        self.opinions.clone_from(&state.opinions);
+        self.issued = state.issued;
+        self.last_seen_seq.clone_from(&state.last_seen_seq);
+    }
+}
+
+/// Serialized form of a [`ReputationTable`]'s dynamic state: the opinion
+/// vector (already subject-sorted), the digest-issuance counter, and the
+/// per-reporter replay watermarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReputationTableState {
+    opinions: Vec<(NodeId, Opinion)>,
+    issued: u64,
+    last_seen_seq: Vec<(NodeId, u64)>,
 }
 
 /// The network-wide average rating of each node in `subjects` as seen by

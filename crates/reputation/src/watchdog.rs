@@ -196,6 +196,40 @@ impl Watchdog {
     pub fn pending_count(&self) -> usize {
         self.pending.len()
     }
+
+    /// Captures the watchdog's evidence for a whole-world snapshot.
+    ///
+    /// The pending capacity is configuration, not state, and is not
+    /// captured — a restored watchdog keeps the capacity it was built
+    /// with.
+    #[must_use]
+    pub fn export_state(&self) -> WatchdogState {
+        let mut records: Vec<(NodeId, ForwarderRecord)> =
+            self.records.iter().map(|(&n, &r)| (n, r)).collect();
+        records.sort_unstable_by_key(|&(n, _)| n);
+        WatchdogState {
+            records,
+            pending: self.pending.iter().copied().collect(),
+            order: self.order.iter().copied().collect(),
+        }
+    }
+
+    /// Overwrites the watchdog's evidence from a snapshot.
+    pub fn import_state(&mut self, state: &WatchdogState) {
+        self.records = state.records.iter().copied().collect();
+        self.pending = state.pending.iter().copied().collect();
+        self.order = state.order.iter().copied().collect();
+    }
+}
+
+/// Serialized form of a [`Watchdog`]: evidence records (forwarder-sorted),
+/// the outstanding pending set (in `BTreeSet` order) and the insertion-
+/// order queue, tombstones included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogState {
+    records: Vec<(NodeId, ForwarderRecord)>,
+    pending: Vec<(NodeId, MessageId)>,
+    order: Vec<(NodeId, MessageId)>,
 }
 
 #[cfg(test)]

@@ -127,6 +127,35 @@ pub trait RouterBackend: std::fmt::Debug + Send {
     fn on_removed(&mut self, node: NodeId, messages: &[MessageId]) {
         let _ = (node, messages);
     }
+
+    /// The backend's dynamic routing state as an opaque document, for a
+    /// whole-world snapshot. Backends whose only state is the subscription
+    /// directory (rebuilt from the scenario on restore) return
+    /// [`serde::Value::Null`] (the default); backends whose state evolves
+    /// during the run (ChitChat weights, Spray tickets, PRoPHET
+    /// predictabilities) must override both this and
+    /// [`RouterBackend::restore_state`].
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores the state captured by [`RouterBackend::snapshot_state`]
+    /// into a freshly built backend of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `state` is not a
+    /// document this backend produces.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        if matches!(state, serde::Value::Null) {
+            Ok(())
+        } else {
+            Err(format!(
+                "snapshot carries routing state but the {} backend keeps none",
+                self.label()
+            ))
+        }
+    }
 }
 
 impl RouterBackend for Box<dyn RouterBackend> {
@@ -203,6 +232,14 @@ impl RouterBackend for Box<dyn RouterBackend> {
 
     fn on_removed(&mut self, node: NodeId, messages: &[MessageId]) {
         (**self).on_removed(node, messages);
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        (**self).restore_state(state)
     }
 }
 
@@ -294,6 +331,24 @@ impl RouterBackend for ChitChatBackend {
             &shared_a,
             &shared_b,
         );
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.tables.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let tables = Vec::<InterestTable>::from_value(state)
+            .map_err(|e| format!("ChitChat tables do not parse: {e}"))?;
+        if tables.len() != self.tables.len() {
+            return Err(format!(
+                "snapshot has {} ChitChat tables for {} nodes",
+                tables.len(),
+                self.tables.len()
+            ));
+        }
+        self.tables = tables;
+        Ok(())
     }
 }
 
@@ -541,6 +596,38 @@ impl RouterBackend for SprayBackend {
             self.tickets.remove(&(node, m));
         }
     }
+
+    fn snapshot_state(&self) -> serde::Value {
+        let mut tickets: Vec<(NodeId, MessageId, u32)> =
+            self.tickets.iter().map(|(&(n, m), &t)| (n, m, t)).collect();
+        tickets.sort_unstable_by_key(|&(n, m, _)| (n, m));
+        let mut grants: Vec<(NodeId, NodeId, MessageId, u32)> = self
+            .pending_grants
+            .iter()
+            .map(|(&(f, t, m), &g)| (f, t, m, g))
+            .collect();
+        grants.sort_unstable_by_key(|&(f, t, m, _)| (f, t, m));
+        SprayState { tickets, grants }.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let state = SprayState::from_value(state)
+            .map_err(|e| format!("Spray ticket state does not parse: {e}"))?;
+        self.tickets = state.tickets.iter().map(|&(n, m, t)| ((n, m), t)).collect();
+        self.pending_grants = state
+            .grants
+            .iter()
+            .map(|&(f, t, m, g)| ((f, t, m), g))
+            .collect();
+        Ok(())
+    }
+}
+
+/// Serialized form of [`SprayBackend`]'s ticket economy (key-sorted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SprayState {
+    tickets: Vec<(NodeId, MessageId, u32)>,
+    grants: Vec<(NodeId, NodeId, MessageId, u32)>,
 }
 
 /// Two-Hop Relay: the source sprays to every peer; relays hold their copy
@@ -675,6 +762,30 @@ impl RouterBackend for ProphetBackend {
         let snap_b = self.tables[b.index()].snapshot();
         self.tables[a.index()].transit(b, &snap_b, &self.params);
         self.tables[b.index()].transit(a, &snap_a, &self.params);
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.tables
+            .iter()
+            .map(Predictability::export_state)
+            .collect::<Vec<_>>()
+            .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let tables = Vec::<crate::prophet::PredictabilityState>::from_value(state)
+            .map_err(|e| format!("PRoPHET tables do not parse: {e}"))?;
+        if tables.len() != self.tables.len() {
+            return Err(format!(
+                "snapshot has {} PRoPHET tables for {} nodes",
+                tables.len(),
+                self.tables.len()
+            ));
+        }
+        for (table, doc) in self.tables.iter_mut().zip(&tables) {
+            table.import_state(doc);
+        }
+        Ok(())
     }
 }
 

@@ -105,7 +105,7 @@ pub fn psi(own: Option<InterestKind>, peer: InterestKind) -> u8 {
 /// every count (lookups stay cache-resident, cloning is one memcpy, and
 /// `grow` consumes the peer's entries in keyword order without the sort
 /// pass a hashed table would force for determinism).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct InterestTable {
     entries: Vec<(Keyword, InterestEntry)>,
 }

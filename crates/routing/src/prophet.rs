@@ -59,6 +59,29 @@ pub(crate) struct Predictability {
     last_aged: f64,
 }
 
+/// Serialized form of one [`Predictability`] table, peer-sorted.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub(crate) struct PredictabilityState {
+    p: Vec<(NodeId, f64)>,
+    last_aged: f64,
+}
+
+impl Predictability {
+    pub(crate) fn export_state(&self) -> PredictabilityState {
+        let mut p: Vec<(NodeId, f64)> = self.p.iter().map(|(&n, &v)| (n, v)).collect();
+        p.sort_unstable_by_key(|&(n, _)| n);
+        PredictabilityState {
+            p,
+            last_aged: self.last_aged,
+        }
+    }
+
+    pub(crate) fn import_state(&mut self, state: &PredictabilityState) {
+        self.p = state.p.iter().copied().collect();
+        self.last_aged = state.last_aged;
+    }
+}
+
 impl Predictability {
     pub(crate) fn age(&mut self, now: f64, params: &ProphetParams) {
         let units = (now - self.last_aged) / params.age_unit_secs;

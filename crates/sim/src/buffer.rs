@@ -7,11 +7,13 @@
 //! aware alternative used by the priority-segmented experiment (Fig. 5.6).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::message::{MessageCopy, MessageId, Priority};
+use crate::message::{Annotation, MessageBody, MessageCopy, MessageId, Priority};
 use crate::time::SimTime;
+use crate::world::NodeId;
 
 /// What to evict when an arriving message does not fit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -248,6 +250,111 @@ impl Buffer {
 
 fn priority_key(p: Priority) -> u8 {
     p.level()
+}
+
+/// The snapshot of one buffered copy. The shared [`MessageBody`] is stored
+/// once per message in the world snapshot, not per copy, so a copy records
+/// only its id plus the per-copy divergent state (annotations, path,
+/// arrival time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CopyState {
+    /// The message this copy belongs to.
+    pub id: MessageId,
+    /// All tags on this copy, in add order.
+    pub annotations: Vec<Annotation>,
+    /// Every node this copy has visited.
+    pub path: Vec<NodeId>,
+    /// When the holding node received (or created) the copy.
+    pub received_at: SimTime,
+}
+
+/// The dynamic state of one [`Buffer`] (capacity and policy are scenario
+/// configuration and are rebuilt, not snapshotted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferState {
+    /// Buffered copies, sorted by message id.
+    pub copies: Vec<CopyState>,
+    /// Bytes currently used.
+    pub used_bytes: u64,
+    /// Lifetime count of successful inserts.
+    pub lifetime_stored: u64,
+    /// Lifetime count of removals.
+    pub lifetime_removed: u64,
+}
+
+impl Buffer {
+    /// Captures the buffer's dynamic state for a snapshot, in sorted
+    /// (deterministic) order.
+    #[must_use]
+    pub fn export_state(&self) -> BufferState {
+        let mut copies: Vec<CopyState> = self
+            .copies
+            .values()
+            .map(|c| CopyState {
+                id: c.id(),
+                annotations: c.annotations.clone(),
+                path: c.path.clone(),
+                received_at: c.received_at,
+            })
+            .collect();
+        copies.sort_by_key(|c| c.id);
+        BufferState {
+            copies,
+            used_bytes: self.used_bytes,
+            lifetime_stored: self.lifetime_stored,
+            lifetime_removed: self.lifetime_removed,
+        }
+    }
+
+    /// Overwrites the buffer's dynamic state from a snapshot, resolving
+    /// each copy's shared body from `bodies`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency: a copy whose body
+    /// is absent from `bodies`, or byte accounting that does not match the
+    /// restored copies.
+    pub fn import_state(
+        &mut self,
+        state: &BufferState,
+        bodies: &HashMap<MessageId, Arc<MessageBody>>,
+    ) -> Result<(), String> {
+        let mut copies = HashMap::with_capacity(state.copies.len());
+        let mut recomputed: u64 = 0;
+        for c in &state.copies {
+            let body = bodies
+                .get(&c.id)
+                .ok_or_else(|| format!("buffered copy of {} has no body in the snapshot", c.id))?;
+            recomputed += body.size_bytes;
+            copies.insert(
+                c.id,
+                MessageCopy {
+                    body: Arc::clone(body),
+                    annotations: c.annotations.clone(),
+                    path: c.path.clone(),
+                    received_at: c.received_at,
+                },
+            );
+        }
+        if recomputed != state.used_bytes {
+            return Err(format!(
+                "buffer byte accounting mismatch: copies sum to {recomputed} bytes, \
+                 snapshot recorded {}",
+                state.used_bytes
+            ));
+        }
+        if state.used_bytes > self.capacity_bytes {
+            return Err(format!(
+                "snapshot holds {} bytes but the rebuilt buffer capacity is {}",
+                state.used_bytes, self.capacity_bytes
+            ));
+        }
+        self.copies = copies;
+        self.used_bytes = state.used_bytes;
+        self.lifetime_stored = state.lifetime_stored;
+        self.lifetime_removed = state.lifetime_removed;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

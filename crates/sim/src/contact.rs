@@ -6,6 +6,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use serde::{Deserialize, Serialize};
+
 use crate::time::SimTime;
 use crate::world::{ordered_pair, NodeId};
 
@@ -169,7 +171,10 @@ impl ContactTable {
         self.scratch_downs.sort_unstable();
         for i in 0..self.scratch_downs.len() {
             let k = self.scratch_downs[i];
-            let since = self.active.remove(&k).expect("present");
+            let since = self
+                .active
+                .remove(&k)
+                .expect("a pair collected from `active` stays present until removed here");
             adj_remove(&mut self.adjacency, k.0, k.1);
             adj_remove(&mut self.adjacency, k.1, k.0);
             events.push(ContactEvent::Down(k, since));
@@ -186,6 +191,59 @@ impl ContactTable {
         }
         events
     }
+
+    /// Captures the table's dynamic state for a snapshot: the active
+    /// contacts as sorted `(a, b, up_since)` triples plus the lifetime
+    /// contact counter. The adjacency index is derived and rebuilt on
+    /// restore.
+    #[must_use]
+    pub fn export_state(&self) -> ContactTableState {
+        let mut active: Vec<(NodeId, NodeId, SimTime)> = self
+            .active
+            .iter()
+            .map(|(k, &since)| (k.0, k.1, since))
+            .collect();
+        active.sort_by_key(|&(a, b, _)| (a, b));
+        ContactTableState {
+            active,
+            total_contacts: self.total_contacts,
+        }
+    }
+
+    /// Overwrites the table from a snapshot, rebuilding the adjacency
+    /// index from the restored active set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry (a self-contact
+    /// or an unnormalized pair).
+    pub fn import_state(&mut self, state: &ContactTableState) -> Result<(), String> {
+        let mut active = HashMap::with_capacity(state.active.len());
+        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(a, b, since) in &state.active {
+            if a >= b {
+                return Err(format!(
+                    "snapshot contact ({a}, {b}) is not a normalized pair (need a < b)"
+                ));
+            }
+            active.insert(ContactKey(a, b), since);
+            adj_insert(&mut adjacency, a, b);
+            adj_insert(&mut adjacency, b, a);
+        }
+        self.active = active;
+        self.adjacency = adjacency;
+        self.total_contacts = state.total_contacts;
+        Ok(())
+    }
+}
+
+/// The dynamic state of a [`ContactTable`], for snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContactTableState {
+    /// Active contacts as `(smaller, larger, up_since)` triples, sorted.
+    pub active: Vec<(NodeId, NodeId, SimTime)>,
+    /// Total contacts ever established.
+    pub total_contacts: u64,
 }
 
 #[cfg(test)]

@@ -139,6 +139,36 @@ impl EnergyMeter {
         (tx, rx)
     }
 
+    /// Captures the meter's dynamic state (per-node use and spike drains)
+    /// for a snapshot; the radio and battery configuration are rebuilt from
+    /// the scenario on restore.
+    #[must_use]
+    pub fn export_state(&self) -> EnergyMeterState {
+        EnergyMeterState {
+            per_node: self.per_node.clone(),
+            drained: self.drained.clone(),
+        }
+    }
+
+    /// Overwrites the meter's dynamic state from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state sized for a different node count.
+    pub fn import_state(&mut self, state: &EnergyMeterState) -> Result<(), String> {
+        if state.per_node.len() != self.per_node.len() || state.drained.len() != self.drained.len()
+        {
+            return Err(format!(
+                "snapshot energy state covers {} nodes, world has {}",
+                state.per_node.len(),
+                self.per_node.len()
+            ));
+        }
+        self.per_node = state.per_node.clone();
+        self.drained = state.drained.clone();
+        Ok(())
+    }
+
     /// The cumulative use of one node.
     #[must_use]
     pub fn usage(&self, node: NodeId) -> EnergyUse {
@@ -150,6 +180,16 @@ impl EnergyMeter {
     pub fn network_total_joules(&self) -> f64 {
         self.per_node.iter().map(EnergyUse::total_joules).sum()
     }
+}
+
+/// The dynamic state of an [`EnergyMeter`]: cumulative radio use and
+/// fault-injected drains, without the radio/battery configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeterState {
+    /// Per-node cumulative radio energy use.
+    pub per_node: Vec<EnergyUse>,
+    /// Per-node joules drained by battery spikes.
+    pub drained: Vec<f64>,
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use std::str::FromStr;
 use serde::{Deserialize, Serialize};
 
 use crate::contact::ContactKey;
-use crate::rng::SimRng;
+use crate::rng::{RngState, SimRng};
 use crate::time::{SimDuration, SimTime};
 use crate::world::NodeId;
 
@@ -405,6 +405,50 @@ impl FaultInjector {
         cuts
     }
 
+    /// Captures the injector's dynamic state (RNG position, crash/cut
+    /// machines, landed-fault counters) for a snapshot. The plan itself is
+    /// rebuilt from the scenario on restore.
+    #[must_use]
+    pub fn export_state(&self) -> FaultInjectorState {
+        let mut blocked_until: Vec<(NodeId, NodeId, SimTime)> = self
+            .blocked_until
+            .iter()
+            .map(|(k, &until)| (k.0, k.1, until))
+            .collect();
+        blocked_until.sort_by_key(|&(a, b, _)| (a, b));
+        FaultInjectorState {
+            rng: self.rng.state(),
+            down_until: self.down_until.clone(),
+            blocked_until,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the injector's dynamic state from a snapshot, keeping
+    /// the configured plan.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state sized for a different node count.
+    pub fn import_state(&mut self, state: &FaultInjectorState) -> Result<(), String> {
+        if state.down_until.len() != self.down_until.len() {
+            return Err(format!(
+                "snapshot fault state covers {} nodes, world has {}",
+                state.down_until.len(),
+                self.down_until.len()
+            ));
+        }
+        self.rng = SimRng::from_state(state.rng);
+        self.down_until = state.down_until.clone();
+        self.blocked_until = state
+            .blocked_until
+            .iter()
+            .map(|&(a, b, until)| (ContactKey(a, b), until))
+            .collect();
+        self.stats = state.stats;
+        Ok(())
+    }
+
     /// Rolls loss/corruption for one completed transfer (loss first).
     /// Returns `None` when the payload survives.
     pub fn roll_transfer_fault(&mut self) -> Option<TransferFault> {
@@ -419,6 +463,21 @@ impl FaultInjector {
         }
         None
     }
+}
+
+/// The dynamic state of a [`FaultInjector`]: its RNG position, the
+/// crash/cut machines, and the landed-fault counters. The plan is not
+/// included — it is rebuilt from the scenario on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjectorState {
+    /// Position of the fault substream RNG.
+    pub rng: RngState,
+    /// Per node: when a crashed node reboots (`None` = node is up).
+    pub down_until: Vec<Option<SimTime>>,
+    /// Cut links and when they unblock, sorted by endpoint pair.
+    pub blocked_until: Vec<(NodeId, NodeId, SimTime)>,
+    /// Faults landed so far.
+    pub stats: FaultStats,
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 
 use std::fmt::Write as _;
 
+use serde::{Deserialize, Serialize};
+
 use crate::faults::FaultPlan;
 use crate::kernel::SimApi;
 use crate::time::SimTime;
@@ -60,6 +62,32 @@ impl InvariantChecker {
             false
         }
     }
+
+    /// Captures the cadence clock for a snapshot; the cadence itself is
+    /// rebuilt from the scenario on restore.
+    #[must_use]
+    pub fn export_state(&self) -> InvariantCheckerState {
+        InvariantCheckerState {
+            steps_since: self.steps_since,
+            checks_run: self.checks_run,
+        }
+    }
+
+    /// Overwrites the cadence clock from a snapshot.
+    pub fn import_state(&mut self, state: &InvariantCheckerState) {
+        self.steps_since = state.steps_since;
+        self.checks_run = state.checks_run;
+    }
+}
+
+/// The dynamic state of an [`InvariantChecker`] — the cadence clock,
+/// without the configured cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvariantCheckerState {
+    /// Steps elapsed since the last audit.
+    pub steps_since: u64,
+    /// Audits run so far.
+    pub checks_run: u64,
 }
 
 /// The kernel-owned invariant audit. Returns one human-readable line per

@@ -10,22 +10,29 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::buffer::{Buffer, DropPolicy, InsertOutcome};
-use crate::contact::{ContactEvent, ContactKey, ContactTable};
-use crate::energy::{EnergyMeter, EnergyUse};
-use crate::faults::{FaultInjector, FaultPlan, FaultStats, NodeFault, TransferFault};
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::{Buffer, BufferState, DropPolicy, InsertOutcome};
+use crate::contact::{ContactEvent, ContactKey, ContactTable, ContactTableState};
+use crate::energy::{EnergyMeter, EnergyMeterState, EnergyUse};
+use crate::faults::{
+    FaultInjector, FaultInjectorState, FaultPlan, FaultStats, NodeFault, TransferFault,
+};
 use crate::geometry::{Area, Point};
-use crate::invariants::{self, InvariantChecker};
+use crate::invariants::{self, InvariantChecker, InvariantCheckerState};
 use crate::message::{Keyword, MessageBody, MessageCopy, MessageId, Priority, Quality};
 use crate::metrics::{KernelCounters, MetricsRegistry, Phase, PhaseProfiler};
 use crate::mobility::MobilityModel;
 use crate::protocol::{Protocol, Reception};
 use crate::radio::RadioConfig;
-use crate::rng::SimRng;
-use crate::stats::{RunSummary, StatsCollector};
+use crate::rng::{RngState, SimRng};
+use crate::snapshot::SnapshotError;
+use crate::stats::{RunSummary, StatsCollector, StatsState};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEvent, TraceLog};
-use crate::transfer::{AbortReason, AbortedTransfer, RecoveryPolicy, TransferEngine};
+use crate::trace::{TraceEvent, TraceLog, TraceLogState};
+use crate::transfer::{
+    AbortReason, AbortedTransfer, RecoveryPolicy, TransferEngine, TransferEngineState,
+};
 use crate::world::{NodeId, SpatialGrid};
 
 /// Dedicated RNG stream for retry-backoff jitter ("RETRY" in ASCII), so
@@ -33,7 +40,7 @@ use crate::world::{NodeId, SpatialGrid};
 const RETRY_STREAM: u64 = 0x5245_5452_5900_0000;
 
 /// One aborted transfer waiting out its backoff in the retry queue.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct PendingRetry {
     from: NodeId,
     to: NodeId,
@@ -41,6 +48,19 @@ struct PendingRetry {
     /// Earliest release time (backoff expiry); release additionally waits
     /// for the pair to be back in contact.
     ready_at: SimTime,
+}
+
+/// Running mean of a pair's observed down→up gaps, for adaptive backoff
+/// (see [`RecoveryPolicy::adaptive_backoff`]). Only maintained while the
+/// flag is on, so a disabled run carries no tracker state at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct GapTracker {
+    /// When the pair's contact last went down (`None` while up).
+    last_down: Option<SimTime>,
+    /// Complete down→up gaps observed.
+    count: u32,
+    /// Mean observed gap, seconds.
+    mean_secs: f64,
 }
 
 /// Deterministic retry/backoff state for the recovery layer (see
@@ -58,6 +78,9 @@ struct RetryScheduler {
     peer_spent: HashMap<(NodeId, NodeId), u32>,
     /// Corruption (`Injected`) redeliveries consumed per message.
     redeliveries: HashMap<MessageId, u32>,
+    /// Observed inter-contact gaps per pair; empty unless
+    /// [`RecoveryPolicy::adaptive_backoff`] is on.
+    gaps: HashMap<ContactKey, GapTracker>,
 }
 
 impl RetryScheduler {
@@ -69,7 +92,52 @@ impl RetryScheduler {
             attempts: HashMap::new(),
             peer_spent: HashMap::new(),
             redeliveries: HashMap::new(),
+            gaps: HashMap::new(),
         }
+    }
+
+    fn adaptive(&self) -> bool {
+        self.policy.adaptive_backoff == Some(true)
+    }
+
+    /// Notes a contact teardown for gap observation. Draws no randomness
+    /// and is a no-op unless adaptive backoff is on, so the disabled path
+    /// stays byte-identical.
+    fn note_contact_down(&mut self, key: ContactKey, now: SimTime) {
+        if !self.adaptive() {
+            return;
+        }
+        self.gaps.entry(key).or_default().last_down = Some(now);
+    }
+
+    /// Notes a contact establishment, folding the completed down→up gap
+    /// into the pair's running mean. No-op unless adaptive backoff is on.
+    fn note_contact_up(&mut self, key: ContactKey, now: SimTime) {
+        if !self.adaptive() {
+            return;
+        }
+        let tracker = self.gaps.entry(key).or_default();
+        if let Some(down_at) = tracker.last_down.take() {
+            let gap = now.duration_since(down_at).as_secs();
+            tracker.count += 1;
+            tracker.mean_secs += (gap - tracker.mean_secs) / f64::from(tracker.count);
+        }
+    }
+
+    /// The backoff base for a retry between `from` and `to`: the pair's
+    /// mean observed inter-contact gap once at least two complete gaps
+    /// have been seen, the configured fixed base otherwise.
+    fn backoff_base(&self, from: NodeId, to: NodeId) -> f64 {
+        if self.adaptive() {
+            if let Some(t) = self.gaps.get(&ContactKey::new(from, to)) {
+                if t.count >= 2 {
+                    // A pair that flaps sub-millisecond still gets a
+                    // positive base, or the exponential schedule collapses.
+                    return t.mean_secs.max(1e-3);
+                }
+            }
+        }
+        self.policy.backoff_base_secs
     }
 
     /// Decides whether `a` earns a retry and, if so, enqueues it with a
@@ -117,8 +185,10 @@ impl RetryScheduler {
         let attempt = *attempts;
         // base * 2^(attempt-1), jittered ±50%, capped. The exponent is
         // clamped so a huge retry_max cannot push the power to infinity.
+        // The jitter draw happens in the same order either way, so the
+        // adaptive flag cannot shift any other stream.
         let exp = (attempt - 1).min(60);
-        let raw = self.policy.backoff_base_secs * 2f64.powi(exp as i32);
+        let raw = self.backoff_base(a.from, a.to) * 2f64.powi(exp as i32);
         let delay = (raw * self.rng.uniform(0.5, 1.5)).min(self.policy.backoff_cap_secs);
         self.queue.push(PendingRetry {
             from: a.from,
@@ -128,6 +198,78 @@ impl RetryScheduler {
         });
         Some(attempt)
     }
+
+    /// The scheduler's full dynamic state (policy excluded: it is build
+    /// configuration). Maps are flattened into key-sorted vectors so the
+    /// document is canonical for a given world.
+    fn export_state(&self) -> RetrySchedulerState {
+        let mut attempts: Vec<(NodeId, NodeId, MessageId, u32)> = self
+            .attempts
+            .iter()
+            .map(|(&(from, to, msg), &n)| (from, to, msg, n))
+            .collect();
+        attempts.sort_unstable_by_key(|&(from, to, msg, _)| (from, to, msg));
+        let mut peer_spent: Vec<(NodeId, NodeId, u32)> = self
+            .peer_spent
+            .iter()
+            .map(|(&(from, to), &n)| (from, to, n))
+            .collect();
+        peer_spent.sort_unstable_by_key(|&(from, to, _)| (from, to));
+        let mut redeliveries: Vec<(MessageId, u32)> =
+            self.redeliveries.iter().map(|(&m, &n)| (m, n)).collect();
+        redeliveries.sort_unstable_by_key(|&(m, _)| m);
+        let mut gaps: Vec<(NodeId, NodeId, GapTracker)> = self
+            .gaps
+            .iter()
+            .map(|(&ContactKey(a, b), &t)| (a, b, t))
+            .collect();
+        gaps.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        RetrySchedulerState {
+            rng: self.rng.state(),
+            queue: self.queue.clone(),
+            attempts,
+            peer_spent,
+            redeliveries,
+            gaps,
+        }
+    }
+
+    /// Overwrites the scheduler's dynamic state from a snapshot. The policy
+    /// is left as built — the restored run must be configured identically.
+    fn import_state(&mut self, state: &RetrySchedulerState) {
+        self.rng = SimRng::from_state(state.rng);
+        self.queue = state.queue.clone();
+        self.attempts = state
+            .attempts
+            .iter()
+            .map(|&(from, to, msg, n)| ((from, to, msg), n))
+            .collect();
+        self.peer_spent = state
+            .peer_spent
+            .iter()
+            .map(|&(from, to, n)| ((from, to), n))
+            .collect();
+        self.redeliveries = state.redeliveries.iter().copied().collect();
+        self.gaps = state
+            .gaps
+            .iter()
+            .map(|&(a, b, t)| (ContactKey(a, b), t))
+            .collect();
+    }
+}
+
+/// Snapshot of a [`RetryScheduler`]'s dynamic state: the retry queue in
+/// insertion order, the budget counters as key-sorted vectors, and the
+/// position of the retry RNG stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrySchedulerState {
+    rng: RngState,
+    queue: Vec<PendingRetry>,
+    attempts: Vec<(NodeId, NodeId, MessageId, u32)>,
+    peer_spent: Vec<(NodeId, NodeId, u32)>,
+    redeliveries: Vec<(MessageId, u32)>,
+    #[serde(default)]
+    gaps: Vec<(NodeId, NodeId, GapTracker)>,
 }
 
 /// A message creation scheduled by the workload.
@@ -758,6 +900,72 @@ impl SimulationBuilder {
     }
 }
 
+/// Every mutable piece of a [`Simulation`], captured between steps.
+///
+/// This is the body of a snapshot file (see [`crate::snapshot`]). Static
+/// configuration — the scenario, the radio, buffer capacities, the fault
+/// *plan*, the recovery *policy*, thread count — is deliberately absent:
+/// a restore rebuilds the world from the same scenario and then overwrites
+/// only the dynamic state below, so the document stays small and a
+/// configuration drift between save and restore surfaces as a
+/// [`SnapshotError::Mismatch`] instead of silently steering the run.
+///
+/// Deliberately *not* captured, because it is derived or wall-clock-only:
+/// the spatial grid (rebuilt from positions every step), scratch pair
+/// buffers, the worker count, and the phase profiler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldState {
+    /// The scenario seed the world was built with (pairing check).
+    pub seed: u64,
+    /// Number of nodes (pairing check).
+    pub node_count: u64,
+    /// Simulation clock at capture.
+    pub now: SimTime,
+    /// When the last TTL sweep ran.
+    pub last_sweep: SimTime,
+    /// Whether [`Protocol::on_start`] has fired.
+    pub started: bool,
+    /// Whether [`Protocol::on_finish`] has fired.
+    pub finished: bool,
+    /// Index of the next workload creation not yet executed.
+    pub next_scheduled: u64,
+    /// The next kernel-assigned message id.
+    pub next_message_id: u64,
+    /// Node positions, in node order.
+    pub positions: Vec<Point>,
+    /// The kernel's root RNG stream position.
+    pub rng_root: RngState,
+    /// Per-node mobility RNG stream positions, in node order.
+    pub node_rngs: Vec<RngState>,
+    /// Per-node mobility model state, in node order (opaque per model).
+    pub mobility: Vec<serde::Value>,
+    /// Per-node buffer contents, in node order.
+    pub buffers: Vec<BufferState>,
+    /// Every live message body, sorted by id. Buffered copies reference
+    /// bodies by id, so each body is stored once however many copies exist.
+    pub bodies: Vec<MessageBody>,
+    /// Active contacts and the lifetime contact counter.
+    pub contacts: ContactTableState,
+    /// In-flight transfers and partial-byte checkpoints.
+    pub transfers: TransferEngineState,
+    /// Per-node energy spent and the depleted-node drain record.
+    pub energy: EnergyMeterState,
+    /// The metrics collector (delivery bookkeeping, counters, series).
+    pub stats: StatsState,
+    /// The event trace ring.
+    pub trace: TraceLogState,
+    /// Kernel step counters.
+    pub counters: KernelCounters,
+    /// Retry scheduler state; present iff recovery was configured.
+    pub retries: Option<RetrySchedulerState>,
+    /// Fault injector state; present iff a fault plan was attached.
+    pub faults: Option<FaultInjectorState>,
+    /// Invariant checker cadence state; present iff checking was enabled.
+    pub checker: Option<InvariantCheckerState>,
+    /// The protocol's own state document ([`Protocol::snapshot_state`]).
+    pub protocol: serde::Value,
+}
+
 /// A running simulation: kernel state plus the protocol under test.
 #[derive(Debug)]
 pub struct Simulation<P> {
@@ -878,6 +1086,180 @@ impl<P: Protocol> Simulation<P> {
         let mut violations = invariants::kernel_invariants(&self.api);
         violations.extend(self.protocol.check_invariants(&self.api));
         violations
+    }
+
+    /// Captures every mutable piece of the world as a [`WorldState`].
+    ///
+    /// Snapshots are taken between steps (mid-step capture is impossible
+    /// from outside: `step_once` borrows the world exclusively). A run
+    /// restored from the captured state by [`Simulation::restore`] and
+    /// stepped to the horizon produces the same trace and summary, byte
+    /// for byte, as the uninterrupted run — at any thread count, because
+    /// every piece of output-affecting state (including each RNG stream's
+    /// exact position) is in the document.
+    #[must_use]
+    pub fn snapshot(&self) -> WorldState {
+        let mut bodies: Vec<MessageBody> =
+            self.api.bodies.values().map(|b| (**b).clone()).collect();
+        bodies.sort_unstable_by_key(|b| b.id);
+        WorldState {
+            seed: self.seed,
+            node_count: self.api.positions.len() as u64,
+            now: self.api.now,
+            last_sweep: self.last_sweep,
+            started: self.started,
+            finished: self.finished,
+            next_scheduled: self.next_scheduled as u64,
+            next_message_id: self.next_message_id,
+            positions: self.api.positions.clone(),
+            rng_root: self.api.rng_root.state(),
+            node_rngs: self.node_rngs.iter().map(SimRng::state).collect(),
+            mobility: self.mobilities.iter().map(|m| m.snapshot_state()).collect(),
+            buffers: self.api.buffers.iter().map(Buffer::export_state).collect(),
+            bodies,
+            contacts: self.api.contacts.export_state(),
+            transfers: self.api.transfers.export_state(),
+            energy: self.api.energy.export_state(),
+            stats: self.api.stats.export_state(),
+            trace: self.api.trace.export_state(),
+            counters: self.api.counters,
+            retries: self.retries.as_ref().map(RetryScheduler::export_state),
+            faults: self.faults.as_ref().map(FaultInjector::export_state),
+            checker: self.checker.as_ref().map(InvariantChecker::export_state),
+            protocol: self.protocol.snapshot_state(),
+        }
+    }
+
+    /// Overwrites the world's dynamic state from a snapshot taken by
+    /// [`Simulation::snapshot`] on an identically configured world (same
+    /// scenario, same seed — rebuild through the same builder path first).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] when the document does not pair with
+    /// this world: a different seed or node count, an optional subsystem
+    /// (fault plan, recovery policy, invariant checker) present on only
+    /// one side, or per-module state that fails its own consistency
+    /// checks. On error the world may be partially overwritten — rebuild
+    /// it before using it again.
+    pub fn restore(&mut self, state: &WorldState) -> Result<(), SnapshotError> {
+        fn mismatch(detail: String) -> SnapshotError {
+            SnapshotError::Mismatch { detail }
+        }
+        if state.seed != self.seed {
+            return Err(mismatch(format!(
+                "snapshot was taken under seed {}, this world is seeded {}",
+                state.seed, self.seed
+            )));
+        }
+        let nodes = self.api.positions.len();
+        if state.node_count != nodes as u64 {
+            return Err(mismatch(format!(
+                "snapshot has {} nodes, this world has {nodes}",
+                state.node_count
+            )));
+        }
+        for (name, len) in [
+            ("positions", state.positions.len()),
+            ("node_rngs", state.node_rngs.len()),
+            ("mobility", state.mobility.len()),
+            ("buffers", state.buffers.len()),
+        ] {
+            if len != nodes {
+                return Err(mismatch(format!(
+                    "snapshot carries {len} {name} entries for {nodes} nodes"
+                )));
+            }
+        }
+        if state.next_scheduled as usize > self.schedule.len() {
+            return Err(mismatch(format!(
+                "snapshot consumed {} scheduled creations, this workload has {}",
+                state.next_scheduled,
+                self.schedule.len()
+            )));
+        }
+        for (name, in_snapshot, in_world) in [
+            (
+                "recovery policy",
+                state.retries.is_some(),
+                self.retries.is_some(),
+            ),
+            ("fault plan", state.faults.is_some(), self.faults.is_some()),
+            (
+                "invariant checker",
+                state.checker.is_some(),
+                self.checker.is_some(),
+            ),
+        ] {
+            if in_snapshot != in_world {
+                let (with, without) = if in_snapshot {
+                    ("the snapshot", "this world")
+                } else {
+                    ("this world", "the snapshot")
+                };
+                return Err(mismatch(format!("{with} has a {name}, {without} does not")));
+            }
+        }
+        let bodies: HashMap<MessageId, Arc<MessageBody>> = state
+            .bodies
+            .iter()
+            .map(|b| (b.id, Arc::new(b.clone())))
+            .collect();
+        for (i, doc) in state.buffers.iter().enumerate() {
+            self.api.buffers[i]
+                .import_state(doc, &bodies)
+                .map_err(|e| mismatch(format!("node {i} buffer: {e}")))?;
+        }
+        self.api.bodies = bodies;
+        self.api
+            .contacts
+            .import_state(&state.contacts)
+            .map_err(|e| mismatch(format!("contact table: {e}")))?;
+        self.api
+            .transfers
+            .import_state(&state.transfers)
+            .map_err(|e| mismatch(format!("transfer engine: {e}")))?;
+        self.api
+            .energy
+            .import_state(&state.energy)
+            .map_err(|e| mismatch(format!("energy meter: {e}")))?;
+        self.api.stats.import_state(&state.stats);
+        self.api
+            .trace
+            .import_state(&state.trace)
+            .map_err(|e| mismatch(format!("trace log: {e}")))?;
+        self.api.counters = state.counters;
+        self.api.rng_root = SimRng::from_state(state.rng_root);
+        for (rng, s) in self.node_rngs.iter_mut().zip(&state.node_rngs) {
+            *rng = SimRng::from_state(*s);
+        }
+        for (i, (model, doc)) in self.mobilities.iter_mut().zip(&state.mobility).enumerate() {
+            model
+                .restore_state(doc)
+                .map_err(|e| mismatch(format!("node {i} mobility: {e}")))?;
+        }
+        if let (Some(scheduler), Some(doc)) = (self.retries.as_mut(), state.retries.as_ref()) {
+            scheduler.import_state(doc);
+        }
+        if let (Some(injector), Some(doc)) = (self.faults.as_mut(), state.faults.as_ref()) {
+            injector
+                .import_state(doc)
+                .map_err(|e| mismatch(format!("fault injector: {e}")))?;
+        }
+        if let (Some(checker), Some(doc)) = (self.checker.as_mut(), state.checker.as_ref()) {
+            checker.import_state(doc);
+        }
+        self.protocol
+            .restore_state(&state.protocol)
+            .map_err(|e| mismatch(format!("protocol: {e}")))?;
+        self.api.positions.clone_from(&state.positions);
+        self.api.now = state.now;
+        self.last_sweep = state.last_sweep;
+        self.started = state.started;
+        self.finished = state.finished;
+        self.next_scheduled = state.next_scheduled as usize;
+        self.next_message_id = state.next_message_id;
+        Ok(())
     }
 
     /// Panics with a replayable breach report if any invariant is violated.
@@ -1073,6 +1455,9 @@ impl<P: Protocol> Simulation<P> {
                     self.api
                         .trace
                         .record(now, TraceEvent::ContactDown { a: key.0, b: key.1 });
+                    if let Some(rs) = self.retries.as_mut() {
+                        rs.note_contact_down(key, now);
+                    }
                     let aborted = self.api.transfers.abort_between(key.0, key.1, now);
                     self.api.counters.checkpoints_evicted =
                         self.api.transfers.checkpoints_evicted();
@@ -1097,6 +1482,9 @@ impl<P: Protocol> Simulation<P> {
                     self.api
                         .trace
                         .record(now, TraceEvent::ContactUp { a: key.0, b: key.1 });
+                    if let Some(rs) = self.retries.as_mut() {
+                        rs.note_contact_up(key, now);
+                    }
                     self.protocol.on_contact_up(&mut self.api, key.0, key.1);
                 }
             }
@@ -1654,6 +2042,151 @@ mod tests {
             "loss chaos must exercise the retry path"
         );
         assert!(sa.invariant_checks_run().unwrap() > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        let plan: FaultPlan = "crash=6,crashdown=60,wipe,cut=20,cutdown=15,loss=0.2"
+            .parse()
+            .unwrap();
+        let build = || {
+            SimulationBuilder::new(Area::new(2000.0, 2000.0), 99)
+                .nodes(20, || {
+                    Box::new(crate::mobility::RandomWaypoint::pedestrian())
+                })
+                .messages((0..10).map(|i| ScheduledMessage {
+                    expected_destinations: vec![NodeId((i as u32 + 1) % 20)],
+                    ..msg(i as f64 * 30.0, i as u32 % 20)
+                }))
+                .faults(plan)
+                .recovery(RecoveryPolicy::default())
+                .trace(TraceLog::unbounded())
+                .check_invariants_every(7)
+                .build(PushAll)
+        };
+        let mut uninterrupted = build();
+        let golden = uninterrupted.run_until(SimTime::from_secs(1800.0));
+
+        // "Crash" a second copy of the run mid-flight and capture the world.
+        let mut killed = build();
+        while killed.api().now() < SimTime::from_secs(600.0) {
+            killed.step_once();
+        }
+        let world = killed.snapshot();
+        drop(killed);
+
+        // Push the document through the on-disk container so the test also
+        // proves serde fidelity, not just in-memory cloning.
+        let dir = std::env::temp_dir().join(format!("dtn-kernel-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.snap");
+        crate::snapshot::save(&world, &path).expect("save snapshot");
+        let reloaded: WorldState = crate::snapshot::load(&path).expect("load snapshot");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(world, reloaded, "the container round-trips the world");
+
+        let mut resumed = build();
+        resumed
+            .restore(&reloaded)
+            .expect("restore into a fresh build");
+        let summary = resumed.run_until(SimTime::from_secs(1800.0));
+        assert_eq!(summary, golden, "resumed summary differs from golden");
+        assert_eq!(
+            resumed.api().trace().render(),
+            uninterrupted.api().trace().render(),
+            "resumed trace differs from golden"
+        );
+        assert_eq!(resumed.fault_stats(), uninterrupted.fault_stats());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_worlds_with_typed_errors() {
+        let build = |seed: u64, nodes: usize| {
+            SimulationBuilder::new(Area::new(1000.0, 1000.0), seed)
+                .nodes(nodes, || Box::new(Stationary))
+                .build(NullProtocol)
+        };
+        let mut donor = build(7, 3);
+        donor.step_once();
+        let world = donor.snapshot();
+
+        let err = build(8, 3).restore(&world).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err}");
+        assert!(err.to_string().contains("seed"), "{err}");
+
+        let err = build(7, 4).restore(&world).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err}");
+        assert!(err.to_string().contains("nodes"), "{err}");
+
+        // A world with recovery configured cannot adopt a snapshot without.
+        let mut with_recovery = SimulationBuilder::new(Area::new(1000.0, 1000.0), 7)
+            .nodes(3, || Box::new(Stationary))
+            .recovery(RecoveryPolicy::default())
+            .build(NullProtocol);
+        let err = with_recovery.restore(&world).unwrap_err();
+        assert!(err.to_string().contains("recovery policy"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_backoff_flag_off_is_byte_identical() {
+        let plan: FaultPlan = "cut=20,cutdown=15,loss=0.2".parse().unwrap();
+        let run = |adaptive: Option<bool>| {
+            let mut sim = SimulationBuilder::new(Area::new(2000.0, 2000.0), 41)
+                .nodes(20, || {
+                    Box::new(crate::mobility::RandomWaypoint::pedestrian())
+                })
+                .messages((0..10).map(|i| ScheduledMessage {
+                    expected_destinations: vec![NodeId((i as u32 + 1) % 20)],
+                    ..msg(i as f64 * 30.0, i as u32 % 20)
+                }))
+                .faults(plan)
+                .recovery(RecoveryPolicy {
+                    adaptive_backoff: adaptive,
+                    ..RecoveryPolicy::default()
+                })
+                .trace(TraceLog::unbounded())
+                .build(PushAll);
+            let summary = sim.run_until(SimTime::from_secs(1800.0));
+            (summary, sim.api().trace().render())
+        };
+        assert_eq!(
+            run(None),
+            run(Some(false)),
+            "an explicit `false` must match an absent flag byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn adaptive_backoff_bases_on_observed_gaps() {
+        let policy = RecoveryPolicy {
+            adaptive_backoff: Some(true),
+            backoff_base_secs: 4.0,
+            ..RecoveryPolicy::default()
+        };
+        let mut rs = RetryScheduler::new(policy, &SimRng::new(1));
+        let key = ContactKey::new(NodeId(0), NodeId(1));
+        // One complete gap is not enough evidence: still the fixed base.
+        rs.note_contact_down(key, SimTime::from_secs(10.0));
+        rs.note_contact_up(key, SimTime::from_secs(40.0));
+        assert_eq!(rs.backoff_base(NodeId(0), NodeId(1)), 4.0);
+        // Two gaps (30 s and 60 s) switch the pair to its observed mean.
+        rs.note_contact_down(key, SimTime::from_secs(50.0));
+        rs.note_contact_up(key, SimTime::from_secs(110.0));
+        assert!((rs.backoff_base(NodeId(0), NodeId(1)) - 45.0).abs() < 1e-9);
+        // Other pairs have no observations and keep the fixed base.
+        assert_eq!(rs.backoff_base(NodeId(2), NodeId(3)), 4.0);
+
+        // Disabled: observations are not even collected.
+        let mut off = RetryScheduler::new(RecoveryPolicy::default(), &SimRng::new(1));
+        off.note_contact_down(key, SimTime::from_secs(10.0));
+        off.note_contact_up(key, SimTime::from_secs(40.0));
+        off.note_contact_down(key, SimTime::from_secs(50.0));
+        off.note_contact_up(key, SimTime::from_secs(110.0));
+        assert!(off.gaps.is_empty());
+        assert_eq!(
+            off.backoff_base(NodeId(0), NodeId(1)),
+            RecoveryPolicy::default().backoff_base_secs
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod mobility_map;
 pub mod protocol;
 pub mod radio;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -65,7 +66,7 @@ pub mod prelude {
     pub use crate::faults::{FaultPlan, FaultStats};
     pub use crate::geometry::{Area, Point};
     pub use crate::invariants::InvariantChecker;
-    pub use crate::kernel::{ScheduledMessage, SimApi, Simulation, SimulationBuilder};
+    pub use crate::kernel::{ScheduledMessage, SimApi, Simulation, SimulationBuilder, WorldState};
     pub use crate::message::{
         Annotation, Keyword, MessageBody, MessageCopy, MessageId, Priority, Quality,
     };
@@ -78,7 +79,8 @@ pub mod prelude {
     pub use crate::mobility_map::ManhattanGrid;
     pub use crate::protocol::{NullProtocol, Protocol, Reception};
     pub use crate::radio::RadioConfig;
-    pub use crate::rng::SimRng;
+    pub use crate::rng::{RngState, SimRng};
+    pub use crate::snapshot::SnapshotError;
     pub use crate::stats::{RunSummary, StatsCollector};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceEntry, TraceEvent, TraceLog};

@@ -133,7 +133,7 @@ pub struct Annotation {
 }
 
 /// The immutable part of a message, shared by every buffered copy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MessageBody {
     /// Unique id (the paper's UUID).
     pub id: MessageId,

@@ -20,6 +20,31 @@ pub trait MobilityModel: std::fmt::Debug + Send {
     fn initial_position(&mut self, area: Area, rng: &mut SimRng) -> Point {
         Point::new(rng.uniform(0.0, area.width), rng.uniform(0.0, area.height))
     }
+
+    /// The model's dynamic walk state as an opaque document, for a
+    /// whole-world snapshot. Stateless models return [`serde::Value::Null`]
+    /// (the default); stateful models must override both this and
+    /// [`MobilityModel::restore_state`] or a resumed run will replay their
+    /// walk from scratch.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores the dynamic walk state captured by
+    /// [`MobilityModel::snapshot_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `state` is not a document
+    /// this model produces (e.g. a snapshot taken under a different
+    /// mobility model).
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        if matches!(state, serde::Value::Null) {
+            Ok(())
+        } else {
+            Err("snapshot carries mobility state but this model keeps none".to_string())
+        }
+    }
 }
 
 /// The Random Waypoint model: pick a uniform destination, walk to it at a
@@ -36,7 +61,7 @@ pub struct RandomWaypoint {
     state: WaypointState,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 enum WaypointState {
     #[default]
     NeedTarget,
@@ -133,6 +158,16 @@ impl MobilityModel for RandomWaypoint {
             }
         }
         pos
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.state.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.state = WaypointState::from_value(state)
+            .map_err(|e| format!("random-waypoint state does not parse: {e}"))?;
+        Ok(())
     }
 }
 
@@ -283,6 +318,16 @@ impl MobilityModel for ScriptedWaypoints {
 
     fn initial_position(&mut self, _area: Area, _rng: &mut SimRng) -> Point {
         self.position_at(0.0)
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.elapsed.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.elapsed = f64::from_value(state)
+            .map_err(|e| format!("scripted-waypoints state does not parse: {e}"))?;
+        Ok(())
     }
 }
 

@@ -31,7 +31,7 @@ pub struct ManhattanGrid {
     state: GridState,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 enum GridState {
     #[default]
     NeedTarget,
@@ -173,6 +173,16 @@ impl MobilityModel for ManhattanGrid {
 
     fn initial_position(&mut self, area: Area, rng: &mut SimRng) -> Point {
         self.random_intersection(area, rng)
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.state.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.state = GridState::from_value(state)
+            .map_err(|e| format!("manhattan-grid state does not parse: {e}"))?;
+        Ok(())
     }
 }
 

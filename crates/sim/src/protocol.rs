@@ -103,6 +103,31 @@ pub trait Protocol {
         let _ = api;
         Vec::new()
     }
+
+    /// The protocol's full dynamic state as an opaque document, for a
+    /// whole-world snapshot. Stateless protocols return
+    /// [`serde::Value::Null`] (the default); stateful protocols must
+    /// override both this and [`Protocol::restore_state`] or a resumed run
+    /// will restart their routing state from scratch and diverge.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores the dynamic state captured by [`Protocol::snapshot_state`]
+    /// into a freshly built protocol (same scenario, same seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `state` is not a document
+    /// this protocol produces (e.g. a snapshot taken under a different
+    /// arm or protocol configuration).
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        if matches!(state, serde::Value::Null) {
+            Ok(())
+        } else {
+            Err("snapshot carries protocol state but this protocol keeps none".to_string())
+        }
+    }
 }
 
 /// A protocol that does nothing; useful for mobility/contact-only studies

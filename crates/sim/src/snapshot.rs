@@ -1,0 +1,328 @@
+//! Versioned, checksummed snapshot files.
+//!
+//! A snapshot file is one header line followed by a JSON body:
+//!
+//! ```text
+//! DTNSNAP v1 <fnv128-hex-of-body>\n
+//! { ... }
+//! ```
+//!
+//! The header names the format version and carries a 128-bit FNV-1a digest
+//! of the body, so truncation, bit rot, and version drift are all detected
+//! *before* the body is parsed — a damaged snapshot is reported as a typed
+//! [`SnapshotError`], never a panic or a silently wrong world. Writes go
+//! through a `.tmp` file renamed into place, so a crash mid-write can never
+//! leave a half-written file at the target path (the same discipline as the
+//! sweep cache).
+//!
+//! This module owns only the *container*; what goes inside is any
+//! [`Serialize`]/[`Deserialize`] document — the kernel's
+//! [`crate::kernel::WorldState`], or a workload-level wrapper around it.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Magic token opening every snapshot header.
+pub const MAGIC: &str = "DTNSNAP";
+
+/// The format version this build writes and accepts. Bump it whenever the
+/// body layout changes shape incompatibly, and record the change in
+/// DESIGN.md §14 (CI enforces that pairing).
+pub const FORMAT_VERSION: &str = "v1";
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// The file ends before the header line does — a crash mid-write or a
+    /// truncated copy.
+    Truncated {
+        /// The file involved.
+        path: PathBuf,
+    },
+    /// The header parses but the body's checksum does not match it.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// The digest the header promised.
+        expected: String,
+        /// The digest the body actually hashes to.
+        actual: String,
+    },
+    /// The header names a format version this build does not speak.
+    VersionMismatch {
+        /// The file involved.
+        path: PathBuf,
+        /// The version the file claims.
+        found: String,
+    },
+    /// The file is not a snapshot at all (bad magic) or its body does not
+    /// parse as the expected document.
+    Malformed {
+        /// The file involved.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The snapshot parsed cleanly but does not belong to the world being
+    /// restored (different scenario, seed, or node count).
+    Mismatch {
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => {
+                write!(f, "snapshot I/O failed at {}: {source}", path.display())
+            }
+            SnapshotError::Truncated { path } => {
+                write!(f, "snapshot {} is truncated", path.display())
+            }
+            SnapshotError::Corrupt {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot {} is corrupt: header digest {expected}, body hashes to {actual}",
+                path.display()
+            ),
+            SnapshotError::VersionMismatch { path, found } => write!(
+                f,
+                "snapshot {} is format {found}, this build speaks {FORMAT_VERSION}",
+                path.display()
+            ),
+            SnapshotError::Malformed { path, detail } => {
+                write!(f, "snapshot {} is malformed: {detail}", path.display())
+            }
+            SnapshotError::Mismatch { detail } => {
+                write!(f, "snapshot does not match this run: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes `doc` and writes it to `path` atomically (tmp-then-rename).
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] when the write or rename fails, or
+/// [`SnapshotError::Malformed`] when the document itself cannot be
+/// serialized (non-finite floats).
+pub fn save<T: Serialize>(doc: &T, path: &Path) -> Result<(), SnapshotError> {
+    let body = serde_json::to_string(&doc.to_value()).map_err(|e| SnapshotError::Malformed {
+        path: path.to_path_buf(),
+        detail: format!("document does not serialize: {e}"),
+    })?;
+    let header = format!("{MAGIC} {FORMAT_VERSION} {}\n", fnv128_hex(body.as_bytes()));
+    let mut contents = header;
+    contents.push_str(&body);
+    let tmp = tmp_path(path);
+    let io_err = |source| SnapshotError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    std::fs::write(&tmp, contents.as_bytes())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(io_err)
+}
+
+/// Reads, verifies, and parses the snapshot at `path`.
+///
+/// Verification order: the header line must be complete
+/// ([`SnapshotError::Truncated`]), open with [`MAGIC`]
+/// ([`SnapshotError::Malformed`]), name [`FORMAT_VERSION`]
+/// ([`SnapshotError::VersionMismatch`]), and its digest must match the
+/// body ([`SnapshotError::Corrupt`]) — only then is the body parsed.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] variant except [`SnapshotError::Mismatch`]
+/// (pairing the document with a world is the caller's job).
+pub fn load<T: Deserialize>(path: &Path) -> Result<T, SnapshotError> {
+    let raw = std::fs::read_to_string(path).map_err(|source| SnapshotError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let Some((header, body)) = raw.split_once('\n') else {
+        return Err(SnapshotError::Truncated {
+            path: path.to_path_buf(),
+        });
+    };
+    let mut fields = header.split_ascii_whitespace();
+    let malformed = |detail: String| SnapshotError::Malformed {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let magic = fields.next().unwrap_or("");
+    if magic != MAGIC {
+        return Err(malformed(format!(
+            "header opens with `{magic}`, expected `{MAGIC}`"
+        )));
+    }
+    let version = fields
+        .next()
+        .ok_or_else(|| malformed("header is missing the version field".to_string()))?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            path: path.to_path_buf(),
+            found: version.to_string(),
+        });
+    }
+    let expected = fields
+        .next()
+        .ok_or_else(|| malformed("header is missing the checksum field".to_string()))?;
+    let actual = fnv128_hex(body.as_bytes());
+    if expected != actual {
+        return Err(SnapshotError::Corrupt {
+            path: path.to_path_buf(),
+            expected: expected.to_string(),
+            actual,
+        });
+    }
+    let value = serde_json::from_str(body)
+        .map_err(|e| malformed(format!("body is not valid JSON: {e}")))?;
+    T::from_value(&value).map_err(|e| malformed(format!("body does not parse: {e}")))
+}
+
+/// The sibling `.tmp` path used for atomic writes. Appends rather than
+/// replaces the extension so `world.snap` and `world.json` cannot collide
+/// on one tmp file.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// 128-bit FNV-1a, hex-encoded: stable across platforms and runs, same
+/// digest the sweep cache uses for payload integrity.
+fn fnv128_hex(bytes: &[u8]) -> String {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut state = OFFSET;
+    for &b in bytes {
+        state ^= u128::from(b);
+        state = state.wrapping_mul(PRIME);
+    }
+    format!("{state:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        name: String,
+        steps: u64,
+        ratio: f64,
+    }
+
+    fn doc() -> Doc {
+        Doc {
+            name: "demo".to_string(),
+            steps: 12_345,
+            ratio: 0.625,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtn-snap-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_cleans_tmp() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("world.snap");
+        save(&doc(), &path).expect("save");
+        assert!(!tmp_path(&path).exists(), "tmp renamed away");
+        let back: Doc = load(&path).expect("load");
+        assert_eq!(back, doc());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_typed_not_a_panic() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("world.snap");
+        save(&doc(), &path).expect("save");
+        let raw = std::fs::read_to_string(&path).unwrap();
+        // Cut inside the header: no newline survives.
+        std::fs::write(&path, &raw[..10]).unwrap();
+        assert!(matches!(
+            load::<Doc>(&path),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_body_is_detected_by_checksum() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("world.snap");
+        save(&doc(), &path).expect("save");
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let flipped = raw.replace("12345", "12346");
+        assert_ne!(raw, flipped, "the body actually changed");
+        std::fs::write(&path, flipped).unwrap();
+        let err = load::<Doc>(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_version_is_rejected() {
+        let dir = tmpdir("version");
+        let path = dir.join("world.snap");
+        save(&doc(), &path).expect("save");
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, raw.replacen("v1", "v999", 1)).unwrap();
+        let err = load::<Doc>(&path).unwrap_err();
+        match err {
+            SnapshotError::VersionMismatch { found, .. } => assert_eq!(found, "v999"),
+            other => panic!("expected VersionMismatch, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_snapshot_file_is_malformed() {
+        let dir = tmpdir("magic");
+        let path = dir.join("not-a-snap.txt");
+        std::fs::write(&path, "hello world\nmore text\n").unwrap();
+        assert!(matches!(
+            load::<Doc>(&path),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        let err = load::<Doc>(Path::new("/nonexistent/dir/world.snap")).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io { .. }), "{err}");
+    }
+}

@@ -218,6 +218,85 @@ impl StatsCollector {
         self.created
     }
 
+    /// Captures the collector's full state for a snapshot. Hash-based sets
+    /// and maps are emitted sorted so the image is deterministic.
+    #[must_use]
+    pub fn export_state(&self) -> StatsState {
+        let mut expected_dests: Vec<(MessageId, Vec<NodeId>)> = self
+            .expected_dests
+            .iter()
+            .map(|(&id, set)| {
+                let mut dests: Vec<NodeId> = set.iter().copied().collect();
+                dests.sort_unstable();
+                (id, dests)
+            })
+            .collect();
+        expected_dests.sort_unstable_by_key(|&(id, _)| id);
+        let mut priority_of: Vec<(MessageId, Priority)> =
+            self.priority_of.iter().map(|(&id, &p)| (id, p)).collect();
+        priority_of.sort_unstable_by_key(|&(id, _)| id);
+        let mut delivered_pairs: Vec<(MessageId, NodeId)> =
+            self.delivered_pairs.iter().copied().collect();
+        delivered_pairs.sort_unstable();
+        let mut messages_with_delivery: Vec<MessageId> =
+            self.messages_with_delivery.iter().copied().collect();
+        messages_with_delivery.sort_unstable();
+        StatsState {
+            created: self.created,
+            created_by_priority: self.created_by_priority.clone(),
+            expected_pairs: self.expected_pairs,
+            expected_pairs_by_priority: self.expected_pairs_by_priority.clone(),
+            expected_dests,
+            priority_of,
+            delivered_pairs,
+            delivered_expected: self.delivered_expected,
+            delivered_expected_by_priority: self.delivered_expected_by_priority.clone(),
+            delivered_unexpected: self.delivered_unexpected,
+            messages_with_delivery,
+            latency_sum_secs: self.latency_sum_secs,
+            latency_count: self.latency_count,
+            relays_completed: self.relays_completed,
+            relay_bytes: self.relay_bytes,
+            transfers_aborted: self.transfers_aborted,
+            transfers_retried: self.transfers_retried,
+            transfers_resumed: self.transfers_resumed,
+            transfers_abandoned: self.transfers_abandoned,
+            buffer_evictions: self.buffer_evictions,
+            ttl_expiries: self.ttl_expiries,
+            series: self.series.clone(),
+        }
+    }
+
+    /// Overwrites the collector's state from a snapshot.
+    pub fn import_state(&mut self, state: &StatsState) {
+        self.created = state.created;
+        self.created_by_priority = state.created_by_priority.clone();
+        self.expected_pairs = state.expected_pairs;
+        self.expected_pairs_by_priority = state.expected_pairs_by_priority.clone();
+        self.expected_dests = state
+            .expected_dests
+            .iter()
+            .map(|(id, dests)| (*id, dests.iter().copied().collect()))
+            .collect();
+        self.priority_of = state.priority_of.iter().copied().collect();
+        self.delivered_pairs = state.delivered_pairs.iter().copied().collect();
+        self.delivered_expected = state.delivered_expected;
+        self.delivered_expected_by_priority = state.delivered_expected_by_priority.clone();
+        self.delivered_unexpected = state.delivered_unexpected;
+        self.messages_with_delivery = state.messages_with_delivery.iter().copied().collect();
+        self.latency_sum_secs = state.latency_sum_secs;
+        self.latency_count = state.latency_count;
+        self.relays_completed = state.relays_completed;
+        self.relay_bytes = state.relay_bytes;
+        self.transfers_aborted = state.transfers_aborted;
+        self.transfers_retried = state.transfers_retried;
+        self.transfers_resumed = state.transfers_resumed;
+        self.transfers_abandoned = state.transfers_abandoned;
+        self.buffer_evictions = state.buffer_evictions;
+        self.ttl_expiries = state.ttl_expiries;
+        self.series = state.series.clone();
+    }
+
     /// Finalizes the run into a summary.
     #[must_use]
     pub fn summarize(&self) -> RunSummary {
@@ -265,6 +344,56 @@ impl StatsCollector {
             series: self.series.clone(),
         }
     }
+}
+
+/// The full dynamic state of a [`StatsCollector`], with hash-based
+/// containers flattened into sorted vectors for a deterministic image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsState {
+    /// Messages created.
+    pub created: u64,
+    /// Creations per priority level.
+    pub created_by_priority: BTreeMap<u8, u64>,
+    /// Expected `(message, destination)` pairs registered.
+    pub expected_pairs: u64,
+    /// Expected pairs per priority level.
+    pub expected_pairs_by_priority: BTreeMap<u8, u64>,
+    /// Expected destination sets, sorted by message id (inner sorted).
+    pub expected_dests: Vec<(MessageId, Vec<NodeId>)>,
+    /// Message priorities, sorted by message id.
+    pub priority_of: Vec<(MessageId, Priority)>,
+    /// Delivered `(message, destination)` pairs, sorted.
+    pub delivered_pairs: Vec<(MessageId, NodeId)>,
+    /// Expected deliveries counted.
+    pub delivered_expected: u64,
+    /// Expected deliveries per priority level.
+    pub delivered_expected_by_priority: BTreeMap<u8, u64>,
+    /// Deliveries outside the expected set.
+    pub delivered_unexpected: u64,
+    /// Messages with at least one delivery, sorted.
+    pub messages_with_delivery: Vec<MessageId>,
+    /// Sum of first-delivery latencies, seconds.
+    pub latency_sum_secs: f64,
+    /// Number of latencies in the sum.
+    pub latency_count: u64,
+    /// Completed relay transfers.
+    pub relays_completed: u64,
+    /// Bytes moved by completed transfers.
+    pub relay_bytes: u64,
+    /// Aborted transfers.
+    pub transfers_aborted: u64,
+    /// Retries scheduled.
+    pub transfers_retried: u64,
+    /// Checkpoint resumes.
+    pub transfers_resumed: u64,
+    /// Retries abandoned.
+    pub transfers_abandoned: u64,
+    /// Buffer evictions.
+    pub buffer_evictions: u64,
+    /// TTL expiries.
+    pub ttl_expiries: u64,
+    /// Named time series.
+    pub series: BTreeMap<String, Vec<(f64, f64)>>,
 }
 
 impl RunSummary {

@@ -307,6 +307,37 @@ impl TraceLog {
             .collect()
     }
 
+    /// Captures the recorded entries and overflow count for a snapshot.
+    /// The `enabled`/`capacity` configuration is not included — it is
+    /// rebuilt from the scenario on restore.
+    #[must_use]
+    pub fn export_state(&self) -> TraceLogState {
+        TraceLogState {
+            entries: self.entries.clone(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// Overwrites the recorded entries and overflow count from a snapshot,
+    /// keeping this log's `enabled`/`capacity` configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose entry count exceeds this log's capacity.
+    pub fn import_state(&mut self, state: &TraceLogState) -> Result<(), String> {
+        if let Some(cap) = self.capacity {
+            if state.entries.len() > cap {
+                return Err(format!(
+                    "snapshot has {} trace entries, log capacity is {cap}",
+                    state.entries.len()
+                ));
+            }
+        }
+        self.entries = state.entries.clone();
+        self.dropped = state.dropped;
+        Ok(())
+    }
+
     /// Renders the log (or the slice about one message) as text, one event
     /// per line.
     #[must_use]
@@ -316,6 +347,16 @@ impl TraceLog {
             .map(|e| format!("{} {}\n", e.at, e.event))
             .collect()
     }
+}
+
+/// The dynamic state of a [`TraceLog`] — the recorded entries plus the
+/// overflow count, without the `enabled`/`capacity` configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLogState {
+    /// Recorded entries, in order.
+    pub entries: Vec<TraceEntry>,
+    /// Events discarded after the capacity filled.
+    pub dropped: u64,
 }
 
 #[cfg(test)]

@@ -54,6 +54,15 @@ pub struct RecoveryPolicy {
     /// the least-recently-touched checkpoint (by sim time, ties broken by
     /// key) is evicted — its transfer restarts from byte zero if retried.
     pub checkpoint_capacity: usize,
+    /// Derive the retry backoff base from *observed* per-peer inter-contact
+    /// gaps instead of the fixed `backoff_base_secs`: once a pair has seen
+    /// at least two complete down→up gaps, the mean observed gap becomes
+    /// the base for that pair (still doubled per attempt, jittered, and
+    /// capped by `backoff_cap_secs`). Pairs with fewer than two observed
+    /// gaps keep `backoff_base_secs`. `None`/`Some(false)` (the default)
+    /// disables it; a disabled run is byte-identical to one without the
+    /// field.
+    pub adaptive_backoff: Option<bool>,
 }
 
 impl Default for RecoveryPolicy {
@@ -66,6 +75,7 @@ impl Default for RecoveryPolicy {
             redelivery_cap: 2,
             peer_budget: 64,
             checkpoint_capacity: 1024,
+            adaptive_backoff: None,
         }
     }
 }
@@ -201,6 +211,56 @@ pub struct AbortedTransfer {
     pub bytes_sent: f64,
     /// Why it failed.
     pub reason: AbortReason,
+}
+
+/// Snapshot image of one queued or in-flight [`Transfer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferState {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The message being pushed.
+    pub message: MessageId,
+    /// Payload size in bytes.
+    pub bytes_total: u64,
+    /// Bytes already on the air.
+    pub bytes_sent: f64,
+    /// When transmission actually began (`None` while queued).
+    pub started_at: Option<SimTime>,
+    /// When the transfer was requested.
+    pub requested_at: SimTime,
+}
+
+/// Snapshot image of one saved checkpoint, key included.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointState {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The checkpointed message.
+    pub message: MessageId,
+    /// Bytes already transmitted when the checkpoint was taken.
+    pub bytes_sent: f64,
+    /// Payload size the checkpoint was taken against.
+    pub bytes_total: u64,
+    /// Sim time of the last save or resume-read (LRU bookkeeping).
+    pub last_touch: SimTime,
+}
+
+/// The dynamic state of a [`TransferEngine`], detached from its
+/// configuration (node count, link speed, resume flag, capacity — all of
+/// which are rebuilt from the scenario on restore).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferEngineState {
+    /// Per-sender FIFOs, indexed by sender id; most are empty.
+    pub queues: Vec<Vec<TransferState>>,
+    /// Live checkpoints, sorted by `(from, to, message)` so the image is
+    /// deterministic regardless of `HashMap` iteration order.
+    pub checkpoints: Vec<CheckpointState>,
+    /// Checkpoints dropped by the capacity bound so far.
+    pub checkpoints_evicted: u64,
 }
 
 /// Per-sender transfer scheduling for the whole world.
@@ -346,6 +406,114 @@ impl TransferEngine {
     pub fn clear_checkpoints_involving(&mut self, node: NodeId) {
         self.checkpoints
             .retain(|&(from, to, _), _| from != node && to != node);
+    }
+
+    /// Captures the engine's dynamic state for a snapshot. Queues keep
+    /// their FIFO order; checkpoints are emitted sorted by key.
+    #[must_use]
+    pub fn export_state(&self) -> TransferEngineState {
+        let queues = self
+            .queues
+            .iter()
+            .map(|q| {
+                q.iter()
+                    .map(|t| TransferState {
+                        from: t.from,
+                        to: t.to,
+                        message: t.message,
+                        bytes_total: t.bytes_total,
+                        bytes_sent: t.bytes_sent,
+                        started_at: t.started_at,
+                        requested_at: t.requested_at,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut checkpoints: Vec<CheckpointState> = self
+            .checkpoints
+            .iter()
+            .map(|(&(from, to, message), slot)| CheckpointState {
+                from,
+                to,
+                message,
+                bytes_sent: slot.checkpoint.bytes_sent,
+                bytes_total: slot.checkpoint.bytes_total,
+                last_touch: slot.last_touch,
+            })
+            .collect();
+        checkpoints.sort_by_key(|c| (c.from, c.to, c.message));
+        TransferEngineState {
+            queues,
+            checkpoints,
+            checkpoints_evicted: self.checkpoints_evicted,
+        }
+    }
+
+    /// Overwrites the engine's dynamic state from a snapshot, leaving the
+    /// configuration (link speed, resume flag, checkpoint capacity) as
+    /// built from the scenario. The active-sender index is rebuilt from
+    /// the restored queues.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose queue count disagrees with this engine's node
+    /// count, or that carries checkpoints while resume is off here.
+    pub fn import_state(&mut self, state: &TransferEngineState) -> Result<(), String> {
+        if state.queues.len() != self.queues.len() {
+            return Err(format!(
+                "snapshot has {} sender queues, world has {} nodes",
+                state.queues.len(),
+                self.queues.len()
+            ));
+        }
+        if !self.resume && !state.checkpoints.is_empty() {
+            return Err(format!(
+                "snapshot carries {} checkpoints but resume is disabled in this scenario",
+                state.checkpoints.len()
+            ));
+        }
+        self.queues = state
+            .queues
+            .iter()
+            .map(|q| {
+                q.iter()
+                    .map(|t| Transfer {
+                        from: t.from,
+                        to: t.to,
+                        message: t.message,
+                        bytes_total: t.bytes_total,
+                        bytes_sent: t.bytes_sent,
+                        started_at: t.started_at,
+                        requested_at: t.requested_at,
+                    })
+                    .collect()
+            })
+            .collect();
+        self.active = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        self.checkpoints = state
+            .checkpoints
+            .iter()
+            .map(|c| {
+                (
+                    (c.from, c.to, c.message),
+                    CheckpointSlot {
+                        checkpoint: Checkpoint {
+                            bytes_sent: c.bytes_sent,
+                            bytes_total: c.bytes_total,
+                        },
+                        last_touch: c.last_touch,
+                    },
+                )
+            })
+            .collect();
+        self.checkpoints_evicted = state.checkpoints_evicted;
+        Ok(())
     }
 
     /// Byte-conservation audit: every queued transfer and every checkpoint

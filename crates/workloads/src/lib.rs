@@ -11,6 +11,8 @@
 //!   content and expected destination sets;
 //! * [`runner`] — builds simulations, runs seeds, pairs the Incentive and
 //!   ChitChat arms over identical workloads;
+//! * [`resume`] — crash-resumable runs: periodic whole-world snapshots
+//!   with run identity attached, and byte-identical resume;
 //! * [`sweep`] — the work-stealing sweep executor with a memoized run
 //!   cache: whole figure grids as one saturated worker-pool queue;
 //! * [`paper`] — Table 5.1 constructors and the per-figure sweeps
@@ -39,6 +41,7 @@
 pub mod dispersion;
 pub mod paper;
 pub mod population;
+pub mod resume;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
@@ -52,6 +55,10 @@ pub mod prelude {
         token_sweep, user_count_sweep, Scale, PAPER_SEEDS, QUICK_SEEDS,
     };
     pub use crate::population::{Population, SourceClass};
+    pub use crate::resume::{
+        latest_snapshot, read_snapshot, resume_simulation, run_with_snapshots, snapshot_path,
+        write_snapshot, RunMeta, RunProgress, SnapshotDoc, SnapshotPolicy,
+    };
     pub use crate::runner::{
         arm_for, build_backend_simulation, build_simulation, compare_arms, compare_overlays,
         protocol_for, run_backend, run_backend_checked, run_once, run_seeds, ArmRun, BackendRouter,

@@ -209,6 +209,18 @@ impl Cell {
                 );
                 !(null_when_unset && matches!(value, serde_json::Value::Null))
             });
+            // Optional knobs *inside* the recovery policy follow the same
+            // rule: unset (`null`) strips, so a policy predating the knob
+            // hashes to the key it always had.
+            for (key, value) in entries.iter_mut() {
+                if key == "recovery" {
+                    if let serde_json::Value::Map(policy) = value {
+                        policy.retain(|(k, v)| {
+                            !(k == "adaptive_backoff" && matches!(v, serde_json::Value::Null))
+                        });
+                    }
+                }
+            }
         }
         let scenario_json =
             serde_json::to_string(&RawJson(value)).expect("scenario serializes to JSON");
@@ -870,6 +882,45 @@ mod tests {
         assert_ne!(
             bare.cache_key(),
             Cell::arm(duty, Arm::Incentive, 9).cache_key()
+        );
+    }
+
+    #[test]
+    fn unset_adaptive_backoff_keeps_pre_existing_recovery_cache_keys() {
+        // A recovery policy predating the adaptive-backoff knob must hash
+        // to the key it always had; arming the knob forks it.
+        let mut with_recovery = tiny("recov");
+        with_recovery.recovery = Some(dtn_sim::transfer::RecoveryPolicy::default());
+        let bare = Cell::arm(with_recovery.clone(), Arm::Incentive, 9);
+        let json = {
+            let mut canonical = with_recovery.clone();
+            canonical.name = String::new();
+            serde_json::to_string(&Serialize::to_value(&canonical)).unwrap()
+        };
+        assert!(
+            json.contains("\"adaptive_backoff\":null"),
+            "the raw serialization carries the unset knob: {json}"
+        );
+
+        let mut adaptive = with_recovery.clone();
+        adaptive.recovery = Some(dtn_sim::transfer::RecoveryPolicy {
+            adaptive_backoff: Some(true),
+            ..dtn_sim::transfer::RecoveryPolicy::default()
+        });
+        assert_ne!(
+            bare.cache_key(),
+            Cell::arm(adaptive, Arm::Incentive, 9).cache_key(),
+            "arming adaptive backoff changes the condition"
+        );
+        let mut disabled = with_recovery;
+        disabled.recovery = Some(dtn_sim::transfer::RecoveryPolicy {
+            adaptive_backoff: Some(false),
+            ..dtn_sim::transfer::RecoveryPolicy::default()
+        });
+        assert_ne!(
+            bare.cache_key(),
+            Cell::arm(disabled, Arm::Incentive, 9).cache_key(),
+            "an explicit `false` is a different document than unset"
         );
     }
 

@@ -250,6 +250,28 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// Returns the raw xoshiro256++ state words (for checkpointing).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from raw state words previously returned by
+        /// [`SmallRng::state`]. The all-zero state is remapped exactly as
+        /// `from_seed` does, so a round-trip is always a valid generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return SmallRng {
+                    s: [
+                        0x9E37_79B9_7F4A_7C15,
+                        0xBF58_476D_1CE4_E5B9,
+                        0x94D0_49BB_1331_11EB,
+                        0x2545_F491_4F6C_DD1D,
+                    ],
+                };
+            }
+            SmallRng { s }
+        }
+
         #[inline]
         fn step(&mut self) -> u64 {
             let out = self.s[0]

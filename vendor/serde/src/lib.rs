@@ -288,6 +288,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// A `Value` serializes to itself, so derived types can embed opaque
+// sub-documents (e.g. extension state captured by a trait object).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- containers ------------------------------------------------------------
 
 impl<T: Serialize> Serialize for Option<T> {

@@ -368,13 +368,30 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().ok_or_else(|| Error::new("empty"))?;
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8: validate exactly this code point's
+                    // bytes. Validating the whole remaining input here (as a
+                    // `from_utf8(&bytes[pos..])` would) turns string parsing
+                    // quadratic, which megabyte-scale documents cannot afford.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::new("invalid UTF-8 in string")),
+                    };
+                    let end = self.pos + len;
+                    let c = self
+                        .bytes
+                        .get(self.pos..end)
+                        .and_then(|cp| std::str::from_utf8(cp).ok())
+                        .and_then(|cp| cp.chars().next())
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos = end;
                 }
             }
         }
@@ -467,5 +484,31 @@ mod tests {
         assert_eq!(n, u64::MAX);
         let m: i64 = from_str("-42").unwrap();
         assert_eq!(m, -42);
+    }
+
+    #[test]
+    fn round_trips_multibyte_strings() {
+        let s = "km² · raccourci — ✓ 城".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // Invalid UTF-8 mid-string is a parse error, not a panic.
+        let bad = String::from_utf8(vec![b'"', 0xC3, b'"']);
+        assert!(bad.is_err() || from_str::<String>(&bad.unwrap()).is_err());
+        assert!(from_str::<String>("\"\u{80}").is_err(), "unterminated");
+    }
+
+    #[test]
+    fn string_parsing_scales_linearly() {
+        // A megabyte-scale document must parse in linear time: per-character
+        // validation of the remaining input would take minutes here.
+        let big = "é".repeat(1 << 20);
+        let t0 = std::time::Instant::now();
+        let back: String = from_str(&to_string(&big).unwrap()).unwrap();
+        assert_eq!(back.len(), big.len());
+        assert!(
+            t0.elapsed().as_secs() < 20,
+            "string parsing looks superlinear: {:?}",
+            t0.elapsed()
+        );
     }
 }
