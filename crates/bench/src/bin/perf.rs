@@ -31,6 +31,8 @@
 //! runs the same world under transfer loss and link cuts with the default
 //! recovery policy, tracking the retry/resume path; `perf-large-v1` is a
 //! 1000-node world at the same density (threads 1 and 4);
+//! `perf-huge-v1` is a 100k-node world at the same density (threads 1
+//! and 4, one seed) — the scale the event-driven contact core targets;
 //! `sweep-suite-v1` is a miniature figure grid pushed through the sweep
 //! executor at 1 worker and at `min(8, cores)` workers with a cold memo,
 //! plus a `sweep-suite-v1-warm` pass over the populated memo. For sweep
@@ -48,12 +50,16 @@
 //! baseline are reported but never fail the gate, so adding a scenario
 //! does not require a flag-day (warm sweep rows are also exempt — memo
 //! hits are too fast for wall-clock comparisons across machines). The
-//! gate additionally enforces two *relative* floors computed within the
+//! gate additionally enforces *relative* floors computed within the
 //! fresh capture: `perf-medium-v1` at threads >= 4 must clear 1.5x the
 //! pre-optimization single-thread baseline ([`SEED_MEDIUM_EV_PER_SEC`]),
-//! and the sweep suite must show the pool and the cache actually paying
-//! off — cold at >= 4 workers at least [`SWEEP_COLD_SPEEDUP`]x the cold
-//! 1-worker rate, warm at least [`SWEEP_WARM_SPEEDUP`]x it.
+//! `perf-large-v1` at threads = 1 must clear [`EVENT_CORE_FLOOR`]x the
+//! time-stepped baseline ([`SEED_LARGE_EV_PER_SEC`]), `perf-huge-v1` at
+//! threads = 4 must beat its own threads = 1 row whenever >= 4 cores are
+//! available (skipped on smaller machines), and the sweep suite must
+//! show the pool and the cache actually paying off — cold at >= 4
+//! workers at least [`SWEEP_COLD_SPEEDUP`]x the cold 1-worker rate, warm
+//! at least [`SWEEP_WARM_SPEEDUP`]x it.
 
 use std::time::Instant;
 
@@ -74,11 +80,26 @@ const SEED_MEDIUM_EV_PER_SEC: f64 = 6566.688;
 /// Required speedup over [`SEED_MEDIUM_EV_PER_SEC`] at threads >= 4.
 const PARALLEL_FLOOR: f64 = 1.5;
 
+/// `perf-large-v1` events/sec of the single-threaded kernel as committed
+/// before the event-driven contact core and the in-place exchange paths
+/// landed. The `--check` floor asserts the current kernel stays >=
+/// [`EVENT_CORE_FLOOR`]x this rate at threads = 1 — the event core's
+/// speedup is algorithmic, so it must show without any sharding.
+const SEED_LARGE_EV_PER_SEC: f64 = 9278.437;
+
+/// Required speedup over [`SEED_LARGE_EV_PER_SEC`] at threads = 1.
+const EVENT_CORE_FLOOR: f64 = 5.0;
+
 /// Thread counts the medium scenario is captured at (the scaling curve).
 const MEDIUM_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// Thread counts for the large scenario (one serial, one sharded point).
 const LARGE_SWEEP: [usize; 2] = [1, 4];
+
+/// Thread counts for the huge scenario. The pair doubles as the gate's
+/// thread-scaling probe: with >= 4 cores available, the threads = 4 row
+/// must beat the threads = 1 row outright.
+const HUGE_SWEEP: [usize; 2] = [1, 4];
 
 /// Required cold-cache sweep speedup at >= 4 workers over 1 worker.
 const SWEEP_COLD_SPEEDUP: f64 = 2.0;
@@ -117,6 +138,20 @@ fn perf_large_scenario() -> Scenario {
     s.area_km2 = 10.0;
     s.duration_secs = 1800.0;
     s.message_ttl_secs = 900.0;
+    s
+}
+
+/// The pinned huge-world baseline: 100k nodes at the same density
+/// (1000 km²) over 10 simulated minutes — the scale the event-driven
+/// contact core exists for. One seed, short horizon: the row costs about
+/// a large-row capture per thread count and exercises region sharding at
+/// a population where a full pairwise sweep would be hopeless.
+fn perf_huge_scenario() -> Scenario {
+    let mut s = reduced_scenario().named("perf-huge-v1");
+    s.nodes = 100_000;
+    s.area_km2 = 1000.0;
+    s.duration_secs = 600.0;
+    s.message_ttl_secs = 300.0;
     s
 }
 
@@ -438,8 +473,58 @@ fn check_rows(fresh: &[BenchRow], baseline: &[BenchRow], tolerance: f64) -> Vec<
                 );
             }
         }
+        if row.name == "perf-large-v1" && row.threads() == 1 {
+            let floor = EVENT_CORE_FLOOR * SEED_LARGE_EV_PER_SEC;
+            if row.events_per_sec < floor {
+                failures.push(format!(
+                    "{label}: {:.1} ev/s misses the event-core floor {:.1} \
+                     ({EVENT_CORE_FLOOR}x the time-stepped baseline {SEED_LARGE_EV_PER_SEC})",
+                    row.events_per_sec, floor
+                ));
+            } else {
+                println!(
+                    "[check] {label}: {:.1} ev/s clears the {EVENT_CORE_FLOOR}x floor {:.1}",
+                    row.events_per_sec, floor
+                );
+            }
+        }
     }
     failures
+}
+
+/// The huge row's thread-scaling probe, computed within one fresh
+/// capture: with >= 4 cores available, threads = 4 must beat threads = 1
+/// outright — region parallelism that loses to the serial path is a
+/// regression even if both rates clear their committed floors. On
+/// smaller machines (CI runners are often 1–2 cores) the probe is
+/// skipped: the sharded row cannot be expected to win without cores.
+fn check_thread_scaling(fresh: &[BenchRow]) -> Vec<String> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    if cores < 4 {
+        println!("[check] perf-huge-v1 thread scaling: {cores} core(s) available, skipped");
+        return Vec::new();
+    }
+    let rate = |threads: u64| {
+        fresh
+            .iter()
+            .find(|r| r.name == "perf-huge-v1" && r.threads() == threads)
+            .map(|r| r.events_per_sec)
+    };
+    let (Some(serial), Some(sharded)) = (rate(1), rate(4)) else {
+        return vec!["perf-huge-v1 rows missing from the capture".into()];
+    };
+    if sharded <= serial {
+        return vec![format!(
+            "perf-huge-v1: threads=4 at {sharded:.1} ev/s does not beat \
+             threads=1 at {serial:.1} ev/s ({cores} cores available)"
+        )];
+    }
+    println!(
+        "[check] perf-huge-v1: threads=4 beats threads=1 \
+         ({sharded:.1} vs {serial:.1} ev/s, {:.2}x)",
+        sharded / serial
+    );
+    Vec::new()
 }
 
 fn main() {
@@ -505,6 +590,10 @@ fn main() {
     for threads in LARGE_SWEEP {
         rows.push(bench_row(&large, threads, large_seeds, quick));
     }
+    let huge = perf_huge_scenario();
+    for threads in HUGE_SWEEP {
+        rows.push(bench_row(&huge, threads, large_seeds, quick));
+    }
 
     // The sweep-executor suite: cold at 1 worker, cold at min(8, cores)
     // workers, then warm over the memo the second pass populated. The
@@ -532,6 +621,7 @@ fn main() {
 
     if let Some(baseline) = baseline {
         let mut failures = check_rows(&rows, &baseline, tolerance);
+        failures.extend(check_thread_scaling(&rows));
         failures.extend(check_sweep_floors(&rows));
         if !failures.is_empty() {
             eprintln!("\nperf regression gate FAILED:");

@@ -74,6 +74,9 @@ pub enum Command {
         /// Optional kernel shard-count override (`--threads N`); output is
         /// byte-identical at any value.
         threads: Option<usize>,
+        /// Optional simulation-core override (`--kernel-mode
+        /// event-driven|time-stepped`); both cores are byte-identical.
+        kernel_mode: Option<dtn_sim::events::KernelMode>,
         /// Optional periodic-snapshot cadence in simulated seconds
         /// (`--snapshot-every`); requires `--snapshot-dir`.
         snapshot_every: Option<f64>,
@@ -151,6 +154,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut backoff_base = None;
             let mut resume = None;
             let mut threads = None;
+            let mut kernel_mode = None;
             let mut snapshot_every = None;
             let mut snapshot_dir = None;
             let mut resume_from = None;
@@ -234,6 +238,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--threads" => threads = Some(parse_threads(it.next())?),
+                    "--kernel-mode" => {
+                        let spec = it.next().ok_or("--kernel-mode needs a core name")?;
+                        kernel_mode = Some(
+                            spec.parse::<dtn_sim::events::KernelMode>()
+                                .map_err(|e| format!("bad --kernel-mode: {e}"))?,
+                        );
+                    }
                     "--snapshot-every" => {
                         let secs: f64 = it
                             .next()
@@ -279,6 +290,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 backoff_base,
                 resume,
                 threads,
+                kernel_mode,
                 snapshot_every,
                 snapshot_dir,
                 resume_from,
@@ -373,6 +385,7 @@ USAGE:
                             [--metrics-out m.json] [--verbose]
                             [--retry-max N] [--backoff-base SECS]
                             [--resume on|off] [--threads N]
+                            [--kernel-mode event-driven|time-stepped]
                             [--snapshot-every SIMSECS] [--snapshot-dir DIR]
                             [--resume-from FILE]
     dtn compare <scenario.json> [--seeds N] [--metrics-out m.json] [--verbose]
@@ -431,10 +444,18 @@ SNAPSHOTS:
 
 PARALLELISM:
     --threads N shards the kernel's data-parallel step phases (mobility
-    stepping, striped contact detection) over N shards, overriding the
+    stepping, contact detection) over N shards, overriding the
     scenario's `threads` field. Output is byte-identical at any value —
     traces, summaries and metrics match the serial run exactly; only
     wall-clock changes.
+
+KERNEL MODE:
+    --kernel-mode picks the simulation core, overriding the scenario's
+    `kernel_mode` field: event-driven (the default) detects contacts with
+    predicted cell-crossing events so idle geometry costs nothing;
+    time-stepped sweeps the whole world every step. Both cores are
+    byte-identical — traces, summaries and metrics match exactly. A
+    snapshot records the core that wrote it and only resumes on that core.
 
 SWEEPS:
     compare runs both arms' seeds through the sweep executor's worker
@@ -572,6 +593,7 @@ pub fn execute_with_interrupt(
             backoff_base,
             resume,
             threads,
+            kernel_mode,
             snapshot_every,
             snapshot_dir,
             resume_from,
@@ -579,6 +601,9 @@ pub fn execute_with_interrupt(
             let mut scenario = load_scenario(&path)?;
             if threads.is_some() {
                 scenario.threads = threads;
+            }
+            if kernel_mode.is_some() {
+                scenario.kernel_mode = kernel_mode;
             }
             if let Some(spec) = &chaos {
                 let plan = spec
@@ -944,6 +969,7 @@ mod tests {
                 backoff_base: None,
                 resume: None,
                 threads: None,
+                kernel_mode: None,
                 snapshot_every: None,
                 snapshot_dir: None,
                 resume_from: None,
@@ -969,6 +995,7 @@ mod tests {
                 backoff_base: None,
                 resume: None,
                 threads: None,
+                kernel_mode: None,
                 snapshot_every: None,
                 snapshot_dir: None,
                 resume_from: None,
@@ -993,6 +1020,7 @@ mod tests {
                 backoff_base: Some(2.5),
                 resume: Some(false),
                 threads: None,
+                kernel_mode: None,
                 snapshot_every: None,
                 snapshot_dir: None,
                 resume_from: None,
@@ -1214,6 +1242,7 @@ mod tests {
             backoff_base: Some(5.0),
             resume: Some(true),
             threads: None,
+            kernel_mode: None,
             snapshot_every: None,
             snapshot_dir: None,
             resume_from: None,
@@ -1260,6 +1289,7 @@ mod tests {
             backoff_base: None,
             resume: None,
             threads: Some(2),
+            kernel_mode: None,
             snapshot_every: None,
             snapshot_dir: None,
             resume_from: None,
@@ -1396,6 +1426,7 @@ mod tests {
             backoff_base: None,
             resume: None,
             threads: None,
+            kernel_mode: None,
             snapshot_every: Some(100.0),
             snapshot_dir,
             resume_from,

@@ -26,7 +26,7 @@
 //! plain ChitChat under the *same* behavior models — that configuration is
 //! the baseline arm of every figure in the evaluation.
 
-use std::collections::HashMap;
+use dtn_sim::fxhash::FxHashMap;
 
 use dtn_sim::buffer::InsertOutcome;
 use dtn_sim::kernel::SimApi;
@@ -43,7 +43,9 @@ use dtn_incentive::params::Role;
 use dtn_incentive::promise::{software_incentive, tag_incentive, SoftwareFactors};
 use dtn_incentive::settlement::{award, relay_prepayment, AwardInputs, FirstDeliveryRegistry};
 use dtn_reputation::rating::{relay_message_rating, source_message_rating};
-use dtn_reputation::table::{average_rating_of, ReputationTable, ReputationTableState};
+use dtn_reputation::table::{
+    average_rating_of, GossipDigest, ReputationTable, ReputationTableState,
+};
 use dtn_reputation::watchdog::{Watchdog, WatchdogState};
 use dtn_routing::backend::{ChitChatBackend, RouterBackend};
 use dtn_routing::exchange::due_pairs;
@@ -130,14 +132,14 @@ pub struct DcimRouter<B: RouterBackend = ChitChatBackend> {
     ledger: TokenLedger,
     reputation: Vec<ReputationTable>,
     registry: FirstDeliveryRegistry,
-    meta: HashMap<(NodeId, MessageId), CarriedMeta>,
-    pending: HashMap<(NodeId, NodeId, MessageId), PendingOffer>,
+    meta: FxHashMap<(NodeId, MessageId), CarriedMeta>,
+    pending: FxHashMap<(NodeId, NodeId, MessageId), PendingOffer>,
     /// Open contacts as per-node sorted peer lists. `pair_is_open` is the
     /// single hottest membership test in the mechanism (every offer and
     /// every exchange consults it), and binary search over a node's
     /// handful of open peers beats hashing the pair.
     open_adj: Vec<Vec<NodeId>>,
-    last_exchange: HashMap<(NodeId, NodeId), SimTime>,
+    last_exchange: FxHashMap<(NodeId, NodeId), SimTime>,
     /// Participation (selfish duty-cycle) draws. Isolated in its own
     /// stream so the Incentive and ChitChat arms of a paired comparison
     /// see *identical* open/closed contact patterns — the mechanism-only
@@ -160,6 +162,15 @@ pub struct DcimRouter<B: RouterBackend = ChitChatBackend> {
     watchdogs: Vec<Watchdog>,
     /// Per-node strategy bookkeeping (same lazy allocation).
     strategy_state: Vec<StrategyState>,
+    /// Reusable gossip-digest buffers for [`Self::exchange`] — the hot
+    /// path builds two ~node-count digests per due pair every settlement
+    /// tick; reusing the allocations keeps it off the allocator. Purely
+    /// transient scratch: cleared on every use, absent from snapshots.
+    digest_scratch: (GossipDigest, GossipDigest),
+    /// Reusable id/sort buffers for [`Self::route`] (same scratch
+    /// discipline as `digest_scratch`).
+    route_ids_scratch: Vec<MessageId>,
+    route_keyed_scratch: Vec<(u8, f64, MessageId)>,
 }
 
 /// Per-node mutable bookkeeping for strategy players.
@@ -247,10 +258,10 @@ impl<B: RouterBackend> DcimRouter<B> {
                 .map(|i| ReputationTable::new(NodeId(i as u32), params.rating))
                 .collect(),
             registry: FirstDeliveryRegistry::new(),
-            meta: HashMap::new(),
-            pending: HashMap::new(),
+            meta: FxHashMap::default(),
+            pending: FxHashMap::default(),
             open_adj: vec![Vec::new(); node_count],
-            last_exchange: HashMap::new(),
+            last_exchange: FxHashMap::default(),
             participation_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(1),
             judge_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(2),
             enrich_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(3),
@@ -262,6 +273,9 @@ impl<B: RouterBackend> DcimRouter<B> {
             strategy_defense: false,
             watchdogs: Vec::new(),
             strategy_state: Vec::new(),
+            digest_scratch: (GossipDigest::default(), GossipDigest::default()),
+            route_ids_scratch: Vec::new(),
+            route_keyed_scratch: Vec::new(),
         }
     }
 
@@ -545,28 +559,39 @@ impl<B: RouterBackend> DcimRouter<B> {
         );
 
         if self.params.drm_enabled {
+            // Both digests go through the reusable scratch pair rather
+            // than fresh allocations (two ~node-count vectors per due
+            // pair, every settlement tick).
+            let (digest_a, digest_b) = (&mut self.digest_scratch.0, &mut self.digest_scratch.1);
             if self.strategy_defense {
                 // Countermeasure gossip: each digest carries the issuer's
                 // monotonic sequence number (replayed or stale copies are
                 // rejected) and is absorbed discounted by the observer's
                 // own rating of the reporter — a liar's poisoned digest
                 // moves opinions only as far as the liar is trusted.
-                let digest_a = self.reputation[a.index()].issue_digest();
-                let digest_b = self.reputation[b.index()].issue_digest();
+                self.reputation[a.index()].issue_digest_into(digest_a);
+                self.reputation[b.index()].issue_digest_into(digest_b);
                 let max = self.params.rating.max_rating;
                 let trust_in_b = self.reputation[a.index()].rating_of(b) / max;
                 let trust_in_a = self.reputation[b.index()].rating_of(a) / max;
-                if !self.reputation[a.index()].absorb_digest_weighted(b, &digest_b, trust_in_b) {
+                if !self.reputation[a.index()].absorb_digest_weighted(b, digest_b, trust_in_b) {
                     self.stats.gossip_replays_rejected += 1;
                 }
-                if !self.reputation[b.index()].absorb_digest_weighted(a, &digest_a, trust_in_a) {
+                if !self.reputation[b.index()].absorb_digest_weighted(a, digest_a, trust_in_a) {
                     self.stats.gossip_replays_rejected += 1;
                 }
             } else {
-                let digest_a = self.reputation[a.index()].digest();
-                let digest_b = self.reputation[b.index()].digest();
-                self.reputation[a.index()].absorb_digest(b, &digest_b);
-                self.reputation[b.index()].absorb_digest(a, &digest_a);
+                // Both absorbs run in place straight out of each other's
+                // (pre-merge) opinion rows — bit-identical to the
+                // symmetric two-digest exchange with no digest
+                // materialized at all.
+                let (lo, hi) = self.reputation.split_at_mut(a.index().max(b.index()));
+                let (ra, rb) = if a < b {
+                    (&mut lo[a.index()], &mut hi[0])
+                } else {
+                    (&mut hi[0], &mut lo[b.index()])
+                };
+                ReputationTable::absorb_mutual(ra, rb);
             }
         }
     }
@@ -579,27 +604,49 @@ impl<B: RouterBackend> DcimRouter<B> {
     /// — under bandwidth contention this is what delivers more high-
     /// priority messages than plain ChitChat.
     fn route(&mut self, api: &mut SimApi, from: NodeId, to: NodeId) {
-        let ids: Vec<MessageId> = if self.params.incentive_enabled {
+        // Both vectors are reusable scratch taken out of `self` for the
+        // duration of the pass (route runs twice per contact event and
+        // twice per due pair every settlement tick; fresh allocations
+        // here were visible in the 1k-node profile).
+        let mut ids = std::mem::take(&mut self.route_ids_scratch);
+        ids.clear();
+        if self.params.incentive_enabled {
             // One pass over the buffer, no id-sort prepass: the comparator
             // ends in the message id, a total order, so the offer sequence
             // is deterministic whatever order the buffer iterates in.
-            let mut keyed: Vec<(u8, f64, MessageId)> = api
-                .buffer(from)
-                .iter()
-                .map(|c| (c.body.priority.level(), -c.body.quality.value(), c.id()))
-                .collect();
+            let mut keyed = std::mem::take(&mut self.route_keyed_scratch);
+            keyed.clear();
+            keyed.extend(
+                api.buffer(from)
+                    .iter()
+                    .map(|c| (c.body.priority.level(), -c.body.quality.value(), c.id())),
+            );
             keyed.sort_unstable_by(|a, b| {
                 a.0.cmp(&b.0)
                     .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .then(a.2.cmp(&b.2))
             });
-            keyed.into_iter().map(|(_, _, id)| id).collect()
+            ids.extend(keyed.iter().map(|&(_, _, id)| id));
+            self.route_keyed_scratch = keyed;
         } else {
-            api.buffer(from).ids_sorted()
-        };
+            api.buffer(from).ids_sorted_into(&mut ids);
+        }
         let maxima = Self::buffer_maxima(api, from);
-        for id in ids {
-            self.offer_with_maxima(api, from, to, id, maxima);
+        let sender_rating = self.sender_rating(from, to);
+        for &id in &ids {
+            self.offer_with_maxima(api, from, to, id, maxima, sender_rating);
+        }
+        self.route_ids_scratch = ids;
+    }
+
+    /// `to`'s opinion of `from`, for the DRM avoidance gate. Reputation is
+    /// never written during an offer, so one lookup covers a whole routing
+    /// pass; with DRM off the gate never reads the value.
+    fn sender_rating(&self, from: NodeId, to: NodeId) -> f64 {
+        if self.params.drm_enabled {
+            self.reputation[to.index()].rating_of(from)
+        } else {
+            0.0
         }
     }
 
@@ -622,10 +669,11 @@ impl<B: RouterBackend> DcimRouter<B> {
     /// call sites: message creation, post-reception forwarding).
     fn offer(&mut self, api: &mut SimApi, from: NodeId, to: NodeId, id: MessageId) {
         let maxima = Self::buffer_maxima(api, from);
-        self.offer_with_maxima(api, from, to, id, maxima);
+        let sender_rating = self.sender_rating(from, to);
+        self.offer_with_maxima(api, from, to, id, maxima, sender_rating);
     }
 
-    /// Offers one message with precomputed buffer maxima.
+    /// Offers one message with precomputed buffer maxima and sender rating.
     fn offer_with_maxima(
         &mut self,
         api: &mut SimApi,
@@ -633,6 +681,7 @@ impl<B: RouterBackend> DcimRouter<B> {
         to: NodeId,
         id: MessageId,
         maxima: (u64, f64),
+        sender_rating: f64,
     ) {
         if !self.pair_is_open(from, to) {
             return;
@@ -660,9 +709,7 @@ impl<B: RouterBackend> DcimRouter<B> {
         // DRM avoidance: nodes refuse receptions from senders they have
         // come to consider malicious ("enabling other nodes to avoid
         // receiving from malicious nodes", Paper I, §1.3.3).
-        if self.params.drm_enabled
-            && self.reputation[to.index()].rating_of(from) < self.params.avoid_rating_threshold
-        {
+        if self.params.drm_enabled && sender_rating < self.params.avoid_rating_threshold {
             self.stats.refused_distrusted_sender += 1;
             return;
         }
@@ -739,7 +786,7 @@ impl<B: RouterBackend> DcimRouter<B> {
         }
         // w_m: the best sum of weights among the sender's open peers.
         let mut w_m: f64 = self.backend.interest_sum(to, keywords);
-        for peer in api.peers_of(from) {
+        for &peer in api.peers_of_slice(from) {
             if self.pair_is_open(from, peer) {
                 w_m = w_m.max(self.backend.interest_sum(peer, keywords));
             }
@@ -1275,7 +1322,10 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         // transfer still in flight over a live contact — anything else
         // means an interrupted hand-off escaped cleanup and could be paid
         // for a copy that never (fully) arrived.
-        for &(from, to, id) in self.pending.keys() {
+        let mut pending_keys: Vec<(NodeId, NodeId, MessageId)> =
+            self.pending.keys().copied().collect();
+        pending_keys.sort_unstable();
+        for (from, to, id) in pending_keys {
             if !api.in_contact(from, to) {
                 violations.push(format!(
                     "pending offer {from}->{to} for {id} outlived its contact"

@@ -72,8 +72,8 @@ impl ChitChatRouter {
     /// crediting `connected_secs` of contact time.
     fn exchange(&mut self, api: &SimApi, a: NodeId, b: NodeId, connected_secs: f64) {
         let now = api.now();
-        let shared_a = shared_keywords(&self.tables, &api.peers_of(a));
-        let shared_b = shared_keywords(&self.tables, &api.peers_of(b));
+        let shared_a = shared_keywords(&self.tables, api.peers_of_slice(a));
+        let shared_b = shared_keywords(&self.tables, api.peers_of_slice(b));
         rtsr_exchange(
             &mut self.tables,
             a,

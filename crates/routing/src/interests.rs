@@ -17,10 +17,12 @@
 //! 2. The decay divisor `β·(T_c − T_l)` is clamped below by one exchange
 //!    interval (avoiding division by ~0), and decay never *raises* a weight.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use dtn_sim::message::Keyword;
 use dtn_sim::time::SimTime;
+
+use crate::exchange::KeywordSet;
 
 /// Whether an interest was subscribed by the user or acquired from peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -105,9 +107,45 @@ pub fn psi(own: Option<InterestKind>, peer: InterestKind) -> u8 {
 /// every count (lookups stay cache-resident, cloning is one memcpy, and
 /// `grow` consumes the peer's entries in keyword order without the sort
 /// pass a hashed table would force for determinism).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct InterestTable {
     entries: Vec<(Keyword, InterestEntry)>,
+    /// Bitmap over the keywords present in `entries`, kept in sync by
+    /// every mutation. [`crate::exchange::shared_keywords`] unions these
+    /// instead of walking each peer's entries — the walk dominated the
+    /// settlement-tick profile at 1k nodes.
+    keywords: KeywordSet,
+}
+
+/// Two tables are equal iff their entries are — the bitmap is derived
+/// state (and its trailing zero words may differ between an
+/// incrementally-built and a freshly-rebuilt set).
+impl PartialEq for InterestTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+/// The wire shape stays `{"entries": [...]}` — the bitmap is rebuilt on
+/// load, so snapshots written before it existed restore byte-identically.
+impl Serialize for InterestTable {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("entries".to_string(), self.entries.to_value())])
+    }
+}
+
+impl Deserialize for InterestTable {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries: Vec<(Keyword, InterestEntry)> = match v.get("entries") {
+            Some(e) => Deserialize::from_value(e)?,
+            None => return Err(Error::missing_field("InterestTable", "entries")),
+        };
+        let mut keywords = KeywordSet::new();
+        for &(k, _) in &entries {
+            keywords.insert(k);
+        }
+        Ok(InterestTable { entries, keywords })
+    }
 }
 
 impl InterestTable {
@@ -128,18 +166,27 @@ impl InterestTable {
     pub fn subscribe(&mut self, keyword: Keyword, params: &ChitChatParams, now: SimTime) {
         match self.position(keyword) {
             Ok(i) => self.entries[i].1.kind = InterestKind::Direct,
-            Err(i) => self.entries.insert(
-                i,
-                (
-                    keyword,
-                    InterestEntry {
-                        weight: params.initial_weight,
-                        kind: InterestKind::Direct,
-                        last_shared: now,
-                    },
-                ),
-            ),
+            Err(i) => {
+                self.entries.insert(
+                    i,
+                    (
+                        keyword,
+                        InterestEntry {
+                            weight: params.initial_weight,
+                            kind: InterestKind::Direct,
+                            last_shared: now,
+                        },
+                    ),
+                );
+                self.keywords.insert(keyword);
+            }
         }
+    }
+
+    /// The bitmap of keywords present in this table.
+    #[must_use]
+    pub fn keywords(&self) -> &KeywordSet {
+        &self.keywords
     }
 
     /// The entry for `keyword`, if present.
@@ -222,6 +269,7 @@ impl InterestTable {
         mut shared_now: impl FnMut(Keyword) -> bool,
     ) {
         let min_elapsed = params.exchange_interval_secs.max(1.0);
+        let keywords = &mut self.keywords;
         self.entries.retain_mut(|&mut (keyword, ref mut e)| {
             if shared_now(keyword) {
                 e.last_shared = now;
@@ -240,7 +288,11 @@ impl InterestTable {
             // away, but a direct weight below baseline must not spring back
             // above its previous value either).
             e.weight = decayed.min(e.weight).clamp(0.0, 1.0);
-            e.kind == InterestKind::Direct || e.weight >= params.transient_floor
+            let keep = e.kind == InterestKind::Direct || e.weight >= params.transient_floor;
+            if !keep {
+                keywords.remove(keyword);
+            }
+            keep
         });
     }
 
@@ -258,43 +310,178 @@ impl InterestTable {
         params: &ChitChatParams,
         now: SimTime,
     ) {
-        if connected_secs <= 0.0 {
-            return;
+        let mut out = Vec::new();
+        if self.grow_into(&peer.entries, connected_secs, params, now, &mut out) {
+            self.commit_entries(&mut out);
         }
-        // The peer's entries are already in keyword order (deterministic
-        // iteration comes for free with the sorted representation).
-        for &(keyword, peer_entry) in &peer.entries {
+    }
+
+    /// The raw sorted entry slice (crate-internal: the exchange ritual
+    /// reads a pre-growth table while its owner is mutably borrowed).
+    pub(crate) fn entries_slice(&self) -> &[(Keyword, InterestEntry)] {
+        &self.entries
+    }
+
+    /// Merge-walk core of [`Self::grow`]: writes the grown entry vector
+    /// into `out` (cleared first) and records newly-acquired keywords in
+    /// the bitmap, but leaves `self.entries` untouched so a caller can
+    /// still read the pre-growth table — the RTSR swap ritual grows both
+    /// sides from each other's *pre-growth* entries. Returns whether
+    /// anything was computed; commit with [`Self::commit_entries`].
+    ///
+    /// Both tables are in keyword order, so one linear walk replaces the
+    /// per-peer-entry binary search + mid-vector insert (quadratic while
+    /// tables fill, and the second-hottest call in the 1k-node settlement
+    /// profile). The per-entry arithmetic and its evaluation order are
+    /// unchanged, so weights stay bit-identical.
+    pub(crate) fn grow_into(
+        &mut self,
+        peer_entries: &[(Keyword, InterestEntry)],
+        connected_secs: f64,
+        params: &ChitChatParams,
+        now: SimTime,
+        out: &mut Vec<(Keyword, InterestEntry)>,
+    ) -> bool {
+        if connected_secs <= 0.0 {
+            return false;
+        }
+        out.clear();
+        out.reserve(self.entries.len() + peer_entries.len());
+        let mut i = 0;
+        for &(keyword, peer_entry) in peer_entries {
             if peer_entry.weight <= 0.0 {
                 continue;
             }
-            match self.position(keyword) {
-                Ok(i) => {
-                    let e = &mut self.entries[i].1;
-                    let psi = f64::from(psi(Some(e.kind), peer_entry.kind));
-                    let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
-                    e.weight = (e.weight + delta).min(1.0);
-                    e.last_shared = now;
-                }
-                Err(i) => {
-                    let psi = f64::from(psi(None, peer_entry.kind));
-                    let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
-                    let weight = delta.min(1.0);
-                    if weight >= params.transient_floor {
-                        self.entries.insert(
-                            i,
-                            (
-                                keyword,
-                                InterestEntry {
-                                    weight,
-                                    kind: InterestKind::Transient,
-                                    last_shared: now,
-                                },
-                            ),
-                        );
-                    }
+            while i < self.entries.len() && self.entries[i].0 < keyword {
+                out.push(self.entries[i]);
+                i += 1;
+            }
+            if i < self.entries.len() && self.entries[i].0 == keyword {
+                let mut e = self.entries[i].1;
+                i += 1;
+                let psi = f64::from(psi(Some(e.kind), peer_entry.kind));
+                let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
+                e.weight = (e.weight + delta).min(1.0);
+                e.last_shared = now;
+                out.push((keyword, e));
+            } else {
+                let psi = f64::from(psi(None, peer_entry.kind));
+                let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
+                let weight = delta.min(1.0);
+                if weight >= params.transient_floor {
+                    out.push((
+                        keyword,
+                        InterestEntry {
+                            weight,
+                            kind: InterestKind::Transient,
+                            last_shared: now,
+                        },
+                    ));
+                    self.keywords.insert(keyword);
                 }
             }
         }
+        out.extend_from_slice(&self.entries[i..]);
+        true
+    }
+
+    /// Installs a vector produced by [`Self::grow_into`], handing the old
+    /// entry storage back through `out` for reuse.
+    pub(crate) fn commit_entries(&mut self, out: &mut Vec<(Keyword, InterestEntry)>) {
+        std::mem::swap(&mut self.entries, out);
+    }
+
+    /// Runs *both* directions of Algorithm 2 in place, for the steady
+    /// state where neither side contributes a new keyword to the other:
+    /// every unmatched peer keyword would arrive below the transient
+    /// floor. Then growth only rewrites matched entries' weights, so no
+    /// merge vector (and no pre-growth snapshot) is needed at all — one
+    /// two-pointer pass reads both sides' pre-growth weights into locals
+    /// and writes both updates. Returns `false` (both tables untouched)
+    /// when either side would have to insert a transient entry — the
+    /// caller falls back to the buffered merging path. The per-entry
+    /// arithmetic is the same expression as `grow_into` applied to the
+    /// same pre-growth inputs, so weights stay bit-identical whichever
+    /// path runs.
+    pub(crate) fn grow_mutual_in_place(
+        a: &mut InterestTable,
+        b: &mut InterestTable,
+        connected_secs: f64,
+        params: &ChitChatParams,
+        now: SimTime,
+    ) -> bool {
+        if connected_secs <= 0.0 {
+            return true;
+        }
+        // Read-only bail pass: any keyword one side holds (with positive
+        // weight) that the other would acquire at or above the floor
+        // forces the inserting merge path.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.entries.len() || j < b.entries.len() {
+            let ka = a.entries.get(i).map(|&(k, _)| k);
+            let kb = b.entries.get(j).map(|&(k, _)| k);
+            match (ka, kb) {
+                (Some(ka), Some(kb)) if ka == kb => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(ka), kb) if kb.is_none() || ka < kb.expect("some") => {
+                    let e = a.entries[i].1;
+                    if e.weight > 0.0 {
+                        let psi = f64::from(psi(None, e.kind));
+                        let delta = params.growth_rate * e.weight * connected_secs / psi;
+                        if delta.min(1.0) >= params.transient_floor {
+                            return false;
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {
+                    let e = b.entries[j].1;
+                    if e.weight > 0.0 {
+                        let psi = f64::from(psi(None, e.kind));
+                        let delta = params.growth_rate * e.weight * connected_secs / psi;
+                        if delta.min(1.0) >= params.transient_floor {
+                            return false;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+        // Apply pass over the keyword intersection. Kinds never change
+        // during growth, and each update reads only the other side's
+        // pre-growth weight (captured before either write), so the two
+        // directions cannot observe each other's updates.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.entries.len() && j < b.entries.len() {
+            let (ka, kb) = (a.entries[i].0, b.entries[j].0);
+            if ka < kb {
+                i += 1;
+            } else if kb < ka {
+                j += 1;
+            } else {
+                let (wa, kind_a) = (a.entries[i].1.weight, a.entries[i].1.kind);
+                let (wb, kind_b) = (b.entries[j].1.weight, b.entries[j].1.kind);
+                if wb > 0.0 {
+                    let psi = f64::from(psi(Some(kind_a), kind_b));
+                    let delta = params.growth_rate * wb * connected_secs / psi;
+                    let e = &mut a.entries[i].1;
+                    e.weight = (e.weight + delta).min(1.0);
+                    e.last_shared = now;
+                }
+                if wa > 0.0 {
+                    let psi = f64::from(psi(Some(kind_b), kind_a));
+                    let delta = params.growth_rate * wa * connected_secs / psi;
+                    let e = &mut b.entries[j].1;
+                    e.weight = (e.weight + delta).min(1.0);
+                    e.last_shared = now;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+        true
     }
 }
 

@@ -7,6 +7,8 @@
 //! aware alternative used by the priority-segmented experiment (Fig. 5.6).
 
 use std::collections::HashMap;
+
+use crate::fxhash::FxHashMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -55,7 +57,7 @@ pub struct Buffer {
     capacity_bytes: u64,
     used_bytes: u64,
     policy: DropPolicy,
-    copies: HashMap<MessageId, MessageCopy>,
+    copies: FxHashMap<MessageId, MessageCopy>,
     /// Lifetime count of successful inserts (the invariant checker
     /// reconciles `stored - removed` against the live copy count).
     lifetime_stored: u64,
@@ -76,7 +78,7 @@ impl Buffer {
             capacity_bytes,
             used_bytes: 0,
             policy,
-            copies: HashMap::new(),
+            copies: FxHashMap::default(),
             lifetime_stored: 0,
             lifetime_removed: 0,
         }
@@ -157,9 +159,17 @@ impl Buffer {
     /// Ids of all buffered copies, sorted for deterministic iteration.
     #[must_use]
     pub fn ids_sorted(&self) -> Vec<MessageId> {
-        let mut ids: Vec<MessageId> = self.copies.keys().copied().collect();
-        ids.sort_unstable();
+        let mut ids = Vec::new();
+        self.ids_sorted_into(&mut ids);
         ids
+    }
+
+    /// [`Self::ids_sorted`] appended into a caller-owned buffer (cleared
+    /// first) so hot routing passes can reuse one allocation.
+    pub fn ids_sorted_into(&self, out: &mut Vec<MessageId>) {
+        out.clear();
+        out.extend(self.copies.keys().copied());
+        out.sort_unstable();
     }
 
     /// Inserts a copy, evicting per policy if needed.
@@ -319,7 +329,8 @@ impl Buffer {
         state: &BufferState,
         bodies: &HashMap<MessageId, Arc<MessageBody>>,
     ) -> Result<(), String> {
-        let mut copies = HashMap::with_capacity(state.copies.len());
+        let mut copies =
+            FxHashMap::with_capacity_and_hasher(state.copies.len(), Default::default());
         let mut recomputed: u64 = 0;
         for c in &state.copies {
             let body = bodies

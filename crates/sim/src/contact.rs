@@ -4,7 +4,7 @@
 //! each other. The kernel recomputes in-range pairs every step and diffs
 //! against the active set, producing up/down events for the protocol layer.
 
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -57,27 +57,27 @@ pub enum ContactEvent {
 /// The set of currently-active contacts.
 #[derive(Debug, Default)]
 pub struct ContactTable {
-    active: HashMap<ContactKey, SimTime>,
+    active: FxHashMap<ContactKey, SimTime>,
     /// Per-node sorted neighbour lists, maintained incrementally by
     /// [`Self::diff`] so [`Self::peers_of`] is O(degree) instead of a scan
     /// over every active contact (the protocol layer calls it per node per
     /// exchange, which made the scan quadratic in dense worlds).
-    adjacency: HashMap<NodeId, Vec<NodeId>>,
+    adjacency: FxHashMap<NodeId, Vec<NodeId>>,
     /// Scratch reused across [`Self::diff`] calls to avoid rebuilding a
     /// `HashSet` allocation every step.
-    scratch_in_range: HashSet<ContactKey>,
+    scratch_in_range: FxHashSet<ContactKey>,
     scratch_downs: Vec<ContactKey>,
     total_contacts: u64,
 }
 
-fn adj_insert(adjacency: &mut HashMap<NodeId, Vec<NodeId>>, node: NodeId, peer: NodeId) {
+fn adj_insert(adjacency: &mut FxHashMap<NodeId, Vec<NodeId>>, node: NodeId, peer: NodeId) {
     let peers = adjacency.entry(node).or_default();
     if let Err(pos) = peers.binary_search(&peer) {
         peers.insert(pos, peer);
     }
 }
 
-fn adj_remove(adjacency: &mut HashMap<NodeId, Vec<NodeId>>, node: NodeId, peer: NodeId) {
+fn adj_remove(adjacency: &mut FxHashMap<NodeId, Vec<NodeId>>, node: NodeId, peer: NodeId) {
     if let Some(peers) = adjacency.get_mut(&node) {
         if let Ok(pos) = peers.binary_search(&peer) {
             peers.remove(pos);
@@ -111,16 +111,28 @@ impl ContactTable {
     }
 
     /// All peers currently in contact with `node`, sorted.
+    ///
+    /// Allocates a fresh `Vec`; hot paths should borrow via
+    /// [`ContactTable::peers_of_slice`] instead.
     #[must_use]
     pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
-        self.adjacency.get(&node).cloned().unwrap_or_default()
+        self.peers_of_slice(node).to_vec()
+    }
+
+    /// All peers currently in contact with `node`, sorted, borrowed from
+    /// the adjacency index — no allocation. Every router consults the
+    /// neighbour list on every route decision, so the per-call `Vec` of
+    /// [`ContactTable::peers_of`] showed up in whole-run profiles.
+    #[must_use]
+    pub fn peers_of_slice(&self, node: NodeId) -> &[NodeId] {
+        self.adjacency.get(&node).map_or(&[], Vec::as_slice)
     }
 
     /// Audit: checks the incremental adjacency lists against a fresh scan of
     /// the active contact set, returning a description of the first mismatch.
     /// Used by tests and the invariant checker; not on the hot path.
     pub fn audit_adjacency(&self) -> Result<(), String> {
-        let mut reference: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut reference: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
         for k in self.active.keys() {
             adj_insert(&mut reference, k.0, k.1);
             adj_insert(&mut reference, k.1, k.0);
@@ -218,8 +230,9 @@ impl ContactTable {
     /// Returns a description of the first malformed entry (a self-contact
     /// or an unnormalized pair).
     pub fn import_state(&mut self, state: &ContactTableState) -> Result<(), String> {
-        let mut active = HashMap::with_capacity(state.active.len());
-        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut active =
+            FxHashMap::with_capacity_and_hasher(state.active.len(), Default::default());
+        let mut adjacency: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
         for &(a, b, since) in &state.active {
             if a >= b {
                 return Err(format!(

@@ -1,0 +1,108 @@
+//! A minimal multiply-shift hasher for hot simulation containers.
+//!
+//! The simulator's inner-loop maps are keyed by small dense integers
+//! (node ids, message ids, contact pairs), where SipHash's DoS
+//! resistance buys nothing while its per-lookup setup cost shows up in
+//! whole-run profiles. This is the fxhash word step: rotate, xor,
+//! multiply by a golden-ratio-derived odd constant.
+//!
+//! Determinism: a hasher choice can only affect program output through
+//! *iteration order*. Every container switched to these types either
+//! never iterates (pure point lookups) or sorts what it drains before
+//! use (contact diffs, snapshot exports, due-pair scans) — audited at
+//! each use site. Lookup results themselves are hasher-independent.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The fxhash multiplier (64-bit golden ratio, forced odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word-at-a-time fxhash state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_words_hash_distinctly() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_ne!(hash(0), hash(1));
+        assert_ne!(hash(1), hash(1 << 32));
+        // Order-sensitive across multi-word keys (pair keys).
+        let pair = |a: u32, b: u32| {
+            let mut h = FxHasher::default();
+            h.write_u32(a);
+            h.write_u32(b);
+            h.finish()
+        };
+        assert_ne!(pair(1, 2), pair(2, 1));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((3, 4));
+        assert!(s.contains(&(3, 4)));
+        assert!(!s.contains(&(4, 3)));
+    }
+}

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::buffer::{Buffer, BufferState, DropPolicy, InsertOutcome};
 use crate::contact::{ContactEvent, ContactKey, ContactTable, ContactTableState};
 use crate::energy::{EnergyMeter, EnergyMeterState, EnergyUse};
+use crate::events::{ContactEngine, KernelMode};
 use crate::faults::{
     FaultInjector, FaultInjectorState, FaultPlan, FaultStats, NodeFault, TransferFault,
 };
@@ -22,7 +23,7 @@ use crate::geometry::{Area, Point};
 use crate::invariants::{self, InvariantChecker, InvariantCheckerState};
 use crate::message::{Keyword, MessageBody, MessageCopy, MessageId, Priority, Quality};
 use crate::metrics::{KernelCounters, MetricsRegistry, Phase, PhaseProfiler};
-use crate::mobility::MobilityModel;
+use crate::mobility::{MobilityModel, RandomWaypointFleet};
 use crate::protocol::{Protocol, Reception};
 use crate::radio::RadioConfig;
 use crate::rng::{RngState, SimRng};
@@ -382,10 +383,24 @@ impl SimApi {
         self.bodies.get(&message)
     }
 
-    /// Peers currently in contact with `node`, sorted.
+    /// Peers currently in contact with `node`, sorted, as an owned list.
+    ///
+    /// Routers that mutate the world while walking the peer list (send,
+    /// offer, …) need the owned copy; read-only callers should prefer
+    /// [`SimApi::peers_of_slice`], which borrows straight from the
+    /// adjacency index and never allocates.
     #[must_use]
     pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
-        self.contacts.peers_of(node)
+        self.contacts.peers_of_slice(node).to_vec()
+    }
+
+    /// Peers currently in contact with `node`, sorted, borrowed from the
+    /// adjacency index. Zero-allocation: the hot path calls this on
+    /// every route decision, so the per-call `Vec` of [`Self::peers_of`]
+    /// was pure allocator churn.
+    #[must_use]
+    pub fn peers_of_slice(&self, node: NodeId) -> &[NodeId] {
+        self.contacts.peers_of_slice(node)
     }
 
     /// Whether `a` and `b` are currently in contact.
@@ -602,6 +617,7 @@ pub struct SimulationBuilder {
     check_every: Option<u64>,
     profile: bool,
     threads: usize,
+    kernel_mode: KernelMode,
     mobilities: Vec<Box<dyn MobilityModel>>,
     schedule: Vec<ScheduledMessage>,
 }
@@ -625,9 +641,20 @@ impl SimulationBuilder {
             check_every: None,
             profile: false,
             threads: 1,
+            kernel_mode: KernelMode::default(),
             mobilities: Vec::new(),
             schedule: Vec::new(),
         }
+    }
+
+    /// Selects the contact-detection core (default:
+    /// [`KernelMode::EventDriven`], the predicted-crossing scheduler).
+    /// Both modes produce byte-identical traces and summaries; the
+    /// time-stepped sweep remains selectable as the equivalence oracle.
+    #[must_use]
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
+        self
     }
 
     /// Sets the shard count for the data-parallel step phases (mobility
@@ -831,6 +858,32 @@ impl SimulationBuilder {
             .map(|(m, r)| m.initial_position(self.area, r))
             .collect();
         let grid_cell = self.radio.range_m.max(1.0);
+        // SoA fast path: a homogeneous Random Waypoint population (the
+        // paper's only mobility model) packs into column vectors; mixed
+        // populations keep the boxed models. Both layouts step nodes
+        // byte-identically.
+        let mobility = match RandomWaypointFleet::from_models(&self.mobilities) {
+            Some(fleet) => MobilityStore::Fleet(fleet),
+            None => MobilityStore::Boxed(self.mobilities),
+        };
+        let contact_engine = (self.kernel_mode == KernelMode::EventDriven).then(|| {
+            let vmax: Vec<f64> = (0..n)
+                .map(|i| mobility.speed_cap(i).unwrap_or(f64::INFINITY))
+                .collect();
+            ContactEngine::new(
+                self.area,
+                self.radio.range_m,
+                self.step.as_secs(),
+                self.threads,
+                &positions,
+                vmax,
+            )
+        });
+        let grid = SpatialGrid::new(self.area, grid_cell);
+        // Stripe count for the time-stepped sweep is a pure function of
+        // the static grid geometry and the threads knob, so it is fixed
+        // here instead of being re-derived (and buffer-resized) per step.
+        let stripes = self.threads.min(grid.row_count()).max(1);
         let faults = self
             .faults
             .map(|plan| FaultInjector::new(plan, &rng_root, n));
@@ -867,9 +920,9 @@ impl SimulationBuilder {
                 rng_root,
             },
             protocol,
-            mobilities: self.mobilities,
+            mobility,
             node_rngs,
-            grid: SpatialGrid::new(self.area, grid_cell),
+            grid,
             threads: self.threads,
             // OS threads actually spawned per phase: capped by the host's
             // core count. Purely a wall-clock decision — shard boundaries
@@ -878,8 +931,11 @@ impl SimulationBuilder {
             workers: self
                 .threads
                 .min(std::thread::available_parallelism().map_or(1, usize::from)),
+            kernel_mode: self.kernel_mode,
+            contact_engine,
             scratch_in_range: Vec::new(),
-            stripe_buffers: Vec::new(),
+            stripes,
+            stripe_buffers: vec![Vec::new(); stripes],
             schedule: self.schedule,
             next_scheduled: 0,
             next_message_id: 0,
@@ -919,6 +975,12 @@ pub struct WorldState {
     pub seed: u64,
     /// Number of nodes (pairing check).
     pub node_count: u64,
+    /// The contact-detection core the capture ran on (pairing check).
+    /// Both cores produce identical state, but a cross-mode resume would
+    /// silently change the remainder's wall-clock profile, so it is
+    /// rejected as a [`SnapshotError::Mismatch`] like any other
+    /// configuration drift. Carried since format v2.
+    pub kernel_mode: KernelMode,
     /// Simulation clock at capture.
     pub now: SimTime,
     /// When the last TTL sweep ran.
@@ -966,12 +1028,55 @@ pub struct WorldState {
     pub protocol: serde::Value,
 }
 
+/// Per-node mobility state in one of two layouts: boxed trait objects
+/// (heterogeneous populations) or the struct-of-arrays
+/// [`RandomWaypointFleet`] (homogeneous Random Waypoint worlds — every
+/// scenario in the paper). The layouts step nodes byte-identically and
+/// write interchangeable snapshot documents; the fleet is purely a
+/// cache-density and dispatch win on the mobility hot path.
+#[derive(Debug)]
+enum MobilityStore {
+    Boxed(Vec<Box<dyn MobilityModel>>),
+    Fleet(RandomWaypointFleet),
+}
+
+impl MobilityStore {
+    fn len(&self) -> usize {
+        match self {
+            MobilityStore::Boxed(models) => models.len(),
+            MobilityStore::Fleet(fleet) => fleet.len(),
+        }
+    }
+
+    /// Node `i`'s displacement bound, m/s, if its model promises one.
+    fn speed_cap(&self, i: usize) -> Option<f64> {
+        match self {
+            MobilityStore::Boxed(models) => models[i].speed_cap_m_s(),
+            MobilityStore::Fleet(fleet) => Some(fleet.speed_cap(i)),
+        }
+    }
+
+    fn snapshot_state(&self, i: usize) -> serde::Value {
+        match self {
+            MobilityStore::Boxed(models) => models[i].snapshot_state(),
+            MobilityStore::Fleet(fleet) => fleet.snapshot_state(i),
+        }
+    }
+
+    fn restore_state(&mut self, i: usize, doc: &serde::Value) -> Result<(), String> {
+        match self {
+            MobilityStore::Boxed(models) => models[i].restore_state(doc),
+            MobilityStore::Fleet(fleet) => fleet.restore_state(i, doc),
+        }
+    }
+}
+
 /// A running simulation: kernel state plus the protocol under test.
 #[derive(Debug)]
 pub struct Simulation<P> {
     api: SimApi,
     protocol: P,
-    mobilities: Vec<Box<dyn MobilityModel>>,
+    mobility: MobilityStore,
     node_rngs: Vec<SimRng>,
     grid: SpatialGrid,
     /// Configured shard count for the data-parallel phases (≥ 1).
@@ -979,8 +1084,17 @@ pub struct Simulation<P> {
     /// OS threads actually used (`min(threads, host cores)`); wall-clock
     /// only, never affects output.
     workers: usize,
+    /// Which contact-detection core this world runs on.
+    kernel_mode: KernelMode,
+    /// The predicted-crossing scheduler; present iff the mode is
+    /// [`KernelMode::EventDriven`]. Derived state — rebuilt, not
+    /// serialized, on snapshot restore.
+    contact_engine: Option<ContactEngine>,
     /// In-range pair buffer reused across steps (was allocated per step).
     scratch_in_range: Vec<ContactKey>,
+    /// Stripe count for the time-stepped sweep, fixed at build time from
+    /// the static grid geometry (hoisted out of the per-step path).
+    stripes: usize,
     /// Per-stripe pair buffers for sharded contact detection, reused
     /// across steps and merged in fixed stripe order.
     stripe_buffers: Vec<Vec<ContactKey>>,
@@ -1021,6 +1135,12 @@ impl<P: Protocol> Simulation<P> {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Which contact-detection core this world runs on.
+    #[must_use]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel_mode
     }
 
     /// The attached fault plan, if any.
@@ -1105,6 +1225,7 @@ impl<P: Protocol> Simulation<P> {
         WorldState {
             seed: self.seed,
             node_count: self.api.positions.len() as u64,
+            kernel_mode: self.kernel_mode,
             now: self.api.now,
             last_sweep: self.last_sweep,
             started: self.started,
@@ -1114,7 +1235,9 @@ impl<P: Protocol> Simulation<P> {
             positions: self.api.positions.clone(),
             rng_root: self.api.rng_root.state(),
             node_rngs: self.node_rngs.iter().map(SimRng::state).collect(),
-            mobility: self.mobilities.iter().map(|m| m.snapshot_state()).collect(),
+            mobility: (0..self.mobility.len())
+                .map(|i| self.mobility.snapshot_state(i))
+                .collect(),
             buffers: self.api.buffers.iter().map(Buffer::export_state).collect(),
             bodies,
             contacts: self.api.contacts.export_state(),
@@ -1157,6 +1280,12 @@ impl<P: Protocol> Simulation<P> {
             return Err(mismatch(format!(
                 "snapshot has {} nodes, this world has {nodes}",
                 state.node_count
+            )));
+        }
+        if state.kernel_mode != self.kernel_mode {
+            return Err(mismatch(format!(
+                "snapshot was taken on the {} core, this world runs {}",
+                state.kernel_mode, self.kernel_mode
             )));
         }
         for (name, len) in [
@@ -1233,9 +1362,9 @@ impl<P: Protocol> Simulation<P> {
         for (rng, s) in self.node_rngs.iter_mut().zip(&state.node_rngs) {
             *rng = SimRng::from_state(*s);
         }
-        for (i, (model, doc)) in self.mobilities.iter_mut().zip(&state.mobility).enumerate() {
-            model
-                .restore_state(doc)
+        for (i, doc) in state.mobility.iter().enumerate() {
+            self.mobility
+                .restore_state(i, doc)
                 .map_err(|e| mismatch(format!("node {i} mobility: {e}")))?;
         }
         if let (Some(scheduler), Some(doc)) = (self.retries.as_mut(), state.retries.as_ref()) {
@@ -1259,6 +1388,12 @@ impl<P: Protocol> Simulation<P> {
         self.finished = state.finished;
         self.next_scheduled = state.next_scheduled as usize;
         self.next_message_id = state.next_message_id;
+        // The predicted-crossing watch set is derived state: rebuilding a
+        // fresh (superset) watch set from the restored positions yields
+        // the same exact in-range list as the uninterrupted engine.
+        if let Some(engine) = self.contact_engine.as_mut() {
+            engine.rebuild(&self.api.positions, state.counters.steps);
+        }
         Ok(())
     }
 
@@ -1293,30 +1428,52 @@ impl<P: Protocol> Simulation<P> {
         // node axis is data-parallel: any partition computes identical
         // positions and leaves every RNG in an identical state.
         let scope = self.profiler.start();
-        let n = self.mobilities.len();
-        if self.workers > 1 && n > 1 {
-            let chunk = n.div_ceil(self.workers);
-            let area = self.api.area;
-            std::thread::scope(|s| {
-                for ((positions, mobilities), rngs) in self
-                    .api
-                    .positions
-                    .chunks_mut(chunk)
-                    .zip(self.mobilities.chunks_mut(chunk))
-                    .zip(self.node_rngs.chunks_mut(chunk))
-                {
-                    s.spawn(move || {
-                        for ((p, m), r) in positions.iter_mut().zip(mobilities).zip(rngs) {
-                            *p = m.step(*p, dt, area, r);
+        let n = self.mobility.len();
+        let mobility_chunk = if self.workers > 1 && n > 1 {
+            n.div_ceil(self.workers)
+        } else {
+            n
+        };
+        match &mut self.mobility {
+            MobilityStore::Fleet(fleet) => {
+                fleet.step_all(
+                    &mut self.api.positions,
+                    &mut self.node_rngs,
+                    dt,
+                    self.api.area,
+                    mobility_chunk,
+                );
+            }
+            MobilityStore::Boxed(mobilities) => {
+                if mobility_chunk < n {
+                    let area = self.api.area;
+                    std::thread::scope(|s| {
+                        for ((positions, mobilities), rngs) in self
+                            .api
+                            .positions
+                            .chunks_mut(mobility_chunk)
+                            .zip(mobilities.chunks_mut(mobility_chunk))
+                            .zip(self.node_rngs.chunks_mut(mobility_chunk))
+                        {
+                            s.spawn(move || {
+                                for ((p, m), r) in positions.iter_mut().zip(mobilities).zip(rngs) {
+                                    *p = m.step(*p, dt, area, r);
+                                }
+                            });
                         }
                     });
+                } else {
+                    for ((p, m), r) in self
+                        .api
+                        .positions
+                        .iter_mut()
+                        .zip(mobilities.iter_mut())
+                        .zip(self.node_rngs.iter_mut())
+                        .take(n)
+                    {
+                        *p = m.step(*p, dt, self.api.area, r);
+                    }
                 }
-            });
-        } else {
-            for i in 0..n {
-                let p = self.api.positions[i];
-                self.api.positions[i] =
-                    self.mobilities[i].step(p, dt, self.api.area, &mut self.node_rngs[i]);
             }
         }
         self.profiler.stop(Phase::Mobility, scope);
@@ -1365,63 +1522,82 @@ impl<P: Protocol> Simulation<P> {
         }
         self.profiler.stop(Phase::FaultInjection, scope);
 
-        // 2. Contact diff. The grid sweep is sharded across row stripes:
-        // each stripe enumerates the pairs whose home cell lies in its rows
-        // into its own buffer, buffers are merged in ascending stripe order,
-        // and the merged list is sorted — the same unique pair set in the
-        // same final order as the serial sweep, whatever the stripe count.
+        // 2. Contact detection. Either core produces the same sorted
+        // in-range pair list: the event engine tracks a conservative
+        // superset of near pairs and distance-checks exactly the pairs
+        // that could be in range this step; the time-stepped sweep
+        // re-enumerates the whole grid. The sweep is sharded across row
+        // stripes: each stripe enumerates the pairs whose home cell lies
+        // in its rows into its own buffer, buffers are merged in
+        // ascending stripe order, and the merged list is sorted — the
+        // same unique pair set in the same final order as the serial
+        // sweep, whatever the stripe count.
         let scope = self.profiler.start();
-        self.grid.rebuild(&self.api.positions);
         self.scratch_in_range.clear();
         let energy = &self.api.energy;
         let positions = &self.api.positions;
         let range = self.api.radio.range_m;
-        let rows = self.grid.row_count();
-        let stripes = self.threads.min(rows).max(1);
-        if stripes > 1 {
-            if self.stripe_buffers.len() < stripes {
-                self.stripe_buffers.resize_with(stripes, Vec::new);
-            }
-            let per = rows.div_ceil(stripes);
-            let grid = &self.grid;
-            let sweep_stripe = |si: usize, buf: &mut Vec<ContactKey>| {
-                buf.clear();
-                grid.for_each_pair_in_rows(positions, range, si * per, (si + 1) * per, |a, b| {
+        if let Some(engine) = self.contact_engine.as_mut() {
+            engine.collect(
+                self.api.counters.steps,
+                positions,
+                energy,
+                self.workers,
+                &mut self.scratch_in_range,
+            );
+        } else {
+            self.grid.rebuild(positions);
+            let rows = self.grid.row_count();
+            let stripes = self.stripes;
+            if stripes > 1 {
+                let per = rows.div_ceil(stripes);
+                let grid = &self.grid;
+                let sweep_stripe = |si: usize, buf: &mut Vec<ContactKey>| {
+                    buf.clear();
+                    grid.for_each_pair_in_rows(
+                        positions,
+                        range,
+                        si * per,
+                        (si + 1) * per,
+                        |a, b| {
+                            // A depleted radio forms no links
+                            // (finite-battery model).
+                            if !energy.is_depleted(a) && !energy.is_depleted(b) {
+                                buf.push(ContactKey(a, b));
+                            }
+                        },
+                    );
+                };
+                let bufs = &mut self.stripe_buffers[..stripes];
+                if self.workers > 1 {
+                    let per_worker = stripes.div_ceil(self.workers);
+                    std::thread::scope(|s| {
+                        for (w, worker_bufs) in bufs.chunks_mut(per_worker).enumerate() {
+                            let sweep_stripe = &sweep_stripe;
+                            s.spawn(move || {
+                                for (off, buf) in worker_bufs.iter_mut().enumerate() {
+                                    sweep_stripe(w * per_worker + off, buf);
+                                }
+                            });
+                        }
+                    });
+                } else {
+                    for (si, buf) in bufs.iter_mut().enumerate() {
+                        sweep_stripe(si, buf);
+                    }
+                }
+                for buf in &self.stripe_buffers[..stripes] {
+                    self.scratch_in_range.extend_from_slice(buf);
+                }
+            } else {
+                let in_range = &mut self.scratch_in_range;
+                self.grid.for_each_pair_within(positions, range, |a, b| {
                     // A depleted radio forms no links (finite-battery model).
                     if !energy.is_depleted(a) && !energy.is_depleted(b) {
-                        buf.push(ContactKey(a, b));
+                        in_range.push(ContactKey(a, b));
                     }
                 });
-            };
-            let bufs = &mut self.stripe_buffers[..stripes];
-            if self.workers > 1 {
-                let per_worker = stripes.div_ceil(self.workers);
-                std::thread::scope(|s| {
-                    for (w, worker_bufs) in bufs.chunks_mut(per_worker).enumerate() {
-                        let sweep_stripe = &sweep_stripe;
-                        s.spawn(move || {
-                            for (off, buf) in worker_bufs.iter_mut().enumerate() {
-                                sweep_stripe(w * per_worker + off, buf);
-                            }
-                        });
-                    }
-                });
-            } else {
-                for (si, buf) in bufs.iter_mut().enumerate() {
-                    sweep_stripe(si, buf);
-                }
             }
-            for buf in &self.stripe_buffers[..stripes] {
-                self.scratch_in_range.extend_from_slice(buf);
-            }
-        } else {
-            let in_range = &mut self.scratch_in_range;
-            self.grid.for_each_pair_within(positions, range, |a, b| {
-                // A depleted radio forms no links (finite-battery model).
-                if !energy.is_depleted(a) && !energy.is_depleted(b) {
-                    in_range.push(ContactKey(a, b));
-                }
-            });
         }
         self.scratch_in_range.sort_unstable();
         // 2b. Link-level fault injection: crashed nodes form no links,

@@ -41,7 +41,9 @@
 pub mod buffer;
 pub mod contact;
 pub mod energy;
+pub mod events;
 pub mod faults;
+pub mod fxhash;
 pub mod geometry;
 pub mod invariants;
 pub mod kernel;
@@ -63,6 +65,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::buffer::{Buffer, DropPolicy, InsertOutcome, RejectReason};
     pub use crate::energy::EnergyUse;
+    pub use crate::events::{ContactEngine, EventQueue, KernelMode};
     pub use crate::faults::{FaultPlan, FaultStats};
     pub use crate::geometry::{Area, Point};
     pub use crate::invariants::InvariantChecker;
@@ -74,7 +77,8 @@ pub mod prelude {
         Histogram, KernelCounters, MetricsRegistry, Phase, PhaseProfiler, PhaseTiming,
     };
     pub use crate::mobility::{
-        MobilityModel, RandomWalk, RandomWaypoint, ScriptedWaypoints, Stationary,
+        MobilityModel, RandomWalk, RandomWaypoint, RandomWaypointFleet, ScriptedWaypoints,
+        Stationary,
     };
     pub use crate::mobility_map::ManhattanGrid;
     pub use crate::protocol::{NullProtocol, Protocol, Reception};

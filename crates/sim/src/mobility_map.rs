@@ -184,6 +184,10 @@ impl MobilityModel for ManhattanGrid {
             .map_err(|e| format!("manhattan-grid state does not parse: {e}"))?;
         Ok(())
     }
+
+    fn speed_cap_m_s(&self) -> Option<f64> {
+        Some(self.max_speed)
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! A snapshot file is one header line followed by a JSON body:
 //!
 //! ```text
-//! DTNSNAP v1 <fnv128-hex-of-body>\n
+//! DTNSNAP v2 <fnv128-hex-of-body>\n
 //! { ... }
 //! ```
 //!
@@ -31,7 +31,7 @@ pub const MAGIC: &str = "DTNSNAP";
 /// The format version this build writes and accepts. Bump it whenever the
 /// body layout changes shape incompatibly, and record the change in
 /// DESIGN.md §14 (CI enforces that pairing).
-pub const FORMAT_VERSION: &str = "v1";
+pub const FORMAT_VERSION: &str = "v2";
 
 /// Why a snapshot could not be written or read back.
 #[derive(Debug)]
@@ -299,7 +299,7 @@ mod tests {
         let path = dir.join("world.snap");
         save(&doc(), &path).expect("save");
         let raw = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, raw.replacen("v1", "v999", 1)).unwrap();
+        std::fs::write(&path, raw.replacen(FORMAT_VERSION, "v999", 1)).unwrap();
         let err = load::<Doc>(&path).unwrap_err();
         match err {
             SnapshotError::VersionMismatch { found, .. } => assert_eq!(found, "v999"),

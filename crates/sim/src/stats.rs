@@ -11,7 +11,9 @@
 //! the nodes holding a direct interest in one of the source's tags at
 //! creation time — and MDR is measured over `(message, destination)` pairs.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
+
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -26,13 +28,13 @@ pub struct StatsCollector {
     created_by_priority: BTreeMap<u8, u64>,
     expected_pairs: u64,
     expected_pairs_by_priority: BTreeMap<u8, u64>,
-    expected_dests: HashMap<MessageId, HashSet<NodeId>>,
-    priority_of: HashMap<MessageId, Priority>,
-    delivered_pairs: HashSet<(MessageId, NodeId)>,
+    expected_dests: FxHashMap<MessageId, FxHashSet<NodeId>>,
+    priority_of: FxHashMap<MessageId, Priority>,
+    delivered_pairs: FxHashSet<(MessageId, NodeId)>,
     delivered_expected: u64,
     delivered_expected_by_priority: BTreeMap<u8, u64>,
     delivered_unexpected: u64,
-    messages_with_delivery: HashSet<MessageId>,
+    messages_with_delivery: FxHashSet<MessageId>,
     latency_sum_secs: f64,
     latency_count: u64,
     relays_completed: u64,
@@ -117,7 +119,7 @@ impl StatsCollector {
             .entry(priority.level())
             .or_default() += 1;
         self.priority_of.insert(id, priority);
-        let set: HashSet<NodeId> = expected.into_iter().collect();
+        let set: FxHashSet<NodeId> = expected.into_iter().collect();
         self.expected_pairs += set.len() as u64;
         *self
             .expected_pairs_by_priority

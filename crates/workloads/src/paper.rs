@@ -62,6 +62,7 @@ pub fn table51_scenario() -> Scenario {
         strategies: None,
         audit_every: None,
         selfish_duty_cycle: None,
+        kernel_mode: None,
     }
 }
 

@@ -143,6 +143,7 @@ pub fn build_simulation_opts(
         .buffer_capacity(scenario.buffer_bytes)
         .drop_policy(drop_policy)
         .threads(scenario.effective_threads())
+        .kernel_mode(scenario.effective_kernel_mode())
         .nodes(scenario.nodes, || scenario.mobility.instantiate());
     if let Some(j) = scenario.battery_joules {
         builder = builder.battery_joules(j);
@@ -211,6 +212,7 @@ where
         // builder happens to carry.
         .drop_policy(dtn_sim::buffer::DropPolicy::DropOldest)
         .threads(scenario.effective_threads())
+        .kernel_mode(scenario.effective_kernel_mode())
         .nodes(scenario.nodes, || scenario.mobility.instantiate());
     if let Some(j) = scenario.battery_joules {
         builder = builder.battery_joules(j);
@@ -288,6 +290,7 @@ pub fn build_backend_simulation(
         .buffer_capacity(scenario.buffer_bytes)
         .drop_policy(drop_policy)
         .threads(scenario.effective_threads())
+        .kernel_mode(scenario.effective_kernel_mode())
         .nodes(scenario.nodes, || scenario.mobility.instantiate());
     if let Some(j) = scenario.battery_joules {
         builder = builder.battery_joules(j);

@@ -204,6 +204,12 @@ pub struct Scenario {
     /// gate silently.
     #[serde(default)]
     pub selfish_duty_cycle: Option<f64>,
+    /// Which simulation core drives the run (`None` = the event-driven
+    /// core, the default since snapshot format v2). Both cores are
+    /// byte-identical — this is a wall-clock/conformance knob only. Read
+    /// through [`Scenario::effective_kernel_mode`].
+    #[serde(default)]
+    pub kernel_mode: Option<dtn_sim::events::KernelMode>,
 }
 
 impl Scenario {
@@ -304,6 +310,12 @@ impl Scenario {
     #[must_use]
     pub fn effective_threads(&self) -> usize {
         self.threads.unwrap_or(1)
+    }
+
+    /// The simulation core this scenario asks for (default: event-driven).
+    #[must_use]
+    pub fn effective_kernel_mode(&self) -> dtn_sim::events::KernelMode {
+        self.kernel_mode.unwrap_or_default()
     }
 
     /// Expected number of messages the traffic model will create.

@@ -185,7 +185,8 @@ impl Cell {
     /// coordinate (the runner ignores the scenario fields once a cell is
     /// built), and their absence keeps every pre-grid cache entry
     /// byte-compatible. Optional fields added later (`strategies`,
-    /// `audit_every`, `selfish_duty_cycle`) are stripped only while unset:
+    /// `audit_every`, `selfish_duty_cycle`, `kernel_mode`) are stripped
+    /// only while unset:
     /// a scenario that leaves them at their defaults hashes to the key it
     /// always had, while configuring any of them forks the key (they all
     /// change the simulation).
@@ -205,7 +206,7 @@ impl Cell {
                 }
                 let null_when_unset = matches!(
                     key.as_str(),
-                    "strategies" | "audit_every" | "selfish_duty_cycle"
+                    "strategies" | "audit_every" | "selfish_duty_cycle" | "kernel_mode"
                 );
                 !(null_when_unset && matches!(value, serde_json::Value::Null))
             });
@@ -883,6 +884,42 @@ mod tests {
             bare.cache_key(),
             Cell::arm(duty, Arm::Incentive, 9).cache_key()
         );
+    }
+
+    #[test]
+    fn unset_kernel_mode_keeps_pre_existing_cache_keys() {
+        // A scenario that leaves the kernel-mode knob unset must hash to
+        // the key it had before the knob existed (no disk cache dies on
+        // the event-core release); pinning either core forks the key, and
+        // the two cores fork to *different* keys — byte-identical output
+        // is a theorem the conformance suite checks, not something the
+        // cache layer is allowed to assume.
+        let bare = Cell::arm(tiny("mode"), Arm::Incentive, 9);
+        let defaulted = {
+            let mut s = tiny("mode");
+            s.kernel_mode = None;
+            Cell::arm(s, Arm::Incentive, 9)
+        };
+        assert_eq!(bare.cache_key(), defaulted.cache_key());
+        let json = {
+            let mut canonical = tiny("mode");
+            canonical.name = String::new();
+            serde_json::to_string(&Serialize::to_value(&canonical)).unwrap()
+        };
+        assert!(
+            json.contains("\"kernel_mode\":null"),
+            "the raw serialization carries the unset knob: {json}"
+        );
+
+        let mut event = tiny("mode");
+        event.kernel_mode = Some(dtn_sim::events::KernelMode::EventDriven);
+        let mut stepped = tiny("mode");
+        stepped.kernel_mode = Some(dtn_sim::events::KernelMode::TimeStepped);
+        let event_key = Cell::arm(event, Arm::Incentive, 9).cache_key();
+        let stepped_key = Cell::arm(stepped, Arm::Incentive, 9).cache_key();
+        assert_ne!(bare.cache_key(), event_key);
+        assert_ne!(bare.cache_key(), stepped_key);
+        assert_ne!(event_key, stepped_key);
     }
 
     #[test]
