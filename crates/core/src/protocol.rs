@@ -48,7 +48,7 @@ use dtn_reputation::table::{
 };
 use dtn_reputation::watchdog::{Watchdog, WatchdogState};
 use dtn_routing::backend::{ChitChatBackend, RouterBackend};
-use dtn_routing::exchange::due_pairs;
+use dtn_routing::exchange::ExchangeWheel;
 use dtn_routing::interests::InterestTable;
 
 use crate::behavior::NodeBehavior;
@@ -139,7 +139,15 @@ pub struct DcimRouter<B: RouterBackend = ChitChatBackend> {
     /// every exchange consults it), and binary search over a node's
     /// handful of open peers beats hashing the pair.
     open_adj: Vec<Vec<NodeId>>,
-    last_exchange: FxHashMap<(NodeId, NodeId), SimTime>,
+    /// Open pairs and their settlement schedule: the bucketed timing
+    /// wheel replaces the per-tick full scan of a `pair → last-serviced`
+    /// map — each settlement tick now touches only pairs actually due.
+    /// Snapshots still carry the plain sorted map; the schedule is
+    /// derived state, rebuilt on restore.
+    exchange_wheel: ExchangeWheel,
+    /// Reusable due-pair emission buffer for [`Self::on_tick`] (same
+    /// scratch discipline as `digest_scratch`).
+    due_scratch: Vec<((NodeId, NodeId), f64)>,
     /// Participation (selfish duty-cycle) draws. Isolated in its own
     /// stream so the Incentive and ChitChat arms of a paired comparison
     /// see *identical* open/closed contact patterns — the mechanism-only
@@ -171,6 +179,25 @@ pub struct DcimRouter<B: RouterBackend = ChitChatBackend> {
     /// discipline as `digest_scratch`).
     route_ids_scratch: Vec<MessageId>,
     route_keyed_scratch: Vec<(u8, f64, MessageId)>,
+    /// Per-node cached offer ordering + buffer maxima, keyed by the
+    /// buffer's mutation generation. A routing pass whose buffer is
+    /// unchanged since the last pass (the common case: route runs twice
+    /// per due pair and most passes transfer nothing) skips the
+    /// O(B log B) sort and the maxima scan. Derived state — absent from
+    /// snapshots, rebuilt cold after restore.
+    route_order: Vec<RouteOrder>,
+}
+
+/// One node's cached routing order (see `DcimRouter::route_order`).
+#[derive(Debug, Default)]
+struct RouteOrder {
+    /// Buffer generation the cache was built at; `None` = never built.
+    generation: Option<u64>,
+    /// Offer order: priority/quality-keyed with the incentive on,
+    /// id-sorted otherwise.
+    ids: Vec<MessageId>,
+    /// `(S_m, Q_m)` buffer maxima at the same generation.
+    maxima: (u64, f64),
 }
 
 /// Per-node mutable bookkeeping for strategy players.
@@ -213,6 +240,13 @@ struct DcimState {
 }
 
 use dtn_sim::world::ordered_pair as pair;
+
+thread_local! {
+    /// Reused keyword buffer for the offer path — one message's deduped
+    /// keyword list per call, never observable across calls.
+    static KW_SCRATCH: std::cell::RefCell<Vec<dtn_sim::message::Keyword>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
 
 impl DcimRouter {
     /// Creates the router for `node_count` nodes over the paper's ChitChat
@@ -261,7 +295,8 @@ impl<B: RouterBackend> DcimRouter<B> {
             meta: FxHashMap::default(),
             pending: FxHashMap::default(),
             open_adj: vec![Vec::new(); node_count],
-            last_exchange: FxHashMap::default(),
+            exchange_wheel: ExchangeWheel::new(),
+            due_scratch: Vec::new(),
             participation_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(1),
             judge_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(2),
             enrich_rng: SimRng::new(seed ^ 0xD0C1_33D5).stream(3),
@@ -276,6 +311,7 @@ impl<B: RouterBackend> DcimRouter<B> {
             digest_scratch: (GossipDigest::default(), GossipDigest::default()),
             route_ids_scratch: Vec::new(),
             route_keyed_scratch: Vec::new(),
+            route_order: (0..node_count).map(|_| RouteOrder::default()).collect(),
         }
     }
 
@@ -604,11 +640,32 @@ impl<B: RouterBackend> DcimRouter<B> {
     /// — under bandwidth contention this is what delivers more high-
     /// priority messages than plain ChitChat.
     fn route(&mut self, api: &mut SimApi, from: NodeId, to: NodeId) {
-        // Both vectors are reusable scratch taken out of `self` for the
-        // duration of the pass (route runs twice per contact event and
-        // twice per due pair every settlement tick; fresh allocations
-        // here were visible in the 1k-node profile).
+        let generation = api.buffer(from).generation();
+        if self.route_order[from.index()].generation != Some(generation) {
+            self.rebuild_route_order(api, from, generation);
+        }
+        // The offer loop needs `&mut self`, so the pass iterates a scratch
+        // copy of the cached order (a memcpy of ids — far cheaper than the
+        // keyed sort it replaces; route runs twice per contact event and
+        // twice per due pair every settlement tick).
         let mut ids = std::mem::take(&mut self.route_ids_scratch);
+        ids.clear();
+        let cached = &self.route_order[from.index()];
+        ids.extend_from_slice(&cached.ids);
+        let maxima = cached.maxima;
+        let sender_rating = self.sender_rating(from, to);
+        for &id in &ids {
+            self.offer_with_maxima(api, from, to, id, maxima, sender_rating);
+        }
+        self.route_ids_scratch = ids;
+    }
+
+    /// Recomputes `from`'s offer ordering and buffer maxima into the
+    /// per-node cache, stamping it with the buffer generation observed by
+    /// the caller. Purely a function of the buffer contents, so cache
+    /// reuse cannot change behavior.
+    fn rebuild_route_order(&mut self, api: &SimApi, from: NodeId, generation: u64) {
+        let mut ids = std::mem::take(&mut self.route_order[from.index()].ids);
         ids.clear();
         if self.params.incentive_enabled {
             // One pass over the buffer, no id-sort prepass: the comparator
@@ -631,12 +688,10 @@ impl<B: RouterBackend> DcimRouter<B> {
         } else {
             api.buffer(from).ids_sorted_into(&mut ids);
         }
-        let maxima = Self::buffer_maxima(api, from);
-        let sender_rating = self.sender_rating(from, to);
-        for &id in &ids {
-            self.offer_with_maxima(api, from, to, id, maxima, sender_rating);
-        }
-        self.route_ids_scratch = ids;
+        let cache = &mut self.route_order[from.index()];
+        cache.ids = ids;
+        cache.maxima = Self::buffer_maxima(api, from);
+        cache.generation = Some(generation);
     }
 
     /// `to`'s opinion of `from`, for the DRM avoidance gate. Reputation is
@@ -668,7 +723,12 @@ impl<B: RouterBackend> DcimRouter<B> {
     /// computing the sender's buffer maxima on the spot (single-message
     /// call sites: message creation, post-reception forwarding).
     fn offer(&mut self, api: &mut SimApi, from: NodeId, to: NodeId, id: MessageId) {
-        let maxima = Self::buffer_maxima(api, from);
+        let cached = &self.route_order[from.index()];
+        let maxima = if cached.generation == Some(api.buffer(from).generation()) {
+            cached.maxima
+        } else {
+            Self::buffer_maxima(api, from)
+        };
         let sender_rating = self.sender_rating(from, to);
         self.offer_with_maxima(api, from, to, id, maxima, sender_rating);
     }
@@ -689,10 +749,32 @@ impl<B: RouterBackend> DcimRouter<B> {
         if api.buffer(to).contains(id) || api.is_sending(from, to, id) {
             return;
         }
+        // The message's keyword list lives in a reused thread-local
+        // buffer: this path runs per (pair, message) every settlement
+        // tick, and the old per-call `Vec` was a top allocation site.
+        let mut kw = KW_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        self.offer_with_keywords(api, from, to, id, maxima, sender_rating, &mut kw);
+        KW_SCRATCH.with(|s| *s.borrow_mut() = kw);
+    }
+
+    /// [`Self::offer_with_maxima`] past the duplicate checks, writing the
+    /// message's keywords into `keywords` (a reused scratch buffer).
+    #[allow(clippy::too_many_arguments)] // internal continuation of the offer path
+    fn offer_with_keywords(
+        &mut self,
+        api: &mut SimApi,
+        from: NodeId,
+        to: NodeId,
+        id: MessageId,
+        maxima: (u64, f64),
+        sender_rating: f64,
+        keywords: &mut Vec<dtn_sim::message::Keyword>,
+    ) {
         let Some(copy) = api.buffer(from).get(id) else {
             return;
         };
-        let keywords = copy.keywords();
+        copy.keywords_into(keywords);
+        let keywords: &[dtn_sim::message::Keyword] = keywords;
         let priority = copy.body.priority;
         let size = copy.size_bytes();
         let quality = copy.body.quality.value();
@@ -700,7 +782,7 @@ impl<B: RouterBackend> DcimRouter<B> {
         if !self.backend.may_offer(from, source) {
             return;
         }
-        let dest = self.backend.is_destination(to, &keywords);
+        let dest = self.backend.is_destination(to, keywords);
         if dest && api.is_delivered(to, id) {
             return;
         }
@@ -721,7 +803,7 @@ impl<B: RouterBackend> DcimRouter<B> {
         }
 
         // The backend's relay rule (ChitChat: `S_v > S_u`).
-        if !dest && !self.backend.accepts_relay(from, to, id, source, &keywords) {
+        if !dest && !self.backend.accepts_relay(from, to, id, source, keywords) {
             return;
         }
 
@@ -738,13 +820,13 @@ impl<B: RouterBackend> DcimRouter<B> {
 
         // Quote the software promise (Algorithm 3) for the receiver.
         let software =
-            self.quote_software(api, from, to, &keywords, size, quality, priority, maxima);
+            self.quote_software(api, from, to, keywords, size, quality, priority, maxima);
 
         // Relay-threshold prepayment: the receiver pays for high-value
         // hand-offs up front, or does not receive the message at all.
         let mut prepay = None;
         if !dest && incentive_on {
-            let mean = self.backend.mean_weight(to, &keywords);
+            let mean = self.backend.mean_weight(to, keywords);
             if let Some(amount) =
                 relay_prepayment(mean, Tokens::new(software), &self.params.incentive)
             {
@@ -896,9 +978,9 @@ impl<B: RouterBackend> DcimRouter<B> {
             .collect();
         pending.sort_unstable_by_key(|&(f, t, m, _)| (f, t, m));
         let mut last_exchange: Vec<(NodeId, NodeId, SimTime)> = self
-            .last_exchange
+            .exchange_wheel
             .iter()
-            .map(|(&(a, b), &t)| (a, b, t))
+            .map(|((a, b), t)| (a, b, t))
             .collect();
         last_exchange.sort_unstable_by_key(|&(a, b, _)| (a, b));
         DcimState {
@@ -975,11 +1057,11 @@ impl<B: RouterBackend> DcimRouter<B> {
             .map(|&(f, t, m, o)| ((f, t, m), o))
             .collect();
         self.open_adj.clone_from(&state.open_adj);
-        self.last_exchange = state
-            .last_exchange
-            .iter()
-            .map(|&(a, b, t)| ((a, b), t))
-            .collect();
+        // The wheel's schedule is derived state: only the `pair →
+        // last-serviced` rows travel in the snapshot, and the next
+        // settlement drain rebuilds the buckets against the live clock.
+        self.exchange_wheel
+            .restore(state.last_exchange.iter().map(|&(a, b, t)| ((a, b), t)));
         self.participation_rng = SimRng::from_state(state.participation_rng);
         self.judge_rng = SimRng::from_state(state.judge_rng);
         self.enrich_rng = SimRng::from_state(state.enrich_rng);
@@ -1031,7 +1113,8 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         self.open_pair(a, b);
         self.backend.on_contact_open(api.now(), a, b);
         self.exchange(api, a, b, api.step_len().as_secs());
-        self.last_exchange.insert(pair(a, b), api.now());
+        self.exchange_wheel
+            .note_serviced(pair(a, b), api.now(), api.counters().steps);
         self.route(api, a, b);
         self.route(api, b, a);
     }
@@ -1040,7 +1123,7 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         let _ = api;
         let key = pair(a, b);
         self.close_pair(a, b);
-        self.last_exchange.remove(&key);
+        self.exchange_wheel.remove(key);
         // Offers that never completed are void.
         self.pending.retain(|&(f, t, _), _| pair(f, t) != key);
     }
@@ -1233,19 +1316,27 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
 
     fn on_tick(&mut self, api: &mut SimApi) {
         // Periodic re-exchange for long-lived open contacts (open pairs
-        // are exactly the keys of last_exchange: both are maintained
-        // together on contact up/down).
+        // are exactly the watched pairs of the wheel: both are maintained
+        // together on contact up/down). The wheel emits the same sorted
+        // `(pair, credited)` rows the full scan produced, touching only
+        // pairs actually due.
         let now = api.now();
-        for ((a, b), credited) in due_pairs(
-            &self.last_exchange,
+        let step = api.counters().steps;
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.exchange_wheel.drain_due_into(
             now,
+            step,
             self.params.chitchat.exchange_interval_secs,
-        ) {
+            api.step_len().as_secs(),
+            &mut due,
+        );
+        for &((a, b), credited) in &due {
             self.exchange(api, a, b, credited);
-            self.last_exchange.insert((a, b), now);
+            self.exchange_wheel.note_serviced((a, b), now, step);
             self.route(api, a, b);
             self.route(api, b, a);
         }
+        self.due_scratch = due;
         self.sample(api);
     }
 
@@ -1253,6 +1344,25 @@ impl<B: RouterBackend> Protocol for DcimRouter<B> {
         // Final sample so short runs still record the series.
         self.last_sample = f64::NEG_INFINITY;
         self.sample(api);
+    }
+
+    fn export_metrics(&self, registry: &mut dtn_sim::metrics::MetricsRegistry) {
+        registry.set_gauge(
+            "settlement.watched_pairs",
+            self.exchange_wheel.watched_pairs() as f64,
+        );
+        registry.set_gauge(
+            "settlement.wheel_occupancy",
+            self.exchange_wheel.bucket_occupancy() as f64,
+        );
+        registry.set_gauge("arena.interest_bytes", self.backend.state_bytes() as f64);
+        registry.set_gauge(
+            "arena.reputation_bytes",
+            self.reputation
+                .iter()
+                .map(ReputationTable::state_bytes)
+                .sum::<usize>() as f64,
+        );
     }
 
     fn snapshot_state(&self) -> serde::Value {

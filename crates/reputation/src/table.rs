@@ -68,11 +68,18 @@ pub struct ReputationTable {
     issued: u64,
     /// Highest digest sequence seen per reporter, sorted by reporter.
     last_seen_seq: Vec<(NodeId, u64)>,
-    /// Reusable merge buffer for [`Self::absorb_digest_weighted`] — the
-    /// old and new opinion vectors ping-pong through it so the per-absorb
-    /// allocation disappears. Transient scratch: cleared on every use,
-    /// absent from [`ReputationTableState`].
-    absorb_scratch: Vec<(NodeId, Opinion)>,
+}
+
+thread_local! {
+    /// Shared merge buffer for [`ReputationTable::absorb_digest_weighted`]
+    /// — the old and new opinion vectors ping-pong through it so the
+    /// per-absorb allocation disappears. One buffer per thread instead of
+    /// one per table: a retained per-node scratch held the previous
+    /// opinions vector alive, doubling the reputation footprint at
+    /// 250k+ nodes. Scratch content never reaches an output (cleared
+    /// before every use), so sharing cannot change behavior.
+    static ABSORB_SCRATCH: std::cell::RefCell<Vec<(NodeId, Opinion)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl ReputationTable {
@@ -85,7 +92,6 @@ impl ReputationTable {
             opinions: Vec::new(),
             issued: 0,
             last_seen_seq: Vec::new(),
-            absorb_scratch: Vec::new(),
         }
     }
 
@@ -93,6 +99,15 @@ impl ReputationTable {
     #[must_use]
     pub fn owner(&self) -> NodeId {
         self.owner
+    }
+
+    /// Bytes of memory this table holds (struct plus heap capacity) —
+    /// the per-node reputation footprint, exported as a metrics gauge.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.opinions.capacity() * std::mem::size_of::<(NodeId, Opinion)>()
+            + self.last_seen_seq.capacity() * std::mem::size_of::<(NodeId, u64)>()
     }
 
     /// Index of `subject` in the sorted opinions, or its insertion point.
@@ -280,27 +295,38 @@ impl ReputationTable {
                             let o = &b.opinions[j].1;
                             (o.informed, o.rating)
                         };
+                        // Long-lived pairs converge: once both ratings
+                        // agree, the merge reproduces the prior bit for
+                        // bit (`prior + scale * 0`), so skipping the
+                        // store keeps the cache line clean without
+                        // changing a single output bit.
                         if b_informed {
-                            let o = &mut a.opinions[i].1;
                             let reported = b_rating.clamp(0.0, a.params.max_rating);
                             let prior = if a_informed {
                                 a_rating
                             } else {
                                 a.params.neutral_rating
                             };
-                            o.rating = prior + scale_a * (reported - prior);
-                            o.informed = true;
+                            let merged = prior + scale_a * (reported - prior);
+                            if !a_informed || merged != a_rating {
+                                let o = &mut a.opinions[i].1;
+                                o.rating = merged;
+                                o.informed = true;
+                            }
                         }
                         if a_informed {
-                            let o = &mut b.opinions[j].1;
                             let reported = a_rating.clamp(0.0, b.params.max_rating);
                             let prior = if b_informed {
                                 b_rating
                             } else {
                                 b.params.neutral_rating
                             };
-                            o.rating = prior + scale_b * (reported - prior);
-                            o.informed = true;
+                            let merged = prior + scale_b * (reported - prior);
+                            if !b_informed || merged != b_rating {
+                                let o = &mut b.opinions[j].1;
+                                o.rating = merged;
+                                o.informed = true;
+                            }
                         }
                     }
                     i += 1;
@@ -453,7 +479,7 @@ impl ReputationTable {
             }
             return true;
         }
-        let mut merged = std::mem::take(&mut self.absorb_scratch);
+        let mut merged = ABSORB_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
         merged.clear();
         merged.reserve(self.opinions.len() + digest.ratings.len());
         let mut i = 0;
@@ -486,7 +512,8 @@ impl ReputationTable {
             }
         }
         merged.extend_from_slice(&self.opinions[i..]);
-        self.absorb_scratch = std::mem::replace(&mut self.opinions, merged);
+        let old = std::mem::replace(&mut self.opinions, merged);
+        ABSORB_SCRATCH.with(|s| *s.borrow_mut() = old);
         true
     }
 

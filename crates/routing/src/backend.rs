@@ -26,7 +26,7 @@ use dtn_sim::world::NodeId;
 use serde::{Deserialize, Serialize};
 
 use crate::directory::InterestDirectory;
-use crate::exchange::{rtsr_exchange, shared_keywords};
+use crate::exchange::{rtsr_exchange, shared_keywords_into, KeywordSet};
 use crate::interests::{ChitChatParams, InterestTable};
 use crate::prophet::{Predictability, ProphetParams};
 
@@ -43,6 +43,13 @@ pub trait RouterBackend: std::fmt::Debug + Send {
 
     /// Human-readable backend name (for logs and tables).
     fn label(&self) -> &'static str;
+
+    /// Bytes of memory the backend's per-node routing state holds (struct
+    /// plus heap capacity), for the `arena.interest_bytes` gauge. Backends
+    /// without a meaningful measure may report 0 (the default).
+    fn state_bytes(&self) -> usize {
+        0
+    }
 
     /// Registers a direct interest of `node` (the `Subscribe` operator).
     fn subscribe(&mut self, node: NodeId, keyword: Keyword, now: SimTime);
@@ -253,6 +260,10 @@ impl RouterBackend for Box<dyn RouterBackend> {
 pub struct ChitChatBackend {
     params: ChitChatParams,
     tables: Vec<InterestTable>,
+    /// Reusable shared-keyword bitmaps for [`RouterBackend::exchange`] —
+    /// two per due pair every settlement tick. Transient scratch: cleared
+    /// on every use, absent from snapshots.
+    shared_scratch: (KeywordSet, KeywordSet),
 }
 
 impl ChitChatBackend {
@@ -262,6 +273,7 @@ impl ChitChatBackend {
         ChitChatBackend {
             params,
             tables: vec![InterestTable::new(); node_count],
+            shared_scratch: (KeywordSet::new(), KeywordSet::new()),
         }
     }
 
@@ -279,6 +291,10 @@ impl RouterBackend for ChitChatBackend {
 
     fn label(&self) -> &'static str {
         "ChitChat"
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.tables.iter().map(InterestTable::state_bytes).sum()
     }
 
     fn subscribe(&mut self, node: NodeId, keyword: Keyword, now: SimTime) {
@@ -319,8 +335,9 @@ impl RouterBackend for ChitChatBackend {
         peers_a: &[NodeId],
         peers_b: &[NodeId],
     ) {
-        let shared_a = shared_keywords(&self.tables, peers_a);
-        let shared_b = shared_keywords(&self.tables, peers_b);
+        let (shared_a, shared_b) = (&mut self.shared_scratch.0, &mut self.shared_scratch.1);
+        shared_keywords_into(&self.tables, peers_a, shared_a);
+        shared_keywords_into(&self.tables, peers_b, shared_b);
         rtsr_exchange(
             &mut self.tables,
             a,
@@ -328,8 +345,8 @@ impl RouterBackend for ChitChatBackend {
             connected_secs,
             &self.params,
             now,
-            &shared_a,
-            &shared_b,
+            shared_a,
+            shared_b,
         );
     }
 

@@ -49,6 +49,8 @@ pub struct CedoRouter {
     /// the last serve time — re-served periodically (a request issued
     /// mid-contact must still spread over that contact).
     last_serve: HashMap<(NodeId, NodeId), SimTime>,
+    /// Reusable due-pair buffer for the periodic re-serve scan.
+    due_scratch: Vec<((NodeId, NodeId), f64)>,
 }
 
 impl CedoRouter {
@@ -60,6 +62,7 @@ impl CedoRouter {
             schedule: Vec::new(),
             next_scheduled: 0,
             last_serve: HashMap::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -207,11 +210,16 @@ impl Protocol for CedoRouter {
             self.expire(now);
         }
         // Re-serve long-lived contacts every 30 s so requests issued after
-        // contact-up still spread and get served.
-        for ((a, b), _) in crate::exchange::due_pairs(&self.last_serve, now, 30.0) {
+        // contact-up still spread and get served. The due rows go through
+        // a reusable scratch vector rather than a fresh allocation per
+        // tick.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        crate::exchange::due_pairs_into(&self.last_serve, now, 30.0, &mut due);
+        for &((a, b), _) in &due {
             self.last_serve.insert((a, b), now);
             self.serve_pair(api, a, b);
         }
+        self.due_scratch = due;
     }
 }
 

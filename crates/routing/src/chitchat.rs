@@ -7,9 +7,7 @@
 //! sum of interest weights over `M`'s keywords — or if `v` is a destination
 //! (holds a *direct* interest in one of `M`'s keywords).
 
-use std::collections::HashMap;
-
-use crate::exchange::{due_pairs, rtsr_exchange, shared_keywords};
+use crate::exchange::{rtsr_exchange, shared_keywords_into, ExchangeWheel, KeywordSet};
 
 use dtn_sim::buffer::InsertOutcome;
 use dtn_sim::kernel::SimApi;
@@ -27,9 +25,14 @@ use dtn_sim::world::ordered_pair as pair;
 pub struct ChitChatRouter {
     params: ChitChatParams,
     tables: Vec<InterestTable>,
-    /// Active contacts, keyed by normalized pair, valued by the time the
-    /// pair was last serviced (exchange + routing pass).
-    last_exchange: HashMap<(NodeId, NodeId), SimTime>,
+    /// Active contacts and their settlement schedule: the timing wheel
+    /// tracks when each pair was last serviced (exchange + routing pass)
+    /// and emits only the pairs actually due each tick.
+    wheel: ExchangeWheel,
+    /// Reusable due-pair emission buffer for [`Protocol::on_tick`].
+    due_scratch: Vec<((NodeId, NodeId), f64)>,
+    /// Reusable shared-keyword bitmaps for `exchange` — two per due pair.
+    shared_scratch: (KeywordSet, KeywordSet),
 }
 
 impl ChitChatRouter {
@@ -39,7 +42,9 @@ impl ChitChatRouter {
         ChitChatRouter {
             params,
             tables: vec![InterestTable::new(); node_count],
-            last_exchange: HashMap::new(),
+            wheel: ExchangeWheel::new(),
+            due_scratch: Vec::new(),
+            shared_scratch: (KeywordSet::new(), KeywordSet::new()),
         }
     }
 
@@ -72,8 +77,9 @@ impl ChitChatRouter {
     /// crediting `connected_secs` of contact time.
     fn exchange(&mut self, api: &SimApi, a: NodeId, b: NodeId, connected_secs: f64) {
         let now = api.now();
-        let shared_a = shared_keywords(&self.tables, api.peers_of_slice(a));
-        let shared_b = shared_keywords(&self.tables, api.peers_of_slice(b));
+        let (shared_a, shared_b) = (&mut self.shared_scratch.0, &mut self.shared_scratch.1);
+        shared_keywords_into(&self.tables, api.peers_of_slice(a), shared_a);
+        shared_keywords_into(&self.tables, api.peers_of_slice(b), shared_b);
         rtsr_exchange(
             &mut self.tables,
             a,
@@ -81,8 +87,8 @@ impl ChitChatRouter {
             connected_secs,
             &self.params,
             now,
-            &shared_a,
-            &shared_b,
+            shared_a,
+            shared_b,
         );
     }
 
@@ -120,13 +126,14 @@ impl Protocol for ChitChatRouter {
     fn on_contact_up(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
         // First exchange of the contact credits one step of connection time.
         self.exchange(api, a, b, api.step_len().as_secs());
-        self.last_exchange.insert(pair(a, b), api.now());
+        self.wheel
+            .note_serviced(pair(a, b), api.now(), api.counters().steps);
         self.route_pair(api, a, b);
     }
 
     fn on_contact_down(&mut self, api: &mut SimApi, a: NodeId, b: NodeId) {
         let _ = api;
-        self.last_exchange.remove(&pair(a, b));
+        self.wheel.remove(pair(a, b));
     }
 
     fn on_message_created(&mut self, api: &mut SimApi, node: NodeId, message: MessageId) {
@@ -156,15 +163,35 @@ impl Protocol for ChitChatRouter {
     }
 
     fn on_tick(&mut self, api: &mut SimApi) {
-        // Periodic re-exchange and re-routing for long-lived contacts.
+        // Periodic re-exchange and re-routing for long-lived contacts:
+        // the wheel emits the same sorted due rows the full scan did.
         let now = api.now();
-        for ((a, b), credited) in
-            due_pairs(&self.last_exchange, now, self.params.exchange_interval_secs)
-        {
+        let step = api.counters().steps;
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.wheel.drain_due_into(
+            now,
+            step,
+            self.params.exchange_interval_secs,
+            api.step_len().as_secs(),
+            &mut due,
+        );
+        for &((a, b), credited) in &due {
             self.exchange(api, a, b, credited);
-            self.last_exchange.insert((a, b), now);
+            self.wheel.note_serviced((a, b), now, step);
             self.route_pair(api, a, b);
         }
+        self.due_scratch = due;
+    }
+
+    fn export_metrics(&self, registry: &mut dtn_sim::metrics::MetricsRegistry) {
+        registry.set_gauge(
+            "settlement.watched_pairs",
+            self.wheel.watched_pairs() as f64,
+        );
+        registry.set_gauge(
+            "settlement.wheel_occupancy",
+            self.wheel.bucket_occupancy() as f64,
+        );
     }
 }
 

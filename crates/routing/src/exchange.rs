@@ -11,11 +11,12 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use dtn_sim::fxhash::FxHashMap;
 use dtn_sim::message::Keyword;
 use dtn_sim::time::SimTime;
 use dtn_sim::world::NodeId;
 
-use crate::interests::{ChitChatParams, InterestEntry, InterestTable};
+use crate::interests::{ChitChatParams, InterestRow, InterestTable};
 
 /// A set of keywords as a bitmap over the keyword id space.
 ///
@@ -81,6 +82,34 @@ impl KeywordSet {
     pub fn is_empty(&self) -> bool {
         self.bits.iter().all(|&w| w == 0)
     }
+
+    /// Empties the set, keeping the allocation (scratch reuse).
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+
+    /// Whether both sets hold exactly the same keywords. Trailing zero
+    /// words are ignored, so sets that grew to different capacities still
+    /// compare equal by content.
+    #[must_use]
+    pub fn same_keywords(&self, other: &KeywordSet) -> bool {
+        let (short, long) = if self.bits.len() <= other.bits.len() {
+            (&self.bits, &other.bits)
+        } else {
+            (&other.bits, &self.bits)
+        };
+        short
+            .iter()
+            .zip(long.iter())
+            .all(|(&a, &b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+
+    /// Heap bytes held by the bitmap.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        self.bits.capacity() * std::mem::size_of::<u64>()
+    }
 }
 
 /// Runs one RTSR weight exchange between connected `a` and `b`, crediting
@@ -136,7 +165,7 @@ pub fn rtsr_exchange(
 }
 
 /// One side's reusable merge buffer for [`rtsr_exchange`]'s grows.
-type GrowBuf = Vec<(Keyword, InterestEntry)>;
+type GrowBuf = Vec<InterestRow>;
 
 thread_local! {
     /// Reusable merge buffers for [`rtsr_exchange`]'s two grows.
@@ -154,10 +183,18 @@ thread_local! {
 #[must_use]
 pub fn shared_keywords(tables: &[InterestTable], peers: &[NodeId]) -> KeywordSet {
     let mut set = KeywordSet::new();
-    for &peer in peers {
-        set.union_with(tables[peer.index()].keywords());
-    }
+    shared_keywords_into(tables, peers, &mut set);
     set
+}
+
+/// [`shared_keywords`] into a caller-owned set (cleared first), so the
+/// per-due-pair call sites stop allocating two bitmaps per settlement
+/// service.
+pub fn shared_keywords_into(tables: &[InterestTable], peers: &[NodeId], out: &mut KeywordSet) {
+    out.clear();
+    for &peer in peers {
+        out.union_with(tables[peer.index()].keywords());
+    }
 }
 
 /// Scans a `pair → last-serviced-at` map for pairs due another round:
@@ -171,15 +208,252 @@ pub fn due_pairs<S: std::hash::BuildHasher>(
     now: SimTime,
     interval_secs: f64,
 ) -> Vec<((NodeId, NodeId), f64)> {
-    let mut due: Vec<((NodeId, NodeId), f64)> = last_serviced
-        .iter()
-        .filter_map(|(&pair, &t)| {
-            let elapsed = now.duration_since(t).as_secs();
-            (elapsed >= interval_secs).then_some((pair, elapsed))
-        })
-        .collect();
-    due.sort_unstable_by_key(|(pair, _)| *pair);
+    let mut due = Vec::new();
+    due_pairs_into(last_serviced, now, interval_secs, &mut due);
     due
+}
+
+/// [`due_pairs`] writing into a caller-provided scratch vector, so call
+/// sites that scan every settlement tick stop paying the allocator for a
+/// fresh sorted vector each time. `out` is cleared first.
+pub fn due_pairs_into<S: std::hash::BuildHasher>(
+    last_serviced: &HashMap<(NodeId, NodeId), SimTime, S>,
+    now: SimTime,
+    interval_secs: f64,
+    out: &mut Vec<((NodeId, NodeId), f64)>,
+) {
+    out.clear();
+    out.extend(last_serviced.iter().filter_map(|(&pair, &t)| {
+        let elapsed = now.duration_since(t).as_secs();
+        (elapsed >= interval_secs).then_some((pair, elapsed))
+    }));
+    out.sort_unstable_by_key(|(pair, _)| *pair);
+}
+
+/// A watched pair's wheel slot: when it was last serviced and the absolute
+/// step its current bucket entry is scheduled for (bucket entries are
+/// lazily deleted, so a popped entry is live only if the slot agrees).
+#[derive(Debug, Clone, Copy)]
+struct PairSlot {
+    last_serviced: SimTime,
+    due_step: u64,
+}
+
+/// An incremental due-pair scheduler: a bucketed timing wheel keyed by
+/// next-due step, replacing the per-tick full scan of [`due_pairs`] with
+/// work proportional to the pairs actually due.
+///
+/// Determinism argument (see DESIGN.md §16): the kernel clock accumulates
+/// `now += dt`, so the exact step at which `now − last ≥ interval` first
+/// holds cannot be computed analytically without repeating the float
+/// accumulation. The wheel therefore schedules *conservatively early* —
+/// `service_step + max(1, ⌊interval/dt⌋)` — and re-validates the exact
+/// legacy predicate on every pop, pushing not-yet-due pairs one bucket
+/// forward. A pair is emitted at exactly the first step where the legacy
+/// predicate holds (scheduling is never late, and from the scheduled step
+/// on the pair is re-checked every step), with the same credited span and
+/// the same sorted emission order, so traces stay byte-identical to the
+/// full scan. Stale bucket entries from serviced or closed pairs are
+/// dropped lazily when popped (`PairSlot::due_step` no longer matches).
+///
+/// The wheel is derived state: snapshots carry only the
+/// `pair → last-serviced` map (the same wire shape as before the wheel
+/// existed), and [`ExchangeWheel::restore`] marks the schedule for lazy
+/// rebuild on the next [`ExchangeWheel::drain_due_into`].
+#[derive(Debug, Default)]
+pub struct ExchangeWheel {
+    slots: FxHashMap<(NodeId, NodeId), PairSlot>,
+    /// Ring of buckets, indexed by `due_step % buckets.len()`. Sized to
+    /// `interval_steps + 2` so a pair scheduled the full interval ahead
+    /// never aliases the bucket currently being drained.
+    buckets: Vec<Vec<(NodeId, NodeId)>>,
+    /// Steps per exchange interval (`max(1, ⌊interval/dt⌋)`); 0 until the
+    /// first call that knows the kernel step length.
+    interval_steps: u64,
+    /// Pairs inserted before the step length is known (or awaiting a
+    /// post-restore rebuild) — scheduled on the next drain.
+    unscheduled: Vec<(NodeId, NodeId)>,
+}
+
+impl ExchangeWheel {
+    /// Creates an empty wheel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of watched (open) pairs.
+    #[must_use]
+    pub fn watched_pairs(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total bucket entries, including stale ones awaiting lazy deletion —
+    /// the schedule's memory occupancy, exported as a gauge.
+    #[must_use]
+    pub fn bucket_occupancy(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum::<usize>() + self.unscheduled.len()
+    }
+
+    /// Whether `pair` is watched.
+    #[must_use]
+    pub fn contains(&self, pair: (NodeId, NodeId)) -> bool {
+        self.slots.contains_key(&pair)
+    }
+
+    /// When `pair` was last serviced, if watched.
+    #[must_use]
+    pub fn last_serviced(&self, pair: (NodeId, NodeId)) -> Option<SimTime> {
+        self.slots.get(&pair).map(|s| s.last_serviced)
+    }
+
+    /// Iterates `(pair, last_serviced)` in arbitrary order (callers that
+    /// serialize must sort, exactly as with the map this replaced).
+    pub fn iter(&self) -> impl Iterator<Item = ((NodeId, NodeId), SimTime)> + '_ {
+        self.slots.iter().map(|(&p, s)| (p, s.last_serviced))
+    }
+
+    /// Records that `pair` was serviced at `now` during `step` and
+    /// schedules its next due check. Called on contact-up and after each
+    /// settlement service; `step` is the kernel step counter.
+    pub fn note_serviced(&mut self, pair: (NodeId, NodeId), now: SimTime, step: u64) {
+        let due_step = if self.interval_steps == 0 {
+            // Step length not seen yet (contact-up before the first
+            // settlement drain): park the pair; the first drain schedules
+            // it properly.
+            self.unscheduled.push(pair);
+            u64::MAX
+        } else {
+            let due = step + self.interval_steps;
+            self.push_bucket(pair, due);
+            due
+        };
+        self.slots.insert(
+            pair,
+            PairSlot {
+                last_serviced: now,
+                due_step,
+            },
+        );
+    }
+
+    /// Stops watching `pair` (contact closed). Its bucket entry is dropped
+    /// lazily when popped.
+    pub fn remove(&mut self, pair: (NodeId, NodeId)) {
+        self.slots.remove(&pair);
+    }
+
+    /// Replaces the watched set with `pair → last-serviced` entries from a
+    /// snapshot. Scheduling is deferred to the next
+    /// [`Self::drain_due_into`] (the restore path does not know the kernel
+    /// clock); the wheel is rebuilt as derived state, so the snapshot wire
+    /// format is unchanged from the full-scan era.
+    pub fn restore(&mut self, entries: impl IntoIterator<Item = ((NodeId, NodeId), SimTime)>) {
+        self.slots.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.unscheduled.clear();
+        for (pair, last_serviced) in entries {
+            self.slots.insert(
+                pair,
+                PairSlot {
+                    last_serviced,
+                    due_step: u64::MAX,
+                },
+            );
+            self.unscheduled.push(pair);
+        }
+    }
+
+    fn push_bucket(&mut self, pair: (NodeId, NodeId), due_step: u64) {
+        let len = self.buckets.len() as u64;
+        self.buckets[(due_step % len) as usize].push(pair);
+    }
+
+    /// Lazily sizes the ring once the step length is known and schedules
+    /// any parked pairs relative to `(now, step)`.
+    fn ensure_scheduled(&mut self, now: SimTime, step: u64, interval_secs: f64, step_secs: f64) {
+        if self.interval_steps == 0 {
+            let steps = if step_secs > 0.0 {
+                (interval_secs / step_secs).floor() as u64
+            } else {
+                1
+            };
+            self.interval_steps = steps.max(1);
+            self.buckets
+                .resize_with(self.interval_steps as usize + 2, Vec::new);
+        }
+        if self.unscheduled.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.unscheduled);
+        for pair in parked {
+            let Some(slot) = self.slots.get_mut(&pair) else {
+                continue; // closed while parked
+            };
+            if slot.due_step != u64::MAX {
+                continue; // rescheduled while parked (reopened contact)
+            }
+            // Conservative-early: schedule at the remaining whole steps of
+            // the interval (never later than the legacy predicate can
+            // first hold), clamped into the ring.
+            let elapsed = now.duration_since(slot.last_serviced).as_secs();
+            let remaining = interval_secs - elapsed;
+            let wait = if step_secs > 0.0 && remaining > 0.0 {
+                ((remaining / step_secs).floor() as u64).min(self.interval_steps)
+            } else {
+                0
+            };
+            slot.due_step = step + wait;
+            let due = slot.due_step;
+            self.push_bucket(pair, due);
+        }
+    }
+
+    /// Pops every pair due at `(now, step)` into `out` (cleared first) as
+    /// `(pair, credited_secs)` sorted by pair — the same contract as
+    /// [`due_pairs`] over an equal watched set. Pairs whose conservative
+    /// schedule fired early are re-checked next step. The caller services
+    /// each emitted pair and calls [`Self::note_serviced`].
+    pub fn drain_due_into(
+        &mut self,
+        now: SimTime,
+        step: u64,
+        interval_secs: f64,
+        step_secs: f64,
+        out: &mut Vec<((NodeId, NodeId), f64)>,
+    ) {
+        out.clear();
+        self.ensure_scheduled(now, step, interval_secs, step_secs);
+        let len = self.buckets.len() as u64;
+        let bucket = (step % len) as usize;
+        let next_bucket = ((step + 1) % len) as usize;
+        let mut popped = std::mem::take(&mut self.buckets[bucket]);
+        for pair in popped.drain(..) {
+            let Some(slot) = self.slots.get_mut(&pair) else {
+                continue; // closed: lazy delete
+            };
+            if slot.due_step != step {
+                continue; // stale entry (re-serviced or reopened): lazy delete
+            }
+            let elapsed = now.duration_since(slot.last_serviced).as_secs();
+            if elapsed >= interval_secs {
+                out.push((pair, elapsed));
+            } else {
+                // Scheduled early (float accumulation): check again next
+                // step, exactly as the full scan would.
+                slot.due_step = step + 1;
+                self.buckets[next_bucket].push(pair);
+            }
+        }
+        // Hand the drained bucket's storage back for reuse.
+        let slot = &mut self.buckets[bucket];
+        if slot.is_empty() {
+            *slot = popped;
+        }
+        out.sort_unstable_by_key(|(pair, _)| *pair);
+    }
 }
 
 #[cfg(test)]

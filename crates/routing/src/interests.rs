@@ -44,6 +44,37 @@ pub struct InterestEntry {
     pub last_shared: SimTime,
 }
 
+/// One stored row of an interest table: the keyword and its entry
+/// flattened into a single 24-byte record. The natural
+/// `(Keyword, InterestEntry)` tuple pads to 32 bytes (the `f64`s force
+/// 8-byte alignment after the 4-byte keyword); every settlement tick
+/// streams whole tables through decay and growth, so the flat layout
+/// cuts that traffic by a quarter. The wire format and the public API
+/// keep `(Keyword, InterestEntry)` — rows are an internal arena layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterestRow {
+    /// The keyword this row tracks.
+    pub keyword: Keyword,
+    /// Direct (subscribed) or transient (acquired).
+    pub kind: InterestKind,
+    /// Current weight in `[0, 1]`.
+    pub weight: f64,
+    /// `T_l`: the last time a connected device shared this interest.
+    pub last_shared: SimTime,
+}
+
+impl InterestRow {
+    /// The row's entry part, in the public `InterestEntry` shape.
+    #[must_use]
+    pub fn entry(&self) -> InterestEntry {
+        InterestEntry {
+            weight: self.weight,
+            kind: self.kind,
+            last_shared: self.last_shared,
+        }
+    }
+}
+
 /// Tunable constants of the RTSR model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChitChatParams {
@@ -109,7 +140,7 @@ pub fn psi(own: Option<InterestKind>, peer: InterestKind) -> u8 {
 /// pass a hashed table would force for determinism).
 #[derive(Debug, Clone, Default)]
 pub struct InterestTable {
-    entries: Vec<(Keyword, InterestEntry)>,
+    entries: Vec<InterestRow>,
     /// Bitmap over the keywords present in `entries`, kept in sync by
     /// every mutation. [`crate::exchange::shared_keywords`] unions these
     /// instead of walking each peer's entries — the walk dominated the
@@ -130,20 +161,31 @@ impl PartialEq for InterestTable {
 /// load, so snapshots written before it existed restore byte-identically.
 impl Serialize for InterestTable {
     fn to_value(&self) -> Value {
-        Value::Map(vec![("entries".to_string(), self.entries.to_value())])
+        let wire: Vec<(Keyword, InterestEntry)> =
+            self.entries.iter().map(|r| (r.keyword, r.entry())).collect();
+        Value::Map(vec![("entries".to_string(), wire.to_value())])
     }
 }
 
 impl Deserialize for InterestTable {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let entries: Vec<(Keyword, InterestEntry)> = match v.get("entries") {
+        let wire: Vec<(Keyword, InterestEntry)> = match v.get("entries") {
             Some(e) => Deserialize::from_value(e)?,
             None => return Err(Error::missing_field("InterestTable", "entries")),
         };
         let mut keywords = KeywordSet::new();
-        for &(k, _) in &entries {
-            keywords.insert(k);
-        }
+        let entries = wire
+            .into_iter()
+            .map(|(keyword, e)| {
+                keywords.insert(keyword);
+                InterestRow {
+                    keyword,
+                    kind: e.kind,
+                    weight: e.weight,
+                    last_shared: e.last_shared,
+                }
+            })
+            .collect();
         Ok(InterestTable { entries, keywords })
     }
 }
@@ -157,7 +199,7 @@ impl InterestTable {
 
     /// Index of `keyword` in the sorted entries, or its insertion point.
     fn position(&self, keyword: Keyword) -> Result<usize, usize> {
-        self.entries.binary_search_by_key(&keyword, |&(k, _)| k)
+        self.entries.binary_search_by_key(&keyword, |r| r.keyword)
     }
 
     /// Subscribes the user to `keyword` as a direct interest at the initial
@@ -165,18 +207,16 @@ impl InterestTable {
     /// upgrades a transient entry to direct without losing its weight.
     pub fn subscribe(&mut self, keyword: Keyword, params: &ChitChatParams, now: SimTime) {
         match self.position(keyword) {
-            Ok(i) => self.entries[i].1.kind = InterestKind::Direct,
+            Ok(i) => self.entries[i].kind = InterestKind::Direct,
             Err(i) => {
                 self.entries.insert(
                     i,
-                    (
+                    InterestRow {
                         keyword,
-                        InterestEntry {
-                            weight: params.initial_weight,
-                            kind: InterestKind::Direct,
-                            last_shared: now,
-                        },
-                    ),
+                        kind: InterestKind::Direct,
+                        weight: params.initial_weight,
+                        last_shared: now,
+                    },
                 );
                 self.keywords.insert(keyword);
             }
@@ -189,10 +229,19 @@ impl InterestTable {
         &self.keywords
     }
 
+    /// Bytes of memory this table holds (struct plus heap capacity) —
+    /// the per-node interest footprint, exported as a metrics gauge.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.capacity() * std::mem::size_of::<InterestRow>()
+            + self.keywords.state_bytes()
+    }
+
     /// The entry for `keyword`, if present.
     #[must_use]
     pub fn get(&self, keyword: Keyword) -> Option<InterestEntry> {
-        self.position(keyword).ok().map(|i| self.entries[i].1)
+        self.position(keyword).ok().map(|i| self.entries[i].entry())
     }
 
     /// Current weight of `keyword` (0 when absent).
@@ -245,14 +294,14 @@ impl InterestTable {
 
     /// Iterates over `(keyword, entry)` pairs in ascending keyword order.
     pub fn iter(&self) -> impl Iterator<Item = (Keyword, InterestEntry)> + '_ {
-        self.entries.iter().map(|&(k, e)| (k, e))
+        self.entries.iter().map(|r| (r.keyword, r.entry()))
     }
 
     /// Records that a currently-connected device shares `keyword` (updates
     /// `T_l`, freezing decay for this interest while the peer is around).
     pub fn mark_shared(&mut self, keyword: Keyword, now: SimTime) {
         if let Ok(i) = self.position(keyword) {
-            self.entries[i].1.last_shared = now;
+            self.entries[i].last_shared = now;
         }
     }
 
@@ -270,7 +319,8 @@ impl InterestTable {
     ) {
         let min_elapsed = params.exchange_interval_secs.max(1.0);
         let keywords = &mut self.keywords;
-        self.entries.retain_mut(|&mut (keyword, ref mut e)| {
+        self.entries.retain_mut(|e| {
+            let keyword = e.keyword;
             if shared_now(keyword) {
                 e.last_shared = now;
                 return true;
@@ -318,7 +368,7 @@ impl InterestTable {
 
     /// The raw sorted entry slice (crate-internal: the exchange ritual
     /// reads a pre-growth table while its owner is mutably borrowed).
-    pub(crate) fn entries_slice(&self) -> &[(Keyword, InterestEntry)] {
+    pub(crate) fn entries_slice(&self) -> &[InterestRow] {
         &self.entries
     }
 
@@ -336,11 +386,11 @@ impl InterestTable {
     /// unchanged, so weights stay bit-identical.
     pub(crate) fn grow_into(
         &mut self,
-        peer_entries: &[(Keyword, InterestEntry)],
+        peer_entries: &[InterestRow],
         connected_secs: f64,
         params: &ChitChatParams,
         now: SimTime,
-        out: &mut Vec<(Keyword, InterestEntry)>,
+        out: &mut Vec<InterestRow>,
     ) -> bool {
         if connected_secs <= 0.0 {
             return false;
@@ -348,35 +398,34 @@ impl InterestTable {
         out.clear();
         out.reserve(self.entries.len() + peer_entries.len());
         let mut i = 0;
-        for &(keyword, peer_entry) in peer_entries {
+        for peer_entry in peer_entries {
+            let keyword = peer_entry.keyword;
             if peer_entry.weight <= 0.0 {
                 continue;
             }
-            while i < self.entries.len() && self.entries[i].0 < keyword {
+            while i < self.entries.len() && self.entries[i].keyword < keyword {
                 out.push(self.entries[i]);
                 i += 1;
             }
-            if i < self.entries.len() && self.entries[i].0 == keyword {
-                let mut e = self.entries[i].1;
+            if i < self.entries.len() && self.entries[i].keyword == keyword {
+                let mut e = self.entries[i];
                 i += 1;
                 let psi = f64::from(psi(Some(e.kind), peer_entry.kind));
                 let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
                 e.weight = (e.weight + delta).min(1.0);
                 e.last_shared = now;
-                out.push((keyword, e));
+                out.push(e);
             } else {
                 let psi = f64::from(psi(None, peer_entry.kind));
                 let delta = params.growth_rate * peer_entry.weight * connected_secs / psi;
                 let weight = delta.min(1.0);
                 if weight >= params.transient_floor {
-                    out.push((
+                    out.push(InterestRow {
                         keyword,
-                        InterestEntry {
-                            weight,
-                            kind: InterestKind::Transient,
-                            last_shared: now,
-                        },
-                    ));
+                        kind: InterestKind::Transient,
+                        weight,
+                        last_shared: now,
+                    });
                     self.keywords.insert(keyword);
                 }
             }
@@ -387,7 +436,7 @@ impl InterestTable {
 
     /// Installs a vector produced by [`Self::grow_into`], handing the old
     /// entry storage back through `out` for reuse.
-    pub(crate) fn commit_entries(&mut self, out: &mut Vec<(Keyword, InterestEntry)>) {
+    pub(crate) fn commit_entries(&mut self, out: &mut Vec<InterestRow>) {
         std::mem::swap(&mut self.entries, out);
     }
 
@@ -415,18 +464,22 @@ impl InterestTable {
         }
         // Read-only bail pass: any keyword one side holds (with positive
         // weight) that the other would acquire at or above the floor
-        // forces the inserting merge path.
+        // forces the inserting merge path. Equal keyword bitmaps mean
+        // there is no unmatched keyword on either side, so the pass is
+        // vacuous — skip the walk entirely (the steady-state common case
+        // once a contact cluster's tables have converged).
+        let bitmaps_equal = a.keywords.same_keywords(&b.keywords);
         let (mut i, mut j) = (0usize, 0usize);
-        while i < a.entries.len() || j < b.entries.len() {
-            let ka = a.entries.get(i).map(|&(k, _)| k);
-            let kb = b.entries.get(j).map(|&(k, _)| k);
+        while !bitmaps_equal && (i < a.entries.len() || j < b.entries.len()) {
+            let ka = a.entries.get(i).map(|r| r.keyword);
+            let kb = b.entries.get(j).map(|r| r.keyword);
             match (ka, kb) {
                 (Some(ka), Some(kb)) if ka == kb => {
                     i += 1;
                     j += 1;
                 }
                 (Some(ka), kb) if kb.is_none() || ka < kb.expect("some") => {
-                    let e = a.entries[i].1;
+                    let e = a.entries[i];
                     if e.weight > 0.0 {
                         let psi = f64::from(psi(None, e.kind));
                         let delta = params.growth_rate * e.weight * connected_secs / psi;
@@ -437,7 +490,7 @@ impl InterestTable {
                     i += 1;
                 }
                 _ => {
-                    let e = b.entries[j].1;
+                    let e = b.entries[j];
                     if e.weight > 0.0 {
                         let psi = f64::from(psi(None, e.kind));
                         let delta = params.growth_rate * e.weight * connected_secs / psi;
@@ -455,25 +508,25 @@ impl InterestTable {
         // directions cannot observe each other's updates.
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.entries.len() && j < b.entries.len() {
-            let (ka, kb) = (a.entries[i].0, b.entries[j].0);
+            let (ka, kb) = (a.entries[i].keyword, b.entries[j].keyword);
             if ka < kb {
                 i += 1;
             } else if kb < ka {
                 j += 1;
             } else {
-                let (wa, kind_a) = (a.entries[i].1.weight, a.entries[i].1.kind);
-                let (wb, kind_b) = (b.entries[j].1.weight, b.entries[j].1.kind);
+                let (wa, kind_a) = (a.entries[i].weight, a.entries[i].kind);
+                let (wb, kind_b) = (b.entries[j].weight, b.entries[j].kind);
                 if wb > 0.0 {
                     let psi = f64::from(psi(Some(kind_a), kind_b));
                     let delta = params.growth_rate * wb * connected_secs / psi;
-                    let e = &mut a.entries[i].1;
+                    let e = &mut a.entries[i];
                     e.weight = (e.weight + delta).min(1.0);
                     e.last_shared = now;
                 }
                 if wa > 0.0 {
                     let psi = f64::from(psi(Some(kind_b), kind_a));
                     let delta = params.growth_rate * wa * connected_secs / psi;
-                    let e = &mut b.entries[j].1;
+                    let e = &mut b.entries[j];
                     e.weight = (e.weight + delta).min(1.0);
                     e.last_shared = now;
                 }
@@ -546,7 +599,7 @@ mod tests {
         p.exchange_interval_secs = 5.0;
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &p, t(0.0));
-        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
+        if let Some(e) = table.entries.iter_mut().find(|r| r.keyword == Keyword(1)) {
             e.weight = 0.6;
         }
         table.decay(t(5.0), &p, |_| false);
@@ -558,7 +611,7 @@ mod tests {
     fn decay_skips_shared_interests() {
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &params(), t(0.0));
-        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
+        if let Some(e) = table.entries.iter_mut().find(|r| r.keyword == Keyword(1)) {
             e.weight = 0.9;
         }
         table.decay(t(100.0), &params(), |_| true);
@@ -573,7 +626,7 @@ mod tests {
         let p = params();
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &p, t(0.0));
-        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
+        if let Some(e) = table.entries.iter_mut().find(|r| r.keyword == Keyword(1)) {
             e.weight = 1.0;
         }
         let mut peer = InterestTable::new();
@@ -602,7 +655,7 @@ mod tests {
         let mut table = InterestTable::new();
         table.subscribe(Keyword(1), &p, t(0.0));
         // Direct weight *below* baseline must not spring back up.
-        if let Some((_, e)) = table.entries.iter_mut().find(|(k, _)| *k == Keyword(1)) {
+        if let Some(e) = table.entries.iter_mut().find(|r| r.keyword == Keyword(1)) {
             e.weight = 0.2;
         }
         table.decay(t(10.0), &p, |_| false);

@@ -134,3 +134,104 @@ proptest! {
         prop_assert_eq!(t.is_destination_for(&keywords), expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Settlement wheel vs. legacy full scan (DESIGN.md §16): over arbitrary
+// interleavings of contact-open (service), contact-close and reopen, the
+// wheel must emit exactly the pairs the per-tick full scan would, in the
+// same sorted order, with the same credited spans — including across a
+// mid-run snapshot rebuild.
+// ---------------------------------------------------------------------------
+
+mod wheel_equivalence {
+    use super::*;
+    use dtn_routing::exchange::{due_pairs_into, ExchangeWheel};
+    use dtn_sim::time::SimDuration;
+    use dtn_sim::world::{ordered_pair, NodeId};
+    use std::collections::HashMap;
+
+    /// One scripted kernel step: `kind % 3` selects open/service (0),
+    /// close (1) or no contact event (2) on the pair named by `a`/`b`.
+    type Op = (u8, u8, u8);
+
+    /// Drives the legacy scan and the wheel in lockstep over `ops`,
+    /// asserting identical due emissions every step. `kill_at` optionally
+    /// rebuilds the wheel from its sorted snapshot form before that step,
+    /// exactly as `import_state` does after a crash/resume.
+    fn check(dt: f64, interval: f64, ops: &[Op], kill_at: Option<usize>) {
+        let mut legacy: HashMap<(NodeId, NodeId), SimTime> = HashMap::new();
+        let mut wheel = ExchangeWheel::new();
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        // Mimic the kernel clock: `now` accumulates dt step by step, so
+        // the float rounding the wheel must tolerate is reproduced here.
+        let mut now = SimTime::ZERO;
+        for (i, &(kind, a, b)) in ops.iter().enumerate() {
+            let step = i as u64;
+            if kill_at == Some(i) {
+                let mut entries: Vec<_> = wheel.iter().collect();
+                entries.sort_unstable_by_key(|&(pair, _)| pair);
+                let mut fresh = ExchangeWheel::new();
+                fresh.restore(entries);
+                wheel = fresh;
+            }
+            let pair = ordered_pair(NodeId(u32::from(a % 5)), NodeId(u32::from(b % 5)));
+            if pair.0 != pair.1 {
+                match kind % 3 {
+                    0 => {
+                        legacy.insert(pair, now);
+                        wheel.note_serviced(pair, now, step);
+                    }
+                    1 => {
+                        legacy.remove(&pair);
+                        wheel.remove(pair);
+                    }
+                    _ => {}
+                }
+            }
+            due_pairs_into(&legacy, now, interval, &mut expected);
+            wheel.drain_due_into(now, step, interval, dt, &mut got);
+            prop_assert_eq!(&got, &expected, "divergence at step {}", i);
+            for &(p, _) in &expected {
+                legacy.insert(p, now);
+                wheel.note_serviced(p, now, step);
+            }
+            now += SimDuration::from_secs(dt);
+        }
+        prop_assert_eq!(wheel.watched_pairs(), legacy.len());
+    }
+
+    proptest! {
+        #[test]
+        fn wheel_matches_full_scan(
+            dt in 0.25f64..5.0,
+            interval in 1.0f64..90.0,
+            ops in prop::collection::vec((0u8..3, 0u8..8, 0u8..8), 1..250),
+        ) {
+            check(dt, interval, &ops, None);
+        }
+
+        /// Same property with a snapshot kill-and-rebuild at an arbitrary
+        /// step: the wheel is derived state, so resuming from the sorted
+        /// `(pair, last_serviced)` wire form must not shift any emission.
+        #[test]
+        fn wheel_survives_snapshot_rebuild(
+            dt in 0.25f64..5.0,
+            interval in 1.0f64..90.0,
+            ops in prop::collection::vec((0u8..3, 0u8..8, 0u8..8), 1..250),
+            kill_frac in 0.0f64..1.0,
+        ) {
+            let kill_at = (kill_frac * ops.len() as f64) as usize;
+            check(dt, interval, &ops, Some(kill_at));
+        }
+
+        /// The interval boundary itself: a pair serviced once and never
+        /// touched again fires first at the same step under both models.
+        #[test]
+        fn first_fire_step_matches(dt in 0.25f64..5.0, interval in 1.0f64..90.0) {
+            let mut ops = vec![(0u8, 0u8, 1u8)];
+            ops.resize(260, (2u8, 0u8, 0u8));
+            check(dt, interval, &ops, None);
+        }
+    }
+}

@@ -63,6 +63,10 @@ pub struct Buffer {
     lifetime_stored: u64,
     /// Lifetime count of removals (evictions, sweeps, explicit removes).
     lifetime_removed: u64,
+    /// Bumped on every mutation (insert, remove, `get_mut`, restore) so
+    /// routers can cache derived orderings keyed by this value. Not part
+    /// of the snapshot wire format: caches start cold after a resume.
+    generation: u64,
 }
 
 impl Buffer {
@@ -81,7 +85,16 @@ impl Buffer {
             copies: FxHashMap::default(),
             lifetime_stored: 0,
             lifetime_removed: 0,
+            generation: 0,
         }
+    }
+
+    /// Monotonic mutation counter: two reads returning the same value
+    /// guarantee the buffer contents (and copy annotations) are unchanged
+    /// between them, so derived orderings may be reused.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Total capacity in bytes.
@@ -146,8 +159,11 @@ impl Buffer {
     }
 
     /// Mutable access to the buffered copy of `id` (used by enrichment).
+    /// Conservatively bumps the generation: the caller may mutate fields
+    /// (e.g. quality annotations) that derived orderings depend on.
     #[must_use]
     pub fn get_mut(&mut self, id: MessageId) -> Option<&mut MessageCopy> {
+        self.generation += 1;
         self.copies.get_mut(&id)
     }
 
@@ -195,6 +211,7 @@ impl Buffer {
         self.used_bytes += size;
         self.copies.insert(id, copy);
         self.lifetime_stored += 1;
+        self.generation += 1;
         InsertOutcome::Stored { evicted }
     }
 
@@ -203,6 +220,7 @@ impl Buffer {
         let copy = self.copies.remove(&id)?;
         self.used_bytes -= copy.size_bytes();
         self.lifetime_removed += 1;
+        self.generation += 1;
         Some(copy)
     }
 
@@ -364,6 +382,7 @@ impl Buffer {
         self.used_bytes = state.used_bytes;
         self.lifetime_stored = state.lifetime_stored;
         self.lifetime_removed = state.lifetime_removed;
+        self.generation += 1;
         Ok(())
     }
 }

@@ -1189,6 +1189,7 @@ impl<P: Protocol> Simulation<P> {
         let mut registry = MetricsRegistry::new();
         self.api.counters.export(&mut registry);
         registry.set_gauge("kernel.threads", self.threads as f64);
+        self.protocol.export_metrics(&mut registry);
         if self.profiler.is_enabled() {
             for t in self.profiler.timings() {
                 registry.set_gauge(&format!("phase_secs.{}", t.phase), t.secs);

@@ -224,12 +224,20 @@ impl MessageCopy {
     #[must_use]
     pub fn keywords(&self) -> Vec<Keyword> {
         let mut seen = Vec::with_capacity(self.annotations.len());
+        self.keywords_into(&mut seen);
+        seen
+    }
+
+    /// [`Self::keywords`] into a caller-owned buffer (cleared first) —
+    /// the offer path runs once per (pair, message) every settlement
+    /// tick, and a fresh allocation there dominated its profile.
+    pub fn keywords_into(&self, out: &mut Vec<Keyword>) {
+        out.clear();
         for a in &self.annotations {
-            if !seen.contains(&a.keyword) {
-                seen.push(a.keyword);
+            if !out.contains(&a.keyword) {
+                out.push(a.keyword);
             }
         }
-        seen
     }
 
     /// Tags added by `node` (the enrichment contribution of one relay).

@@ -16,6 +16,7 @@
 use crate::buffer::InsertOutcome;
 use crate::kernel::SimApi;
 use crate::message::MessageId;
+use crate::metrics::MetricsRegistry;
 use crate::transfer::{AbortedTransfer, CompletedTransfer};
 use crate::world::NodeId;
 
@@ -92,6 +93,14 @@ pub trait Protocol {
     /// Called once after the last step, before statistics are finalized.
     fn on_finish(&mut self, api: &mut SimApi) {
         let _ = api;
+    }
+
+    /// Contributes protocol-owned gauges (watched settlement pairs, wheel
+    /// bucket occupancy, arena bytes in use, …) to the metrics registry
+    /// the kernel exports (`--verbose` / `--metrics-out`). The default
+    /// exports nothing.
+    fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        let _ = registry;
     }
 
     /// Audits protocol-owned invariants (token conservation, rating
